@@ -1,0 +1,93 @@
+"""Ablation: behavior-level vs basic-block granularity.
+
+Section 2.2 offers basic blocks as a finer alternative node granularity.
+The trade is the paper's central one: finer nodes give the partitioner
+more freedom but grow the graph, and with it the cost of every estimate
+and of any n-squared algorithm.  This ablation quantifies both sides on
+the four benchmarks: graph size, estimation latency and the quadratic
+cost at each granularity.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.core.components import Bus, Processor
+from repro.core.partition import single_bus_partition
+from repro.estimate.engine import Estimator
+from repro.specs import SPEC_NAMES, spec_profile, spec_source
+from repro.synth.annotate import annotate_slif
+from repro.synth.techlib import default_library
+from repro.vhdl import Granularity
+from repro.vhdl.slif_builder import build_slif_from_source
+
+
+def build_at(name, granularity):
+    lib = default_library()
+    slif = build_slif_from_source(
+        spec_source(name),
+        name=name,
+        profile=spec_profile(name),
+        granularity=granularity,
+    )
+    annotate_slif(slif, lib)
+    slif.add_processor(Processor("CPU", lib.processors["proc"].technology()))
+    slif.add_processor(Processor("HW", lib.asics["asic"].technology()))
+    slif.add_bus(Bus("sysbus", bitwidth=16, ts=0.1, td=1.0))
+    partition = single_bus_partition(slif, {o: "CPU" for o in slif.bv_names()})
+    return slif, partition
+
+
+@pytest.mark.parametrize("example", SPEC_NAMES)
+@pytest.mark.parametrize(
+    "granularity", [None, Granularity.BASIC_BLOCK], ids=["behavior", "basic_block"]
+)
+def test_estimate_at_granularity(benchmark, example, granularity):
+    slif, partition = build_at(example, granularity)
+
+    def estimate_once():
+        return Estimator(slif, partition).report()
+
+    result = benchmark(estimate_once)
+    assert result.system_time > 0
+    benchmark.extra_info["bv"] = slif.num_bv
+    benchmark.extra_info["channels"] = slif.num_channels
+
+
+@pytest.mark.parametrize("example", SPEC_NAMES)
+def test_granularity_tradeoff(benchmark, example):
+    """Graph growth and estimate-cost growth from block splitting."""
+
+    def measure():
+        rows = {}
+        for label, granularity in (
+            ("behavior", None),
+            ("basic_block", Granularity.BASIC_BLOCK),
+        ):
+            slif, partition = build_at(example, granularity)
+            Estimator(slif, partition).report()  # warm
+            best = float("inf")
+            for _ in range(5):
+                t0 = time.perf_counter()
+                Estimator(slif, partition).report()
+                best = min(best, time.perf_counter() - t0)
+            rows[label] = (slif.num_bv, slif.num_channels, best)
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1)
+    coarse, fine = rows["behavior"], rows["basic_block"]
+    report(
+        [
+            f"granularity ablation / {example}:",
+            f"  behavior-level:    {coarse[0]:4d} objects {coarse[1]:4d} "
+            f"channels  estimate {coarse[2] * 1000:.3f} ms  "
+            f"n^2 {coarse[0] ** 2}",
+            f"  basic-block-level: {fine[0]:4d} objects {fine[1]:4d} "
+            f"channels  estimate {fine[2] * 1000:.3f} ms  n^2 {fine[0] ** 2}",
+        ]
+    )
+    # splitting never shrinks the graph, and the coarse view is the one
+    # that keeps the n^2 design space smallest (the paper's choice)
+    assert fine[0] >= coarse[0]
+    assert fine[1] >= coarse[1]

@@ -1,0 +1,97 @@
+"""Section 5 preprocessing claim: preprocessed sums vs re-synthesis.
+
+"Using SLIF, we can synthesize each node beforehand, so size estimation
+only requires adding the previously-determined node sizes, which in
+turn requires only a fraction of a second.  For the other two formats
+... we instead have to perform a rough synthesis on that entire set of
+nodes.  This synthesis requires several seconds.  While this time is
+feasible for interactive design, it is not feasible when we use
+algorithms that examine thousands of possibilities."
+
+We regenerate the claim on the fuzzy behaviors: estimate the ASIC's
+size for 1000 candidate behavior sets (a) by summing preprocessed
+weights (Eq. 4) and (b) by re-running datapath synthesis on each
+candidate set.  Shape: the preprocessed path wins by orders of
+magnitude, because all scheduling work happened once, up front.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import report
+from repro.estimate.size import object_size
+from repro.synth.datapath import synthesize_behavior_set
+from repro.synth.techlib import default_library
+
+CANDIDATES = 1000
+
+
+def _candidate_sets(system, seed=0):
+    rng = random.Random(seed)
+    behaviors = list(system.slif.behaviors)
+    sets = []
+    for _ in range(CANDIDATES):
+        k = rng.randint(1, len(behaviors))
+        sets.append(rng.sample(behaviors, k))
+    return sets
+
+
+def sum_preprocessed(system, candidate_sets):
+    total = 0.0
+    for names in candidate_sets:
+        total += sum(object_size(system.slif, n, "HW") for n in names)
+    return total
+
+
+def resynthesize(system, candidate_sets):
+    asic = default_library().asics["asic"]
+    total = 0.0
+    for names in candidate_sets:
+        profiles = [system.slif.behaviors[n].op_profile for n in names]
+        total += synthesize_behavior_set(profiles, asic).area
+    return total
+
+
+@pytest.fixture(scope="module")
+def fuzzy(built_systems):
+    return built_systems["fuzzy"]
+
+
+def test_preprocessed_size_estimation(benchmark, fuzzy):
+    sets = _candidate_sets(fuzzy)
+    result = benchmark(sum_preprocessed, fuzzy, sets)
+    assert result > 0
+
+
+def test_resynthesis_size_estimation(benchmark, fuzzy):
+    sets = _candidate_sets(fuzzy)
+    result = benchmark(resynthesize, fuzzy, sets)
+    assert result > 0
+
+
+def test_preprocessing_speedup(benchmark, fuzzy):
+    """The headline ratio: preprocessed sums vs whole-set synthesis over
+    1000 candidate partitions."""
+    sets = _candidate_sets(fuzzy)
+
+    t0 = time.perf_counter()
+    benchmark.pedantic(sum_preprocessed, args=(fuzzy, sets), rounds=1)
+    t_pre = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    resynthesize(fuzzy, sets)
+    t_syn = time.perf_counter() - t0
+
+    speedup = t_syn / t_pre
+    report(
+        [
+            f"Section 5 preprocessing claim ({CANDIDATES} candidate sets, fuzzy):",
+            f"  preprocessed sums: {t_pre * 1000:.1f} ms   "
+            f"re-synthesis per candidate: {t_syn * 1000:.1f} ms",
+            f"  speedup {speedup:.0f}x  "
+            "(paper: fraction of a second vs several seconds per estimate)",
+        ]
+    )
+    assert speedup > 10.0

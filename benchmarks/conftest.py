@@ -1,0 +1,46 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper's evaluation
+(Figure 4's table, the Section 5 format comparison, the preprocessing
+speed claims).  Alongside pytest-benchmark's timing table, each bench
+prints the paper-vs-measured row it reproduces, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+produces the full evaluation in one shot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def paper_row(example: str) -> dict:
+    from repro.specs import PAPER_FIGURE4
+
+    return PAPER_FIGURE4[example]
+
+
+@pytest.fixture(scope="session")
+def spec_sources():
+    """(source text, profile) for all four benchmarks, loaded once."""
+    from repro.specs import SPEC_NAMES, spec_profile, spec_source
+
+    return {
+        name: (spec_source(name), spec_profile(name)) for name in SPEC_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def built_systems():
+    """Fully-built DesignSystems for all four benchmarks."""
+    from repro.system import build_system
+
+    return {name: build_system(name) for name in ("ans", "ether", "fuzzy", "vol")}
+
+
+def report(lines):
+    """Print a reproduction row block (visible with -s / in captured logs)."""
+    print()
+    for line in lines:
+        print(f"  [repro] {line}")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Bus-saturation analysis: when Eq. 1 is too optimistic.
+
+Equation 1 prices every transfer at the bus's nominal speed.  Offload
+enough behaviors to the ASIC and the single system bus becomes the
+bottleneck: the channels collectively demand more bandwidth than the
+wires can move.  This example sweeps the bus width for a
+hardware-heavy fuzzy-controller partition and compares
+
+* the plain Eq. 1 execution time (contention-blind), and
+* the saturation-derated estimate (the paper's [2] refinement,
+  implemented in ``repro.estimate.derate``),
+
+showing where the two diverge — exactly the design question (how wide
+must the bus be?) a system designer would ask SpecSyn.
+
+Run:  python examples/bus_saturation.py
+"""
+
+from repro import build_system
+from repro.estimate import derated_estimate
+from repro.estimate.exectime import execution_time
+
+
+def main() -> None:
+    widths = [4, 8, 16, 32, 64, 128]
+    print("hardware-heavy fuzzy partition, sweeping system bus width\n")
+    print(f"{'wires':>6} {'Eq.1 time':>12} {'derated':>12} {'slowdown':>9} "
+          f"{'saturated?':>10}")
+
+    for width in widths:
+        system = build_system("fuzzy", bus_bitwidth=width)
+        for name in ("Convolve", "ComputeCentroid", "EvaluateRule", "Min",
+                     "tmr1", "tmr2"):
+            system.partition.move(name, "HW")
+
+        plain = execution_time(system.slif, system.partition, "FuzzyMain")
+        derated = derated_estimate(system.slif, system.partition)
+        slowdown = derated.bus_slowdown["sysbus"]
+        print(
+            f"{width:>6} {plain:>10.0f}us {derated.system_time:>10.0f}us "
+            f"{slowdown:>8.2f}x {'yes' if slowdown > 1.0 else 'no':>10}"
+        )
+
+    print(
+        "\nEq. 1 improves smoothly with wider buses; the derated estimate"
+        "\nshows the narrow configurations are actually bandwidth-bound,"
+        "\nso widening the bus buys far more than Eq. 1 alone suggests."
+    )
+
+
+if __name__ == "__main__":
+    main()

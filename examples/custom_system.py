@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Building a SLIF system directly from the library API (no VHDL).
+
+A designer who already knows a system's block structure can sketch it
+straight into the access graph: a JPEG-style still-image pipeline with
+a capture process, DCT/quantize/encode stages and two frame buffers.
+Behavior contents are abstracted as operation profiles so the standard
+preprocessors produce the per-technology weights, exactly as Section
+2.4 prescribes ("the designer may need to guide this step closely...
+alternatively, the designer may simply specify an ict").
+
+Run:  python examples/custom_system.py
+"""
+
+from repro.core import SlifBuilder, single_bus_partition
+from repro.estimate import Estimator
+from repro.partition import run_algorithm
+from repro.synth import OpClass, OpDag, OpProfile, Region, annotate_slif
+
+
+def dct_profile() -> OpProfile:
+    """An 8x8 DCT block: 64 multiply-accumulates per row pass."""
+    dag = OpDag()
+    mem = dag.add(OpClass.MEM)
+    mul = dag.add(OpClass.MULT, preds=(mem,))
+    acc = dag.add(OpClass.ALU, preds=(mul,))
+    dag.add(OpClass.MEM, preds=(acc,))
+    return OpProfile([Region(dag, count=64 * 8, label="mac")])
+
+
+def quant_profile() -> OpProfile:
+    dag = OpDag()
+    mem = dag.add(OpClass.MEM)
+    div = dag.add(OpClass.DIV, preds=(mem,))
+    dag.add(OpClass.MEM, preds=(div,))
+    return OpProfile([Region(dag, count=64, label="divide")])
+
+
+def encode_profile() -> OpProfile:
+    dag = OpDag()
+    mem = dag.add(OpClass.MEM)
+    cmp_op = dag.add(OpClass.ALU, preds=(mem,))
+    dag.add(OpClass.BRANCH, preds=(cmp_op,))
+    sh = dag.add(OpClass.SHIFT, preds=(cmp_op,))
+    dag.add(OpClass.MEM, preds=(sh,))
+    return OpProfile([Region(dag, count=64 * 2, label="huffman")])
+
+
+def main() -> None:
+    builder = (
+        SlifBuilder("imaging")
+        .process("Capture")
+        .procedure("Dct")
+        .procedure("Quantize")
+        .procedure("Encode")
+        .variable("frame", bits=8, elements=4096)
+        .variable("coeffs", bits=12, elements=64)
+        .variable("bitstream", bits=8, elements=1024)
+        .port("pixel_in", "in", 8)
+        .port("stream_out", "out", 8)
+        .read("Capture", "pixel_in", freq=4096)
+        .write("Capture", "frame", freq=4096)
+        .call("Capture", "Dct", freq=64)
+        .call("Capture", "Quantize", freq=64)
+        .call("Capture", "Encode", freq=64)
+        .read("Dct", "frame", freq=64)
+        .write("Dct", "coeffs", freq=64)
+        .access("Quantize", "coeffs", freq=128)
+        .read("Encode", "coeffs", freq=64)
+        .write("Encode", "bitstream", freq=64)
+        .write("Capture", "stream_out", freq=1024)
+        .processor("CPU", "proc", size_constraint=4000)
+        .asic("HW", "asic", size_constraint=60_000, io_constraint=64)
+        .memory("RAM", "mem", size_constraint=8192)
+        .bus("sysbus", bitwidth=16, ts=0.05, td=0.5)
+    )
+    slif = builder.slif
+
+    # abstract behavior contents, then preprocess all weights + tags
+    slif.behaviors["Capture"].op_profile = OpProfile(
+        [Region(OpDag([]), count=1)]
+    )
+    slif.behaviors["Dct"].op_profile = dct_profile()
+    slif.behaviors["Quantize"].op_profile = quant_profile()
+    slif.behaviors["Encode"].op_profile = encode_profile()
+    annotate_slif(slif)
+    slif = builder.build(validate=True)
+
+    print("=== hand-built imaging system ===")
+    print(f"  {slif!r}")
+    dct = slif.behaviors["Dct"]
+    print(f"  Dct ict: {dct.ict['proc']:.1f} us sw / {dct.ict['asic']:.2f} us hw; "
+          f"size {dct.size['proc']:.0f} bytes / {dct.size['asic']:.0f} gates")
+
+    partition = single_bus_partition(
+        slif,
+        {name: "CPU" for name in slif.bv_names()},
+        name="all-software",
+    )
+    print("\nall-software partition:")
+    print(Estimator(slif, partition).report().render())
+
+    # ask the partitioner for something faster under a deadline
+    result = run_algorithm(
+        "group_migration",
+        slif,
+        partition,
+        time_constraint=20_000.0,
+    )
+    print(f"\nafter group migration (time constraint 20000 us): "
+          f"cost {result.cost:g}")
+    print(Estimator(slif, result.partition, time_constraint=20_000.0).report().render())
+    moved = [o for o, c in result.partition.object_mapping().items() if c != "CPU"]
+    print(f"\nobjects moved off the CPU: {sorted(moved)}")
+
+
+if __name__ == "__main__":
+    main()

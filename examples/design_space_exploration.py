@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Design-space exploration: the "thousands of designs" workflow.
+
+The scenario the paper's estimation speed enables: the ethernet
+coprocessor must fit a CPU that is too small for all of it, so the
+partitioner must decide what moves to the ASIC.  We run every bundled
+algorithm from the same starting point and compare final cost, how many
+candidate partitions each examined, and the wall-clock cost per
+candidate — then print the winning hardware/software split.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import time
+
+from repro import build_system
+from repro.partition import ALGORITHMS, run_algorithm
+
+
+def main() -> None:
+    system = build_system("ether")
+    baseline = system.report()
+
+    # constrain the CPU to 40% of the all-software footprint and give the
+    # ASIC a generous (but finite) gate budget
+    cpu_budget = baseline.component_sizes["CPU"] * 0.4
+    system.slif.processors["CPU"].size_constraint = cpu_budget
+    system.slif.processors["HW"].size_constraint = 2_000_000.0
+
+    print(f"all-software CPU footprint: {baseline.component_sizes['CPU']:,.0f} bytes")
+    print(f"CPU budget imposed:         {cpu_budget:,.0f} bytes\n")
+
+    print(f"{'algorithm':<18} {'cost':>8} {'evals':>8} {'time':>9} {'us/eval':>9}")
+    best = None
+    for name in sorted(ALGORITHMS):
+        started = time.perf_counter()
+        result = run_algorithm(name, system.slif, system.partition, seed=0)
+        elapsed = time.perf_counter() - started
+        per_eval = elapsed / max(result.evaluations, 1) * 1e6
+        print(
+            f"{name:<18} {result.cost:>8.4f} {result.evaluations:>8} "
+            f"{elapsed * 1000:>7.1f}ms {per_eval:>8.1f}"
+        )
+        if best is None or result.cost < best[1].cost:
+            best = (name, result)
+
+    name, result = best
+    print(f"\nbest partition: {name} (cost {result.cost:g})")
+    hw = sorted(
+        o for o in result.partition.objects_on("HW")
+        if o in system.slif.behaviors
+    )
+    print(f"behaviors moved to the ASIC ({len(hw)}):")
+    for chunk_start in range(0, len(hw), 6):
+        print("   " + ", ".join(hw[chunk_start:chunk_start + 6]))
+
+    system.partition = result.partition
+    print("\nfinal estimates:")
+    print(system.report().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""The hardware/software Pareto front: what does each gate buy?
+
+Sweeps the fuzzy controller's design space and prints the
+non-dominated (ASIC gates, system execution time) designs — the
+trade-off curve a designer walks when deciding how much custom
+hardware a product justifies.  Every point comes from SLIF annotations
+alone: the sweep below evaluates hundreds of candidate partitions in a
+fraction of a second.
+
+Run:  python examples/pareto_tradeoff.py
+"""
+
+import time
+
+from repro import build_system
+from repro.partition import explore_pareto
+
+
+def main() -> None:
+    system = build_system("fuzzy")
+    system.slif.processors["CPU"].size_constraint = None
+    system.slif.processors["HW"].size_constraint = None
+
+    started = time.perf_counter()
+    front = explore_pareto(
+        system.slif,
+        system.partition,
+        constraint_steps=8,
+        random_starts=4,
+    )
+    elapsed = time.perf_counter() - started
+
+    print(front.render())
+    print(
+        f"\nevaluated {front.evaluated} designs in {elapsed:.2f}s "
+        f"({front.evaluated / elapsed:,.0f} designs/s)"
+    )
+
+    fastest = front.points[-1]
+    cheapest = front.points[0]
+    if fastest.hardware_size > cheapest.hardware_size:
+        speedup = cheapest.system_time / fastest.system_time
+        print(
+            f"\nspending {fastest.hardware_size - cheapest.hardware_size:,.0f} "
+            f"gates buys a {speedup:.2f}x faster system "
+            f"({cheapest.system_time:g} -> {fastest.system_time:g} us)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: from a specification to design metrics in a few calls.
+
+Builds the paper's fuzzy-logic controller (Figures 1-3), prints the
+access graph's shape, reproduces the Figure 3 annotations, estimates
+every design metric for an all-software mapping, then moves the
+convolution pipeline into hardware and shows how the estimates respond.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_system
+
+
+def main() -> None:
+    # one call: parse the bundled VHDL, build the SLIF access graph, run
+    # the pre-synthesis annotators, allocate a CPU + ASIC + bus
+    system = build_system("fuzzy")
+    slif = system.slif
+
+    print("=== SLIF access graph (paper Figure 2) ===")
+    stats = slif.stats()
+    print(f"  behaviors: {stats['behaviors']}   variables: {stats['variables']}")
+    print(f"  BV objects: {stats['bv']}   channels: {stats['channels']}")
+    print(f"  processes: {[p.name for p in slif.processes()]}")
+
+    print("\n=== Annotations (paper Figure 3) ===")
+    for name in ("EvaluateRule->in1val", "EvaluateRule->mr1"):
+        ch = slif.channels[name]
+        print(f"  {name}: accfreq={ch.accfreq:g}, bits={ch.bits}")
+    convolve = slif.get_behavior("Convolve")
+    print(
+        f"  Convolve ict: {convolve.ict['proc']:g} us on the processor, "
+        f"{convolve.ict['asic']:g} us on the ASIC"
+    )
+
+    print("\n=== All-software estimate ===")
+    report = system.report()
+    print(report.render())
+
+    print("\n=== Where does the time go? ===")
+    from repro.estimate.breakdown import time_breakdown
+
+    breakdown = time_breakdown(slif, system.partition, "FuzzyMain")
+    print(breakdown.render())
+
+    print("\n=== Move the datapath-heavy behaviors into hardware ===")
+    for name in ("Convolve", "ComputeCentroid", "EvaluateRule", "Min",
+                 "tmr1", "tmr2"):
+        system.partition.move(name, "HW")
+    after = system.report()
+    print(after.render())
+
+    speedup = report.system_time / after.system_time
+    print(f"\nsystem time {report.system_time:g} -> {after.system_time:g} us "
+          f"({speedup:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so the package
+can be installed in environments without the `wheel` package (legacy
+`setup.py develop` / offline editable installs).
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — a reproduction of SLIF, the specification-level intermediate format.
+
+SLIF (Vahid, UCR TR CS-94-06 / DATE 1995) is a coarse-grained internal
+format for system-level design.  Functionality is represented as an
+*access graph* whose nodes are behaviors (processes and procedures) and
+variables, and whose edges ("channels") are accesses — subroutine calls,
+variable reads/writes, and message passes.  Structural objects —
+processors/ASICs, memories and buses — partition the functional objects,
+and preprocessed annotations allow design metrics (execution time,
+bitrate, software/hardware/memory size, I/O pins) to be estimated in
+time proportional to the graph rather than to the specification.
+
+The package is organised as:
+
+``repro.core``
+    The SLIF data model: nodes, channels, components, the access graph,
+    partitions, validation, serialization and DOT export.
+``repro.vhdl``
+    A VHDL-subset front end that parses behavioral specifications and
+    builds annotated SLIF access graphs from them (including a static
+    profiler for access frequencies).
+``repro.synth``
+    Pre-synthesis weight generators: an analytic compiler model for
+    standard processors, a datapath/list-scheduling model for ASICs, and
+    a technology library.
+``repro.estimate``
+    The estimation equations of the paper (execution time, bitrate,
+    size, I/O) plus an incremental estimator for partitioning loops.
+``repro.partition``
+    SpecSyn-style allocation and partitioning algorithms driven by the
+    estimators.
+``repro.transform``
+    Specification transformations (procedure inlining, process merging).
+``repro.cdfg``
+    Fine-grained comparison formats (CDFG and an ADD-like format) used
+    to regenerate the paper's format-size comparison.
+``repro.specs``
+    Generators for the paper's four benchmark specifications
+    (answering machine, ethernet coprocessor, fuzzy controller,
+    volume-measuring instrument).
+
+Quickstart::
+
+    from repro import build_system
+    system = build_system("fuzzy")          # parse + annotate + partition
+    print(system.report().render())
+"""
+
+from repro.errors import (
+    EstimationError,
+    ParseError,
+    PartitionError,
+    RecursionCycleError,
+    SlifError,
+    SlifNameError,
+)
+from repro.core import (
+    AccessKind,
+    Behavior,
+    Bus,
+    Channel,
+    Memory,
+    Partition,
+    Port,
+    PortDirection,
+    Processor,
+    Slif,
+    SlifBuilder,
+    Variable,
+)
+from repro.system import DesignSystem, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessKind",
+    "Behavior",
+    "Bus",
+    "Channel",
+    "DesignSystem",
+    "EstimationError",
+    "Memory",
+    "ParseError",
+    "Partition",
+    "PartitionError",
+    "Port",
+    "PortDirection",
+    "Processor",
+    "RecursionCycleError",
+    "Slif",
+    "SlifBuilder",
+    "SlifError",
+    "SlifNameError",
+    "Variable",
+    "build_system",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Fine-grained comparison formats (CDFG, ADD) for the Section 5 study.
+
+These exist to *regenerate* the paper's format-size comparison — they
+are not used by SLIF estimation, which is the point: the same
+specification is an order of magnitude smaller as an access graph.
+"""
+
+from repro.cdfg.add import Add, AddEdge, AddNode, AddNodeKind, build_add
+from repro.cdfg.cdfg import (
+    Cdfg,
+    CdfgEdge,
+    CdfgEdgeKind,
+    CdfgNode,
+    CdfgNodeKind,
+    build_cdfg,
+)
+from repro.cdfg.stats import (
+    FormatStats,
+    compare_formats,
+    compare_formats_from_source,
+    render_comparison,
+)
+
+__all__ = [
+    "Add",
+    "AddEdge",
+    "AddNode",
+    "AddNodeKind",
+    "Cdfg",
+    "CdfgEdge",
+    "CdfgEdgeKind",
+    "CdfgNode",
+    "CdfgNodeKind",
+    "FormatStats",
+    "build_add",
+    "build_cdfg",
+    "compare_formats",
+    "compare_formats_from_source",
+    "render_comparison",
+]

@@ -1,0 +1,218 @@
+"""An ADD-like (assignment decision diagram) format builder.
+
+The paper's second comparison point is "the ADD format [30], which is
+similar in form and complexity to the VT format" — for the fuzzy
+controller it "required over 450 nodes and 400 edges", between SLIF
+(35/56) and the CDFG (1100/900).
+
+An assignment decision diagram represents each storage target as a
+decision structure: for every assignment to the target there is a
+*value node* (the root of the assigned expression's operation tree) and
+a *decision node* guarded by the conjunction of the enclosing branch
+conditions; the target's *variable node* selects among the decision
+nodes.  Control sequencing disappears (it is implicit in the guards),
+which is why an ADD is markedly smaller than a CDFG for the same
+specification — but each node is still a single operation, which is why
+it remains an order of magnitude larger than the SLIF access graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.vhdl import ast
+from repro.vhdl.semantics import Program
+
+
+class AddNodeKind(Enum):
+    VARIABLE = "variable"   # one per assigned target per behavior
+    DECISION = "decision"   # one per guarded assignment
+    VALUE = "value"         # root of an assigned expression
+    OP = "op"               # operation inside an expression
+    READ = "read"           # leaf operand
+    CONST = "const"
+    GUARD = "guard"         # root of a branch condition expression
+    CALL = "call"
+
+
+@dataclass
+class AddNode:
+    id: int
+    kind: AddNodeKind
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class AddEdge:
+    src: int
+    dst: int
+
+
+class Add:
+    """An assignment-decision-diagram-like graph for a specification."""
+
+    def __init__(self, name: str = "add") -> None:
+        self.name = name
+        self.nodes: List[AddNode] = []
+        self.edges: List[AddEdge] = []
+
+    def add_node(self, kind: AddNodeKind, label: str = "") -> int:
+        node = AddNode(len(self.nodes), kind, label)
+        self.nodes.append(node)
+        return node.id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.edges.append(AddEdge(src, dst))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def node_counts(self) -> Dict[AddNodeKind, int]:
+        counts: Dict[AddNodeKind, int] = {}
+        for node in self.nodes:
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+
+class _AddBuilder:
+    def __init__(self, graph: Add, subprograms: Optional[set] = None) -> None:
+        self.graph = graph
+        self.subprograms = subprograms or set()
+        # per-behavior variable nodes, keyed by target identifier
+        self._var_nodes: Dict[str, int] = {}
+
+    def begin_behavior(self) -> None:
+        self._var_nodes = {}
+
+    def _expr_nodes(self, expr: ast.Expr) -> int:
+        g = self.graph
+        if isinstance(expr, ast.IntLit):
+            return g.add_node(AddNodeKind.CONST, str(expr.value))
+        if isinstance(expr, ast.Name):
+            if expr.ident.lower() in self.subprograms:
+                args = (expr.index,) if expr.index is not None else ()
+                return self._expr_nodes(ast.CallExpr(expr.ident, tuple(args)))
+            node = g.add_node(AddNodeKind.READ, expr.ident)
+            if expr.index is not None:
+                idx = self._expr_nodes(expr.index)
+                g.add_edge(idx, node)
+            return node
+        if isinstance(expr, ast.CallExpr):
+            node = g.add_node(AddNodeKind.CALL, expr.func)
+            for a in expr.args:
+                g.add_edge(self._expr_nodes(a), node)
+            return node
+        if isinstance(expr, ast.Unary):
+            node = g.add_node(AddNodeKind.OP, expr.op)
+            g.add_edge(self._expr_nodes(expr.operand), node)
+            return node
+        if isinstance(expr, ast.Binary):
+            node = g.add_node(AddNodeKind.OP, expr.op)
+            g.add_edge(self._expr_nodes(expr.left), node)
+            g.add_edge(self._expr_nodes(expr.right), node)
+            return node
+        raise TypeError(f"unknown expression {type(expr).__name__}")
+
+    def _variable_node(self, ident: str) -> int:
+        if ident not in self._var_nodes:
+            self._var_nodes[ident] = self.graph.add_node(
+                AddNodeKind.VARIABLE, ident
+            )
+        return self._var_nodes[ident]
+
+    def record_assignment(
+        self, target: ast.Name, value: ast.Expr, guards: Tuple[int, ...]
+    ) -> None:
+        g = self.graph
+        value_root = self._expr_nodes(value)
+        value_node = g.add_node(AddNodeKind.VALUE)
+        g.add_edge(value_root, value_node)
+        if target.index is not None:
+            g.add_edge(self._expr_nodes(target.index), value_node)
+        if guards:
+            # a guarded assignment selects through a decision node
+            decision = g.add_node(AddNodeKind.DECISION)
+            g.add_edge(value_node, decision)
+            for guard in guards:
+                g.add_edge(guard, decision)
+            g.add_edge(decision, self._variable_node(target.ident))
+        else:
+            # unconditional assignments connect straight to the target
+            g.add_edge(value_node, self._variable_node(target.ident))
+
+    def record_call(self, name: str, args, guards: Tuple[int, ...]) -> None:
+        g = self.graph
+        node = g.add_node(AddNodeKind.CALL, name)
+        for a in args:
+            g.add_edge(self._expr_nodes(a), node)
+        for guard in guards:
+            g.add_edge(guard, node)
+
+    def walk_stmts(self, stmts, guards: Tuple[int, ...]) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, guards)
+
+    def walk_stmt(self, stmt: ast.Stmt, guards: Tuple[int, ...]) -> None:
+        g = self.graph
+        if isinstance(stmt, (ast.Assign, ast.SignalAssign)):
+            self.record_assignment(stmt.target, stmt.value, guards)
+            return
+        if isinstance(stmt, ast.ProcCall):
+            self.record_call(stmt.name, stmt.args, guards)
+            return
+        if isinstance(stmt, ast.If):
+            for arm in stmt.arms:
+                guard_root = self._expr_nodes(arm.condition)
+                guard = g.add_node(AddNodeKind.GUARD)
+                g.add_edge(guard_root, guard)
+                self.walk_stmts(arm.body, guards + (guard,))
+            if stmt.else_body is not None:
+                # the else guard is the complement of the arm guards;
+                # the condition computation is shared, so the complement
+                # is a single guard node with no expression of its own
+                guard = g.add_node(AddNodeKind.GUARD, "else")
+                self.walk_stmts(stmt.else_body, guards + (guard,))
+            return
+        if isinstance(stmt, ast.For):
+            # the loop index is a guard-like iteration condition
+            guard = g.add_node(AddNodeKind.GUARD, f"for {stmt.var}")
+            g.add_edge(self._expr_nodes(stmt.low), guard)
+            g.add_edge(self._expr_nodes(stmt.high), guard)
+            self.walk_stmts(stmt.body, guards + (guard,))
+            return
+        if isinstance(stmt, ast.While):
+            guard_root = self._expr_nodes(stmt.condition)
+            guard = g.add_node(AddNodeKind.GUARD, "while")
+            g.add_edge(guard_root, guard)
+            self.walk_stmts(stmt.body, guards + (guard,))
+            return
+        if isinstance(stmt, ast.Fork):
+            for call in stmt.calls:
+                self.record_call(call.name, call.args, guards)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.record_assignment(
+                    ast.Name("__return"), stmt.value, guards
+                )
+            return
+        if isinstance(stmt, (ast.Wait, ast.Null)):
+            return
+        raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def build_add(program: Program, name: str = "add") -> Add:
+    """Build the ADD-like graph for every behavior of a specification."""
+    graph = Add(name)
+    builder = _AddBuilder(graph, set(program.behaviors))
+    for info in program.behaviors.values():
+        builder.begin_behavior()
+        builder.walk_stmts(info.decl.body, ())
+    return graph

@@ -1,0 +1,296 @@
+"""Command-line interface: the ``slif`` tool.
+
+Subcommands mirror the system-design workflow:
+
+``slif build <spec> [-o out.json]``
+    Parse a VHDL file (or bundled benchmark name), run the annotators,
+    and persist the SLIF graph as JSON.
+``slif estimate <spec>``
+    Build, allocate the default processor+ASIC architecture, and print
+    the full estimate report for the initial all-software partition.
+``slif partition <spec> --algorithm greedy``
+    Same, then run a partitioning algorithm and print the improved
+    partition and its estimates.
+``slif stats <spec>``
+    Print the Figure 4 style structural counts, and the SLIF/ADD/CDFG
+    format comparison.
+``slif check <spec>``
+    Run graph validation and print all findings.
+``slif dot <spec>``
+    Emit a Graphviz rendering of the access graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import SlifError
+
+
+def _load_source(spec: str, profile_path: Optional[str] = None):
+    """Resolve a CLI spec argument to (source text, name, profile)."""
+    from repro.specs import SPEC_NAMES, spec_profile, spec_source
+    from repro.vhdl.profiler import BranchProfile
+
+    explicit_profile = None
+    if profile_path:
+        explicit_profile = BranchProfile.parse(Path(profile_path).read_text())
+    if spec in SPEC_NAMES:
+        return (
+            spec_source(spec),
+            spec,
+            explicit_profile or spec_profile(spec),
+        )
+    path = Path(spec)
+    if not path.exists():
+        raise SlifError(
+            f"{spec!r} is neither a bundled benchmark ({SPEC_NAMES}) nor a file"
+        )
+    return path.read_text(), path.stem, explicit_profile
+
+
+def _build_graph(
+    spec: str,
+    annotate: bool = True,
+    granularity: str = "behavior",
+    profile_path: Optional[str] = None,
+):
+    from repro.synth.annotate import annotate_slif
+    from repro.vhdl.granularity import Granularity
+    from repro.vhdl.slif_builder import build_slif_from_source
+
+    source, name, profile = _load_source(spec, profile_path)
+    slif = build_slif_from_source(
+        source,
+        name=name,
+        profile=profile,
+        granularity=Granularity(granularity),
+    )
+    if annotate:
+        annotate_slif(slif)
+    return slif
+
+
+def _build_system(spec: str):
+    from repro.system import build_system
+
+    source, name, profile = _load_source(spec)
+    if name in ("ans", "ether", "fuzzy", "vol"):
+        return build_system(name)
+    return build_system(source)
+
+
+def cmd_build(args: argparse.Namespace) -> int:
+    from repro.core.serialize import slif_to_json
+    from repro.core.textfmt import dumps as slif_dumps
+
+    started = time.perf_counter()
+    slif = _build_graph(
+        args.spec,
+        granularity=args.granularity,
+        profile_path=getattr(args, "profile", None),
+    )
+    elapsed = time.perf_counter() - started
+    text = slif_dumps(slif) if args.format == "text" else slif_to_json(slif)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    print(
+        f"-- built {slif.name}: {slif.num_bv} objects, "
+        f"{slif.num_channels} channels in {elapsed:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_estimate(args: argparse.Namespace) -> int:
+    system = _build_system(args.spec)
+    started = time.perf_counter()
+    report = system.report()
+    elapsed = time.perf_counter() - started
+    print(report.render())
+    print(f"-- estimated in {elapsed * 1000:.2f} ms", file=sys.stderr)
+    return 0
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    system = _build_system(args.spec)
+    result = system.repartition(args.algorithm, seed=args.seed)
+    print(result)
+    print(system.report().render())
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.cdfg.stats import compare_formats_from_source, render_comparison
+
+    source, name, profile = _load_source(args.spec)
+    slif = _build_graph(
+        args.spec, annotate=False, granularity=args.granularity
+    )
+    stats = slif.stats()
+    from repro.vhdl.lexer import count_source_lines
+
+    print(f"{name}: {count_source_lines(source)} lines")
+    for key, value in stats.items():
+        print(f"  {key}: {value}")
+    print()
+    print(render_comparison(compare_formats_from_source(source, name)))
+    return 0
+
+
+def cmd_breakdown(args: argparse.Namespace) -> int:
+    from repro.estimate.breakdown import system_breakdowns, time_breakdown
+
+    system = _build_system(args.spec)
+    if args.behavior:
+        print(
+            time_breakdown(system.slif, system.partition, args.behavior).render()
+        )
+        return 0
+    for breakdown in system_breakdowns(system.slif, system.partition).values():
+        print(breakdown.render())
+    return 0
+
+
+def cmd_transform(args: argparse.Namespace) -> int:
+    from repro.transform.inline import inline_all_single_callers
+
+    slif = _build_graph(args.spec)
+    before = slif.stats()
+    count = inline_all_single_callers(slif)
+    after = slif.stats()
+    print(f"inlined {count} single-caller procedures")
+    print(
+        f"objects: {before['bv']} -> {after['bv']}   "
+        f"channels: {before['channels']} -> {after['channels']}"
+    )
+    if args.output:
+        from repro.core.serialize import slif_to_json
+
+        Path(args.output).write_text(slif_to_json(slif))
+        print(f"wrote {args.output}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    from repro.core.validate import validate_slif
+
+    slif = _build_graph(args.spec)
+    issues = validate_slif(slif)
+    if not issues:
+        print(f"{slif.name}: no issues")
+        return 0
+    for issue in issues:
+        print(issue)
+    errors = [i for i in issues if i.severity.value == "error"]
+    return 1 if errors else 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    from repro.core.dot import to_dot
+
+    slif = _build_graph(args.spec, annotate=False, granularity=args.granularity)
+    text = to_dot(slif, annotate=not args.plain)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="slif",
+        description="SLIF: specification-level intermediate format tools",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    granularity_kwargs = dict(
+        choices=["behavior", "basic_block"],
+        default="behavior",
+        help="behavior-level (default) or basic-block-level nodes",
+    )
+
+    p = sub.add_parser("build", help="build a SLIF graph and emit JSON")
+    p.add_argument("spec", help="VHDL file or bundled benchmark name")
+    p.add_argument("-o", "--output", help="write JSON here instead of stdout")
+    p.add_argument(
+        "--format",
+        choices=["json", "text"],
+        default="json",
+        help="machine JSON (default) or the human-readable .slif text form",
+    )
+    p.add_argument(
+        "--profile",
+        help="branch-probability file (overrides any bundled profile)",
+    )
+    p.add_argument("--granularity", **granularity_kwargs)
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("estimate", help="estimate all design metrics")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_estimate)
+
+    p = sub.add_parser("partition", help="run a partitioning algorithm")
+    p.add_argument("spec")
+    p.add_argument(
+        "--algorithm",
+        default="greedy",
+        choices=["greedy", "group_migration", "annealing", "clustering", "random"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("stats", help="structural counts + format comparison")
+    p.add_argument("spec")
+    p.add_argument("--granularity", **granularity_kwargs)
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "breakdown", help="show where a behavior's execution time goes"
+    )
+    p.add_argument("spec")
+    p.add_argument("behavior", nargs="?", help="one behavior (default: every process)")
+    p.set_defaults(func=cmd_breakdown)
+
+    p = sub.add_parser(
+        "transform", help="coarsen the graph by inlining single-caller procedures"
+    )
+    p.add_argument("spec")
+    p.add_argument("-o", "--output", help="write the transformed graph as JSON")
+    p.set_defaults(func=cmd_transform)
+
+    p = sub.add_parser("check", help="validate a built graph")
+    p.add_argument("spec")
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT")
+    p.add_argument("spec")
+    p.add_argument("-o", "--output")
+    p.add_argument("--plain", action="store_true", help="omit edge labels")
+    p.add_argument("--granularity", **granularity_kwargs)
+    p.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except SlifError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

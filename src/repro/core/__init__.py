@@ -1,0 +1,81 @@
+"""The SLIF data model: access graph, components, partitions.
+
+This subpackage implements Section 2 of the paper: the basic sextuple
+``<BV_all, IO_all, C_all, P_all, M_all, I_all>`` (Section 2.2), the
+high-level concurrency annotations (Section 2.3), and the estimation
+annotations (Sections 2.4–2.5).
+"""
+
+from repro.core.annotations import (
+    WeightMap,
+    address_bits,
+    array_access_bits,
+    call_access_bits,
+    message_access_bits,
+    scalar_access_bits,
+)
+from repro.core.builder import SlifBuilder
+from repro.core.channels import AccessKind, Channel, FreqMode, channel_name
+from repro.core.components import (
+    Bus,
+    Memory,
+    Processor,
+    Technology,
+    TechnologyKind,
+    custom_processor_technology,
+    memory_technology,
+    standard_processor_technology,
+)
+from repro.core.dot import to_dot
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior, NodeKind, Port, PortDirection, Variable
+from repro.core.partition import Partition, single_bus_partition
+from repro.core.textfmt import dumps as slif_dumps, loads as slif_loads
+from repro.core.serialize import (
+    partition_from_json,
+    partition_to_json,
+    slif_from_json,
+    slif_to_json,
+)
+from repro.core.validate import Issue, Severity, errors_only, validate_slif
+
+__all__ = [
+    "AccessKind",
+    "Behavior",
+    "Bus",
+    "Channel",
+    "FreqMode",
+    "Issue",
+    "Memory",
+    "NodeKind",
+    "Partition",
+    "Port",
+    "PortDirection",
+    "Processor",
+    "Severity",
+    "Slif",
+    "SlifBuilder",
+    "Technology",
+    "TechnologyKind",
+    "Variable",
+    "WeightMap",
+    "address_bits",
+    "array_access_bits",
+    "call_access_bits",
+    "channel_name",
+    "custom_processor_technology",
+    "errors_only",
+    "memory_technology",
+    "message_access_bits",
+    "partition_from_json",
+    "partition_to_json",
+    "scalar_access_bits",
+    "single_bus_partition",
+    "slif_dumps",
+    "slif_from_json",
+    "slif_loads",
+    "slif_to_json",
+    "standard_processor_technology",
+    "to_dot",
+    "validate_slif",
+]

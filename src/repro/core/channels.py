@@ -1,0 +1,127 @@
+"""Channels: the access edges of the SLIF access graph.
+
+A channel ``c = <src, dst, accfreq, bits>`` (Section 2.5) records that
+the behavior ``src`` accesses the object ``dst`` — a subroutine call,
+a variable or port read/write, or a message pass.  The edge direction is
+the *initiator* of the access, not the direction of data flow; a cycle
+in the graph therefore denotes recursion.
+
+Annotations (Section 2.4):
+
+``accfreq`` / ``accmin`` / ``accmax``
+    Average / minimum / maximum number of times the access occurs during
+    one start-to-finish execution of the source behavior, determined
+    from a branch-probability file.  The paper's equations use the
+    average; the min/max extension it sketches is carried along so
+    worst/best-case estimates are available.
+``bits``
+    Bits transferred per access (Section 2.4.1 rules — see
+    :mod:`repro.core.annotations`).
+``tag``
+    Concurrency tag (Section 2.3): same-source channels sharing a tag
+    may be accessed concurrently (fork/join constructs, or concurrency
+    discovered by scheduling the behavior's contents).  ``None`` means
+    strictly sequential access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class AccessKind(Enum):
+    """What kind of access a channel represents."""
+
+    CALL = "call"          # subroutine call of another behavior
+    READ = "read"          # data read of a variable or port
+    WRITE = "write"        # data write of a variable or port
+    READ_WRITE = "rw"      # folded read+write accesses of one object
+    MESSAGE = "message"    # message pass between behaviors
+
+
+@dataclass
+class Channel:
+    """One access edge of the SLIF-AG.
+
+    Channels are named so partitions can map them to buses by name; the
+    front end names them ``src->dst`` (uniquified when a behavior both
+    reads and calls an overloaded name, which the subset forbids anyway).
+    """
+
+    name: str
+    src: str
+    dst: str
+    kind: AccessKind = AccessKind.READ_WRITE
+    accfreq: float = 1.0
+    accmin: Optional[float] = None
+    accmax: Optional[float] = None
+    bits: int = 32
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("channel name must be non-empty")
+        if not self.src or not self.dst:
+            raise ValueError(f"channel {self.name!r}: src and dst required")
+        if isinstance(self.kind, str):
+            self.kind = AccessKind(self.kind)
+        if self.accfreq < 0:
+            raise ValueError(f"channel {self.name!r}: accfreq must be >= 0")
+        if self.bits < 0:
+            raise ValueError(f"channel {self.name!r}: bits must be >= 0")
+        if self.accmin is None:
+            self.accmin = self.accfreq
+        if self.accmax is None:
+            self.accmax = self.accfreq
+        if not (self.accmin <= self.accfreq <= self.accmax):
+            raise ValueError(
+                f"channel {self.name!r}: require accmin <= accfreq <= accmax, "
+                f"got {self.accmin} <= {self.accfreq} <= {self.accmax}"
+            )
+
+    @property
+    def is_call(self) -> bool:
+        return self.kind is AccessKind.CALL
+
+    @property
+    def is_message(self) -> bool:
+        return self.kind is AccessKind.MESSAGE
+
+    def frequency(self, mode: "FreqMode") -> float:
+        """The access count under the requested estimation mode."""
+        if mode is FreqMode.MIN:
+            return float(self.accmin)
+        if mode is FreqMode.MAX:
+            return float(self.accmax)
+        return float(self.accfreq)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.src} -{self.kind.value}-> {self.dst} "
+            f"(freq={self.accfreq:g}, bits={self.bits})"
+        )
+
+
+class FreqMode(Enum):
+    """Which access-frequency weight an estimate should use.
+
+    The paper defines average, maximum and minimum access counts per
+    channel and notes the performance equations extend to max/min
+    trivially; this enum selects the extension.
+    """
+
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+def channel_name(src: str, dst: str) -> str:
+    """Canonical channel name for the access from ``src`` to ``dst``.
+
+    The access graph folds all accesses between one (src, dst) pair into
+    a single edge — e.g. the two calls of ``EvaluateRule`` by
+    ``FuzzyMain`` in Figure 2 are one channel with ``accfreq`` 2.
+    """
+    return f"{src}->{dst}"

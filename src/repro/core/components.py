@@ -1,0 +1,222 @@
+"""Structural objects of SLIF: processors, memories and buses.
+
+Section 2.2 defines the structural side as the sets ``P_all`` (standard
+or custom processors), ``M_all`` (memories) and ``I_all`` (buses); a
+partition maps behaviors/variables to processors, variables to memories,
+and channels to buses.  Section 2.4/2.5 adds the annotations carried
+here:
+
+* buses: ``bitwidth`` (physical wires), ``ts`` (data-transfer time when
+  both endpoints sit on the same component) and ``td`` (transfer time
+  across components, usually larger);
+* processors and memories: a ``size`` constraint (max bytes / gates /
+  words) and, for I/O estimation, a pin constraint.
+
+Each processor/memory instantiates a *technology* (a named component
+type such as ``"proc"`` or ``"asic"``); node weights are keyed by
+technology so a node annotated once serves every instance of that type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+
+class TechnologyKind(Enum):
+    """Broad class of a component technology.
+
+    The distinction matters for size semantics (Section 2.4.3): on a
+    standard processor size means program/data bytes, on a custom
+    processor it means gates/cells/CLBs, and in a memory it means words.
+    """
+
+    STANDARD_PROCESSOR = "standard_processor"
+    CUSTOM_PROCESSOR = "custom_processor"   # ASIC / FPGA
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A named component type that nodes can be pre-synthesised for.
+
+    ``size_unit`` is purely descriptive ("bytes", "gates", "words",
+    "CLBs"); estimation only compares sizes against same-technology
+    constraints so units never mix.
+    """
+
+    name: str
+    kind: TechnologyKind
+    size_unit: str = "units"
+    time_unit: str = "us"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("technology name must be non-empty")
+
+    @property
+    def is_software(self) -> bool:
+        return self.kind is TechnologyKind.STANDARD_PROCESSOR
+
+    @property
+    def is_hardware(self) -> bool:
+        return self.kind is TechnologyKind.CUSTOM_PROCESSOR
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind is TechnologyKind.MEMORY
+
+
+@dataclass
+class Processor:
+    """A processor component ``p = <BV, size-con>`` (Section 2.5).
+
+    Standard processors and custom processors (ASICs/FPGAs) are both
+    represented here, distinguished by their technology kind.  The set
+    ``BV`` of mapped objects lives in :class:`repro.core.partition.
+    Partition`, not on the component, so one graph can be shared by many
+    candidate partitions.
+    """
+
+    name: str
+    technology: Technology
+    size_constraint: Optional[float] = None
+    io_constraint: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("processor name must be non-empty")
+        if self.technology.kind is TechnologyKind.MEMORY:
+            raise ValueError(
+                f"processor {self.name!r} cannot use a memory technology"
+            )
+        if self.size_constraint is not None and self.size_constraint < 0:
+            raise ValueError(f"processor {self.name!r}: negative size constraint")
+        if self.io_constraint is not None and self.io_constraint < 0:
+            raise ValueError(f"processor {self.name!r}: negative io constraint")
+
+    @property
+    def is_standard(self) -> bool:
+        """True for an instruction-set processor (software target)."""
+        return self.technology.is_software
+
+    @property
+    def is_custom(self) -> bool:
+        """True for a custom processor (ASIC/FPGA, hardware target)."""
+        return self.technology.is_hardware
+
+    def __str__(self) -> str:
+        return f"processor {self.name} ({self.technology.name})"
+
+
+@dataclass
+class Memory:
+    """A memory component ``m = <V, size-con>`` (Section 2.5).
+
+    Only variables may be mapped to memories; the size constraint is in
+    the memory technology's size unit (typically words).
+    """
+
+    name: str
+    technology: Technology
+    size_constraint: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("memory name must be non-empty")
+        if not self.technology.is_memory:
+            raise ValueError(
+                f"memory {self.name!r} must use a memory technology, "
+                f"got {self.technology.kind.value}"
+            )
+        if self.size_constraint is not None and self.size_constraint < 0:
+            raise ValueError(f"memory {self.name!r}: negative size constraint")
+
+    def __str__(self) -> str:
+        return f"memory {self.name} ({self.technology.name})"
+
+
+@dataclass
+class Bus:
+    """A bus component ``i = <C, bitwidth, ts, td>`` (Section 2.5).
+
+    ``bitwidth`` is the number of physical wires — distinct from a
+    channel's ``bits`` weight, which is data per access.  A channel whose
+    access transfers more bits than the bus has wires needs multiple bus
+    transfers (Eq. 1's ceiling division).  ``ts``/``td`` are the
+    per-transfer times within one component and across components.
+
+    Section 2.4.1 sketches "a more extensive set of annotations, where
+    there would be a unique ts value for each component type, and a
+    unique td value for each possible pair of component types" which
+    the paper had "not yet explored".  ``pair_times`` implements that
+    extension: an optional map from technology-name pairs (order
+    insensitive; same-name pairs give per-type ``ts``) to transfer
+    times, consulted before the scalar defaults.
+    """
+
+    name: str
+    bitwidth: int = 32
+    ts: float = 0.1
+    td: float = 1.0
+    pair_times: Optional[Dict[Tuple[str, str], float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("bus name must be non-empty")
+        if self.bitwidth < 1:
+            raise ValueError(f"bus {self.name!r}: bitwidth must be >= 1")
+        if self.ts < 0 or self.td < 0:
+            raise ValueError(f"bus {self.name!r}: transfer times must be >= 0")
+        if self.pair_times:
+            normalised = {}
+            for pair, value in self.pair_times.items():
+                if value < 0:
+                    raise ValueError(
+                        f"bus {self.name!r}: negative pair time for {pair}"
+                    )
+                a, b = pair
+                normalised[(min(a, b), max(a, b))] = float(value)
+            self.pair_times = normalised
+
+    def transfer_time(
+        self,
+        same_component: bool,
+        src_tech: Optional[str] = None,
+        dst_tech: Optional[str] = None,
+    ) -> float:
+        """Per-transfer time for the given endpoint placement.
+
+        With technology names supplied and a matching ``pair_times``
+        entry, the per-pair extension wins; otherwise the scalar
+        ``ts``/``td`` apply.
+        """
+        if self.pair_times and src_tech and dst_tech:
+            key = (min(src_tech, dst_tech), max(src_tech, dst_tech))
+            specific = self.pair_times.get(key)
+            if specific is not None:
+                return specific
+        return self.ts if same_component else self.td
+
+    def __str__(self) -> str:
+        return f"bus {self.name} ({self.bitwidth} wires, ts={self.ts}, td={self.td})"
+
+
+# Convenience constructors for the common generic technologies.  The
+# technology *names* are what node weights are keyed by, so libraries and
+# front ends agree on these three by default.
+
+def standard_processor_technology(name: str = "proc") -> Technology:
+    """A generic instruction-set processor technology (sizes in bytes)."""
+    return Technology(name, TechnologyKind.STANDARD_PROCESSOR, "bytes", "us")
+
+
+def custom_processor_technology(name: str = "asic") -> Technology:
+    """A generic standard-cell ASIC technology (sizes in gates)."""
+    return Technology(name, TechnologyKind.CUSTOM_PROCESSOR, "gates", "us")
+
+
+def memory_technology(name: str = "mem") -> Technology:
+    """A generic RAM technology (sizes in words)."""
+    return Technology(name, TechnologyKind.MEMORY, "words", "us")

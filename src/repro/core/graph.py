@@ -1,0 +1,430 @@
+"""The SLIF access graph: the sextuple ``<BV, IO, C, P, M, I>``.
+
+:class:`Slif` owns name-keyed registries for every object kind and the
+adjacency structure of the access graph.  It deliberately does *not*
+store the functional-to-structural mapping — that lives in
+:class:`repro.core.partition.Partition` — so that thousands of candidate
+partitions can share one graph, which is the property the paper's rapid
+estimation depends on (Section 5: algorithms "explore thousands of
+possible designs").
+
+The graph enforces the structural invariants of Section 2.2 at insertion
+time: channel sources must be behaviors; channel destinations must be
+behaviors, variables or ports; names are unique per registry and across
+the functional-object namespace (a behavior and a variable may not share
+a name, since channels reference destinations by bare name).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.core.channels import AccessKind, Channel, channel_name
+from repro.core.components import Bus, Memory, Processor
+from repro.core.nodes import Behavior, NodeKind, Port, Variable
+from repro.errors import SlifNameError
+
+FunctionalNode = Union[Behavior, Variable, Port]
+Component = Union[Processor, Memory, Bus]
+
+
+class Slif:
+    """An annotated SLIF access graph plus its allocated system components.
+
+    >>> g = Slif("demo")
+    >>> g.add_behavior(Behavior("Main", is_process=True))
+    >>> g.add_variable(Variable("v", bits=8))
+    >>> g.add_channel(Channel("Main->v", "Main", "v", AccessKind.WRITE))
+    >>> g.num_bv, g.num_channels
+    (2, 1)
+    """
+
+    def __init__(self, name: str = "slif") -> None:
+        self.name = name
+        self.behaviors: Dict[str, Behavior] = {}
+        self.variables: Dict[str, Variable] = {}
+        self.ports: Dict[str, Port] = {}
+        self.channels: Dict[str, Channel] = {}
+        self.processors: Dict[str, Processor] = {}
+        self.memories: Dict[str, Memory] = {}
+        self.buses: Dict[str, Bus] = {}
+        # adjacency: behavior name -> ordered list of out-channel names
+        self._out: Dict[str, List[str]] = {}
+        # reverse adjacency: node name -> list of in-channel names
+        self._in: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # insertion
+
+    def _check_fresh_node_name(self, name: str) -> None:
+        if name in self.behaviors or name in self.variables or name in self.ports:
+            raise SlifNameError(
+                f"functional object named {name!r} already exists in {self.name!r}"
+            )
+
+    def add_behavior(self, behavior: Behavior) -> Behavior:
+        """Register a behavior node and return it."""
+        self._check_fresh_node_name(behavior.name)
+        self.behaviors[behavior.name] = behavior
+        self._out.setdefault(behavior.name, [])
+        self._in.setdefault(behavior.name, [])
+        return behavior
+
+    def add_variable(self, variable: Variable) -> Variable:
+        """Register a variable node and return it."""
+        self._check_fresh_node_name(variable.name)
+        self.variables[variable.name] = variable
+        self._in.setdefault(variable.name, [])
+        return variable
+
+    def add_port(self, port: Port) -> Port:
+        """Register an external port and return it."""
+        self._check_fresh_node_name(port.name)
+        self.ports[port.name] = port
+        self._in.setdefault(port.name, [])
+        return port
+
+    def add_channel(self, channel: Channel) -> Channel:
+        """Register an access edge; endpoints must already exist.
+
+        The source must be a behavior; the destination a behavior,
+        variable or port (Section 2.2's channel definition).
+        """
+        if channel.name in self.channels:
+            raise SlifNameError(
+                f"channel named {channel.name!r} already exists in {self.name!r}"
+            )
+        if channel.src not in self.behaviors:
+            raise SlifNameError(
+                f"channel {channel.name!r}: source {channel.src!r} is not a "
+                f"registered behavior"
+            )
+        if not self.has_node(channel.dst):
+            raise SlifNameError(
+                f"channel {channel.name!r}: destination {channel.dst!r} is not "
+                f"a registered behavior, variable or port"
+            )
+        self.channels[channel.name] = channel
+        self._out[channel.src].append(channel.name)
+        self._in[channel.dst].append(channel.name)
+        return channel
+
+    def fold_access(
+        self,
+        src: str,
+        dst: str,
+        kind: AccessKind,
+        freq: float = 1.0,
+        bits: int = 0,
+        tag: Optional[str] = None,
+    ) -> Channel:
+        """Record one more access from ``src`` to ``dst``.
+
+        The SLIF-AG keeps a single edge per (src, dst) pair; repeated
+        accesses fold into that edge by summing frequencies (Figure 2:
+        the two ``EvaluateRule`` calls are one channel).  Mixed
+        read/write accesses of one object degrade the kind to
+        ``READ_WRITE``; the ``bits`` weight takes the maximum seen, since
+        the transfer must accommodate the widest access.
+        """
+        name = channel_name(src, dst)
+        existing = self.channels.get(name)
+        if existing is None:
+            return self.add_channel(
+                Channel(name, src, dst, kind, accfreq=freq, bits=bits, tag=tag)
+            )
+        existing.accfreq += freq
+        existing.accmin = min(existing.accmin, freq)
+        existing.accmax = existing.accfreq
+        existing.bits = max(existing.bits, bits)
+        if existing.kind is not kind and {existing.kind, kind} <= {
+            AccessKind.READ,
+            AccessKind.WRITE,
+            AccessKind.READ_WRITE,
+        }:
+            existing.kind = AccessKind.READ_WRITE
+        if tag is not None and existing.tag is None:
+            existing.tag = tag
+        return existing
+
+    def add_processor(self, processor: Processor) -> Processor:
+        if processor.name in self.processors or processor.name in self.memories:
+            raise SlifNameError(f"component {processor.name!r} already exists")
+        self.processors[processor.name] = processor
+        return processor
+
+    def add_memory(self, memory: Memory) -> Memory:
+        if memory.name in self.memories or memory.name in self.processors:
+            raise SlifNameError(f"component {memory.name!r} already exists")
+        self.memories[memory.name] = memory
+        return memory
+
+    def add_bus(self, bus: Bus) -> Bus:
+        if bus.name in self.buses:
+            raise SlifNameError(f"bus {bus.name!r} already exists")
+        self.buses[bus.name] = bus
+        return bus
+
+    # ------------------------------------------------------------------
+    # removal (used by transformations)
+
+    def remove_channel(self, name: str) -> Channel:
+        """Delete a channel and detach it from the adjacency lists."""
+        channel = self.channels.pop(name, None)
+        if channel is None:
+            raise SlifNameError(f"no channel named {name!r}")
+        self._out[channel.src].remove(name)
+        self._in[channel.dst].remove(name)
+        return channel
+
+    def remove_node(self, name: str) -> FunctionalNode:
+        """Delete a functional object; it must have no attached channels."""
+        node = self.get_node(name)
+        attached = list(self._in.get(name, []))
+        if node.kind is NodeKind.BEHAVIOR:
+            attached += list(self._out.get(name, []))
+        if attached:
+            raise SlifNameError(
+                f"cannot remove {name!r}: channels still attached: "
+                f"{sorted(attached)}"
+            )
+        if node.kind is NodeKind.BEHAVIOR:
+            del self.behaviors[name]
+            del self._out[name]
+        elif node.kind is NodeKind.VARIABLE:
+            del self.variables[name]
+        else:
+            del self.ports[name]
+        del self._in[name]
+        return node
+
+    # ------------------------------------------------------------------
+    # lookup
+
+    def has_node(self, name: str) -> bool:
+        return name in self.behaviors or name in self.variables or name in self.ports
+
+    def get_node(self, name: str) -> FunctionalNode:
+        """Fetch a behavior, variable or port by name."""
+        node = (
+            self.behaviors.get(name)
+            or self.variables.get(name)
+            or self.ports.get(name)
+        )
+        if node is None:
+            raise SlifNameError(f"no functional object named {name!r}")
+        return node
+
+    def get_behavior(self, name: str) -> Behavior:
+        try:
+            return self.behaviors[name]
+        except KeyError:
+            raise SlifNameError(f"no behavior named {name!r}") from None
+
+    def get_variable(self, name: str) -> Variable:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise SlifNameError(f"no variable named {name!r}") from None
+
+    def get_channel(self, name: str) -> Channel:
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise SlifNameError(f"no channel named {name!r}") from None
+
+    def get_component(self, name: str) -> Union[Processor, Memory]:
+        """Fetch a processor or memory (the targets of BV mapping)."""
+        comp = self.processors.get(name) or self.memories.get(name)
+        if comp is None:
+            raise SlifNameError(f"no processor or memory named {name!r}")
+        return comp
+
+    def get_bus(self, name: str) -> Bus:
+        try:
+            return self.buses[name]
+        except KeyError:
+            raise SlifNameError(f"no bus named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # traversal
+
+    def out_channels(self, behavior: str) -> List[Channel]:
+        """``GetBehChans(b)``: all channels whose source is ``behavior``."""
+        if behavior not in self.behaviors:
+            raise SlifNameError(f"no behavior named {behavior!r}")
+        return [self.channels[n] for n in self._out[behavior]]
+
+    def in_channels(self, node: str) -> List[Channel]:
+        """All channels whose destination is ``node``."""
+        if not self.has_node(node):
+            raise SlifNameError(f"no functional object named {node!r}")
+        return [self.channels[n] for n in self._in[node]]
+
+    def callers_of(self, behavior: str) -> List[str]:
+        """Source behaviors of call/message channels targeting ``behavior``."""
+        return [
+            ch.src
+            for ch in self.in_channels(behavior)
+            if ch.kind in (AccessKind.CALL, AccessKind.MESSAGE)
+        ]
+
+    def processes(self) -> List[Behavior]:
+        """The process behaviors, in insertion order."""
+        return [b for b in self.behaviors.values() if b.is_process]
+
+    def bv_names(self) -> List[str]:
+        """Names of all behaviors and variables (``BV_all``)."""
+        return list(self.behaviors) + list(self.variables)
+
+    def functional_nodes(self) -> Iterator[FunctionalNode]:
+        """All behaviors, variables and ports, in insertion order per kind."""
+        yield from self.behaviors.values()
+        yield from self.variables.values()
+        yield from self.ports.values()
+
+    # ------------------------------------------------------------------
+    # properties / analysis
+
+    @property
+    def num_behaviors(self) -> int:
+        return len(self.behaviors)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_bv(self) -> int:
+        """``|BV_all|`` — the node count the paper reports (Figure 4)."""
+        return len(self.behaviors) + len(self.variables)
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.ports)
+
+    @property
+    def num_channels(self) -> int:
+        """``|C_all|`` — the edge count the paper reports (Figure 4)."""
+        return len(self.channels)
+
+    def find_call_cycle(self) -> Optional[List[str]]:
+        """Return one behavior-call cycle if the graph has any, else ``None``.
+
+        Cycles among call/message channels represent recursion (Section
+        2.2); estimation refuses them, so validation surfaces them early.
+        """
+        color: Dict[str, int] = {}
+        stack: List[str] = []
+
+        def visit(node: str) -> Optional[List[str]]:
+            color[node] = 1
+            stack.append(node)
+            for ch in self.out_channels(node):
+                if ch.kind not in (AccessKind.CALL, AccessKind.MESSAGE):
+                    continue
+                nxt = ch.dst
+                if nxt not in self.behaviors:
+                    continue
+                state = color.get(nxt, 0)
+                if state == 1:
+                    return stack[stack.index(nxt):] + [nxt]
+                if state == 0:
+                    found = visit(nxt)
+                    if found:
+                        return found
+            stack.pop()
+            color[node] = 2
+            return None
+
+        for name in self.behaviors:
+            if color.get(name, 0) == 0:
+                cycle = visit(name)
+                if cycle:
+                    return cycle
+        return None
+
+    def stats(self) -> Dict[str, int]:
+        """Summary counts in the shape of the paper's Figure 4 columns."""
+        return {
+            "behaviors": self.num_behaviors,
+            "variables": self.num_variables,
+            "bv": self.num_bv,
+            "ports": self.num_ports,
+            "channels": self.num_channels,
+            "processors": len(self.processors),
+            "memories": len(self.memories),
+            "buses": len(self.buses),
+        }
+
+    def copy(self) -> "Slif":
+        """Deep-enough copy: fresh registries, fresh node/channel objects.
+
+        Weight maps are copied so transformations on the copy cannot
+        mutate the original's annotations.
+        """
+        import copy as _copy
+
+        clone = Slif(self.name)
+        for b in self.behaviors.values():
+            clone.add_behavior(
+                Behavior(
+                    b.name,
+                    is_process=b.is_process,
+                    ict=b.ict.copy(),
+                    size=b.size.copy(),
+                    parameter_bits=b.parameter_bits,
+                    op_profile=_copy.deepcopy(b.op_profile),
+                    source_ref=b.source_ref,
+                )
+            )
+        for v in self.variables.values():
+            clone.add_variable(
+                Variable(
+                    v.name,
+                    bits=v.bits,
+                    elements=v.elements,
+                    ict=v.ict.copy(),
+                    size=v.size.copy(),
+                    concurrent=v.concurrent,
+                    source_ref=v.source_ref,
+                )
+            )
+        for p in self.ports.values():
+            clone.add_port(Port(p.name, p.direction, p.bits, p.source_ref))
+        for c in self.channels.values():
+            clone.add_channel(
+                Channel(
+                    c.name,
+                    c.src,
+                    c.dst,
+                    c.kind,
+                    accfreq=c.accfreq,
+                    accmin=c.accmin,
+                    accmax=c.accmax,
+                    bits=c.bits,
+                    tag=c.tag,
+                )
+            )
+        for proc in self.processors.values():
+            clone.add_processor(
+                Processor(
+                    proc.name,
+                    proc.technology,
+                    proc.size_constraint,
+                    proc.io_constraint,
+                )
+            )
+        for mem in self.memories.values():
+            clone.add_memory(Memory(mem.name, mem.technology, mem.size_constraint))
+        for bus in self.buses.values():
+            pair = dict(bus.pair_times) if bus.pair_times else None
+            clone.add_bus(Bus(bus.name, bus.bitwidth, bus.ts, bus.td, pair))
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"Slif({self.name!r}: {self.num_bv} BV, {self.num_ports} IO, "
+            f"{self.num_channels} C, {len(self.processors)} P, "
+            f"{len(self.memories)} M, {len(self.buses)} I)"
+        )

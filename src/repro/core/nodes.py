@@ -1,0 +1,208 @@
+"""Functional objects of SLIF: behaviors, variables and I/O ports.
+
+Section 2.2 defines the functional side of SLIF as the sets ``B_all``
+(behaviors — processes and procedures), ``V_all`` (variables) and
+``IO_all`` (external ports).  Nodes carry the Section 2.4/2.5
+annotations: a *process* flag (high-level concurrency), an ``ict_list``
+(internal computation time per candidate technology) and a ``size_list``
+(size per candidate technology); variable nodes additionally know their
+storage shape so channel ``bits`` weights can be derived.
+
+Nodes are deliberately content-free: the paper leaves the contents of
+behavior nodes unspecified and works only with abstractions of those
+contents (the annotations).  The optional :attr:`Behavior.op_profile`
+hook carries the abstraction used by the pre-synthesis weight models in
+:mod:`repro.synth` — it is *not* consulted by the estimation equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.core.annotations import (
+    WeightMap,
+    array_access_bits,
+    scalar_access_bits,
+)
+
+
+class NodeKind(Enum):
+    """Discriminates the three functional-object kinds of the access graph."""
+
+    BEHAVIOR = "behavior"
+    VARIABLE = "variable"
+    PORT = "port"
+
+
+class PortDirection(Enum):
+    """Direction of an external port, as declared in the specification."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+
+@dataclass
+class Behavior:
+    """A behavior node: a process or procedure of the specification.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the access graph.
+    is_process:
+        ``True`` for a top-level concurrent process (drawn bold in the
+        paper's figures), ``False`` for a procedure.  Process nodes are
+        the roots of execution-time estimation and never appear as a
+        channel destination of a call.
+    ict:
+        Internal computation time per candidate technology, in the time
+        unit of the technology library (microseconds by default).  This
+        is the behavior's execution time *excluding* all channel
+        communication, obtained by pre-synthesis or pre-compilation.
+    size:
+        Implementation size per candidate technology: bytes on a standard
+        processor, gates (or equivalent) on a custom processor.
+    parameter_bits:
+        Total bits of the behavior's parameters; the ``bits`` weight of a
+        call channel targeting this behavior.
+    op_profile:
+        Optional abstraction of the behavior's contents for the weight
+        generators (see :class:`repro.synth.ops.OpProfile`).
+    source_ref:
+        Optional provenance (e.g. ``file.vhd:42``) for diagnostics.
+    """
+
+    name: str
+    is_process: bool = False
+    ict: WeightMap = field(default_factory=WeightMap)
+    size: WeightMap = field(default_factory=WeightMap)
+    parameter_bits: int = 0
+    op_profile: Optional[object] = None
+    source_ref: str = ""
+
+    kind = NodeKind.BEHAVIOR
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("behavior name must be non-empty")
+        if self.parameter_bits < 0:
+            raise ValueError(
+                f"behavior {self.name!r}: parameter_bits must be >= 0"
+            )
+        if not isinstance(self.ict, WeightMap):
+            self.ict = WeightMap(self.ict)
+        if not isinstance(self.size, WeightMap):
+            self.size = WeightMap(self.size)
+
+    @property
+    def access_bits(self) -> int:
+        """Bits transferred by one access (call) of this behavior."""
+        return self.parameter_bits
+
+    def __str__(self) -> str:
+        flavor = "process" if self.is_process else "procedure"
+        return f"{flavor} {self.name}"
+
+
+@dataclass
+class Variable:
+    """A variable node: a scalar or array storage object.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the access graph.
+    bits:
+        Encoding width of the variable if scalar, or of one element if
+        an array.
+    elements:
+        Number of scalar elements; ``1`` for scalars.  Complex data items
+        are linearised to arrays of scalars by the front end (Section
+        2.4.1), so ``elements`` is always the flattened count.
+    ict:
+        Access time (read/write the storage) per candidate technology.
+    size:
+        Storage size per candidate technology (bytes on a processor,
+        words in a memory, gates/FF area on an ASIC).
+    concurrent:
+        ``True`` when the specification marks the variable as
+        concurrently accessible (Section 2.3).
+    """
+
+    name: str
+    bits: int = 32
+    elements: int = 1
+    ict: WeightMap = field(default_factory=WeightMap)
+    size: WeightMap = field(default_factory=WeightMap)
+    concurrent: bool = False
+    source_ref: str = ""
+
+    kind = NodeKind.VARIABLE
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.bits < 1:
+            raise ValueError(f"variable {self.name!r}: bits must be >= 1")
+        if self.elements < 1:
+            raise ValueError(f"variable {self.name!r}: elements must be >= 1")
+        if not isinstance(self.ict, WeightMap):
+            self.ict = WeightMap(self.ict)
+        if not isinstance(self.size, WeightMap):
+            self.size = WeightMap(self.size)
+
+    @property
+    def is_array(self) -> bool:
+        return self.elements > 1
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage bits (elements times element width)."""
+        return self.bits * self.elements
+
+    @property
+    def access_bits(self) -> int:
+        """Bits transferred by one access of this variable.
+
+        Scalars transfer their encoding; arrays transfer one element plus
+        the element address (Section 2.4.1) — e.g. a 128-element array of
+        8-bit values yields 15 bits per access.
+        """
+        if self.is_array:
+            return array_access_bits(self.bits, self.elements)
+        return scalar_access_bits(self.bits)
+
+    def __str__(self) -> str:
+        shape = f"[{self.elements}]" if self.is_array else ""
+        return f"variable {self.name}{shape}:{self.bits}b"
+
+
+@dataclass
+class Port:
+    """An external I/O port of the system (``IO_all`` of Section 2.2)."""
+
+    name: str
+    direction: PortDirection = PortDirection.IN
+    bits: int = 32
+    source_ref: str = ""
+
+    kind = NodeKind.PORT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("port name must be non-empty")
+        if self.bits < 1:
+            raise ValueError(f"port {self.name!r}: bits must be >= 1")
+        if isinstance(self.direction, str):
+            self.direction = PortDirection(self.direction)
+
+    @property
+    def access_bits(self) -> int:
+        """Bits transferred by one access of this port (its width)."""
+        return self.bits
+
+    def __str__(self) -> str:
+        return f"port {self.name}:{self.direction.value}:{self.bits}b"

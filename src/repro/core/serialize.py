@@ -1,0 +1,266 @@
+"""JSON persistence for SLIF graphs and partitions.
+
+The on-disk form is a stable, human-inspectable JSON document with a
+``format``/``version`` header, so design sessions (graph + candidate
+partitions) survive tool restarts — the paper notes SLIF is built once
+when a system-design tool starts, then reused for the whole session.
+
+Round-trip guarantee: ``slif_from_json(slif_to_json(g))`` reproduces
+every node, channel, component and annotation (covered by property
+tests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.channels import AccessKind, Channel
+from repro.core.components import Bus, Memory, Processor, Technology, TechnologyKind
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior, Port, PortDirection, Variable
+from repro.core.partition import Partition
+from repro.errors import SlifError
+
+FORMAT_NAME = "slif-json"
+FORMAT_VERSION = 1
+
+
+def slif_to_dict(slif: Slif) -> Dict[str, Any]:
+    """Encode a graph as plain JSON-ready dictionaries."""
+    techs: Dict[str, Technology] = {}
+    for p in slif.processors.values():
+        techs[p.technology.name] = p.technology
+    for m in slif.memories.values():
+        techs[m.technology.name] = m.technology
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": slif.name,
+        "technologies": [
+            {
+                "name": t.name,
+                "kind": t.kind.value,
+                "size_unit": t.size_unit,
+                "time_unit": t.time_unit,
+            }
+            for t in techs.values()
+        ],
+        "behaviors": [
+            {
+                "name": b.name,
+                "process": b.is_process,
+                "ict": b.ict.to_dict(),
+                "size": b.size.to_dict(),
+                "parameter_bits": b.parameter_bits,
+                "source_ref": b.source_ref,
+            }
+            for b in slif.behaviors.values()
+        ],
+        "variables": [
+            {
+                "name": v.name,
+                "bits": v.bits,
+                "elements": v.elements,
+                "ict": v.ict.to_dict(),
+                "size": v.size.to_dict(),
+                "concurrent": v.concurrent,
+                "source_ref": v.source_ref,
+            }
+            for v in slif.variables.values()
+        ],
+        "ports": [
+            {"name": p.name, "direction": p.direction.value, "bits": p.bits}
+            for p in slif.ports.values()
+        ],
+        "channels": [
+            {
+                "name": c.name,
+                "src": c.src,
+                "dst": c.dst,
+                "kind": c.kind.value,
+                "accfreq": c.accfreq,
+                "accmin": c.accmin,
+                "accmax": c.accmax,
+                "bits": c.bits,
+                "tag": c.tag,
+            }
+            for c in slif.channels.values()
+        ],
+        "processors": [
+            {
+                "name": p.name,
+                "technology": p.technology.name,
+                "size_constraint": p.size_constraint,
+                "io_constraint": p.io_constraint,
+            }
+            for p in slif.processors.values()
+        ],
+        "memories": [
+            {
+                "name": m.name,
+                "technology": m.technology.name,
+                "size_constraint": m.size_constraint,
+            }
+            for m in slif.memories.values()
+        ],
+        "buses": [
+            {
+                "name": b.name,
+                "bitwidth": b.bitwidth,
+                "ts": b.ts,
+                "td": b.td,
+                "pair_times": (
+                    [[a, c, v] for (a, c), v in sorted(b.pair_times.items())]
+                    if b.pair_times
+                    else None
+                ),
+            }
+            for b in slif.buses.values()
+        ],
+    }
+
+
+def slif_from_dict(data: Dict[str, Any]) -> Slif:
+    """Decode a graph from the dictionary form of :func:`slif_to_dict`."""
+    if data.get("format") != FORMAT_NAME:
+        raise SlifError(
+            f"not a {FORMAT_NAME} document (format={data.get('format')!r})"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SlifError(
+            f"unsupported {FORMAT_NAME} version {data.get('version')!r}"
+        )
+    slif = Slif(data.get("name", "slif"))
+    techs = {
+        t["name"]: Technology(
+            t["name"],
+            TechnologyKind(t["kind"]),
+            t.get("size_unit", "units"),
+            t.get("time_unit", "us"),
+        )
+        for t in data.get("technologies", [])
+    }
+    for b in data.get("behaviors", []):
+        slif.add_behavior(
+            Behavior(
+                b["name"],
+                is_process=b.get("process", False),
+                ict=b.get("ict", {}),
+                size=b.get("size", {}),
+                parameter_bits=b.get("parameter_bits", 0),
+                source_ref=b.get("source_ref", ""),
+            )
+        )
+    for v in data.get("variables", []):
+        slif.add_variable(
+            Variable(
+                v["name"],
+                bits=v.get("bits", 32),
+                elements=v.get("elements", 1),
+                ict=v.get("ict", {}),
+                size=v.get("size", {}),
+                concurrent=v.get("concurrent", False),
+                source_ref=v.get("source_ref", ""),
+            )
+        )
+    for p in data.get("ports", []):
+        slif.add_port(
+            Port(p["name"], PortDirection(p.get("direction", "in")), p.get("bits", 32))
+        )
+    for c in data.get("channels", []):
+        slif.add_channel(
+            Channel(
+                c["name"],
+                c["src"],
+                c["dst"],
+                AccessKind(c.get("kind", "rw")),
+                accfreq=c.get("accfreq", 1.0),
+                accmin=c.get("accmin"),
+                accmax=c.get("accmax"),
+                bits=c.get("bits", 0),
+                tag=c.get("tag"),
+            )
+        )
+    for p in data.get("processors", []):
+        tech = techs.get(p["technology"])
+        if tech is None:
+            raise SlifError(
+                f"processor {p['name']!r} references undeclared technology "
+                f"{p['technology']!r}"
+            )
+        slif.add_processor(
+            Processor(p["name"], tech, p.get("size_constraint"), p.get("io_constraint"))
+        )
+    for m in data.get("memories", []):
+        tech = techs.get(m["technology"])
+        if tech is None:
+            raise SlifError(
+                f"memory {m['name']!r} references undeclared technology "
+                f"{m['technology']!r}"
+            )
+        slif.add_memory(Memory(m["name"], tech, m.get("size_constraint")))
+    for b in data.get("buses", []):
+        pair_entries = b.get("pair_times")
+        pair_times = (
+            {(a, c): v for a, c, v in pair_entries} if pair_entries else None
+        )
+        slif.add_bus(
+            Bus(
+                b["name"],
+                b.get("bitwidth", 32),
+                b.get("ts", 0.1),
+                b.get("td", 1.0),
+                pair_times,
+            )
+        )
+    return slif
+
+
+def slif_to_json(slif: Slif, indent: Optional[int] = 2) -> str:
+    """Encode a graph as a JSON string."""
+    return json.dumps(slif_to_dict(slif), indent=indent, sort_keys=False)
+
+
+def slif_from_json(text: str) -> Slif:
+    """Decode a graph from a JSON string."""
+    return slif_from_dict(json.loads(text))
+
+
+def partition_to_dict(partition: Partition) -> Dict[str, Any]:
+    """Encode a partition (the graph is referenced by name, not embedded)."""
+    return {
+        "format": "slif-partition",
+        "version": FORMAT_VERSION,
+        "name": partition.name,
+        "slif": partition.slif.name,
+        "objects": partition.object_mapping(),
+        "channels": partition.channel_mapping(),
+    }
+
+
+def partition_from_dict(data: Dict[str, Any], slif: Slif) -> Partition:
+    """Decode a partition against an already-loaded graph."""
+    if data.get("format") != "slif-partition":
+        raise SlifError(
+            f"not a slif-partition document (format={data.get('format')!r})"
+        )
+    if data.get("slif") != slif.name:
+        raise SlifError(
+            f"partition was saved for graph {data.get('slif')!r}, "
+            f"not {slif.name!r}"
+        )
+    part = Partition(slif, data.get("name", "partition"))
+    for obj, comp in data.get("objects", {}).items():
+        part.assign(obj, comp)
+    for ch, bus in data.get("channels", {}).items():
+        part.assign_channel(ch, bus)
+    return part
+
+
+def partition_to_json(partition: Partition, indent: Optional[int] = 2) -> str:
+    return json.dumps(partition_to_dict(partition), indent=indent)
+
+
+def partition_from_json(text: str, slif: Slif) -> Partition:
+    return partition_from_dict(json.loads(text), slif)

@@ -1,0 +1,393 @@
+"""The ``.slif`` textual interchange format.
+
+A line-oriented, human-readable dump of an annotated access graph —
+the kind of text format SpecSyn-era tools exchanged between passes.
+JSON (:mod:`repro.core.serialize`) is the machine format; this one is
+for eyeballs, diffs and hand-edited test inputs.
+
+Grammar (one declaration per line, ``#`` comments, blank lines free)::
+
+    slif 1 <name>
+    technology <name> <kind> <size-unit> <time-unit>
+    process   <name> [ict(k=v,...)] [size(k=v,...)]
+    procedure <name> [parambits <n>] [ict(...)] [size(...)]
+    variable  <name> bits <n> [elements <n>] [concurrent] [ict(...)] [size(...)]
+    port      <name> <in|out|inout> <bits>
+    channel   <src> -> <dst> <kind> freq <f> [min <f>] [max <f>] bits <n> [tag <t>]
+    processor <name> <technology> [size<=<v>] [io<=<n>]
+    memory    <name> <technology> [size<=<v>]
+    bus       <name> width <n> ts <t> td <t> [pair a:b=<t> ...]
+
+Weight lists use the ``ict(proc=3.5,asic=0.4)`` form.  The writer emits
+declarations in a stable order, so ``dumps(loads(text))`` is the
+identity on its own output (round-trip covered by property tests).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.annotations import WeightMap
+from repro.core.channels import AccessKind, Channel
+from repro.core.components import Bus, Memory, Processor, Technology, TechnologyKind
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior, Port, PortDirection, Variable
+from repro.errors import ParseError
+
+_WEIGHTS_RE = re.compile(r"(ict|size)\(([^)]*)\)")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def _fmt_num(value: float) -> str:
+    # repr() is the shortest representation that round-trips exactly;
+    # integral values print without the trailing '.0' for readability
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_weights(label: str, weights: WeightMap) -> str:
+    if not len(weights):
+        return ""
+    inner = ",".join(
+        f"{tech}={_fmt_num(val)}" for tech, val in sorted(weights.items())
+    )
+    return f" {label}({inner})"
+
+
+# ---------------------------------------------------------------------------
+# writer
+
+
+def dumps(slif: Slif) -> str:
+    """Serialise a graph to ``.slif`` text."""
+    lines: List[str] = [f"slif 1 {slif.name}", ""]
+
+    techs: Dict[str, Technology] = {}
+    for proc in slif.processors.values():
+        techs[proc.technology.name] = proc.technology
+    for mem in slif.memories.values():
+        techs[mem.technology.name] = mem.technology
+    for tech in sorted(techs.values(), key=lambda t: t.name):
+        lines.append(
+            f"technology {tech.name} {tech.kind.value} "
+            f"{tech.size_unit} {tech.time_unit}"
+        )
+    if techs:
+        lines.append("")
+
+    for b in slif.behaviors.values():
+        kind = "process" if b.is_process else "procedure"
+        parts = [kind, b.name]
+        if not b.is_process and b.parameter_bits:
+            parts.append(f"parambits {b.parameter_bits}")
+        line = " ".join(parts)
+        line += _fmt_weights("ict", b.ict) + _fmt_weights("size", b.size)
+        lines.append(line)
+    for v in slif.variables.values():
+        line = f"variable {v.name} bits {v.bits}"
+        if v.elements > 1:
+            line += f" elements {v.elements}"
+        if v.concurrent:
+            line += " concurrent"
+        line += _fmt_weights("ict", v.ict) + _fmt_weights("size", v.size)
+        lines.append(line)
+    for p in slif.ports.values():
+        lines.append(f"port {p.name} {p.direction.value} {p.bits}")
+    lines.append("")
+
+    for c in slif.channels.values():
+        line = (
+            f"channel {c.src} -> {c.dst} {c.kind.value} "
+            f"freq {_fmt_num(c.accfreq)}"
+        )
+        if c.accmin != c.accfreq:
+            line += f" min {_fmt_num(c.accmin)}"
+        if c.accmax != c.accfreq:
+            line += f" max {_fmt_num(c.accmax)}"
+        line += f" bits {c.bits}"
+        if c.tag:
+            line += f" tag {c.tag}"
+        lines.append(line)
+    lines.append("")
+
+    for proc in slif.processors.values():
+        line = f"processor {proc.name} {proc.technology.name}"
+        if proc.size_constraint is not None:
+            line += f" size<={_fmt_num(proc.size_constraint)}"
+        if proc.io_constraint is not None:
+            line += f" io<={proc.io_constraint}"
+        lines.append(line)
+    for mem in slif.memories.values():
+        line = f"memory {mem.name} {mem.technology.name}"
+        if mem.size_constraint is not None:
+            line += f" size<={_fmt_num(mem.size_constraint)}"
+        lines.append(line)
+    for bus in slif.buses.values():
+        line = (
+            f"bus {bus.name} width {bus.bitwidth} "
+            f"ts {_fmt_num(bus.ts)} td {_fmt_num(bus.td)}"
+        )
+        if bus.pair_times:
+            pairs = " ".join(
+                f"pair {a}:{b}={_fmt_num(v)}"
+                for (a, b), v in sorted(bus.pair_times.items())
+            )
+            line += " " + pairs
+        lines.append(line)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# reader
+
+
+class _Reader:
+    def __init__(self) -> None:
+        self.slif: Optional[Slif] = None
+        self.technologies: Dict[str, Technology] = {}
+        self._lineno = 0
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self._lineno)
+
+    # -- token helpers --------------------------------------------------
+
+    def _parse_weights(self, text: str) -> Tuple[WeightMap, WeightMap, str]:
+        ict, size = WeightMap(), WeightMap()
+        for label, inner in _WEIGHTS_RE.findall(text):
+            target = ict if label == "ict" else size
+            if not inner.strip():
+                continue
+            for item in inner.split(","):
+                if "=" not in item:
+                    raise self.error(f"malformed weight entry {item!r}")
+                tech, _, value = item.partition("=")
+                try:
+                    target.set(tech.strip(), float(value))
+                except ValueError as exc:
+                    raise self.error(str(exc)) from None
+        rest = _WEIGHTS_RE.sub("", text).strip()
+        return ict, size, rest
+
+    def _kv_tokens(self, tokens: List[str], keys: Dict[str, type]) -> Dict[str, object]:
+        """Parse ``key value`` pairs plus bare flags from a token list."""
+        out: Dict[str, object] = {}
+        i = 0
+        while i < len(tokens):
+            key = tokens[i]
+            if key not in keys:
+                raise self.error(f"unexpected token {key!r}")
+            want = keys[key]
+            if want is bool:
+                out[key] = True
+                i += 1
+                continue
+            if i + 1 >= len(tokens):
+                raise self.error(f"{key!r} needs a value")
+            raw = tokens[i + 1]
+            try:
+                out[key] = want(raw)
+            except ValueError:
+                raise self.error(f"bad value {raw!r} for {key!r}") from None
+            i += 2
+        return out
+
+    # -- line handlers ---------------------------------------------------
+
+    def handle(self, line: str) -> None:
+        tokens = line.split()
+        head = tokens[0]
+        if head == "slif":
+            if len(tokens) != 3 or tokens[1] != "1":
+                raise self.error("expected header 'slif 1 <name>'")
+            self.slif = Slif(tokens[2])
+            return
+        if self.slif is None:
+            raise self.error("missing 'slif 1 <name>' header")
+        handler = getattr(self, f"_do_{head}", None)
+        if handler is None:
+            raise self.error(f"unknown declaration {head!r}")
+        handler(tokens[1:], line)
+
+    def _do_technology(self, tokens, _line) -> None:
+        if len(tokens) != 4:
+            raise self.error("technology needs: name kind size-unit time-unit")
+        name, kind, size_unit, time_unit = tokens
+        try:
+            tech_kind = TechnologyKind(kind)
+        except ValueError:
+            raise self.error(f"unknown technology kind {kind!r}") from None
+        self.technologies[name] = Technology(name, tech_kind, size_unit, time_unit)
+
+    def _behavior(self, tokens, line, is_process: bool) -> None:
+        if not tokens:
+            raise self.error("behavior needs a name")
+        name = tokens[0]
+        ict, size, rest = self._parse_weights(line.split(None, 2)[2] if len(
+            line.split(None, 2)
+        ) > 2 else "")
+        extra = self._kv_tokens(rest.split(), {"parambits": int})
+        self.slif.add_behavior(
+            Behavior(
+                name,
+                is_process=is_process,
+                ict=ict,
+                size=size,
+                parameter_bits=int(extra.get("parambits", 0)),
+            )
+        )
+
+    def _do_process(self, tokens, line) -> None:
+        self._behavior(tokens, line, True)
+
+    def _do_procedure(self, tokens, line) -> None:
+        self._behavior(tokens, line, False)
+
+    def _do_variable(self, tokens, line) -> None:
+        if not tokens:
+            raise self.error("variable needs a name")
+        name = tokens[0]
+        ict, size, rest = self._parse_weights(" ".join(tokens[1:]))
+        extra = self._kv_tokens(
+            rest.split(), {"bits": int, "elements": int, "concurrent": bool}
+        )
+        if "bits" not in extra:
+            raise self.error(f"variable {name!r} needs 'bits <n>'")
+        self.slif.add_variable(
+            Variable(
+                name,
+                bits=int(extra["bits"]),
+                elements=int(extra.get("elements", 1)),
+                concurrent=bool(extra.get("concurrent", False)),
+                ict=ict,
+                size=size,
+            )
+        )
+
+    def _do_port(self, tokens, _line) -> None:
+        if len(tokens) != 3:
+            raise self.error("port needs: name direction bits")
+        name, direction, bits = tokens
+        try:
+            self.slif.add_port(Port(name, PortDirection(direction), int(bits)))
+        except ValueError as exc:
+            raise self.error(str(exc)) from None
+
+    def _do_channel(self, tokens, _line) -> None:
+        if len(tokens) < 4 or tokens[1] != "->":
+            raise self.error("channel needs: src -> dst kind ...")
+        src, _, dst, kind, *rest = tokens
+        try:
+            access = AccessKind(kind)
+        except ValueError:
+            raise self.error(f"unknown access kind {kind!r}") from None
+        extra = self._kv_tokens(
+            rest,
+            {"freq": float, "min": float, "max": float, "bits": int, "tag": str},
+        )
+        if "freq" not in extra or "bits" not in extra:
+            raise self.error("channel needs 'freq <f>' and 'bits <n>'")
+        freq = float(extra["freq"])
+        self.slif.add_channel(
+            Channel(
+                f"{src}->{dst}",
+                src,
+                dst,
+                access,
+                accfreq=freq,
+                accmin=float(extra.get("min", freq)),
+                accmax=float(extra.get("max", freq)),
+                bits=int(extra["bits"]),
+                tag=extra.get("tag"),
+            )
+        )
+
+    def _component_tail(self, tokens) -> Tuple[str, Technology, Dict[str, float]]:
+        if len(tokens) < 2:
+            raise self.error("component needs: name technology [constraints]")
+        name, tech_name, *rest = tokens
+        tech = self.technologies.get(tech_name)
+        if tech is None:
+            raise self.error(f"undeclared technology {tech_name!r}")
+        constraints: Dict[str, float] = {}
+        for token in rest:
+            if "<=" not in token:
+                raise self.error(f"unexpected constraint token {token!r}")
+            key, _, value = token.partition("<=")
+            try:
+                constraints[key] = float(value)
+            except ValueError:
+                raise self.error(f"bad constraint value {value!r}") from None
+        return name, tech, constraints
+
+    def _do_processor(self, tokens, _line) -> None:
+        name, tech, constraints = self._component_tail(tokens)
+        io = constraints.get("io")
+        try:
+            self.slif.add_processor(
+                Processor(
+                    name,
+                    tech,
+                    constraints.get("size"),
+                    int(io) if io is not None else None,
+                )
+            )
+        except ValueError as exc:
+            raise self.error(str(exc)) from None
+
+    def _do_memory(self, tokens, _line) -> None:
+        name, tech, constraints = self._component_tail(tokens)
+        try:
+            self.slif.add_memory(Memory(name, tech, constraints.get("size")))
+        except ValueError as exc:
+            raise self.error(str(exc)) from None
+
+    def _do_bus(self, tokens, _line) -> None:
+        if not tokens:
+            raise self.error("bus needs a name")
+        name = tokens[0]
+        rest = tokens[1:]
+        pair_times = {}
+        plain: List[str] = []
+        i = 0
+        while i < len(rest):
+            if rest[i] == "pair":
+                if i + 1 >= len(rest) or ":" not in rest[i + 1] or "=" not in rest[i + 1]:
+                    raise self.error("pair needs the form 'pair a:b=<time>'")
+                techs, _, value = rest[i + 1].partition("=")
+                a, _, b = techs.partition(":")
+                try:
+                    pair_times[(a, b)] = float(value)
+                except ValueError:
+                    raise self.error(f"bad pair time {value!r}") from None
+                i += 2
+            else:
+                plain.append(rest[i])
+                i += 1
+        extra = self._kv_tokens(plain, {"width": int, "ts": float, "td": float})
+        self.slif.add_bus(
+            Bus(
+                name,
+                int(extra.get("width", 32)),
+                float(extra.get("ts", 0.1)),
+                float(extra.get("td", 1.0)),
+                pair_times or None,
+            )
+        )
+
+    def run(self, text: str) -> Slif:
+        for self._lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            self.handle(line)
+        if self.slif is None:
+            raise ParseError("empty .slif document")
+        return self.slif
+
+
+def loads(text: str) -> Slif:
+    """Parse ``.slif`` text into a graph."""
+    return _Reader().run(text)

@@ -1,0 +1,188 @@
+"""Whole-graph consistency checks for SLIF.
+
+:func:`validate_slif` inspects an annotated access graph and reports
+anything that would make downstream estimation or partitioning fail or
+silently produce nonsense: dangling adjacency, recursion cycles, process
+nodes used as call targets, channels with zero frequency, and nodes
+lacking weights for the technologies allocated in the graph.
+
+The checks return :class:`Issue` records rather than raising, so tools
+can render them all at once (the CLI's ``slif check``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.core.channels import AccessKind
+from repro.core.graph import Slif
+
+
+class Severity(Enum):
+    ERROR = "error"      # estimation will raise or be meaningless
+    WARNING = "warning"  # suspicious but estimable
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.value}] {self.code}: {self.message}"
+
+
+def validate_slif(slif: Slif) -> List[Issue]:
+    """Run all graph checks and return the findings (empty = clean)."""
+    issues: List[Issue] = []
+    issues.extend(_check_cycles(slif))
+    issues.extend(_check_call_targets(slif))
+    issues.extend(_check_channels(slif))
+    issues.extend(_check_weights(slif))
+    issues.extend(_check_reachability(slif))
+    return issues
+
+
+def errors_only(issues: List[Issue]) -> List[Issue]:
+    return [i for i in issues if i.severity is Severity.ERROR]
+
+
+def _check_cycles(slif: Slif) -> List[Issue]:
+    cycle = slif.find_call_cycle()
+    if cycle:
+        return [
+            Issue(
+                Severity.ERROR,
+                "recursion",
+                "call cycle (recursion) in access graph: "
+                + " -> ".join(cycle),
+            )
+        ]
+    return []
+
+
+def _check_call_targets(slif: Slif) -> List[Issue]:
+    issues = []
+    for ch in slif.channels.values():
+        if ch.kind is not AccessKind.CALL:
+            continue
+        dst = slif.behaviors.get(ch.dst)
+        if dst is None:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "call-target",
+                    f"call channel {ch.name!r} targets non-behavior {ch.dst!r}",
+                )
+            )
+        elif dst.is_process:
+            issues.append(
+                Issue(
+                    Severity.ERROR,
+                    "call-target",
+                    f"call channel {ch.name!r} targets process {ch.dst!r}; "
+                    f"processes are never called",
+                )
+            )
+    return issues
+
+
+def _check_channels(slif: Slif) -> List[Issue]:
+    issues = []
+    for ch in slif.channels.values():
+        if ch.accfreq == 0:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "zero-freq",
+                    f"channel {ch.name!r} has accfreq 0 (dead access?)",
+                )
+            )
+        if ch.bits == 0 and ch.kind is not AccessKind.CALL:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "zero-bits",
+                    f"channel {ch.name!r} transfers 0 bits per access",
+                )
+            )
+    return issues
+
+
+def _check_weights(slif: Slif) -> List[Issue]:
+    """Nodes must carry weights for every allocated component technology."""
+    issues = []
+    proc_techs = {p.technology.name for p in slif.processors.values()}
+    mem_techs = {m.technology.name for m in slif.memories.values()}
+    for b in slif.behaviors.values():
+        for tech in proc_techs:
+            if tech not in b.ict:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "missing-ict",
+                        f"behavior {b.name!r} has no ict weight for "
+                        f"technology {tech!r}",
+                    )
+                )
+            if tech not in b.size:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "missing-size",
+                        f"behavior {b.name!r} has no size weight for "
+                        f"technology {tech!r}",
+                    )
+                )
+    for v in slif.variables.values():
+        for tech in proc_techs | mem_techs:
+            if tech not in v.ict:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "missing-ict",
+                        f"variable {v.name!r} has no access-time weight for "
+                        f"technology {tech!r}",
+                    )
+                )
+            if tech not in v.size:
+                issues.append(
+                    Issue(
+                        Severity.ERROR,
+                        "missing-size",
+                        f"variable {v.name!r} has no size weight for "
+                        f"technology {tech!r}",
+                    )
+                )
+    return issues
+
+
+def _check_reachability(slif: Slif) -> List[Issue]:
+    """Warn about objects no process (transitively) accesses."""
+    reached = set()
+    stack = [p.name for p in slif.processes()]
+    reached.update(stack)
+    while stack:
+        node = stack.pop()
+        if node not in slif.behaviors:
+            continue
+        for ch in slif.out_channels(node):
+            if ch.dst not in reached:
+                reached.add(ch.dst)
+                stack.append(ch.dst)
+    issues = []
+    for name in slif.bv_names():
+        if name not in reached:
+            issues.append(
+                Issue(
+                    Severity.WARNING,
+                    "unreachable",
+                    f"object {name!r} is not reachable from any process",
+                )
+            )
+    return issues

@@ -1,0 +1,145 @@
+"""Bus-saturation-aware performance estimation (the paper's [2] sketch).
+
+Section 3.2: "More sophisticated bitrate estimation equations can be
+formulated to take into account the maximum bitrate capacity of a bus.
+In such techniques, if the bitrate capacity is exceeded, then we need
+to slow down the transfers."
+
+Equation 1 prices each transfer at the bus's nominal ``ts``/``td``;
+when the channels mapped to a bus collectively demand more bandwidth
+than ``bitwidth / transfer-time`` can move, real transfers queue and
+every communicating behavior slows down.  The derated estimator models
+that with a fixed-point iteration:
+
+1. compute execution times with the current per-bus slowdown factors
+   (initially 1.0 — plain Eq. 1);
+2. compute each bus's demanded bitrate (Eqs. 2-3) from those times and
+   its saturation = demand / capacity;
+3. set each bus's slowdown to ``max(1, saturation)`` and scale its
+   transfer times by it;
+4. repeat until the slowdowns stabilise.
+
+Slowing transfers lengthens source-behavior execution, which lowers the
+demanded bitrate (the same bits move over a longer run), so the
+iteration is self-damping: demand is inversely proportional to
+execution time, and execution time grows at most linearly in the
+slowdown, making the composite map contract toward saturation 1 from
+above.  A small number of rounds suffices; we also cap rounds
+defensively and report the history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.channels import Channel, FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.estimate.bitrate import bus_capacity
+from repro.estimate.exectime import ExecTimeEstimator, transfer_time
+
+
+class _DeratedExecTime(ExecTimeEstimator):
+    """Eq. 1 with per-bus transfer-time scale factors."""
+
+    def __init__(self, slif, partition, slowdown: Dict[str, float], mode):
+        super().__init__(slif, partition, mode)
+        self._slowdown = slowdown
+
+    def _channel_cost(self, channel: Channel) -> float:
+        freq = channel.frequency(self.mode)
+        if freq == 0.0:
+            return 0.0
+        bus = self.partition.get_chan_bus(channel.name)
+        per_access = transfer_time(self.slif, self.partition, channel)
+        per_access *= self._slowdown.get(bus, 1.0)
+        per_access += self.exectime(channel.dst)
+        return freq * per_access
+
+
+@dataclass
+class DeratedEstimate:
+    """Result of saturation-aware performance estimation."""
+
+    process_times: Dict[str, float]
+    bus_slowdown: Dict[str, float]
+    rounds: int
+    converged: bool
+    history: List[Dict[str, float]] = field(default_factory=list)
+
+    @property
+    def system_time(self) -> float:
+        if not self.process_times:
+            return 0.0
+        return max(self.process_times.values())
+
+    def saturated_buses(self) -> List[str]:
+        return [b for b, s in self.bus_slowdown.items() if s > 1.0 + 1e-9]
+
+
+def derated_estimate(
+    slif: Slif,
+    partition: Partition,
+    mode: FreqMode = FreqMode.AVG,
+    max_rounds: int = 20,
+    tolerance: float = 1e-3,
+) -> DeratedEstimate:
+    """Fixed-point saturation-aware execution-time estimate.
+
+    Returns plain Eq. 1 numbers (slowdown 1.0 everywhere) when no bus is
+    oversubscribed.
+    """
+    partition.require_complete()
+    slowdown: Dict[str, float] = {name: 1.0 for name in slif.buses}
+    history: List[Dict[str, float]] = []
+    converged = False
+    rounds = 0
+    times: Dict[str, float] = {}
+
+    for rounds in range(1, max_rounds + 1):
+        estimator = _DeratedExecTime(slif, partition, slowdown, mode)
+        times = estimator.process_times()
+
+        # demanded bitrate per bus under the current times
+        demand: Dict[str, float] = {name: 0.0 for name in slif.buses}
+        for channel in slif.channels.values():
+            moved = channel.frequency(mode) * channel.bits
+            if moved == 0.0:
+                continue
+            src_time = estimator.exectime(channel.src)
+            if src_time <= 0.0:
+                continue
+            demand[partition.get_chan_bus(channel.name)] += moved / src_time
+
+        new_slowdown = {}
+        for name in slif.buses:
+            capacity = bus_capacity(slif, name)
+            if capacity <= 0.0 or math.isinf(capacity):
+                new_slowdown[name] = 1.0
+                continue
+            saturation = demand[name] / capacity
+            # transfers already slowed by `slowdown` produced this
+            # saturation; the required total slowdown composes
+            new_slowdown[name] = max(1.0, slowdown[name] * saturation)
+        history.append(dict(new_slowdown))
+
+        delta = max(
+            abs(new_slowdown[name] - slowdown[name]) for name in slif.buses
+        ) if slif.buses else 0.0
+        slowdown = new_slowdown
+        if delta < tolerance:
+            converged = True
+            break
+
+    # final times under the settled slowdowns
+    final = _DeratedExecTime(slif, partition, slowdown, mode)
+    times = final.process_times()
+    return DeratedEstimate(
+        process_times=times,
+        bus_slowdown=slowdown,
+        rounds=rounds,
+        converged=converged,
+        history=history,
+    )

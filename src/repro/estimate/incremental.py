@@ -1,0 +1,215 @@
+"""Incremental re-estimation under single-object partition moves.
+
+Automated partitioning examines thousands of candidate partitions
+(Section 5), and each candidate differs from the last by moving one
+object.  Recomputing Eqs. 4–6 from scratch per move costs O(objects);
+this module maintains the per-component size tallies and per-(component,
+bus) cut-channel counts so a move costs O(degree of the moved object).
+
+The execution-time metric is inherently global (Eq. 1 recurses through
+the call structure), so it is recomputed lazily — the memoized evaluator
+is invalidated on each move and only re-run when a caller asks for a
+time.  Cost functions that only need size/IO (the common inner loop)
+never pay for it.
+
+Usage::
+
+    inc = IncrementalEstimator(slif, partition)
+    record = inc.apply_move("Convolve", "HW")   # mutates the partition
+    ...evaluate...
+    inc.undo(record)                            # exact rollback
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.channels import FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import PartitionError
+from repro.estimate.exectime import ExecTimeEstimator
+from repro.estimate.size import object_size
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """Undo token for one applied move."""
+
+    obj: str
+    src: str
+    dst: str
+
+
+class IncrementalEstimator:
+    """Size/IO tallies kept consistent across partition moves.
+
+    The estimator *owns* move application: go through :meth:`apply_move`
+    and :meth:`undo` rather than mutating the partition directly, or the
+    tallies will drift (a drift check is available via
+    :meth:`verify_consistency`, used by the property tests).
+    """
+
+    def __init__(
+        self,
+        slif: Slif,
+        partition: Partition,
+        mode: FreqMode = FreqMode.AVG,
+    ) -> None:
+        partition.require_complete()
+        self.slif = slif
+        self.partition = partition
+        self._exec = ExecTimeEstimator(slif, partition, mode)
+        self._exec_dirty = False
+        self._sizes: Dict[str, float] = {}
+        # cut channel counts: (component, bus) -> number of cut channels
+        self._cut_counts: Dict[Tuple[str, str], int] = {}
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # construction of the tallies
+
+    def _rebuild(self) -> None:
+        slif, part = self.slif, self.partition
+        self._sizes = {
+            name: 0.0 for name in list(slif.processors) + list(slif.memories)
+        }
+        for obj, comp in part.object_mapping().items():
+            self._sizes[comp] += object_size(slif, obj, comp)
+        self._cut_counts = {}
+        for ch in slif.channels.values():
+            bus = part.get_chan_bus(ch.name)
+            for comp in self._sizes:
+                if part.channel_is_cut(ch, comp):
+                    key = (comp, bus)
+                    self._cut_counts[key] = self._cut_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def component_size(self, component: str) -> float:
+        """Current Eq. 4/5 size of ``component`` (O(1))."""
+        try:
+            return self._sizes[component]
+        except KeyError:
+            raise PartitionError(f"unknown component {component!r}") from None
+
+    def component_sizes(self) -> Dict[str, float]:
+        return dict(self._sizes)
+
+    def component_io(self, component: str) -> int:
+        """Current Eq. 6 I/O of ``component`` (O(buses))."""
+        total = 0
+        for bus_name, bus in self.slif.buses.items():
+            if self._cut_counts.get((component, bus_name), 0) > 0:
+                total += bus.bitwidth
+        return total
+
+    def component_ios(self) -> Dict[str, int]:
+        return {name: self.component_io(name) for name in self._sizes}
+
+    def execution_time(self, behavior: str) -> float:
+        """Eq. 1, recomputed lazily after moves."""
+        if self._exec_dirty:
+            self._exec.invalidate()
+            self._exec_dirty = False
+        return self._exec.exectime(behavior)
+
+    def system_time(self) -> float:
+        if self._exec_dirty:
+            self._exec.invalidate()
+            self._exec_dirty = False
+        return self._exec.system_time()
+
+    # ------------------------------------------------------------------
+    # moves
+
+    def apply_move(self, obj: str, component: str) -> MoveRecord:
+        """Move ``obj`` to ``component``, updating all tallies.
+
+        Returns an undo token.  Moving an object to its current
+        component is a no-op move (still returns a valid token).
+        """
+        part = self.partition
+        src = part.get_bv_comp(obj)
+        record = MoveRecord(obj, src, component)
+        if src == component:
+            return record
+        self._shift(obj, src, component)
+        part.move(obj, component)
+        self._exec_dirty = True
+        return record
+
+    def undo(self, record: MoveRecord) -> None:
+        """Exactly reverse a move made by :meth:`apply_move`."""
+        if record.src == record.dst:
+            return
+        self._shift(record.obj, record.dst, record.src)
+        self.partition.move(record.obj, record.src)
+        self._exec_dirty = True
+
+    def _shift(self, obj: str, src: str, dst: str) -> None:
+        """Update tallies for moving ``obj`` from ``src`` to ``dst``.
+
+        Only the two involved components' tallies can change: sizes move
+        the object's weight; cut counts change only for channels incident
+        to ``obj`` and only with respect to ``src`` and ``dst``.
+        """
+        slif, part = self.slif, self.partition
+        self._sizes[src] -= object_size(slif, obj, src)
+        self._sizes[dst] = self._sizes.get(dst, 0.0) + object_size(slif, obj, dst)
+
+        incident = list(slif.in_channels(obj))
+        if obj in slif.behaviors:
+            incident += slif.out_channels(obj)
+        for ch in incident:
+            if ch.src == ch.dst:
+                # a self-loop moves both endpoints at once: it is never
+                # cut before or after, so no tally changes (it would also
+                # appear twice in `incident`)
+                continue
+            bus = part.get_chan_bus(ch.name)
+            other = ch.dst if ch.src == obj else ch.src
+            other_comp = part.maybe_bv_comp(other)
+            # before the move obj is on src; after, on dst
+            for comp, obj_side_before, obj_side_after in (
+                (src, True, False),
+                (dst, False, True),
+            ):
+                other_in = other_comp == comp
+                was_cut = obj_side_before != other_in
+                now_cut = obj_side_after != other_in
+                if was_cut == now_cut:
+                    continue
+                key = (comp, bus)
+                self._cut_counts[key] = self._cut_counts.get(key, 0) + (
+                    1 if now_cut else -1
+                )
+
+    # ------------------------------------------------------------------
+    # verification (used by property tests)
+
+    def verify_consistency(self) -> None:
+        """Assert the incremental tallies match a from-scratch rebuild."""
+        from repro.estimate.io import all_component_ios
+        from repro.estimate.size import all_component_sizes
+
+        fresh_sizes = all_component_sizes(self.slif, self.partition)
+        for comp, size in fresh_sizes.items():
+            got = self._sizes.get(comp, 0.0)
+            if abs(got - size) > 1e-6:
+                raise AssertionError(
+                    f"size tally drift on {comp!r}: incremental {got}, "
+                    f"fresh {size}"
+                )
+        fresh_ios = all_component_ios(self.slif, self.partition)
+        for comp, io in fresh_ios.items():
+            got = self.component_io(comp)
+            if got != io:
+                raise AssertionError(
+                    f"io tally drift on {comp!r}: incremental {got}, fresh {io}"
+                )
+        for key, count in self._cut_counts.items():
+            if count < 0:
+                raise AssertionError(f"negative cut count for {key}: {count}")

@@ -1,0 +1,59 @@
+"""I/O (pin) estimation (Section 3.4, Equation 6).
+
+The I/O of a component is the number of wires crossing its boundary:
+the summed bitwidths of the buses that implement at least one *cut*
+channel — a channel with exactly one endpoint inside the component.
+External ports count as outside every component, so port accesses always
+cut.
+
+    IO(p) = sum over i in CutBuses(p) of i.bitwidth
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import EstimationError
+
+
+def component_io(slif: Slif, partition: Partition, component: str) -> int:
+    """``IO(p)`` (Eq. 6): total bitwidth of the component's cut buses."""
+    if component not in slif.processors and component not in slif.memories:
+        raise EstimationError(f"no processor or memory named {component!r}")
+    return sum(
+        slif.get_bus(bus).bitwidth for bus in partition.cut_buses(component)
+    )
+
+
+def all_component_ios(slif: Slif, partition: Partition) -> Dict[str, int]:
+    """:func:`component_io` for every processor and memory."""
+    names = list(slif.processors) + list(slif.memories)
+    return {name: component_io(slif, partition, name) for name in names}
+
+
+def io_violation(
+    slif: Slif, partition: Partition, component: str
+) -> Optional[int]:
+    """Pins above the component's I/O constraint (``None`` if unconstrained).
+
+    Only processors carry pin constraints in this model (the paper notes
+    I/O is usually relevant for ASICs); memories return ``None``.
+    """
+    proc = slif.processors.get(component)
+    if proc is None or proc.io_constraint is None:
+        return None
+    used = component_io(slif, partition, component)
+    return max(0, used - proc.io_constraint)
+
+
+def cut_channel_names(
+    slif: Slif, partition: Partition, component: str
+) -> List[str]:
+    """Names of the channels crossing ``component``'s boundary.
+
+    Useful for reporting *why* a component needs the pins it needs — the
+    designer-interaction use case the paper motivates.
+    """
+    return [ch.name for ch in partition.cut_channels(component)]

@@ -1,0 +1,167 @@
+"""System-component allocation (the first system-design task, Section 1).
+
+Allocation chooses *which* processors, ASICs, memories and buses the
+design gets before partitioning decides what runs where.  We model a
+catalog of purchasable component templates (each with a technology,
+constraints, and a dollar/area cost), enumerate bounded allocations,
+partition each one, and return the cheapest allocation whose best
+partition is feasible.
+
+This is deliberately exhaustive-with-small-bounds rather than clever:
+allocation spaces in this methodology are tiny (a handful of component
+types, one to three instances each) while each probe costs a
+partitioning run — which is exactly where SLIF's fast estimation pays
+off.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.components import Bus, Memory, Processor, Technology
+from repro.core.graph import Slif
+from repro.core.partition import Partition, single_bus_partition
+from repro.errors import AllocationError
+from repro.partition.cost import CostWeights
+from repro.partition.greedy import greedy_improve
+from repro.partition.random_part import random_partition
+from repro.partition.result import PartitionResult
+
+
+@dataclass(frozen=True)
+class ComponentTemplate:
+    """One catalog entry the allocator may instantiate."""
+
+    name: str
+    technology: Technology
+    size_constraint: Optional[float] = None
+    io_constraint: Optional[int] = None
+    price: float = 1.0
+    is_memory: bool = False
+
+
+@dataclass(frozen=True)
+class BusTemplate:
+    """The system bus the allocator instantiates (one per design)."""
+
+    name: str = "sysbus"
+    bitwidth: int = 16
+    ts: float = 0.1
+    td: float = 1.0
+
+
+@dataclass
+class AllocationResult:
+    """Best allocation found plus its partitioning outcome."""
+
+    slif: Slif
+    partition: Partition
+    templates: Tuple[ComponentTemplate, ...]
+    price: float
+    cost: float
+    feasible: bool
+    partition_result: Optional[PartitionResult] = None
+
+    def component_names(self) -> List[str]:
+        return list(self.slif.processors) + list(self.slif.memories)
+
+
+def instantiate_allocation(
+    base: Slif,
+    templates: Sequence[ComponentTemplate],
+    bus: BusTemplate = BusTemplate(),
+) -> Slif:
+    """A copy of ``base`` with the chosen components and bus added.
+
+    ``base`` must carry no components of its own (allocation owns that
+    decision); instance names get a numeric suffix when a template is
+    instantiated more than once.
+    """
+    if base.processors or base.memories or base.buses:
+        raise AllocationError(
+            "allocation expects a component-free graph; got existing components"
+        )
+    slif = base.copy()
+    seen: Dict[str, int] = {}
+    for template in templates:
+        seen[template.name] = seen.get(template.name, 0) + 1
+        count = seen[template.name]
+        name = template.name if count == 1 else f"{template.name}{count}"
+        if template.is_memory:
+            slif.add_memory(
+                Memory(name, template.technology, template.size_constraint)
+            )
+        else:
+            slif.add_processor(
+                Processor(
+                    name,
+                    template.technology,
+                    template.size_constraint,
+                    template.io_constraint,
+                )
+            )
+    slif.add_bus(Bus(bus.name, bus.bitwidth, bus.ts, bus.td))
+    return slif
+
+
+def enumerate_allocations(
+    catalog: Sequence[ComponentTemplate],
+    max_components: int = 3,
+) -> Iterable[Tuple[ComponentTemplate, ...]]:
+    """All multisets of catalog entries of size 1..max_components that
+    include at least one processor (behaviors need somewhere to run)."""
+    for size in range(1, max_components + 1):
+        for combo in itertools.combinations_with_replacement(catalog, size):
+            if any(not t.is_memory for t in combo):
+                yield combo
+
+
+def allocate(
+    functional: Slif,
+    catalog: Sequence[ComponentTemplate],
+    bus: BusTemplate = BusTemplate(),
+    max_components: int = 3,
+    weights: Optional[CostWeights] = None,
+    time_constraint: Optional[float] = None,
+    seed: int = 0,
+) -> AllocationResult:
+    """Search the allocation space; returns the best allocation found.
+
+    Preference order: feasible beats infeasible; among feasible, lowest
+    price then lowest cost; among infeasible, lowest cost then price —
+    so callers always get a best-effort answer even when nothing fits.
+    """
+    if not catalog:
+        raise AllocationError("empty component catalog")
+    best: Optional[AllocationResult] = None
+    for combo in enumerate_allocations(catalog, max_components):
+        slif = instantiate_allocation(functional, combo, bus)
+        start = random_partition(slif, seed=seed, name="allocation-start")
+        result = greedy_improve(
+            slif, start, weights=weights, time_constraint=time_constraint
+        )
+        price = sum(t.price for t in combo)
+        feasible = result.cost < 1e-9
+        candidate = AllocationResult(
+            slif=slif,
+            partition=result.partition,
+            templates=combo,
+            price=price,
+            cost=result.cost,
+            feasible=feasible,
+            partition_result=result,
+        )
+        if best is None or _better(candidate, best):
+            best = candidate
+    assert best is not None  # catalog non-empty => at least one combo
+    return best
+
+
+def _better(a: AllocationResult, b: AllocationResult) -> bool:
+    if a.feasible != b.feasible:
+        return a.feasible
+    if a.feasible:
+        return (a.price, a.cost) < (b.price, b.cost)
+    return (a.cost, a.price) < (b.cost, b.price)

@@ -1,0 +1,76 @@
+"""Simulated-annealing partitioning.
+
+The stochastic global search SpecSyn-era tools reached for when greedy
+and group migration stalled: random single-object moves accepted by the
+Metropolis criterion under a geometrically cooling temperature.  Fully
+seeded; the default schedule is sized so a run costs a few thousand
+cost evaluations — the workload the paper's estimation speed argument
+is about.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.partition.cost import CostWeights, PartitionCost
+from repro.partition.result import PartitionResult
+
+
+def simulated_annealing(
+    slif: Slif,
+    partition: Partition,
+    weights: Optional[CostWeights] = None,
+    time_constraint: Optional[float] = None,
+    seed: int = 0,
+    initial_temperature: float = 1.0,
+    cooling: float = 0.95,
+    moves_per_temperature: int = 60,
+    min_temperature: float = 1e-3,
+    **_ignored,
+) -> PartitionResult:
+    """Anneal from ``partition`` (copied, not mutated)."""
+    rng = random.Random(seed)
+    working = partition.copy(name="annealing")
+    evaluator = PartitionCost(slif, working, weights, time_constraint)
+    current = evaluator.cost()
+    best_snapshot = working.copy(name="annealing-best")
+    best_cost = current
+    history = [current]
+
+    objects = evaluator.movable_objects()
+    temperature = initial_temperature
+    iterations = 0
+
+    while temperature > min_temperature:
+        for _ in range(moves_per_temperature):
+            iterations += 1
+            obj = rng.choice(objects)
+            candidates = evaluator.candidate_components(obj)
+            if not candidates:
+                continue
+            comp = rng.choice(candidates)
+            record = evaluator.apply_move(obj, comp)
+            cost = evaluator.cost()
+            delta = cost - current
+            if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                current = cost
+                if current < best_cost - 1e-12:
+                    best_cost = current
+                    best_snapshot = working.copy(name="annealing-best")
+                    history.append(best_cost)
+            else:
+                evaluator.undo(record)
+        temperature *= cooling
+
+    return PartitionResult(
+        partition=best_snapshot,
+        cost=best_cost,
+        algorithm="annealing",
+        iterations=iterations,
+        evaluations=evaluator.evaluations,
+        history=history,
+    )

@@ -1,0 +1,178 @@
+"""Pareto-front exploration of the hardware/software trade-off.
+
+SpecSyn's reason for existing (Section 6) is letting a designer
+"rapidly explore partitions of functionality among processors, ASICs,
+memories and bus components".  The exploration designers actually want
+is multi-objective: how much performance does each additional gate of
+hardware buy?  This module sweeps that trade-off:
+
+1. sample many candidate partitions — the all-software point, greedy
+   descents under a range of synthetic CPU-size constraints (which
+   force progressively more offload), and seeded random starts;
+2. evaluate each candidate's (system execution time, custom-hardware
+   size) with the standard estimators;
+3. keep the non-dominated set.
+
+The result is the classic time/area Pareto front, computed from
+nothing but SLIF annotations — a few thousand estimate calls, which is
+exactly the workload the paper's preprocessing makes cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import PartitionError
+from repro.estimate.engine import Estimator
+from repro.partition.greedy import greedy_improve
+from repro.partition.random_part import random_partition
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated partition on the time/area plane."""
+
+    system_time: float
+    hardware_size: float
+    mapping: Tuple[Tuple[str, str], ...]   # frozen object->component map
+    label: str = ""
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """True when at least as good on both axes and better on one."""
+        if self.system_time > other.system_time:
+            return False
+        if self.hardware_size > other.hardware_size:
+            return False
+        return (
+            self.system_time < other.system_time
+            or self.hardware_size < other.hardware_size
+        )
+
+
+@dataclass
+class ParetoFront:
+    """The non-dominated designs, sorted by ascending hardware size."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+    evaluated: int = 0
+
+    def add(self, candidate: DesignPoint) -> bool:
+        """Insert ``candidate`` unless dominated; prune what it dominates.
+
+        Returns True when the candidate joined the front.
+        """
+        self.evaluated += 1
+        for existing in self.points:
+            if existing.dominates(candidate) or (
+                existing.system_time == candidate.system_time
+                and existing.hardware_size == candidate.hardware_size
+            ):
+                return False
+        self.points = [p for p in self.points if not candidate.dominates(p)]
+        self.points.append(candidate)
+        self.points.sort(key=lambda p: (p.hardware_size, p.system_time))
+        return True
+
+    def render(self) -> str:
+        lines = [
+            f"Pareto front ({len(self.points)} points from "
+            f"{self.evaluated} evaluated designs):",
+            f"  {'hw size':>12} {'system time':>12}  label",
+        ]
+        for p in self.points:
+            lines.append(
+                f"  {p.hardware_size:>12g} {p.system_time:>12g}  {p.label}"
+            )
+        return "\n".join(lines)
+
+
+def _evaluate(
+    slif: Slif,
+    partition: Partition,
+    hardware: List[str],
+    label: str,
+) -> DesignPoint:
+    report = Estimator(slif, partition).report()
+    hw_size = sum(report.component_sizes.get(name, 0.0) for name in hardware)
+    return DesignPoint(
+        system_time=report.system_time,
+        hardware_size=hw_size,
+        mapping=tuple(sorted(partition.object_mapping().items())),
+        label=label,
+    )
+
+
+def explore_pareto(
+    slif: Slif,
+    start: Partition,
+    hardware_components: Optional[List[str]] = None,
+    constraint_steps: int = 8,
+    random_starts: int = 5,
+    seed: int = 0,
+) -> ParetoFront:
+    """Sweep the time/area trade-off and return the Pareto front.
+
+    ``hardware_components`` names the custom processors whose summed
+    size is the area axis; by default every custom processor counts.
+    The sweep temporarily installs synthetic CPU size constraints to
+    force different offload levels; the graph's real constraints are
+    restored before returning.
+    """
+    if hardware_components is None:
+        hardware_components = [
+            name for name, proc in slif.processors.items() if proc.is_custom
+        ]
+    if not hardware_components:
+        raise PartitionError("no custom processors to trade hardware against")
+    software = [
+        name
+        for name, proc in slif.processors.items()
+        if name not in hardware_components
+    ]
+    if not software:
+        raise PartitionError("no software processor to trade against")
+
+    front = ParetoFront()
+    front.add(_evaluate(slif, start, hardware_components, "start"))
+
+    saved = {
+        name: slif.processors[name].size_constraint for name in software
+    }
+    try:
+        baseline = Estimator(slif, start).report()
+        base_sizes = {name: baseline.component_sizes[name] for name in software}
+        for step in range(constraint_steps):
+            fraction = 1.0 - step / constraint_steps
+            for name in software:
+                slif.processors[name].size_constraint = max(
+                    base_sizes[name] * fraction, 1.0
+                )
+            result = greedy_improve(slif, start)
+            front.add(
+                _evaluate(
+                    slif,
+                    result.partition,
+                    hardware_components,
+                    f"greedy@{fraction:.2f}",
+                )
+            )
+            for idx in range(random_starts):
+                candidate = random_partition(
+                    slif, seed=seed + step * random_starts + idx
+                )
+                refined = greedy_improve(slif, candidate)
+                front.add(
+                    _evaluate(
+                        slif,
+                        refined.partition,
+                        hardware_components,
+                        f"random@{fraction:.2f}.{idx}",
+                    )
+                )
+    finally:
+        for name, constraint in saved.items():
+            slif.processors[name].size_constraint = constraint
+    return front

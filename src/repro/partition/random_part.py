@@ -1,0 +1,81 @@
+"""Random partitioning: valid random assignments and random restart.
+
+The baseline every real algorithm must beat, and the usual source of
+starting points.  Everything is seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import PartitionError
+from repro.partition.cost import CostWeights, PartitionCost
+from repro.partition.result import PartitionResult
+
+
+def random_partition(
+    slif: Slif,
+    seed: int = 0,
+    bus: Optional[str] = None,
+    name: str = "random",
+) -> Partition:
+    """A uniformly random *proper* partition.
+
+    Behaviors land on random processors, variables on random processors
+    or memories, and all channels on the single bus (or ``bus``).
+    """
+    rng = random.Random(seed)
+    processors = list(slif.processors)
+    memories = list(slif.memories)
+    if not processors:
+        raise PartitionError("cannot partition: no processors allocated")
+    if bus is None:
+        if len(slif.buses) != 1:
+            raise PartitionError(
+                f"graph has {len(slif.buses)} buses; specify which to use"
+            )
+        bus = next(iter(slif.buses))
+    part = Partition(slif, name)
+    for b in slif.behaviors:
+        part.assign(b, rng.choice(processors))
+    var_pool = processors + memories
+    for v in slif.variables:
+        part.assign(v, rng.choice(var_pool))
+    for ch in slif.channels:
+        part.assign_channel(ch, bus)
+    return part
+
+
+def random_restart(
+    slif: Slif,
+    partition: Partition,
+    restarts: int = 20,
+    seed: int = 0,
+    weights: Optional[CostWeights] = None,
+    time_constraint: Optional[float] = None,
+    **_ignored,
+) -> PartitionResult:
+    """Best of ``restarts`` random partitions (plus the starting one)."""
+    best = partition.copy(name="random-best")
+    best_cost = PartitionCost(slif, best, weights, time_constraint).cost()
+    evaluations = 1
+    history = [best_cost]
+    for i in range(restarts):
+        candidate = random_partition(slif, seed=seed + i, name=f"random-{i}")
+        cost = PartitionCost(slif, candidate, weights, time_constraint).cost()
+        evaluations += 1
+        if cost < best_cost:
+            best, best_cost = candidate, cost
+            history.append(best_cost)
+    best.name = "random-best"
+    return PartitionResult(
+        partition=best,
+        cost=best_cost,
+        algorithm="random",
+        iterations=restarts,
+        evaluations=evaluations,
+        history=history,
+    )

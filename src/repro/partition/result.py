@@ -1,0 +1,32 @@
+"""Common result record for partitioning algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.partition import Partition
+
+
+@dataclass
+class PartitionResult:
+    """What a partitioning run produced.
+
+    ``evaluations`` counts cost-function evaluations — the "thousands of
+    possible designs" of Section 5 whose feasibility the preprocessed
+    SLIF annotations make cheap.  ``history`` records the best cost seen
+    after each improvement, for convergence plots.
+    """
+
+    partition: Partition
+    cost: float
+    algorithm: str
+    iterations: int = 0
+    evaluations: int = 0
+    history: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.algorithm}: cost={self.cost:g} after "
+            f"{self.iterations} iterations / {self.evaluations} evaluations"
+        )

@@ -1,0 +1,304 @@
+"""The telephone answering machine benchmark (Figure 4 row "ans").
+
+Two concurrent processes: ``AnsCtrl`` runs the call state machine
+(ring detection, answering, greeting playback, message recording,
+remote-command handling) while ``ToneMonitor`` continuously samples the
+line for ring bursts and DTMF digits.  Sized to Figure 4's measured
+characteristics: 632 source lines, 45 behavior/variable objects, 64
+channels.
+"""
+
+from __future__ import annotations
+
+from repro.specs._pad import pad_to_lines
+from repro.vhdl.profiler import BranchProfile
+
+TARGET_LINES = 632
+TARGET_BV = 45
+TARGET_CHANNELS = 64
+
+_BODY = """\
+entity AnsweringMachineE is
+    port ( line_in : in integer range 0 to 255;
+           key_in : in integer range 0 to 15;
+           hook_out : out integer range 0 to 1;
+           spk_out : out integer range 0 to 255;
+           led_out : out integer range 0 to 7 );
+end;
+
+AnsCtrl: process
+    variable callstate : integer range 0 to 7;
+    variable ringcount : integer range 0 to 15;
+    variable msgcount : integer range 0 to 31;
+    variable msgptr : integer range 0 to 255;
+    type msg_array is array (1 to 256) of integer range 0 to 255;
+    variable msgstore : msg_array;
+    type greet_array is array (1 to 64) of integer range 0 to 255;
+    variable greeting : greet_array;
+    variable rectime : integer range 0 to 255;
+    variable maxrec : integer range 0 to 255;
+    variable beeptone : integer range 0 to 255;
+    variable remotecode : integer range 0 to 255;
+    variable passcode : integer range 0 to 255;
+    variable playpos : integer range 0 to 255;
+    variable ledstate : integer range 0 to 7;
+    variable hookstate : integer range 0 to 1;
+    variable timeout : integer range 0 to 255;
+    variable answerdelay : integer range 0 to 15;
+    variable greetlen : integer range 0 to 255;
+    variable hanglimit : integer range 0 to 255;
+begin
+    if (callstate = 0) then
+        callstate := DetectRing;
+    elsif (callstate = 1) then
+        callstate := AnswerCall;
+    elsif (callstate = 2) then
+        callstate := PlayGreeting;
+    elsif (callstate = 3) then
+        callstate := RecordMessage;
+    elsif (callstate = 4) then
+        callstate := HandleRemoteCmd;
+    else
+        HangUp;
+    end if;
+    UpdateLeds;
+    CheckTimeout;
+    wait until true;
+end process;
+
+ToneMonitor: process
+    variable sample : integer range 0 to 255;
+    variable ringenergy : integer range 0 to 65535;
+    variable dtmfenergy : integer range 0 to 65535;
+    variable lastdigit : integer range 0 to 15;
+    variable digitvalid : integer range 0 to 1;
+    type filt_array is array (1 to 8) of integer range 0 to 255;
+    variable filtbuf : filt_array;
+    variable filtidx : integer range 0 to 7;
+    variable noisefloor : integer range 0 to 255;
+    variable ringthresh : integer range 0 to 255;
+    variable dtmfthresh : integer range 0 to 65535;
+    variable digitmask : integer range 0 to 15;
+begin
+    sample := line_in;
+    filtidx := (filtidx + 1) mod 8;
+    filtbuf(filtidx) := sample;
+    MeasureRing;
+    DetectDtmf;
+    wait until true;
+end process;
+
+function DetectRing return integer is
+begin
+    -- count ring bursts; answer after the configured delay
+    if (ringenergy > ringthresh) then
+        ringcount := ringcount + 1;
+    end if;
+    if (ringcount > answerdelay) then
+        return 1;
+    end if;
+    return 0;
+end;
+
+function AnswerCall return integer is
+begin
+    hookstate := 1;
+    hook_out <= hookstate;
+    return 2;
+end;
+
+function PlayGreeting return integer is
+    variable sample_l : integer range 0 to 255;
+begin
+    -- stream the greeting to the speaker, one sample per tick, with a
+    -- short fade-in over the first eight samples
+    sample_l := greeting(playpos);
+    if (playpos < 8) then
+        sample_l := (sample_l * playpos) / 8;
+    end if;
+    spk_out <= sample_l;
+    playpos := playpos + 1;
+    if (playpos > greetlen) then
+        rectime := 0;
+        return 3;
+    end if;
+    return 2;
+end;
+
+function RecordMessage return integer is
+begin
+    -- append the incoming sample to the message store
+    msgptr := msgptr + 1;
+    msgstore(msgptr) := sample;
+    rectime := rectime + 1;
+    if (rectime > maxrec) then
+        return StopRecording;
+    end if;
+    if (digitvalid = 1) then
+        return 4;
+    end if;
+    return 3;
+end;
+
+function StopRecording return integer is
+begin
+    msgcount := msgcount + 1;
+    Beep;
+    return 5;
+end;
+
+function HandleRemoteCmd return integer is
+    variable cmd : integer range 0 to 15;
+begin
+    -- a valid DTMF digit arrived during recording: check the passcode
+    -- then execute the remote command
+    remotecode := (remotecode * 16) + lastdigit;
+    if (remotecode = passcode) then
+        cmd := lastdigit;
+        if (cmd = 1) then
+            PlayMessages;
+        elsif (cmd = 2) then
+            DeleteMessages;
+        end if;
+    end if;
+    return 3;
+end;
+
+procedure PlayMessages is
+    variable pos : integer range 0 to 255;
+    variable level : integer range 0 to 255;
+begin
+    -- play back the stored samples with simple automatic gain: track
+    -- the running level and attenuate loud passages
+    pos := 1;
+    level := 128;
+    while (pos < msgptr) loop
+        level := (level * 7 + msgstore(pos)) / 8;
+        if (level > 200) then
+            spk_out <= msgstore(pos) / 2;
+        else
+            spk_out <= msgstore(pos);
+        end if;
+        pos := pos + 1;
+    end loop;
+end;
+
+procedure DeleteMessages is
+begin
+    msgcount := 0;
+    Beep;
+end;
+
+procedure HangUp is
+begin
+    hook_out <= 0;
+    callstate := 0;
+end;
+
+procedure Beep is
+    variable phase : integer range 0 to 255;
+begin
+    -- short confirmation tone: a coarse square wave derived from the
+    -- configured tone value
+    phase := 0;
+    for i in 1 to 32 loop
+        phase := (phase + beeptone) mod 256;
+        if (phase < 128) then
+            spk_out <= 200;
+        else
+            spk_out <= 55;
+        end if;
+    end loop;
+end;
+
+procedure UpdateLeds is
+begin
+    ledstate := msgcount mod 8;
+    led_out <= ledstate;
+end;
+
+procedure CheckTimeout is
+begin
+    timeout := timeout + 1;
+    if (timeout > hanglimit) then
+        HangUp;
+        timeout := 0;
+    end if;
+end;
+
+procedure MeasureRing is
+    variable acc : integer range 0 to 65535;
+    variable peak : integer range 0 to 255;
+begin
+    -- ring energy: rectified sum over the filter window, corrected by
+    -- the adaptive noise floor and the window peak
+    acc := 0;
+    peak := 0;
+    for i in 1 to 8 loop
+        acc := acc + filtbuf(i);
+        if (filtbuf(i) > peak) then
+            peak := filtbuf(i);
+        end if;
+    end loop;
+    acc := (acc * 3 + peak * 8) / 4;
+    ringenergy := acc - noisefloor;
+end;
+
+procedure DetectDtmf is
+    variable corr1 : integer range 0 to 65535;
+    variable corr2 : integer range 0 to 65535;
+begin
+    -- two-tone correlation over the filter window
+    corr1 := 0;
+    corr2 := 0;
+    for i in 1 to 8 loop
+        corr1 := corr1 + filtbuf(i) * i;
+        corr2 := corr2 + filtbuf(i) * (9 - i);
+    end loop;
+    dtmfenergy := corr1 + corr2;
+    if (dtmfenergy > dtmfthresh) then
+        lastdigit := (corr1 / 256) mod digitmask;
+        digitvalid := 1;
+    else
+        digitvalid := 0;
+    end if;
+end;
+"""
+
+
+def source() -> str:
+    """The answering machine VHDL source, padded to the Figure 4 line count."""
+    return pad_to_lines(_BODY, TARGET_LINES, "telephone answering machine (ans)")
+
+
+def profile() -> BranchProfile:
+    """Branch profile: steady-state call handling probabilities."""
+    return BranchProfile.parse(
+        """
+        # the controller spends most ticks idle or recording
+        AnsCtrl if0.arm0 0.40
+        AnsCtrl if0.arm1 0.05
+        AnsCtrl if0.arm2 0.10
+        AnsCtrl if0.arm3 0.30
+        AnsCtrl if0.arm4 0.05
+        AnsCtrl if0.arm5 0.10
+        # ring bursts present on a minority of idle ticks
+        DetectRing if0.arm0 0.30
+        DetectRing if1.arm0 0.05
+        # greeting finishes once per 64 playback ticks
+        PlayGreeting if0.arm0 0.02
+        # recordings rarely hit the length limit mid-tick
+        RecordMessage if0.arm0 0.02
+        RecordMessage if1.arm0 0.05
+        # remote commands: most digits fail the passcode
+        HandleRemoteCmd if0.arm0 0.10
+        HandleRemoteCmd if1.arm0 0.40
+        HandleRemoteCmd if1.arm1 0.30
+        HandleRemoteCmd if1.arm2 0.30
+        # message playback averages 40 stored samples
+        PlayMessages while0 40
+        # DTMF energy crosses threshold occasionally
+        DetectDtmf if0.arm0 0.10
+        DetectDtmf if0.arm1 0.90
+        """
+    )

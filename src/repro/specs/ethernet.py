@@ -1,0 +1,493 @@
+"""The ethernet coprocessor benchmark (Figure 4 row "ether").
+
+The largest benchmark: a bit-serial ethernet transmit/receive
+coprocessor modelled, like the original, as many small concurrent
+units — bit synchronisation, shift registers, byte alignment, CRC
+check/generation, address filtering, frame buffering, backoff,
+collision/carrier monitoring, DMA and interrupt control.  Most state is
+private to its unit (which is why the measured access graph has *fewer*
+channels than objects: 123 behavior/variable objects but only 112
+channels); a handful of signals connect pipeline stages, and four
+shared helper subprograms do the arithmetic.  Sized to Figure 4: 1021
+source lines, 123 objects, 112 channels.
+"""
+
+from __future__ import annotations
+
+from repro.specs._pad import pad_to_lines
+from repro.vhdl.profiler import BranchProfile
+
+TARGET_LINES = 1021
+TARGET_BV = 123
+TARGET_CHANNELS = 112
+
+_BODY = """\
+entity EthernetCoprocessorE is
+    port ( rxd : in integer range 0 to 1;
+           crs_in : in integer range 0 to 1;
+           txd : out integer range 0 to 1;
+           irq_out : out integer range 0 to 1 );
+end;
+
+-- ======================= receive path =======================
+
+RxBitSync: process
+    variable rbs_sample : integer range 0 to 1;
+    variable rbs_phase : integer range 0 to 15;
+    variable rbs_lock : integer range 0 to 1;
+    variable rbs_edges : integer range 0 to 255;
+    variable rbs_drift : integer range 0 to 15;
+    variable rbs_idle : integer range 0 to 255;
+begin
+    rbs_sample := rxd;
+    rbs_phase := (rbs_phase + 1) mod 16;
+    if (rbs_phase = 8) then
+        rxbit := rbs_sample;
+        rbs_edges := rbs_edges + 1;
+        rbs_lock := 1;
+    end if;
+    if (rbs_lock = 1) then
+        rbs_idle := 0;
+    else
+        rbs_idle := rbs_idle + 1;
+    end if;
+    rbs_drift := (rbs_drift * 3 + rbs_edges mod 16) / 4;
+    wait until true;
+end process;
+
+RxShifter: process
+    variable rsh_reg : integer range 0 to 255;
+    variable rsh_count : integer range 0 to 7;
+    variable rsh_ready : integer range 0 to 1;
+    variable rsh_overrun : integer range 0 to 255;
+begin
+    rsh_reg := (rsh_reg * 2) + rxbit;
+    rsh_count := (rsh_count + 1) mod 8;
+    if (rsh_count = 0) then
+        rxbyte := rsh_reg;
+        rsh_ready := 1;
+    else
+        rsh_ready := 0;
+    end if;
+    if (rsh_overrun > 250) then
+        rsh_overrun := 0;
+    end if;
+    rsh_overrun := rsh_overrun + rsh_ready;
+    wait until true;
+end process;
+
+RxByteAlign: process
+    variable rba_state : integer range 0 to 3;
+    variable rba_sfdseen : integer range 0 to 1;
+    variable rba_skew : integer range 0 to 7;
+    variable rba_hold : integer range 0 to 255;
+begin
+    rba_hold := rxbyte;
+    if (rba_hold = 213) then
+        rba_sfdseen := 1;
+        rba_state := 1;
+    end if;
+    if (rba_sfdseen = 1) then
+        rba_skew := 0;
+    end if;
+    rba_hold := (rba_hold * 2) mod 256;
+    rba_skew := (rba_skew + rba_state) mod 8;
+    wait until true;
+end process;
+
+RxCrcCheck: process
+    variable rcc_crc : integer range 0 to 255;
+    variable rcc_residue : integer range 0 to 255;
+    variable rcc_ok : integer range 0 to 1;
+    variable rcc_errors : integer range 0 to 65535;
+begin
+    rcc_crc := Crc8Step(rcc_crc, rcc_residue);
+    rcc_residue := rcc_crc;
+    if (rcc_residue = 0) then
+        rcc_ok := 1;
+    else
+        rcc_ok := 0;
+        rcc_errors := rcc_errors + 1;
+    end if;
+    wait until true;
+end process;
+
+RxAddrFilter: process
+    variable raf_hash : integer range 0 to 63;
+    variable raf_match : integer range 0 to 1;
+    variable raf_promisc : integer range 0 to 1;
+    variable raf_myaddr : integer range 0 to 255;
+    variable raf_seen : integer range 0 to 255;
+begin
+    raf_hash := HashAddr(raf_seen);
+    raf_seen := (raf_seen * 3 + 1) mod 256;
+    if (raf_promisc = 1) then
+        raf_match := 1;
+    elsif (raf_seen = raf_myaddr) then
+        raf_match := 1;
+    else
+        raf_match := 0;
+    end if;
+    wait until true;
+end process;
+
+RxFrameBuf: process
+    type rfb_array is array (1 to 64) of integer range 0 to 255;
+    variable rfb_mem : rfb_array;
+    variable rfb_wptr : integer range 0 to 63;
+    variable rfb_count : integer range 0 to 63;
+    variable rfb_full : integer range 0 to 1;
+begin
+    rfb_wptr := (rfb_wptr + 1) mod 64;
+    rfb_mem(rfb_wptr) := rxbyte;
+    rfb_count := rfb_count + 1;
+    if (rfb_count = 63) then
+        rfb_full := 1;
+        framerdy := 1;
+    end if;
+    wait until true;
+end process;
+
+RxLengthCheck: process
+    variable rlc_len : integer range 0 to 65535;
+    variable rlc_min : integer range 0 to 255;
+    variable rlc_max : integer range 0 to 65535;
+    variable rlc_runt : integer range 0 to 255;
+    variable rlc_giant : integer range 0 to 255;
+begin
+    rlc_len := rlc_len + 1;
+    if (rlc_len < rlc_min) then
+        rlc_runt := rlc_runt + 1;
+    end if;
+    if (rlc_len > rlc_max) then
+        rlc_giant := rlc_giant + 1;
+    end if;
+    wait until true;
+end process;
+
+RxStatus: process
+    variable rst_word : integer range 0 to 255;
+    variable rst_parity : integer range 0 to 1;
+    variable rst_frames : integer range 0 to 65535;
+    variable rst_lasterr : integer range 0 to 15;
+begin
+    rst_parity := Parity(rst_word);
+    rst_word := (rst_frames mod 128) * 2 + rst_parity;
+    rst_frames := rst_frames + 1;
+    rst_lasterr := rst_word mod 16;
+    wait until true;
+end process;
+
+-- ======================= transmit path =======================
+
+TxBitClock: process
+    variable tbc_div : integer range 0 to 15;
+    variable tbc_tick : integer range 0 to 1;
+    variable tbc_manchester : integer range 0 to 1;
+    variable tbc_halfbit : integer range 0 to 1;
+begin
+    tbc_div := (tbc_div + 1) mod 16;
+    if (tbc_div = 0) then
+        tbc_tick := 1;
+        tbc_halfbit := 1 - tbc_halfbit;
+    end if;
+    tbc_manchester := txbit + tbc_halfbit;
+    txd <= tbc_manchester mod 2;
+    wait until true;
+end process;
+
+TxShifter: process
+    variable tsh_reg : integer range 0 to 255;
+    variable tsh_count : integer range 0 to 7;
+    variable tsh_empty : integer range 0 to 1;
+    variable tsh_underrun : integer range 0 to 255;
+    variable tsh_last : integer range 0 to 1;
+begin
+    if (tsh_count = 0) then
+        tsh_reg := txbyte;
+        tsh_empty := 0;
+    end if;
+    txbit := tsh_reg mod 2;
+    tsh_reg := tsh_reg / 2;
+    tsh_count := (tsh_count + 1) mod 8;
+    tsh_underrun := tsh_underrun + tsh_empty;
+    tsh_last := tsh_reg mod 2;
+    wait until true;
+end process;
+
+TxByteFeed: process
+    variable tbf_next : integer range 0 to 255;
+    variable tbf_state : integer range 0 to 3;
+    variable tbf_preamble : integer range 0 to 7;
+    variable tbf_padcount : integer range 0 to 63;
+    variable tbf_src : integer range 0 to 255;
+begin
+    if (tbf_state = 0) then
+        tbf_next := 85;
+        tbf_preamble := tbf_preamble + 1;
+        if (tbf_preamble = 7) then
+            tbf_state := 1;
+        end if;
+    else
+        tbf_next := tbf_src;
+        tbf_padcount := tbf_padcount + 1;
+    end if;
+    txbyte := tbf_next;
+    wait until true;
+end process;
+
+TxCrcGen: process
+    variable tcg_crc : integer range 0 to 255;
+    variable tcg_appendpos : integer range 0 to 3;
+    variable tcg_active : integer range 0 to 1;
+    variable tcg_folded : integer range 0 to 255;
+begin
+    tcg_crc := Crc8Step(tcg_crc, tcg_folded);
+    tcg_folded := tcg_crc;
+    if (tcg_active = 1) then
+        tcg_appendpos := (tcg_appendpos + 1) mod 4;
+    end if;
+    wait until true;
+end process;
+
+TxFrameBuf: process
+    type tfb_array is array (1 to 64) of integer range 0 to 255;
+    variable tfb_mem : tfb_array;
+    variable tfb_rptr : integer range 0 to 63;
+    variable tfb_level : integer range 0 to 63;
+    variable tfb_reload : integer range 0 to 1;
+begin
+    tfb_rptr := (tfb_rptr + 1) mod 64;
+    tfb_level := tfb_mem(tfb_rptr) mod 64;
+    if (tfb_level = 0) then
+        tfb_reload := 1;
+    end if;
+    wait until true;
+end process;
+
+TxBackoff: process
+    variable tbo_attempts : integer range 0 to 15;
+    variable tbo_window : integer range 0 to 1023;
+    variable tbo_wait : integer range 0 to 1023;
+    variable tbo_seed : integer range 0 to 255;
+begin
+    tbo_window := NextBackoff(tbo_attempts);
+    tbo_seed := (tbo_seed * 5 + 1) mod 256;
+    tbo_wait := tbo_window + (tbo_seed mod 16);
+    if (tbo_wait > 1000) then
+        tbo_wait := 1000;
+    end if;
+    tbo_seed := (tbo_seed + tbo_window) mod 256;
+    tbo_attempts := (tbo_attempts + 1) mod 16;
+    wait until true;
+end process;
+
+TxStatus: process
+    variable tst_sent : integer range 0 to 65535;
+    variable tst_deferred : integer range 0 to 255;
+    variable tst_aborted : integer range 0 to 255;
+    variable tst_lastlen : integer range 0 to 65535;
+begin
+    tst_sent := tst_sent + 1;
+    if (tst_lastlen = 0) then
+        tst_deferred := tst_deferred + 1;
+    else
+        tst_aborted := tst_aborted + 0;
+    end if;
+    tst_lastlen := tst_sent mod 1500;
+    wait until true;
+end process;
+
+-- ==================== medium monitoring =====================
+
+CollisionDetect: process
+    variable cd_level : integer range 0 to 3;
+    variable cd_jam : integer range 0 to 1;
+    variable cd_count : integer range 0 to 255;
+    variable cd_window : integer range 0 to 63;
+begin
+    cd_level := (cd_level + cd_window) mod 4;
+    if (cd_level = 3) then
+        cd_jam := 1;
+        cd_count := cd_count + 1;
+    else
+        cd_jam := 0;
+    end if;
+    cd_window := (cd_window + 1) mod 64;
+    wait until true;
+end process;
+
+CarrierSense: process
+    variable cs_carrier : integer range 0 to 1;
+    variable cs_idle : integer range 0 to 255;
+    variable cs_ifg : integer range 0 to 15;
+    variable cs_busy : integer range 0 to 255;
+begin
+    cs_carrier := crs_in;
+    if (cs_carrier = 1) then
+        cs_busy := cs_busy + 1;
+        cs_idle := 0;
+    else
+        cs_idle := cs_idle + 1;
+    end if;
+    if (cs_idle > 96) then
+        cs_busy := 0;
+    end if;
+    cs_ifg := cs_idle mod 16;
+    wait until true;
+end process;
+
+-- ======================= host interface =====================
+
+DmaRead: process
+    variable dmr_addr : integer range 0 to 65535;
+    variable dmr_burst : integer range 0 to 15;
+    variable dmr_pending : integer range 0 to 1;
+    variable dmr_words : integer range 0 to 65535;
+begin
+    if (dmr_pending = 1) then
+        dmr_addr := dmr_addr + dmr_burst;
+        dmr_words := dmr_words + dmr_burst;
+    end if;
+    if (dmr_words > 60000) then
+        dmr_pending := 0;
+        dmr_words := 0;
+    end if;
+    dmr_burst := (dmr_burst + 1) mod 16;
+    wait until true;
+end process;
+
+DmaWrite: process
+    variable dmw_addr : integer range 0 to 65535;
+    variable dmw_burst : integer range 0 to 15;
+    variable dmw_done : integer range 0 to 1;
+    variable dmw_words : integer range 0 to 65535;
+    variable dmw_stall : integer range 0 to 255;
+begin
+    dmw_addr := dmw_addr + dmw_burst;
+    dmw_words := dmw_words + 1;
+    if (dmw_words = 0) then
+        dmw_done := 1;
+    end if;
+    dmw_stall := dmw_stall + dmw_done;
+    dmw_burst := (dmw_burst + 1) mod 16;
+    wait until true;
+end process;
+
+RegFile: process
+    type reg_array is array (1 to 16) of integer range 0 to 255;
+    variable rgf_regs : reg_array;
+    variable rgf_sel : integer range 0 to 15;
+    variable rgf_wdata : integer range 0 to 255;
+    variable rgf_strobe : integer range 0 to 1;
+begin
+    rgf_sel := (rgf_sel + 1) mod 16;
+    if (rgf_strobe = 1) then
+        rgf_regs(rgf_sel) := rgf_wdata;
+    end if;
+    if (rgf_sel = 15) then
+        rgf_strobe := 1 - rgf_strobe;
+    end if;
+    rgf_wdata := rgf_regs(rgf_sel);
+    wait until true;
+end process;
+
+IrqCtrl: process
+    variable irq_mask : integer range 0 to 255;
+    variable irq_pending : integer range 0 to 255;
+    variable irq_level : integer range 0 to 1;
+begin
+    irq_pending := irq_pending + framerdy;
+    if (irq_pending > 0) then
+        irq_level := 1;
+    else
+        irq_level := 0;
+    end if;
+    irq_out <= irq_level * (irq_mask mod 2);
+    wait until true;
+end process;
+
+-- ==================== shared pipeline state =================
+
+ShrState: process
+    variable shr_tick : integer range 0 to 65535;
+    variable shr_seed : integer range 0 to 255;
+begin
+    shr_tick := shr_tick + 1;
+    shr_seed := (shr_seed * 7 + 3) mod 256;
+    wait until true;
+end process;
+
+signal rxbit : integer range 0 to 1;
+signal rxbyte : integer range 0 to 255;
+signal txbit : integer range 0 to 1;
+signal txbyte : integer range 0 to 255;
+signal framerdy : integer range 0 to 1;
+
+-- ===================== shared subprograms ====================
+
+function Crc8Step(crc : in integer range 0 to 255;
+                  data : in integer range 0 to 255) return integer is
+    variable acc : integer range 0 to 65535;
+begin
+    acc := (crc * 2) + data;
+    acc := acc mod 256;
+    if (acc > 127) then
+        acc := (acc * 2 + 7) mod 256;
+    end if;
+    return acc;
+end;
+
+function Parity(w : in integer range 0 to 255) return integer is
+    variable folded : integer range 0 to 255;
+begin
+    folded := (w / 16) + (w mod 16);
+    folded := (folded / 4) + (folded mod 4);
+    folded := (folded / 2) + (folded mod 2);
+    return folded mod 2;
+end;
+
+function HashAddr(octet : in integer range 0 to 255) return integer is
+begin
+    return ((octet * 33) + 7) mod 64;
+end;
+
+function NextBackoff(attempts : in integer range 0 to 15) return integer is
+    variable win : integer range 0 to 1023;
+begin
+    win := 1;
+    for k in 1 to 10 loop
+        if (k <= attempts) then
+            win := win * 2;
+        end if;
+    end loop;
+    return win - 1;
+end;
+"""
+
+
+def source() -> str:
+    """The ethernet coprocessor VHDL source, padded to the Figure 4 line count."""
+    return pad_to_lines(_BODY, TARGET_LINES, "ethernet coprocessor (ether)")
+
+
+def profile() -> BranchProfile:
+    """Branch profile: line-rate steady state."""
+    return BranchProfile.parse(
+        """
+        # a bit sample lands mid-cell once per 16 phases
+        RxBitSync if0.arm0 0.0625
+        # a byte completes once per 8 bit ticks
+        RxShifter if0.arm0 0.125
+        RxShifter if0.arm1 0.875
+        # frames mostly pass CRC
+        RxCrcCheck if0.arm0 0.95
+        RxCrcCheck if0.arm1 0.05
+        # address filter: promiscuous off, unicast match is rare
+        RxAddrFilter if0.arm0 0.05
+        RxAddrFilter if0.arm1 0.10
+        RxAddrFilter if0.arm2 0.85
+        # backoff loop body
+        NextBackoff if0.arm0 0.5
+        """
+    )

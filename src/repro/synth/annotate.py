@@ -1,0 +1,111 @@
+"""Preprocessing driver: fill a SLIF graph's estimation annotations.
+
+Given a graph whose behaviors carry operation profiles (built by the
+front end or by hand) and a technology library, :func:`annotate_slif`
+performs the whole Section 2.4 preprocessing pass:
+
+1. every behavior gets an ``ict`` and ``size`` weight for every
+   processor technology (via the compiler model) and every ASIC
+   technology (via the datapath model);
+2. every variable gets an access-time and size weight for every
+   processor, ASIC and memory technology;
+3. channel concurrency tags are derived from list schedules of each
+   behavior's regions (Section 2.4.1's final paragraph).
+
+This is the expensive, run-once step (the paper's T-slif column);
+afterwards estimation never touches the profiles again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.graph import Slif
+from repro.synth.compiler import compile_behavior
+from repro.synth.datapath import synthesize_behavior
+from repro.synth.ops import OpClass, OpProfile
+from repro.synth.scheduler import derive_access_tags, list_schedule
+from repro.synth.techlib import TechLibrary, default_library
+
+
+def annotate_behavior_weights(slif: Slif, library: TechLibrary) -> None:
+    """Fill ict/size weights of every profiled behavior (steps 1)."""
+    for behavior in slif.behaviors.values():
+        profile = behavior.op_profile
+        if not isinstance(profile, OpProfile):
+            continue
+        for model in library.processors.values():
+            sw = compile_behavior(profile, model)
+            behavior.ict.set(model.name, sw.ict)
+            behavior.size.set(model.name, sw.code_bytes)
+        for model in library.asics.values():
+            hw = synthesize_behavior(profile, model)
+            behavior.ict.set(model.name, hw.ict)
+            behavior.size.set(model.name, hw.area)
+
+
+def annotate_variable_weights(slif: Slif, library: TechLibrary) -> None:
+    """Fill access-time/size weights of every variable (step 2)."""
+    for var in slif.variables.values():
+        for model in library.processors.values():
+            var.ict.set(model.name, model.variable_access_time())
+            var.size.set(model.name, model.variable_size(var.total_bits))
+        for model in library.asics.values():
+            var.ict.set(model.name, model.variable_access_time())
+            var.size.set(model.name, model.variable_size(var.total_bits))
+        for model in library.memories.values():
+            var.ict.set(model.name, model.variable_access_time())
+            var.size.set(
+                model.name, model.variable_size(var.total_bits, var.elements)
+            )
+
+
+def annotate_channel_tags(
+    slif: Slif, library: TechLibrary, asic_name: Optional[str] = None
+) -> None:
+    """Derive concurrency tags from behavior schedules (step 3).
+
+    Tags come from scheduling each behavior's regions on one ASIC model
+    (hardware exposes the concurrency; a software schedule is serial by
+    construction).  A channel is tagged when any of its accesses starts
+    simultaneously with an access to a *different* object; the channel
+    keeps the first (earliest-region) tag found, matching the
+    one-tag-per-channel format of Section 2.3.
+    """
+    if not library.asics:
+        return
+    model = library.asics[asic_name] if asic_name else next(iter(library.asics.values()))
+    for behavior in slif.behaviors.values():
+        profile = behavior.op_profile
+        if not isinstance(profile, OpProfile):
+            continue
+        for ri, region in enumerate(profile.regions):
+            schedule = list_schedule(region.dag, model)
+            tags = derive_access_tags(
+                region.dag, schedule, prefix=f"{behavior.name}.r{ri}"
+            )
+            for op_idx, tag in tags.items():
+                dst = region.dag.ops[op_idx].access
+                chan = slif.channels.get(f"{behavior.name}->{dst}")
+                if chan is not None and chan.tag is None:
+                    chan.tag = tag
+
+
+def annotate_slif(
+    slif: Slif,
+    library: Optional[TechLibrary] = None,
+    derive_tags: bool = True,
+) -> Slif:
+    """Run the full preprocessing pass in place; returns the graph.
+
+    Behaviors without operation profiles are left untouched (their
+    weights, if any, are assumed hand-specified — the paper explicitly
+    allows "the designer may simply specify an ict without going through
+    the synthesis step").
+    """
+    lib = library or default_library()
+    annotate_behavior_weights(slif, lib)
+    annotate_variable_weights(slif, lib)
+    if derive_tags:
+        annotate_channel_tags(slif, lib)
+    return slif

@@ -1,0 +1,74 @@
+"""Software compilation model: behavior -> (time, bytes) on a processor.
+
+This is the "estimate through compilation" preprocessor of Section
+2.4.1/2.4.3: before system design begins, each behavior is compiled into
+each candidate processor's instruction set once, so that during design a
+software-size estimate for any set of behaviors is just a sum of the
+preprocessed byte counts (the paper's opening example in Section 2.1).
+
+The model is a per-operation-class cost table (see
+:class:`repro.synth.techlib.ProcessorModel`):
+
+* ``ict``        = sum over classes of dynamic-count(class) x cycles(class) x clock
+* ``code bytes`` = sum over classes of static-count(class) x bytes(class)
+                   + per-behavior call overhead (prologue/epilogue)
+
+Channel-access placeholders execute in zero time (their cost is Eq. 1's
+communication term) but they do occupy code bytes — the call/load
+instruction exists in the program text.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.synth.ops import OpClass, OpProfile
+from repro.synth.techlib import ProcessorModel
+
+
+@dataclass(frozen=True)
+class SwEstimate:
+    """Software pre-compilation result for one behavior."""
+
+    ict: float
+    code_bytes: float
+
+    @property
+    def size(self) -> float:
+        return self.code_bytes
+
+
+def compile_behavior(profile: OpProfile, model: ProcessorModel) -> SwEstimate:
+    """Pre-compile one behavior on ``model``."""
+    dynamic = profile.dynamic_counts()
+    static = profile.static_counts()
+    ict = 0.0
+    for cls, count in dynamic.items():
+        if cls is OpClass.ACCESS:
+            continue  # communication time is estimated separately (Eq. 1)
+        ict += count * model.op_cycles(cls) * model.clock_us
+    code = float(model.call_overhead_bytes)
+    for cls, count in static.items():
+        code += count * model.op_bytes(cls)
+    return SwEstimate(ict=ict, code_bytes=math.ceil(code))
+
+
+def compile_behavior_set(
+    profiles, model: ProcessorModel
+) -> SwEstimate:
+    """Sum of per-behavior compilations (what Eq. 4 computes for software).
+
+    Unlike hardware, summation is accurate for software — behaviors do
+    not share instruction bytes (Section 2.4.3) — so there is no shared
+    variant; this helper exists for symmetric APIs and the ablation
+    bench's software control case.
+    """
+    total_ict = 0.0
+    total_bytes = 0.0
+    for p in profiles:
+        est = compile_behavior(p, model)
+        total_ict += est.ict
+        total_bytes += est.code_bytes
+    return SwEstimate(ict=total_ict, code_bytes=total_bytes)

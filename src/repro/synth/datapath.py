@@ -1,0 +1,143 @@
+"""Datapath synthesis model: behavior -> (latency, area) on an ASIC.
+
+This is the "synthesize the behavior to a structure using that
+particular component's technology" preprocessor of Section 2.4.1/2.4.3,
+as an analytic model.  For each straight-line region of a behavior's
+operation profile the list scheduler produces a latency, an FU
+allocation and a controller state count; the behavior's hardware
+estimate is then
+
+* ``ict``  = sum over regions of (region execution count x region latency),
+* ``area`` = allocated-FU area  (max allocation across regions — the
+  datapath is built once and reused by every region)
+           + register area      (FU operand/result registers)
+           + controller area    (states x per-state FSM cost).
+
+Hardware sharing across *behaviors* (the refinement of the paper's [1])
+is :func:`synthesize_behavior_set`: behaviors mapped to one custom
+processor execute mutually exclusively (the access graph is a call
+structure, not a pipeline), so their datapaths can share functional
+units — the shared allocation is the per-class maximum rather than the
+sum.  Plain Eq. 4 summation corresponds to :func:`unshared_size`; the
+difference between the two is the overestimate the paper warns about
+for datapath-intensive behaviors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.synth.ops import OpClass, OpProfile
+from repro.synth.scheduler import Schedule, list_schedule
+from repro.synth.techlib import AsicModel
+
+#: operand width assumed for FU register estimation
+DEFAULT_DATA_BITS = 16
+
+
+@dataclass(frozen=True)
+class HwEstimate:
+    """Hardware pre-synthesis result for one behavior (or behavior set)."""
+
+    ict: float
+    area: float
+    fu_allocation: Dict[OpClass, int] = field(default_factory=dict)
+    states: int = 0
+
+    @property
+    def fu_area_total(self) -> float:
+        # informational; recomputation requires the model, so we store area
+        return self.area
+
+
+def _allocation_area(alloc: Dict[OpClass, int], model: AsicModel) -> float:
+    return sum(
+        model.op_area(cls) * count
+        for cls, count in alloc.items()
+        if cls.is_computational
+    )
+
+
+def _register_area(
+    alloc: Dict[OpClass, int], model: AsicModel, data_bits: int
+) -> float:
+    # two operand registers plus one result register per computational FU
+    fu_count = sum(c for cls, c in alloc.items() if cls.is_computational)
+    return fu_count * 3 * data_bits * model.register_area_per_bit
+
+
+def synthesize_behavior(
+    profile: OpProfile,
+    model: AsicModel,
+    data_bits: int = DEFAULT_DATA_BITS,
+) -> HwEstimate:
+    """Pre-synthesise one behavior on ``model``.
+
+    An empty profile (a behavior that only delegates to others) costs
+    zero time and a minimal controller.
+    """
+    alloc: Dict[OpClass, int] = {}
+    ict = 0.0
+    states = 0
+    for region in profile.regions:
+        schedule = list_schedule(region.dag, model)
+        ict += region.count * schedule.latency
+        states += schedule.states * region.static_occurrences
+        for cls, used in schedule.units_used.items():
+            alloc[cls] = max(alloc.get(cls, 0), used)
+    area = (
+        _allocation_area(alloc, model)
+        + _register_area(alloc, model, data_bits)
+        + states * model.control_area_per_state
+    )
+    return HwEstimate(ict=ict, area=area, fu_allocation=alloc, states=states)
+
+
+def synthesize_behavior_set(
+    profiles: Iterable[OpProfile],
+    model: AsicModel,
+    data_bits: int = DEFAULT_DATA_BITS,
+) -> HwEstimate:
+    """Sharing-aware synthesis of a set of behaviors on one ASIC.
+
+    The functional units are shared (per-class maximum over the
+    behaviors' allocations); controller states and hence control area
+    remain per-behavior and sum.
+    """
+    shared_alloc: Dict[OpClass, int] = {}
+    total_states = 0
+    total_ict = 0.0
+    for profile in profiles:
+        est = synthesize_behavior(profile, model, data_bits)
+        total_ict += est.ict
+        total_states += est.states
+        for cls, used in est.fu_allocation.items():
+            shared_alloc[cls] = max(shared_alloc.get(cls, 0), used)
+    area = (
+        _allocation_area(shared_alloc, model)
+        + _register_area(shared_alloc, model, data_bits)
+        + total_states * model.control_area_per_state
+    )
+    return HwEstimate(
+        ict=total_ict,
+        area=area,
+        fu_allocation=shared_alloc,
+        states=total_states,
+    )
+
+
+def unshared_size(
+    profiles: Iterable[OpProfile],
+    model: AsicModel,
+    data_bits: int = DEFAULT_DATA_BITS,
+) -> float:
+    """Plain Eq. 4 summation: every behavior brings its own datapath.
+
+    This is what summing preprocessed per-behavior size weights yields;
+    comparing it to :func:`synthesize_behavior_set` quantifies the
+    sharing overestimate (the ablation bench).
+    """
+    return sum(
+        synthesize_behavior(p, model, data_bits).area for p in profiles
+    )

@@ -1,0 +1,212 @@
+"""Operation-level abstraction of a behavior's contents.
+
+SLIF leaves the contents of behavior nodes unspecified and works with
+*abstractions* of those contents (Section 2.2).  The abstraction used by
+our pre-synthesis weight generators is a set of weighted straight-line
+**regions**, each an operation dataflow DAG:
+
+* an :class:`Op` is one primitive operation (ALU op, multiply, local
+  memory access, branch, move) or a *channel access* placeholder;
+* an :class:`OpDag` is the dependence DAG of one straight-line region
+  (e.g. a loop body or the top of a behavior);
+* a :class:`Region` is a DAG plus its expected execution count per
+  start-to-finish run of the behavior (loop bodies count once per
+  iteration, branch arms are weighted by branch probability);
+* an :class:`OpProfile` is a behavior's full list of regions.
+
+Channel-access ops (``OpClass.ACCESS``) are placeholders for SLIF
+channel accesses: they contribute *nothing* to internal computation time
+(channel time is Eq. 1's communication term) but they participate in
+scheduling so concurrency tags (Section 2.3) can be derived from the
+schedule, exactly as the paper prescribes ("we therefore create the
+channel tags from that schedule").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class OpClass(Enum):
+    """Primitive operation classes the technology models cost out."""
+
+    ALU = "alu"        # add/sub/compare/logic
+    MULT = "mult"      # multiply
+    DIV = "div"        # divide/modulo
+    SHIFT = "shift"    # shifts
+    MEM = "mem"        # behavior-local load/store
+    MOVE = "move"      # register move / assignment
+    BRANCH = "branch"  # control transfer
+    ACCESS = "access"  # SLIF channel access placeholder (zero ict cost)
+
+    @property
+    def is_computational(self) -> bool:
+        """Ops that consume datapath time/area (everything but ACCESS)."""
+        return self is not OpClass.ACCESS
+
+
+@dataclass(frozen=True)
+class Op:
+    """One operation node of a region DAG.
+
+    ``preds`` are indices of operations this one depends on (within the
+    same DAG).  ``access`` names the SLIF destination object when the op
+    is a channel-access placeholder.
+    """
+
+    cls: OpClass
+    preds: Tuple[int, ...] = ()
+    access: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.cls is OpClass.ACCESS and not self.access:
+            raise ValueError("ACCESS ops must name the accessed object")
+        if self.cls is not OpClass.ACCESS and self.access:
+            raise ValueError("only ACCESS ops may name an accessed object")
+
+
+class OpDag:
+    """A straight-line region's operation dependence DAG.
+
+    Construction validates that predecessor indices are in range and
+    strictly smaller than the op's own index, which guarantees acyclicity
+    by construction (ops are appended in a topological order).
+    """
+
+    def __init__(self, ops: Optional[Sequence[Op]] = None) -> None:
+        self.ops: List[Op] = []
+        for op in ops or []:
+            self.append(op)
+
+    def append(self, op: Op) -> int:
+        """Add an op; returns its index for use in later ``preds``."""
+        idx = len(self.ops)
+        for p in op.preds:
+            if not (0 <= p < idx):
+                raise ValueError(
+                    f"op {idx} has out-of-range/forward predecessor {p}"
+                )
+        self.ops.append(op)
+        return idx
+
+    def add(
+        self,
+        cls: OpClass,
+        preds: Iterable[int] = (),
+        access: Optional[str] = None,
+    ) -> int:
+        """Convenience: construct and append in one call."""
+        return self.append(Op(cls, tuple(preds), access))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    def op_counts(self) -> Dict[OpClass, int]:
+        """Static count of ops per class in this region."""
+        counts: Dict[OpClass, int] = {}
+        for op in self.ops:
+            counts[op.cls] = counts.get(op.cls, 0) + 1
+        return counts
+
+    def critical_path_length(self, delays: Dict[OpClass, float]) -> float:
+        """Longest path through the DAG under per-class op delays."""
+        finish = [0.0] * len(self.ops)
+        for i, op in enumerate(self.ops):
+            start = max((finish[p] for p in op.preds), default=0.0)
+            finish[i] = start + delays.get(op.cls, 0.0)
+        return max(finish, default=0.0)
+
+
+@dataclass
+class Region:
+    """One weighted straight-line region of a behavior.
+
+    ``count`` is the expected number of executions of this region per
+    start-to-finish run of the behavior (loop trip counts times branch
+    probabilities).  ``static_occurrences`` is how many times the region
+    appears in the program text (normally 1) — it drives code-size
+    estimates, which depend on the text, not the dynamics.
+    """
+
+    dag: OpDag
+    count: float = 1.0
+    static_occurrences: int = 1
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"region count must be >= 0, got {self.count}")
+        if self.static_occurrences < 0:
+            raise ValueError("static_occurrences must be >= 0")
+
+
+@dataclass
+class OpProfile:
+    """The operation-level abstraction of one behavior's contents."""
+
+    regions: List[Region] = field(default_factory=list)
+
+    def add_region(self, region: Region) -> None:
+        self.regions.append(region)
+
+    def static_counts(self) -> Dict[OpClass, int]:
+        """Op occurrences in the program text, per class (drives size)."""
+        counts: Dict[OpClass, int] = {}
+        for region in self.regions:
+            for cls, n in region.dag.op_counts().items():
+                counts[cls] = counts.get(cls, 0) + n * region.static_occurrences
+        return counts
+
+    def dynamic_counts(self) -> Dict[OpClass, float]:
+        """Expected op executions per run, per class (drives time)."""
+        counts: Dict[OpClass, float] = {}
+        for region in self.regions:
+            for cls, n in region.dag.op_counts().items():
+                counts[cls] = counts.get(cls, 0.0) + n * region.count
+        return counts
+
+    @property
+    def total_static_ops(self) -> int:
+        return sum(self.static_counts().values())
+
+    @property
+    def total_dynamic_ops(self) -> float:
+        return sum(self.dynamic_counts().values())
+
+    def accesses(self) -> List[Tuple[str, float]]:
+        """(accessed object, expected access count) pairs across regions."""
+        out: List[Tuple[str, float]] = []
+        for region in self.regions:
+            for op in region.dag:
+                if op.cls is OpClass.ACCESS:
+                    out.append((op.access, region.count))
+        return out
+
+
+def chain_dag(classes: Sequence[OpClass]) -> OpDag:
+    """Build a fully serial DAG (each op depends on the previous one).
+
+    Handy for tests and for behaviors whose contents are described only
+    as an operation mix with no known parallelism.
+    """
+    dag = OpDag()
+    prev: Optional[int] = None
+    for cls in classes:
+        access = "_x" if cls is OpClass.ACCESS else None
+        idx = dag.add(cls, preds=() if prev is None else (prev,), access=access)
+        prev = idx
+    return dag
+
+
+def parallel_dag(classes: Sequence[OpClass]) -> OpDag:
+    """Build a fully parallel DAG (no dependencies at all)."""
+    dag = OpDag()
+    for cls in classes:
+        access = "_x" if cls is OpClass.ACCESS else None
+        dag.add(cls, access=access)
+    return dag

@@ -1,0 +1,147 @@
+"""Resource-constrained list scheduling of operation DAGs.
+
+Pre-synthesis needs a schedule twice (Section 2.4.1): once to derive a
+behavior's internal computation time on a hardware technology, and once
+to discover which channel accesses can occur concurrently — "we
+therefore create the channel tags from that schedule".
+
+The scheduler is a classic critical-path-priority list scheduler in
+continuous time: each operation occupies one functional unit of its
+class for its technology-specific delay; the number of units per class
+is bounded by the technology's resource budget; ready operations are
+started in order of decreasing longest-path-to-sink priority.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.synth.ops import OpClass, OpDag
+from repro.synth.techlib import AsicModel
+
+
+@dataclass
+class Schedule:
+    """Result of scheduling one DAG.
+
+    ``start``/``finish`` are per-op times; ``units_used`` is how many
+    functional units of each class the schedule actually occupied
+    concurrently (the FU allocation the area model charges); ``states``
+    is the number of distinct start times (controller FSM states).
+    """
+
+    start: List[float] = field(default_factory=list)
+    finish: List[float] = field(default_factory=list)
+    units_used: Dict[OpClass, int] = field(default_factory=dict)
+    unit_of_op: List[int] = field(default_factory=list)
+
+    @property
+    def latency(self) -> float:
+        return max(self.finish, default=0.0)
+
+    @property
+    def states(self) -> int:
+        return len(set(self.start))
+
+    def concurrent_groups(self) -> List[List[int]]:
+        """Op indices grouped by identical start time, in time order."""
+        groups: Dict[float, List[int]] = {}
+        for idx, t in enumerate(self.start):
+            groups.setdefault(t, []).append(idx)
+        return [groups[t] for t in sorted(groups)]
+
+
+def _priorities(dag: OpDag, model: AsicModel) -> List[float]:
+    """Longest path from each op to any sink (critical-path priority)."""
+    n = len(dag.ops)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    for i, op in enumerate(dag.ops):
+        for p in op.preds:
+            succs[p].append(i)
+    prio = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        tail = max((prio[s] for s in succs[i]), default=0.0)
+        prio[i] = model.op_delay(dag.ops[i].cls) + tail
+    return prio
+
+
+def list_schedule(dag: OpDag, model: AsicModel) -> Schedule:
+    """Schedule ``dag`` on ``model``'s resource budget.
+
+    Deterministic: ties in priority break by op index, so repeated runs
+    (and hence repeated estimations) agree exactly.
+    """
+    n = len(dag.ops)
+    sched = Schedule(
+        start=[0.0] * n,
+        finish=[0.0] * n,
+        unit_of_op=[0] * n,
+    )
+    if n == 0:
+        return sched
+
+    prio = _priorities(dag, model)
+    # per-class unit free times, lazily grown up to the budget
+    unit_free: Dict[OpClass, List[float]] = {}
+    unscheduled = set(range(n))
+    done = [False] * n
+
+    while unscheduled:
+        # ops whose predecessors are all scheduled
+        ready = [i for i in unscheduled if all(done[p] for p in dag.ops[i].preds)]
+        # schedule the highest-priority ready op first
+        ready.sort(key=lambda i: (-prio[i], i))
+        i = ready[0]
+        op = dag.ops[i]
+        data_ready = max((sched.finish[p] for p in op.preds), default=0.0)
+        units = unit_free.setdefault(op.cls, [0.0])
+        budget = model.budget(op.cls)
+        # earliest-available unit; add a unit if all are busy and budget allows
+        best_u = min(range(len(units)), key=lambda u: (units[u], u))
+        if units[best_u] > data_ready and len(units) < budget:
+            units.append(0.0)
+            best_u = len(units) - 1
+        start = max(data_ready, units[best_u])
+        delay = model.op_delay(op.cls)
+        sched.start[i] = start
+        sched.finish[i] = start + delay
+        sched.unit_of_op[i] = best_u
+        units[best_u] = start + delay
+        done[i] = True
+        unscheduled.discard(i)
+
+    for cls, units in unit_free.items():
+        used = sum(1 for t in units if t > 0.0) or (1 if units else 0)
+        if any(
+            op.cls is cls for op in dag.ops
+        ):  # at least one unit if the class appears
+            used = max(used, 1)
+        sched.units_used[cls] = used
+    return sched
+
+
+def derive_access_tags(
+    dag: OpDag, schedule: Schedule, prefix: str
+) -> Dict[int, str]:
+    """Concurrency tags for the DAG's ACCESS ops, from the schedule.
+
+    Accesses that *start simultaneously* in the schedule can occur
+    concurrently, so they share a tag (Section 2.3: "same-source
+    channels with the same tag could be accessed concurrently").
+    Singleton groups get no tag — a lone access is trivially sequential.
+    Returns {op index: tag}.
+    """
+    groups: Dict[float, List[int]] = {}
+    for idx, op in enumerate(dag.ops):
+        if op.cls is OpClass.ACCESS:
+            groups.setdefault(schedule.start[idx], []).append(idx)
+    tags: Dict[int, str] = {}
+    for gi, t in enumerate(sorted(groups)):
+        members = groups[t]
+        distinct_targets = {dag.ops[i].access for i in members}
+        if len(distinct_targets) < 2:
+            continue  # concurrency with yourself is not concurrency
+        for i in members:
+            tags[i] = f"{prefix}.g{gi}"
+    return tags

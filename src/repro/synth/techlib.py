@@ -1,0 +1,298 @@
+"""Technology library: cost models for processors, ASICs and memories.
+
+Section 2.4 obtains each node's per-technology ``ict`` and ``size``
+weights by compiling the behavior into a processor's instruction set or
+synthesising it into a component technology.  The paper treats those
+steps as pluggable preprocessors; this module provides deterministic
+analytic stand-ins:
+
+* :class:`ProcessorModel` — an instruction-set cost table (cycles and
+  bytes per operation class) plus a clock, in the spirit of classic
+  software-estimation tables used by SpecSyn-era tools;
+* :class:`AsicModel` — per-operation functional-unit delays and areas, a
+  resource budget for list scheduling, and register/control overheads;
+* :class:`MemoryModel` — word size and access time for RAM components.
+
+The numeric values of the default library are representative of the
+paper's era (a ~10 MHz embedded processor and a gate-array ASIC roughly
+8x faster on datapath code — matching Figure 3's 80 µs vs 10 µs
+``Convolve`` annotation) but are explicitly *model inputs*: swap the
+library to retarget every estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.components import (
+    Technology,
+    custom_processor_technology,
+    memory_technology,
+    standard_processor_technology,
+)
+from repro.synth.ops import OpClass
+
+
+@dataclass(frozen=True)
+class ProcessorModel:
+    """Analytic instruction-set model of a standard processor.
+
+    ``cycles``/``bytes`` map each operation class to its execution
+    cycles and encoded instruction bytes.  ``call_overhead_bytes`` is
+    the per-behavior prologue/epilogue code; ``mem_access_cycles`` the
+    cycles of one data read/write (the ``ict`` of a variable stored on
+    the processor).
+
+    The paper's future-work list (Section 6) includes "pipelined
+    processors"; ``pipeline_depth`` models one: a depth-``d`` pipeline
+    overlaps instructions, dividing each operation's cycle count by up
+    to ``d`` (never below one cycle per instruction), while every
+    branch pays ``branch_penalty_cycles`` of flush on top.  Depth 1
+    (the default) is the paper's plain multi-cycle machine.
+    """
+
+    name: str = "proc"
+    clock_us: float = 0.1                      # 10 MHz
+    cycles: Dict[OpClass, float] = field(default_factory=dict)
+    bytes_per_op: Dict[OpClass, float] = field(default_factory=dict)
+    call_overhead_bytes: int = 12
+    mem_access_cycles: float = 2.0
+    pipeline_depth: int = 1
+    branch_penalty_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pipeline_depth < 1:
+            raise ValueError(
+                f"processor {self.name!r}: pipeline depth must be >= 1"
+            )
+        if self.branch_penalty_cycles < 0:
+            raise ValueError(
+                f"processor {self.name!r}: branch penalty must be >= 0"
+            )
+
+    def technology(self) -> Technology:
+        return standard_processor_technology(self.name)
+
+    def op_cycles(self, cls: OpClass) -> float:
+        base = self.cycles.get(cls, 1.0)
+        effective = max(1.0, base / self.pipeline_depth)
+        if cls is OpClass.BRANCH:
+            effective += self.branch_penalty_cycles
+        return effective
+
+    def op_bytes(self, cls: OpClass) -> float:
+        return self.bytes_per_op.get(cls, 2.0)
+
+    def variable_access_time(self) -> float:
+        """Time to read or write one datum resident on this processor."""
+        return self.mem_access_cycles * self.clock_us
+
+    def variable_size(self, total_bits: int) -> float:
+        """Data bytes occupied by a variable on this processor."""
+        return math.ceil(total_bits / 8)
+
+
+@dataclass(frozen=True)
+class AsicModel:
+    """Analytic model of a custom processor (ASIC/FPGA) technology.
+
+    ``delay`` is the per-operation latency of the corresponding
+    functional unit; ``fu_area`` its gate cost.  ``resource_budget``
+    bounds how many FUs of each class the list scheduler may use when
+    deriving a behavior's latency — the scheduler allocates up to the
+    budget, and the allocated units are what the area model charges.
+    ``register_area_per_bit`` and ``control_area_per_state`` model the
+    non-FU hardware (storage and controller FSM).
+    """
+
+    name: str = "asic"
+    delay: Dict[OpClass, float] = field(default_factory=dict)
+    fu_area: Dict[OpClass, float] = field(default_factory=dict)
+    resource_budget: Dict[OpClass, int] = field(default_factory=dict)
+    register_area_per_bit: float = 8.0
+    control_area_per_state: float = 6.0
+    variable_access_time_us: float = 0.05
+    storage_area_per_bit: float = 1.5
+
+    def technology(self) -> Technology:
+        return custom_processor_technology(self.name)
+
+    def op_delay(self, cls: OpClass) -> float:
+        return self.delay.get(cls, 0.05)
+
+    def op_area(self, cls: OpClass) -> float:
+        return self.fu_area.get(cls, 50.0)
+
+    def budget(self, cls: OpClass) -> int:
+        return max(1, self.resource_budget.get(cls, 1))
+
+    def variable_access_time(self) -> float:
+        return self.variable_access_time_us
+
+    def variable_size(self, total_bits: int) -> float:
+        """Gate-equivalents for registering a variable on the ASIC."""
+        return total_bits * self.storage_area_per_bit
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Analytic model of a standard memory technology.
+
+    The paper's future-work list (Section 6) includes "memory
+    hierarchies"; a cache level in front of the array is modelled by
+    ``cache_hit_rate``/``cache_access_time_us``: the effective access
+    time is the hit-rate-weighted mix of cache and array times.  A hit
+    rate of 0 (the default) is the paper's flat memory.
+    """
+
+    name: str = "mem"
+    word_bits: int = 16
+    access_time_us: float = 0.2
+    cache_hit_rate: float = 0.0
+    cache_access_time_us: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cache_hit_rate <= 1.0:
+            raise ValueError(
+                f"memory {self.name!r}: cache hit rate must be in [0, 1]"
+            )
+        if self.cache_access_time_us < 0:
+            raise ValueError(
+                f"memory {self.name!r}: cache access time must be >= 0"
+            )
+
+    def technology(self) -> Technology:
+        return memory_technology(self.name)
+
+    def variable_access_time(self) -> float:
+        if self.cache_hit_rate == 0.0:
+            return self.access_time_us
+        return (
+            self.cache_hit_rate * self.cache_access_time_us
+            + (1.0 - self.cache_hit_rate) * self.access_time_us
+        )
+
+    def variable_size(self, total_bits: int, elements: int = 1) -> float:
+        """Words occupied: each element rounds up to whole words."""
+        if elements < 1:
+            raise ValueError("elements must be >= 1")
+        element_bits = total_bits // elements
+        words_per_element = max(1, math.ceil(element_bits / self.word_bits))
+        return words_per_element * elements
+
+
+@dataclass
+class TechLibrary:
+    """A named collection of technology models.
+
+    The processor/ASIC/memory model *names* must match the technology
+    names used when allocating components, since node weights are keyed
+    by technology name.
+    """
+
+    processors: Dict[str, ProcessorModel] = field(default_factory=dict)
+    asics: Dict[str, AsicModel] = field(default_factory=dict)
+    memories: Dict[str, MemoryModel] = field(default_factory=dict)
+
+    def add_processor(self, model: ProcessorModel) -> None:
+        self.processors[model.name] = model
+
+    def add_asic(self, model: AsicModel) -> None:
+        self.asics[model.name] = model
+
+    def add_memory(self, model: MemoryModel) -> None:
+        self.memories[model.name] = model
+
+    def processor_named(self, name: str) -> Optional[ProcessorModel]:
+        return self.processors.get(name)
+
+    def asic_named(self, name: str) -> Optional[AsicModel]:
+        return self.asics.get(name)
+
+    def memory_named(self, name: str) -> Optional[MemoryModel]:
+        return self.memories.get(name)
+
+    def all_technology_names(self):
+        return list(self.processors) + list(self.asics) + list(self.memories)
+
+
+def default_library() -> TechLibrary:
+    """The generic proc/asic/mem library used throughout the examples.
+
+    The processor is a ~10 MHz embedded CPU with multi-cycle multiply
+    and divide; the ASIC clocks datapath ops roughly an order of
+    magnitude faster, with one multiplier and two ALUs in the default
+    resource budget.
+    """
+    lib = TechLibrary()
+    lib.add_processor(
+        ProcessorModel(
+            name="proc",
+            clock_us=0.1,
+            cycles={
+                OpClass.ALU: 1.0,
+                OpClass.MULT: 12.0,
+                OpClass.DIV: 25.0,
+                OpClass.SHIFT: 1.0,
+                OpClass.MEM: 2.0,
+                OpClass.MOVE: 1.0,
+                OpClass.BRANCH: 2.0,
+                OpClass.ACCESS: 0.0,
+            },
+            bytes_per_op={
+                OpClass.ALU: 2.0,
+                OpClass.MULT: 3.0,
+                OpClass.DIV: 3.0,
+                OpClass.SHIFT: 2.0,
+                OpClass.MEM: 3.0,
+                OpClass.MOVE: 2.0,
+                OpClass.BRANCH: 3.0,
+                OpClass.ACCESS: 3.0,
+            },
+            call_overhead_bytes=12,
+            mem_access_cycles=2.0,
+        )
+    )
+    lib.add_asic(
+        AsicModel(
+            name="asic",
+            delay={
+                OpClass.ALU: 0.025,
+                OpClass.MULT: 0.1,
+                OpClass.DIV: 0.2,
+                OpClass.SHIFT: 0.0125,
+                OpClass.MEM: 0.05,
+                OpClass.MOVE: 0.0125,
+                OpClass.BRANCH: 0.025,
+                OpClass.ACCESS: 0.0,
+            },
+            fu_area={
+                OpClass.ALU: 180.0,
+                OpClass.MULT: 1100.0,
+                OpClass.DIV: 1600.0,
+                OpClass.SHIFT: 90.0,
+                OpClass.MEM: 120.0,
+                OpClass.MOVE: 20.0,
+                OpClass.BRANCH: 40.0,
+                OpClass.ACCESS: 0.0,
+            },
+            resource_budget={
+                OpClass.ALU: 2,
+                OpClass.MULT: 1,
+                OpClass.DIV: 1,
+                OpClass.SHIFT: 1,
+                OpClass.MEM: 1,
+                OpClass.MOVE: 2,
+                OpClass.BRANCH: 1,
+                OpClass.ACCESS: 4,
+            },
+            register_area_per_bit=8.0,
+            control_area_per_state=6.0,
+            variable_access_time_us=0.05,
+            storage_area_per_bit=1.5,
+        )
+    )
+    lib.add_memory(MemoryModel(name="mem", word_bits=16, access_time_us=0.2))
+    return lib

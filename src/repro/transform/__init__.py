@@ -1,0 +1,15 @@
+"""Specification transformations over SLIF (the paper's third task).
+
+Procedure inlining and process merging modify nodes/edges and recompute
+the affected annotations, as Section 3 sketches; both keep an optional
+partition consistent across the graph surgery.
+"""
+
+from repro.transform.inline import inline_all_single_callers, inline_procedure
+from repro.transform.merge import merge_processes
+
+__all__ = [
+    "inline_all_single_callers",
+    "inline_procedure",
+    "merge_processes",
+]

@@ -1,0 +1,139 @@
+"""Procedure inlining on the SLIF access graph.
+
+Section 3 previews that a transformation "such as procedure inlining or
+process merging, would require modification of certain nodes and edges,
+along with recomputation of certain annotations."  Inlining a callee
+into one caller does exactly that:
+
+* the caller->callee call channel disappears;
+* every callee out-channel folds into a caller channel with its
+  frequency scaled by the (former) call frequency — an access the
+  callee made ``k`` times per call happens ``f x k`` times per caller
+  execution when the caller called it ``f`` times;
+* the caller's ``ict`` grows by ``f x`` the callee's (the work now
+  happens inline), and its ``size`` grows by the callee's size once
+  (one inlined copy of the body text per call site; the access graph
+  folds a behavior's call sites into one channel, so one copy);
+* the callee node is deleted once no callers remain.
+
+The caller's operation profile likewise absorbs the callee's regions
+(scaled), so re-running the preprocessors after a transformation remains
+possible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channels import AccessKind
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import TransformError
+from repro.synth.ops import OpProfile, Region
+
+
+def inline_procedure(
+    slif: Slif,
+    caller: str,
+    callee: str,
+    partition: Optional[Partition] = None,
+) -> None:
+    """Inline ``callee`` into ``caller`` in place.
+
+    When a ``partition`` is given and the callee node gets deleted, its
+    mapping entry is removed so the partition stays valid.
+    """
+    caller_b = slif.behaviors.get(caller)
+    callee_b = slif.behaviors.get(callee)
+    if caller_b is None or callee_b is None:
+        raise TransformError(
+            f"inline requires two behaviors; got {caller!r}, {callee!r}"
+        )
+    if callee_b.is_process:
+        raise TransformError(f"cannot inline process {callee!r}")
+    call_chan = slif.channels.get(f"{caller}->{callee}")
+    if call_chan is None or call_chan.kind is not AccessKind.CALL:
+        raise TransformError(f"{caller!r} does not call {callee!r}")
+    freq = call_chan.accfreq
+
+    # fold the callee's accesses into the caller, scaled by call frequency
+    for chan in list(slif.out_channels(callee)):
+        slif.fold_access(
+            caller,
+            chan.dst,
+            chan.kind,
+            freq=freq * chan.accfreq,
+            bits=chan.bits,
+            tag=chan.tag,
+        )
+        # min/max follow the same scaling on the folded edge
+        merged = slif.channels[f"{caller}->{chan.dst}"]
+        merged.accmin = min(merged.accmin, call_chan.accmin * chan.accmin)
+        merged.accmax = max(merged.accmax, call_chan.accmax * chan.accmax)
+        if partition is not None and merged.name not in partition.channel_mapping():
+            # the folded channel inherits the original access's bus (when
+            # the original was mapped at all)
+            bus = partition.channel_mapping().get(chan.name)
+            if bus is not None:
+                partition.assign_channel(merged.name, bus)
+
+    slif.remove_channel(call_chan.name)
+    if partition is not None:
+        partition.unassign_channel(call_chan.name)
+
+    # annotation recomputation: time scales with calls, code size adds once
+    caller_b.ict.merge_sum(callee_b.ict, scale=freq)
+    caller_b.size.merge_sum(callee_b.size, scale=1.0)
+    if isinstance(callee_b.op_profile, OpProfile):
+        if not isinstance(caller_b.op_profile, OpProfile):
+            caller_b.op_profile = OpProfile()
+        for region in callee_b.op_profile.regions:
+            caller_b.op_profile.add_region(
+                Region(
+                    region.dag,
+                    count=region.count * freq,
+                    static_occurrences=region.static_occurrences,
+                    label=f"{caller}.inlined.{region.label}",
+                )
+            )
+
+    # delete the callee when this was its last caller
+    if not slif.in_channels(callee):
+        for chan in list(slif.out_channels(callee)):
+            slif.remove_channel(chan.name)
+            if partition is not None:
+                partition.unassign_channel(chan.name)
+        slif.remove_node(callee)
+        if partition is not None:
+            partition.unassign(callee)
+
+
+def inline_all_single_callers(
+    slif: Slif, partition: Optional[Partition] = None
+) -> int:
+    """Inline every procedure that has exactly one caller; returns count.
+
+    The classic granularity-coarsening transformation: single-caller
+    procedures add graph nodes without adding partitioning freedom worth
+    having, so folding them shrinks the design space.  Runs to a fixed
+    point (inlining can create new single-caller opportunities).
+    """
+    total = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in list(slif.behaviors):
+            behavior = slif.behaviors.get(name)
+            if behavior is None or behavior.is_process:
+                continue
+            callers = [
+                ch.src
+                for ch in slif.in_channels(name)
+                if ch.kind is AccessKind.CALL
+            ]
+            if len(callers) == 1 and not slif.in_channels(name)[1:]:
+                inline_procedure(slif, callers[0], name, partition)
+                total += 1
+                changed = True
+                break
+    return total

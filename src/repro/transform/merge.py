@@ -1,0 +1,119 @@
+"""Process merging on the SLIF access graph.
+
+Merging concurrent processes into a single process "for implementation
+with a single controller" is one of the three system-design tasks the
+paper lists (Section 1).  On the access graph the transformation is:
+
+* a new process node replaces the two originals;
+* the out-channels of both fold into the merged node (same-destination
+  channels combine by summing frequencies);
+* ``ict`` weights sum — the merged process performs both workloads
+  serially per iteration (the concurrency is what merging gives up);
+* ``size`` weights sum, then shed one controller's worth of overhead
+  when a ``controller_discount`` is supplied (sharing one controller is
+  the point of the transformation);
+* concurrency tags between the two processes' accesses are dropped —
+  their accesses are now sequenced by one controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channels import AccessKind
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior
+from repro.core.partition import Partition
+from repro.errors import TransformError
+from repro.synth.ops import OpProfile, Region
+
+
+def merge_processes(
+    slif: Slif,
+    first: str,
+    second: str,
+    merged_name: Optional[str] = None,
+    partition: Optional[Partition] = None,
+    controller_discount: float = 0.0,
+) -> str:
+    """Merge two process nodes in place; returns the merged node's name.
+
+    When a ``partition`` is given, the merged node inherits ``first``'s
+    component and the originals' entries are dropped.
+    ``controller_discount`` (0..1) scales down the summed hardware/code
+    size to credit the shared controller.
+    """
+    a = slif.behaviors.get(first)
+    b = slif.behaviors.get(second)
+    if a is None or b is None:
+        raise TransformError(f"merge requires two behaviors; got {first!r}, {second!r}")
+    if not (a.is_process and b.is_process):
+        raise TransformError("merge_processes only merges process nodes")
+    if first == second:
+        raise TransformError("cannot merge a process with itself")
+    if not 0.0 <= controller_discount < 1.0:
+        raise TransformError("controller_discount must be in [0, 1)")
+    if slif.in_channels(first) or slif.in_channels(second):
+        raise TransformError("processes with incoming channels cannot be merged")
+
+    name = merged_name or f"{first}_{second}"
+    if slif.has_node(name):
+        raise TransformError(f"merged name {name!r} already exists")
+
+    merged = Behavior(name, is_process=True)
+    merged.ict = a.ict.copy()
+    merged.ict.merge_sum(b.ict)
+    merged.size = a.size.copy()
+    merged.size.merge_sum(b.size)
+    if controller_discount:
+        for tech, val in list(merged.size.items()):
+            merged.size.set(tech, val * (1.0 - controller_discount))
+    merged.op_profile = _merge_profiles(a.op_profile, b.op_profile, name)
+    slif.add_behavior(merged)
+
+    for old in (first, second):
+        for chan in list(slif.out_channels(old)):
+            slif.fold_access(
+                name,
+                chan.dst,
+                chan.kind,
+                freq=chan.accfreq,
+                bits=chan.bits,
+                tag=None,  # cross-process concurrency is given up
+            )
+            folded = slif.channels[f"{name}->{chan.dst}"]
+            folded.accmin = min(folded.accmin, chan.accmin)
+            folded.accmax = max(folded.accmax, chan.accmax)
+            if partition is not None:
+                bus = partition.channel_mapping().get(chan.name)
+                if bus is not None and folded.name not in partition.channel_mapping():
+                    partition.assign_channel(folded.name, bus)
+                partition.unassign_channel(chan.name)
+            slif.remove_channel(chan.name)
+        slif.remove_node(old)
+
+    if partition is not None:
+        comp = partition.maybe_bv_comp(first)
+        partition.unassign(first)
+        partition.unassign(second)
+        if comp is not None:
+            partition.assign(name, comp)
+    return name
+
+
+def _merge_profiles(a: object, b: object, name: str) -> Optional[OpProfile]:
+    if not isinstance(a, OpProfile) and not isinstance(b, OpProfile):
+        return None
+    merged = OpProfile()
+    for source in (a, b):
+        if isinstance(source, OpProfile):
+            for region in source.regions:
+                merged.add_region(
+                    Region(
+                        region.dag,
+                        count=region.count,
+                        static_occurrences=region.static_occurrences,
+                        label=f"{name}.{region.label}",
+                    )
+                )
+    return merged

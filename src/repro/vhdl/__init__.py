@@ -1,0 +1,35 @@
+"""VHDL-subset front end: source text -> annotated SLIF access graph.
+
+Pipeline: :func:`~repro.vhdl.lexer.tokenize` ->
+:func:`~repro.vhdl.parser.parse_source` ->
+:func:`~repro.vhdl.semantics.analyze` ->
+:func:`~repro.vhdl.slif_builder.build_slif`, with access frequencies
+driven by a :class:`~repro.vhdl.profiler.BranchProfile`.
+"""
+
+from repro.vhdl.granularity import Granularity, split_basic_blocks
+from repro.vhdl.lexer import Token, TokKind, count_source_lines, tokenize
+from repro.vhdl.parser import Parser, parse_source
+from repro.vhdl.profiler import DEFAULT_WHILE_TRIPS, BranchProfile
+from repro.vhdl.semantics import Program, SymKind, Symbol, analyze, type_mark_bits
+from repro.vhdl.slif_builder import build_slif, build_slif_from_source
+
+__all__ = [
+    "BranchProfile",
+    "DEFAULT_WHILE_TRIPS",
+    "Granularity",
+    "Parser",
+    "Program",
+    "SymKind",
+    "Symbol",
+    "TokKind",
+    "Token",
+    "analyze",
+    "build_slif",
+    "build_slif_from_source",
+    "count_source_lines",
+    "parse_source",
+    "split_basic_blocks",
+    "tokenize",
+    "type_mark_bits",
+]

@@ -1,0 +1,247 @@
+"""Abstract syntax tree for the VHDL behavioral subset.
+
+Plain dataclasses, one per construct.  Positions (``line``) are carried
+for diagnostics.  The tree is deliberately close to the concrete syntax;
+all name resolution and width computation happens in
+:mod:`repro.vhdl.semantics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# expressions
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Name:
+    """A simple or indexed name: ``x`` or ``a(expr)``.
+
+    At parse time a call ``f(expr)`` is indistinguishable from an array
+    index; the parser produces :class:`Name` with an index and semantics
+    reclassifies it as a :class:`CallExpr` when the base resolves to a
+    function.
+    """
+
+    ident: str
+    index: Optional["Expr"] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    """A function call in an expression (post-semantic form, or parsed
+    directly when there are multiple arguments)."""
+
+    func: str
+    args: Tuple["Expr", ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str                  # "-", "+", "not", "abs"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str                  # + - * / mod rem & and or ... = /= < <= > >=
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+Expr = Union[IntLit, Name, CallExpr, Unary, Binary]
+
+
+# ---------------------------------------------------------------------------
+# statements
+
+
+@dataclass(frozen=True)
+class Assign:
+    """Variable assignment ``target := value``."""
+
+    target: Name
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SignalAssign:
+    """Signal assignment ``target <= value``."""
+
+    target: Name
+    value: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProcCall:
+    name: str
+    args: Tuple[Expr, ...] = ()
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfArm:
+    condition: Expr
+    body: Tuple["Stmt", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    arms: Tuple[IfArm, ...]              # if + elsifs
+    else_body: Optional[Tuple["Stmt", ...]] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class For:
+    var: str
+    low: Expr
+    high: Expr
+    downto: bool
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Expr
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Fork:
+    """``fork <calls> join;`` — concurrent behavior invocation.
+
+    The Verilog-style construct the paper's Section 2.3 cites as the
+    second form of high-level concurrency: "multiple procedures are
+    called simultaneously during execution of a process".  The subset
+    allows only procedure calls between ``fork`` and ``join``.
+    """
+
+    calls: Tuple["ProcCall", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Wait:
+    """``wait ...;`` — a process period boundary; contents ignored."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Return:
+    value: Optional[Expr] = None
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Null:
+    line: int = 0
+
+
+Stmt = Union[Assign, SignalAssign, ProcCall, If, For, While, Fork, Wait, Return, Null]
+
+
+# ---------------------------------------------------------------------------
+# declarations
+
+@dataclass(frozen=True)
+class TypeMark:
+    """A type reference, optionally range-constrained.
+
+    ``integer range 0 to 255`` carries its bounds so widths can be
+    derived; a bare ``integer`` has ``low``/``high`` of ``None``.
+    """
+
+    ident: str
+    low: Optional[int] = None
+    high: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ArrayTypeDecl:
+    name: str
+    low: int
+    high: int
+    element: TypeMark
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """``variable``/``signal``/``constant`` object declaration."""
+
+    names: Tuple[str, ...]
+    type_mark: TypeMark
+    is_signal: bool = False
+    is_constant: bool = False
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Param:
+    names: Tuple[str, ...]
+    mode: str                 # "in" | "out" | "inout"
+    type_mark: TypeMark
+
+
+@dataclass(frozen=True)
+class PortDecl:
+    names: Tuple[str, ...]
+    mode: str
+    type_mark: TypeMark
+
+
+@dataclass(frozen=True)
+class SubprogramDecl:
+    """A procedure or function declaration with its body."""
+
+    name: str
+    params: Tuple[Param, ...]
+    returns: Optional[TypeMark]          # None for procedures
+    decls: Tuple[Union[VarDecl, ArrayTypeDecl], ...]
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+    @property
+    def is_function(self) -> bool:
+        return self.returns is not None
+
+
+@dataclass(frozen=True)
+class ProcessDecl:
+    """A process statement: a concurrent, forever-repeating program."""
+
+    name: str
+    decls: Tuple[Union[VarDecl, ArrayTypeDecl], ...]
+    body: Tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A whole parsed specification: entity ports plus the design items."""
+
+    entity: str
+    ports: Tuple[PortDecl, ...]
+    types: Tuple[ArrayTypeDecl, ...]
+    objects: Tuple[VarDecl, ...]              # architecture-level signals/shared vars
+    subprograms: Tuple[SubprogramDecl, ...]
+    processes: Tuple[ProcessDecl, ...]
+    source_lines: int = 0

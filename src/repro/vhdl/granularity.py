@@ -1,0 +1,201 @@
+"""Granularity control: treating basic blocks as procedures.
+
+Section 2.2: "A behavior is a process or procedure in the specification;
+finer granularity can be obtained by treating basic blocks as
+procedures."  This module implements that option as an AST-to-AST
+transformation applied before SLIF construction: each *process* body is
+split into blocks — a maximal run of simple statements, or one compound
+statement (if/for/while) — and every block becomes a parameterless
+pseudo-procedure ``<Process>_bb<k>`` that the process calls once.
+
+Only process bodies split: process-declared variables are
+specification-level storage in the subset's scoping (Figure 1), so the
+extracted blocks can access them freely; procedure bodies may use
+parameters and locals that the blocks could not see, so they stay
+whole.  ``wait`` statements remain in the process — they delimit the
+process's periodic execution, which is a property of the process node.
+
+The result is a strictly finer access graph: every original channel
+still exists (re-sourced to the block that performs the access), plus
+one call channel per block.
+"""
+
+from __future__ import annotations
+
+import re
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.vhdl import ast
+from repro.vhdl.profiler import BranchProfile
+
+
+class Granularity(Enum):
+    """How coarse the behaviors of the built SLIF should be."""
+
+    BEHAVIOR = "behavior"          # processes and procedures (the default)
+    BASIC_BLOCK = "basic_block"    # process basic blocks become procedures
+
+
+def _is_compound(stmt: ast.Stmt) -> bool:
+    return isinstance(stmt, (ast.If, ast.For, ast.While))
+
+
+def _blocks_of(body: Tuple[ast.Stmt, ...]) -> List[List[ast.Stmt]]:
+    """Partition a statement list into basic blocks.
+
+    A block is a maximal run of simple statements, or a single compound
+    statement.  ``wait`` statements terminate the current block and are
+    emitted as their own (non-extracted) singleton.
+    """
+    blocks: List[List[ast.Stmt]] = []
+    current: List[ast.Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, ast.Wait):
+            if current:
+                blocks.append(current)
+                current = []
+            blocks.append([stmt])
+        elif _is_compound(stmt):
+            if current:
+                blocks.append(current)
+                current = []
+            blocks.append([stmt])
+        else:
+            current.append(stmt)
+    if current:
+        blocks.append(current)
+    return blocks
+
+
+def _fresh_name(base: str, taken: set) -> str:
+    name = base
+    suffix = 0
+    while name.lower() in taken:
+        suffix += 1
+        name = f"{base}_{suffix}"
+    taken.add(name.lower())
+    return name
+
+
+def _count_constructs(stmts) -> Dict[str, int]:
+    """Count if/for/while statements in recursive traversal order.
+
+    The SLIF builder numbers branch/loop ids in exactly this order, so
+    these counts let the splitter remap profile keys per block.
+    """
+    counts = {"if": 0, "for": 0, "while": 0}
+
+    def walk(body) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.If):
+                counts["if"] += 1
+                for arm in stmt.arms:
+                    walk(arm.body)
+                if stmt.else_body is not None:
+                    walk(stmt.else_body)
+            elif isinstance(stmt, ast.For):
+                counts["for"] += 1
+                walk(stmt.body)
+            elif isinstance(stmt, ast.While):
+                counts["while"] += 1
+                walk(stmt.body)
+
+    walk(stmts)
+    return counts
+
+
+_PROFILE_KEY_RE = re.compile(r"^(if|for|while)(\d+)(.*)$")
+
+
+def split_basic_blocks(
+    spec: ast.Specification,
+    profile: Optional[BranchProfile] = None,
+) -> Tuple[ast.Specification, Optional[BranchProfile]]:
+    """Split process basic blocks into procedures.
+
+    Returns the transformed specification and, when a ``profile`` is
+    given, a remapped profile: branch/loop ids keyed to a process are
+    re-keyed to the block behavior that now contains the construct (ids
+    renumbered relative to the block), so probabilities written for the
+    coarse view keep applying at the fine one.
+    """
+    taken = {s.name.lower() for s in spec.subprograms}
+    taken |= {p.name.lower() for p in spec.processes}
+    taken |= {n.lower() for port in spec.ports for n in port.names}
+
+    new_subprograms: List[ast.SubprogramDecl] = list(spec.subprograms)
+    new_processes: List[ast.ProcessDecl] = []
+    # (process, construct kind, original index) -> (block name, new index)
+    remap: Dict[Tuple[str, str, int], Tuple[str, int]] = {}
+
+    for process in spec.processes:
+        new_body: List[ast.Stmt] = []
+        index = 0
+        offsets = {"if": 0, "for": 0, "while": 0}
+        for block in _blocks_of(process.body):
+            if len(block) == 1 and isinstance(block[0], ast.Wait):
+                new_body.append(block[0])
+                continue
+            name = _fresh_name(f"{process.name}_bb{index}", taken)
+            index += 1
+            block_counts = _count_constructs(block)
+            for kind, count in block_counts.items():
+                for local in range(count):
+                    remap[(process.name.lower(), kind, offsets[kind] + local)] = (
+                        name,
+                        local,
+                    )
+            for kind, count in block_counts.items():
+                offsets[kind] += count
+            new_subprograms.append(
+                ast.SubprogramDecl(
+                    name=name,
+                    params=(),
+                    returns=None,
+                    decls=(),
+                    body=tuple(block),
+                    line=block[0].line if hasattr(block[0], "line") else 0,
+                )
+            )
+            new_body.append(ast.ProcCall(name, (), line=process.line))
+        new_processes.append(
+            ast.ProcessDecl(
+                name=process.name,
+                decls=process.decls,
+                body=tuple(new_body),
+                line=process.line,
+            )
+        )
+
+    new_spec = ast.Specification(
+        entity=spec.entity,
+        ports=spec.ports,
+        types=spec.types,
+        objects=spec.objects,
+        subprograms=tuple(new_subprograms),
+        processes=tuple(new_processes),
+        source_lines=spec.source_lines,
+    )
+    if profile is None:
+        return new_spec, None
+    return new_spec, _remap_profile(profile, remap)
+
+
+def _remap_profile(
+    profile: BranchProfile,
+    remap: Dict[Tuple[str, str, int], Tuple[str, int]],
+) -> BranchProfile:
+    """Re-key a profile's entries onto the extracted block behaviors."""
+    new_profile = BranchProfile(profile.default_while_trips)
+    for (behavior, key), value in profile.items():
+        match = _PROFILE_KEY_RE.match(key)
+        if match:
+            kind, number, tail = match.group(1), int(match.group(2)), match.group(3)
+            target = remap.get((behavior, kind, number))
+            if target is not None:
+                block, new_number = target
+                new_profile.set(block, f"{kind}{new_number}{tail}", value)
+                continue
+        new_profile.set(behavior, key, value)
+    return new_profile

@@ -1,0 +1,168 @@
+"""Tokenizer for the VHDL behavioral subset.
+
+The front end accepts the flavour of VHDL the paper's Figure 1 uses:
+an entity with ports, processes with variable declarations, procedures
+and functions, array types, integer ranges, if/elsif/else, for and while
+loops, signal and variable assignment, procedure calls and waits.
+
+The lexer is a straightforward longest-match scanner producing
+:class:`Token` records with line/column positions.  VHDL is case
+insensitive; identifiers and keywords are normalised to lower case for
+matching but identifiers keep their original spelling for SLIF node
+names (so graphs read like the source).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+
+class TokKind(Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT = "int"
+    STRING = "string"
+    CHAR = "char"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    entity is port in out inout end architecture of begin process variable
+    signal constant type array to downto if then elsif else loop for while
+    wait until procedure function return and or not xor nand nor mod rem
+    abs null after shared record others when case use library all fork join
+    """.split()
+)
+
+# multi-character symbols first so maximal munch works
+SYMBOLS = (
+    ":=",
+    "<=",
+    ">=",
+    "=>",
+    "/=",
+    "**",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    ";",
+    ":",
+    ",",
+    "+",
+    "-",
+    "*",
+    "/",
+    "&",
+    "'",
+    "|",
+    ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str       # normalised (lower case for keywords/idents)
+    raw: str        # original spelling
+    line: int
+    column: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.text == word
+
+    def is_sym(self, sym: str) -> bool:
+        return self.kind is TokKind.SYMBOL and self.text == sym
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.raw!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Scan ``source`` into a token list ending with one EOF token."""
+    tokens: List[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comment to end of line
+        if ch == "-" and i + 1 < n and source[i + 1] == "-":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # number (integer literals only in the subset)
+        if ch.isdigit():
+            start = i
+            while i < n and (source[i].isdigit() or source[i] == "_"):
+                i += 1
+            raw = source[start:i]
+            tokens.append(Token(TokKind.INT, raw.replace("_", ""), raw, line, col))
+            col += i - start
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            raw = source[start:i]
+            low = raw.lower()
+            kind = TokKind.KEYWORD if low in KEYWORDS else TokKind.IDENT
+            tokens.append(Token(kind, low, raw, line, col))
+            col += i - start
+            continue
+        # string literal (kept opaque; unused by SLIF)
+        if ch == '"':
+            start = i
+            i += 1
+            while i < n and source[i] != '"':
+                i += 1
+            if i >= n:
+                raise ParseError("unterminated string literal", line, col)
+            i += 1
+            raw = source[start:i]
+            tokens.append(Token(TokKind.STRING, raw, raw, line, col))
+            col += i - start
+            continue
+        # character literal like '0' (but not attribute ticks; the subset
+        # has no attributes, so a quote is always a char literal)
+        if ch == "'" and i + 2 < n and source[i + 2] == "'":
+            raw = source[i : i + 3]
+            tokens.append(Token(TokKind.CHAR, raw, raw, line, col))
+            i += 3
+            col += 3
+            continue
+        # symbols, maximal munch
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token(TokKind.SYMBOL, sym, sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokKind.EOF, "", "", line, col))
+    return tokens
+
+
+def count_source_lines(source: str) -> int:
+    """Non-empty source line count (the paper's "Lines" metric)."""
+    return sum(1 for ln in source.splitlines() if ln.strip())

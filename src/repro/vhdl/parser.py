@@ -1,0 +1,558 @@
+"""Recursive-descent parser for the VHDL behavioral subset.
+
+Accepts both the flat style of the paper's Figure 1 (processes and
+procedures directly following the entity) and the standard
+``architecture ... is ... begin ... end`` wrapper.  Produces the
+:mod:`repro.vhdl.ast` tree; all name resolution is deferred to
+semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+from repro.vhdl.lexer import TokKind, Token, count_source_lines, tokenize
+
+
+class Parser:
+    """One-pass parser over a token list."""
+
+    def __init__(self, tokens: List[Token], source_lines: int) -> None:
+        self._toks = tokens
+        self._pos = 0
+        self._source_lines = source_lines
+        self._anon_process_count = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+
+    def _peek(self, ahead: int = 0) -> Token:
+        idx = min(self._pos + ahead, len(self._toks) - 1)
+        return self._toks[idx]
+
+    def _next(self) -> Token:
+        tok = self._toks[self._pos]
+        if tok.kind is not TokKind.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str, tok: Optional[Token] = None) -> ParseError:
+        tok = tok or self._peek()
+        return ParseError(f"{message} (found {tok.raw!r})", tok.line, tok.column)
+
+    def _expect_kw(self, word: str) -> Token:
+        tok = self._next()
+        if not tok.is_kw(word):
+            raise self._error(f"expected keyword {word!r}", tok)
+        return tok
+
+    def _expect_sym(self, sym: str) -> Token:
+        tok = self._next()
+        if not tok.is_sym(sym):
+            raise self._error(f"expected {sym!r}", tok)
+        return tok
+
+    def _expect_ident(self) -> Token:
+        tok = self._next()
+        if tok.kind is not TokKind.IDENT:
+            raise self._error("expected identifier", tok)
+        return tok
+
+    def _accept_kw(self, word: str) -> bool:
+        if self._peek().is_kw(word):
+            self._next()
+            return True
+        return False
+
+    def _accept_sym(self, sym: str) -> bool:
+        if self._peek().is_sym(sym):
+            self._next()
+            return True
+        return False
+
+    def _skip_to_semicolon(self) -> None:
+        while not self._peek().is_sym(";") and self._peek().kind is not TokKind.EOF:
+            self._next()
+        self._accept_sym(";")
+
+    # ------------------------------------------------------------------
+    # top level
+
+    def parse_specification(self) -> ast.Specification:
+        # optional library/use clauses
+        while self._peek().is_kw("library") or self._peek().is_kw("use"):
+            self._skip_to_semicolon()
+        entity, ports = self._parse_entity()
+        types: List[ast.ArrayTypeDecl] = []
+        objects: List[ast.VarDecl] = []
+        subprograms: List[ast.SubprogramDecl] = []
+        processes: List[ast.ProcessDecl] = []
+
+        in_architecture = False
+        while True:
+            tok = self._peek()
+            if tok.kind is TokKind.EOF:
+                break
+            if tok.is_kw("architecture"):
+                # architecture <id> of <id> is
+                self._next()
+                self._expect_ident()
+                self._expect_kw("of")
+                self._expect_ident()
+                self._expect_kw("is")
+                in_architecture = True
+                continue
+            if tok.is_kw("begin"):
+                self._next()  # architecture body begins; items continue
+                continue
+            if tok.is_kw("end"):
+                self._next()
+                # end [architecture] [id];
+                if self._peek().is_kw("architecture"):
+                    self._next()
+                if self._peek().kind is TokKind.IDENT:
+                    self._next()
+                self._accept_sym(";")
+                in_architecture = False
+                continue
+            if tok.is_kw("type"):
+                types.append(self._parse_type_decl())
+                continue
+            if tok.is_kw("signal") or tok.is_kw("variable") or tok.is_kw("shared"):
+                objects.append(self._parse_object_decl())
+                continue
+            if tok.is_kw("constant"):
+                objects.append(self._parse_object_decl())
+                continue
+            if tok.is_kw("procedure") or tok.is_kw("function"):
+                subprograms.append(self._parse_subprogram())
+                continue
+            if tok.is_kw("process"):
+                processes.append(self._parse_process(None))
+                continue
+            if tok.kind is TokKind.IDENT and self._peek(1).is_sym(":") and self._peek(2).is_kw(
+                "process"
+            ):
+                label = self._next().raw
+                self._expect_sym(":")
+                processes.append(self._parse_process(label))
+                continue
+            raise self._error("expected a design item")
+
+        return ast.Specification(
+            entity=entity,
+            ports=tuple(ports),
+            types=tuple(types),
+            objects=tuple(objects),
+            subprograms=tuple(subprograms),
+            processes=tuple(processes),
+            source_lines=self._source_lines,
+        )
+
+    def _parse_entity(self) -> Tuple[str, List[ast.PortDecl]]:
+        self._expect_kw("entity")
+        name = self._expect_ident().raw
+        self._expect_kw("is")
+        ports: List[ast.PortDecl] = []
+        if self._accept_kw("port"):
+            self._expect_sym("(")
+            while True:
+                ports.append(self._parse_port_item())
+                if not self._accept_sym(";"):
+                    break
+            self._expect_sym(")")
+            self._expect_sym(";")
+        self._expect_kw("end")
+        if self._peek().is_kw("entity"):
+            self._next()
+        if self._peek().kind is TokKind.IDENT:
+            self._next()
+        self._expect_sym(";")
+        return name, ports
+
+    def _parse_port_item(self) -> ast.PortDecl:
+        names = [self._expect_ident().raw]
+        while self._accept_sym(","):
+            names.append(self._expect_ident().raw)
+        self._expect_sym(":")
+        mode_tok = self._next()
+        if mode_tok.text not in ("in", "out", "inout"):
+            raise self._error("expected port mode in/out/inout", mode_tok)
+        type_mark = self._parse_type_mark()
+        return ast.PortDecl(tuple(names), mode_tok.text, type_mark)
+
+    # ------------------------------------------------------------------
+    # declarations
+
+    def _parse_type_mark(self) -> ast.TypeMark:
+        ident = self._next()
+        if ident.kind is not TokKind.IDENT:
+            raise self._error("expected type name", ident)
+        low = high = None
+        if self._peek().kind is TokKind.IDENT and self._peek().text == "range":
+            self._next()
+            low = self._parse_static_int()
+            direction = self._next()
+            if not (direction.is_kw("to") or direction.is_kw("downto")):
+                raise self._error("expected to/downto in range", direction)
+            high = self._parse_static_int()
+            if direction.is_kw("downto"):
+                low, high = high, low
+        return ast.TypeMark(ident.text, low, high)
+
+    def _parse_static_int(self) -> int:
+        negative = self._accept_sym("-")
+        tok = self._next()
+        if tok.kind is not TokKind.INT:
+            raise self._error("expected integer literal", tok)
+        value = int(tok.text)
+        return -value if negative else value
+
+    def _parse_type_decl(self) -> ast.ArrayTypeDecl:
+        line = self._expect_kw("type").line
+        name = self._expect_ident().raw
+        self._expect_kw("is")
+        self._expect_kw("array")
+        self._expect_sym("(")
+        low = self._parse_static_int()
+        direction = self._next()
+        if not (direction.is_kw("to") or direction.is_kw("downto")):
+            raise self._error("expected to/downto in array bounds", direction)
+        high = self._parse_static_int()
+        if direction.is_kw("downto"):
+            low, high = high, low
+        self._expect_sym(")")
+        self._expect_kw("of")
+        element = self._parse_type_mark()
+        self._expect_sym(";")
+        return ast.ArrayTypeDecl(name, low, high, element, line)
+
+    def _parse_object_decl(self) -> ast.VarDecl:
+        tok = self._next()
+        is_signal = tok.is_kw("signal")
+        is_constant = tok.is_kw("constant")
+        if tok.is_kw("shared"):
+            self._expect_kw("variable")
+        elif not (tok.is_kw("variable") or is_signal or is_constant):
+            raise self._error("expected variable/signal/constant", tok)
+        names = [self._expect_ident().raw]
+        while self._accept_sym(","):
+            names.append(self._expect_ident().raw)
+        self._expect_sym(":")
+        type_mark = self._parse_type_mark()
+        if self._accept_sym(":="):
+            self._parse_expression()  # initializer evaluated at elaboration; ignored
+        self._expect_sym(";")
+        return ast.VarDecl(
+            tuple(names), type_mark, is_signal=is_signal, is_constant=is_constant,
+            line=tok.line,
+        )
+
+    def _parse_decl_list(self) -> List[Union[ast.VarDecl, ast.ArrayTypeDecl]]:
+        decls: List[Union[ast.VarDecl, ast.ArrayTypeDecl]] = []
+        while True:
+            tok = self._peek()
+            if tok.is_kw("type"):
+                decls.append(self._parse_type_decl())
+            elif tok.is_kw("variable") or tok.is_kw("constant") or tok.is_kw("signal"):
+                decls.append(self._parse_object_decl())
+            else:
+                return decls
+
+    def _parse_subprogram(self) -> ast.SubprogramDecl:
+        tok = self._next()
+        is_function = tok.is_kw("function")
+        if not is_function and not tok.is_kw("procedure"):
+            raise self._error("expected procedure/function", tok)
+        name = self._expect_ident().raw
+        params: List[ast.Param] = []
+        if self._accept_sym("("):
+            while True:
+                pnames = [self._expect_ident().raw]
+                while self._accept_sym(","):
+                    pnames.append(self._expect_ident().raw)
+                self._expect_sym(":")
+                mode = "in"
+                if self._peek().text in ("in", "out", "inout") and self._peek(
+                ).kind is TokKind.KEYWORD:
+                    mode = self._next().text
+                ptype = self._parse_type_mark()
+                params.append(ast.Param(tuple(pnames), mode, ptype))
+                if not self._accept_sym(";"):
+                    break
+            self._expect_sym(")")
+        returns = None
+        if is_function:
+            self._expect_kw("return")
+            returns = self._parse_type_mark()
+        self._expect_kw("is")
+        decls = self._parse_decl_list()
+        self._expect_kw("begin")
+        body = self._parse_statements()
+        self._expect_kw("end")
+        if self._peek().is_kw("procedure") or self._peek().is_kw("function"):
+            self._next()
+        if self._peek().kind is TokKind.IDENT:
+            self._next()
+        self._expect_sym(";")
+        return ast.SubprogramDecl(
+            name, tuple(params), returns, tuple(decls), tuple(body), tok.line
+        )
+
+    def _parse_process(self, label: Optional[str]) -> ast.ProcessDecl:
+        line = self._expect_kw("process").line
+        if label is None:
+            self._anon_process_count += 1
+            label = f"process{self._anon_process_count}"
+        if self._accept_sym("("):  # sensitivity list, ignored
+            depth = 1
+            while depth > 0:
+                tok = self._next()
+                if tok.is_sym("("):
+                    depth += 1
+                elif tok.is_sym(")"):
+                    depth -= 1
+                elif tok.kind is TokKind.EOF:
+                    raise self._error("unterminated sensitivity list", tok)
+        self._accept_kw("is")
+        decls = self._parse_decl_list()
+        self._expect_kw("begin")
+        body = self._parse_statements()
+        self._expect_kw("end")
+        self._expect_kw("process")
+        if self._peek().kind is TokKind.IDENT:
+            self._next()
+        self._expect_sym(";")
+        return ast.ProcessDecl(label, tuple(decls), tuple(body), line)
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _parse_statements(self) -> List[ast.Stmt]:
+        stmts: List[ast.Stmt] = []
+        while True:
+            tok = self._peek()
+            if tok.is_kw("end") or tok.is_kw("elsif") or tok.is_kw("else") or (
+                tok.kind is TokKind.EOF
+            ):
+                return stmts
+            stmts.append(self._parse_statement())
+
+    def _parse_statement(self) -> ast.Stmt:
+        tok = self._peek()
+        if tok.is_kw("if"):
+            return self._parse_if()
+        if tok.is_kw("for"):
+            return self._parse_for()
+        if tok.is_kw("while"):
+            return self._parse_while()
+        if tok.is_kw("fork"):
+            return self._parse_fork()
+        if tok.is_kw("wait"):
+            line = self._next().line
+            self._skip_to_semicolon()
+            return ast.Wait(line)
+        if tok.is_kw("return"):
+            line = self._next().line
+            value = None
+            if not self._peek().is_sym(";"):
+                value = self._parse_expression()
+            self._expect_sym(";")
+            return ast.Return(value, line)
+        if tok.is_kw("null"):
+            line = self._next().line
+            self._expect_sym(";")
+            return ast.Null(line)
+        if tok.kind is TokKind.IDENT:
+            return self._parse_simple_statement()
+        raise self._error("expected a statement")
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """Assignment, signal assignment, or procedure call."""
+        name_tok = self._expect_ident()
+        index = None
+        args: Optional[List[ast.Expr]] = None
+        if self._accept_sym("("):
+            args = [self._parse_expression()]
+            while self._accept_sym(","):
+                args.append(self._parse_expression())
+            self._expect_sym(")")
+            if len(args) == 1:
+                index = args[0]
+        if self._accept_sym(":="):
+            target = ast.Name(name_tok.raw, index, name_tok.line)
+            value = self._parse_expression()
+            self._expect_sym(";")
+            return ast.Assign(target, value, name_tok.line)
+        if self._accept_sym("<="):
+            target = ast.Name(name_tok.raw, index, name_tok.line)
+            value = self._parse_expression()
+            # optional 'after <time>' clause: skip
+            if self._peek().is_kw("after"):
+                self._skip_to_semicolon()
+            else:
+                self._expect_sym(";")
+            return ast.SignalAssign(target, value, name_tok.line)
+        # otherwise: a procedure call
+        self._expect_sym(";")
+        return ast.ProcCall(
+            name_tok.raw, tuple(args or []), name_tok.line
+        )
+
+    def _parse_if(self) -> ast.If:
+        line = self._expect_kw("if").line
+        arms: List[ast.IfArm] = []
+        condition = self._parse_expression()
+        self._expect_kw("then")
+        arms.append(ast.IfArm(condition, tuple(self._parse_statements())))
+        else_body = None
+        while True:
+            if self._accept_kw("elsif"):
+                condition = self._parse_expression()
+                self._expect_kw("then")
+                arms.append(ast.IfArm(condition, tuple(self._parse_statements())))
+                continue
+            if self._accept_kw("else"):
+                else_body = tuple(self._parse_statements())
+            break
+        self._expect_kw("end")
+        self._expect_kw("if")
+        self._expect_sym(";")
+        return ast.If(tuple(arms), else_body, line)
+
+    def _parse_for(self) -> ast.For:
+        line = self._expect_kw("for").line
+        var = self._expect_ident().raw
+        self._expect_kw("in")
+        low = self._parse_expression()
+        direction = self._next()
+        if not (direction.is_kw("to") or direction.is_kw("downto")):
+            raise self._error("expected to/downto in for range", direction)
+        high = self._parse_expression()
+        self._expect_kw("loop")
+        body = self._parse_statements()
+        self._expect_kw("end")
+        self._expect_kw("loop")
+        self._expect_sym(";")
+        return ast.For(var, low, high, direction.is_kw("downto"), tuple(body), line)
+
+    def _parse_fork(self) -> ast.Fork:
+        line = self._expect_kw("fork").line
+        calls = []
+        while not self._peek().is_kw("join"):
+            stmt = self._parse_statement()
+            if not isinstance(stmt, ast.ProcCall):
+                raise self._error(
+                    "only procedure calls are allowed between fork and join"
+                )
+            calls.append(stmt)
+        self._expect_kw("join")
+        self._expect_sym(";")
+        if not calls:
+            raise ParseError("empty fork/join block", line)
+        return ast.Fork(tuple(calls), line)
+
+    def _parse_while(self) -> ast.While:
+        line = self._expect_kw("while").line
+        condition = self._parse_expression()
+        self._expect_kw("loop")
+        body = self._parse_statements()
+        self._expect_kw("end")
+        self._expect_kw("loop")
+        self._expect_sym(";")
+        return ast.While(condition, tuple(body), line)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_logical()
+
+    def _parse_logical(self) -> ast.Expr:
+        left = self._parse_relational()
+        while self._peek().text in ("and", "or", "xor", "nand", "nor") and self._peek(
+        ).kind is TokKind.KEYWORD:
+            op = self._next().text
+            right = self._parse_relational()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_relational(self) -> ast.Expr:
+        left = self._parse_additive()
+        while self._peek().kind is TokKind.SYMBOL and self._peek().text in (
+            "=",
+            "/=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ):
+            op = self._next().text
+            right = self._parse_additive()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind is TokKind.SYMBOL and self._peek().text in (
+            "+",
+            "-",
+            "&",
+        ):
+            op = self._next().text
+            right = self._parse_multiplicative()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while (
+            self._peek().kind is TokKind.SYMBOL and self._peek().text in ("*", "/", "**")
+        ) or (self._peek().kind is TokKind.KEYWORD and self._peek().text in ("mod", "rem")):
+            op = self._next().text
+            right = self._parse_unary()
+            left = ast.Binary(op, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.is_sym("-") or tok.is_sym("+"):
+            self._next()
+            return ast.Unary(tok.text, self._parse_unary(), tok.line)
+        if tok.is_kw("not") or tok.is_kw("abs"):
+            self._next()
+            return ast.Unary(tok.text, self._parse_unary(), tok.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        tok = self._next()
+        if tok.kind is TokKind.INT:
+            return ast.IntLit(int(tok.text), tok.line)
+        if tok.kind is TokKind.CHAR:
+            # '0'/'1' character literals become their bit values
+            inner = tok.text[1]
+            return ast.IntLit(1 if inner == "1" else 0, tok.line)
+        if tok.is_sym("("):
+            expr = self._parse_expression()
+            self._expect_sym(")")
+            return expr
+        if tok.kind is TokKind.IDENT:
+            if self._accept_sym("("):
+                args = [self._parse_expression()]
+                while self._accept_sym(","):
+                    args.append(self._parse_expression())
+                self._expect_sym(")")
+                if len(args) == 1:
+                    # index or one-arg call; semantics disambiguates
+                    return ast.Name(tok.raw, args[0], tok.line)
+                return ast.CallExpr(tok.raw, tuple(args), tok.line)
+            return ast.Name(tok.raw, None, tok.line)
+        raise self._error("expected an expression", tok)
+
+
+def parse_source(source: str) -> ast.Specification:
+    """Parse a full specification from VHDL-subset source text."""
+    tokens = tokenize(source)
+    return Parser(tokens, count_source_lines(source)).parse_specification()

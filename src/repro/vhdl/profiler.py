@@ -1,0 +1,144 @@
+"""Branch-probability and loop-trip profiles (Section 2.4.1).
+
+Access frequencies "indicate the number of times the access occurs
+during an average start-to-finish execution of the source behavior, as
+determined from a branch probability file.  The branch probability file
+may be obtained manually or through profiling."
+
+:class:`BranchProfile` is that file: a mapping from (behavior,
+branch/loop id) to a probability or trip count.  Branch and loop ids are
+assigned in source order per behavior by the SLIF builder:
+
+* ``if0``, ``if1``, … — if statements; arm ``K`` of ``ifN`` is
+  ``ifN.armK`` (the else arm, when present, is the last index);
+* ``for0``, ``for1``, … — for loops (trip-count overrides; normally
+  derived from the static bounds);
+* ``while0``, … — while loops (trip counts; these have no static bound,
+  so the default applies unless profiled).
+
+Defaults, when the file says nothing: every if/elsif/else outcome —
+including the implicit fall-through when there is no else — is equally
+likely; while loops run :data:`DEFAULT_WHILE_TRIPS` iterations.
+
+The text format is one entry per line::
+
+    # comment
+    EvaluateRule if0.arm0 0.5
+    EvaluateRule if0.arm1 0.5
+    Monitor      while0   16
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SlifError
+
+DEFAULT_WHILE_TRIPS = 4.0
+
+
+class BranchProfile:
+    """Profiled branch probabilities and loop trip counts."""
+
+    def __init__(self, default_while_trips: float = DEFAULT_WHILE_TRIPS) -> None:
+        self._entries: Dict[Tuple[str, str], float] = {}
+        self.default_while_trips = default_while_trips
+
+    # ------------------------------------------------------------------
+
+    def set(self, behavior: str, key: str, value: float) -> None:
+        """Record one profiled value (probability or trip count)."""
+        if value < 0:
+            raise SlifError(
+                f"profile value for {behavior}.{key} must be >= 0, got {value}"
+            )
+        self._entries[(behavior.lower(), key.lower())] = value
+
+    def lookup(self, behavior: str, key: str) -> Optional[float]:
+        return self._entries.get((behavior.lower(), key.lower()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self):
+        """All ((behavior, key), value) entries (lower-cased keys)."""
+        return self._entries.items()
+
+    # ------------------------------------------------------------------
+    # queries used by the SLIF builder
+
+    def arm_probability(
+        self,
+        behavior: str,
+        if_id: str,
+        arm_index: int,
+        arm_count: int,
+        has_else: bool,
+    ) -> float:
+        """Probability that arm ``arm_index`` of ``if_id`` executes.
+
+        Falls back to a uniform distribution over all outcomes; without
+        an else arm, the implicit fall-through is one of the outcomes.
+        """
+        explicit = self.lookup(behavior, f"{if_id}.arm{arm_index}")
+        if explicit is not None:
+            return explicit
+        outcomes = arm_count + (0 if has_else else 1)
+        return 1.0 / outcomes
+
+    def while_trips(self, behavior: str, while_id: str) -> float:
+        """Expected iterations of a while loop."""
+        explicit = self.lookup(behavior, while_id)
+        if explicit is not None:
+            return explicit
+        return self.default_while_trips
+
+    def for_trips(
+        self, behavior: str, for_id: str, static_trips: Optional[float]
+    ) -> float:
+        """Expected iterations of a for loop.
+
+        Static bounds win unless explicitly overridden; loops whose
+        bounds the front end cannot fold fall back to the profile or
+        the while-loop default.
+        """
+        explicit = self.lookup(behavior, for_id)
+        if explicit is not None:
+            return explicit
+        if static_trips is not None:
+            return static_trips
+        return self.default_while_trips
+
+    # ------------------------------------------------------------------
+    # text format
+
+    @classmethod
+    def parse(cls, text: str) -> "BranchProfile":
+        """Parse the three-column text format described in the module doc."""
+        profile = cls()
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 3:
+                raise SlifError(
+                    f"profile line {lineno}: expected 'behavior key value', "
+                    f"got {raw!r}"
+                )
+            behavior, key, value_text = parts
+            try:
+                value = float(value_text)
+            except ValueError:
+                raise SlifError(
+                    f"profile line {lineno}: bad value {value_text!r}"
+                ) from None
+            profile.set(behavior, key, value)
+        return profile
+
+    def dump(self) -> str:
+        """Serialise back to the text format (sorted, stable)."""
+        lines = ["# behavior  key  value"]
+        for (behavior, key), value in sorted(self._entries.items()):
+            lines.append(f"{behavior} {key} {value:g}")
+        return "\n".join(lines) + "\n"

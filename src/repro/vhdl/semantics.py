@@ -1,0 +1,254 @@
+"""Name resolution and width computation for parsed specifications.
+
+Turns the raw AST into a :class:`Program`: a symbol table that knows,
+for every identifier in every behavior, whether it is an external port,
+a specification-level variable (a SLIF node), a behavior-local object
+(internal — part of the behavior's contents), a constant, a loop index,
+or a subprogram — and how many bits it encodes into.
+
+Scoping in the subset follows the paper's Figure 1: variables declared
+in a *process* are specification-level storage visible to every
+subprogram (the figure's ``EvaluateRule`` freely accesses ``FuzzyMain``'s
+``mr1``/``in1val``), whereas variables declared inside a *procedure or
+function* — and all parameters and loop indices — are local scratch that
+never becomes a SLIF node (the figure's ``trunc`` has no node).  To keep
+that flat visibility unambiguous the subset requires specification-level
+names to be unique across the design; the analyzer rejects collisions.
+
+Width rules (Section 2.4.1): a range-constrained integer encodes into
+``ceil(log2(high - low + 1))`` bits; a bare ``integer`` is 32 bits;
+``bit``/``boolean`` are 1 bit; an array's access width is element bits
+plus address bits (computed later from the element count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+
+DEFAULT_INTEGER_BITS = 32
+
+
+def type_mark_bits(mark: ast.TypeMark, program: "Program") -> Tuple[int, int]:
+    """(element bits, element count) of a type mark.
+
+    Scalar types have element count 1; an array type name resolves
+    through the program's type table.
+    """
+    ident = mark.ident.lower()
+    if ident in ("bit", "boolean"):
+        return 1, 1
+    if ident in ("integer", "natural", "positive"):
+        if mark.low is not None and mark.high is not None:
+            span = mark.high - mark.low + 1
+            if span < 1:
+                raise ParseError(f"empty integer range {mark.low} to {mark.high}")
+            return max(1, math.ceil(math.log2(span))) if span > 1 else 1, 1
+        return DEFAULT_INTEGER_BITS, 1
+    array = program.types.get(ident)
+    if array is not None:
+        elem_bits, elem_count = type_mark_bits(array.element, program)
+        if elem_count != 1:
+            raise ParseError(f"nested array type {mark.ident!r} not supported")
+        return elem_bits, array.high - array.low + 1
+    raise ParseError(f"unknown type {mark.ident!r}")
+
+
+class SymKind(Enum):
+    PORT = "port"
+    GLOBAL_VAR = "global"     # specification-level variable: a SLIF node
+    LOCAL = "local"           # behavior-local scratch: internal
+    CONSTANT = "constant"     # named literal: internal
+    LOOP_VAR = "loopvar"      # loop index: internal, effectively free
+    SUBPROGRAM = "subprogram"
+
+
+@dataclass(frozen=True)
+class Symbol:
+    name: str                 # original spelling (SLIF node name for globals)
+    kind: SymKind
+    bits: int = 0
+    elements: int = 1
+    direction: str = "in"     # ports only
+    is_signal: bool = False
+
+
+@dataclass
+class BehaviorInfo:
+    """Per-behavior symbol information."""
+
+    name: str
+    is_process: bool
+    decl: Union[ast.ProcessDecl, ast.SubprogramDecl]
+    locals: Dict[str, Symbol] = field(default_factory=dict)
+    param_bits: int = 0
+
+
+@dataclass
+class Program:
+    """The analyzed specification."""
+
+    spec: ast.Specification
+    types: Dict[str, ast.ArrayTypeDecl] = field(default_factory=dict)
+    ports: Dict[str, Symbol] = field(default_factory=dict)
+    globals: Dict[str, Symbol] = field(default_factory=dict)
+    constants: Dict[str, Symbol] = field(default_factory=dict)
+    behaviors: Dict[str, BehaviorInfo] = field(default_factory=dict)
+
+    def behavior_named(self, name: str) -> Optional[BehaviorInfo]:
+        return self.behaviors.get(name.lower())
+
+    def resolve(
+        self, behavior: str, ident: str, loop_vars: Tuple[str, ...] = ()
+    ) -> Symbol:
+        """Resolve ``ident`` as seen from inside ``behavior``.
+
+        Lookup order: loop indices, behavior locals (params + declared),
+        specification globals, ports, constants, subprograms.
+        """
+        low = ident.lower()
+        if low in (v.lower() for v in loop_vars):
+            return Symbol(ident, SymKind.LOOP_VAR, bits=16)
+        info = self.behaviors.get(behavior.lower())
+        if info is not None and low in info.locals:
+            return info.locals[low]
+        if low in self.globals:
+            return self.globals[low]
+        if low in self.ports:
+            return self.ports[low]
+        if low in self.constants:
+            return self.constants[low]
+        if low in self.behaviors:
+            b = self.behaviors[low]
+            return Symbol(b.name, SymKind.SUBPROGRAM, bits=b.param_bits)
+        raise ParseError(
+            f"unresolved identifier {ident!r} in behavior {behavior!r}"
+        )
+
+
+def _register_types(program: Program, decls) -> None:
+    for t in decls:
+        low = t.name.lower()
+        if low in program.types:
+            raise ParseError(f"duplicate type {t.name!r}", t.line)
+        program.types[low] = t
+
+
+def _global_symbol(program: Program, decl: ast.VarDecl, name: str) -> Symbol:
+    bits, elements = type_mark_bits(decl.type_mark, program)
+    return Symbol(
+        name,
+        SymKind.GLOBAL_VAR,
+        bits=bits,
+        elements=elements,
+        is_signal=decl.is_signal,
+    )
+
+
+def _add_global(program: Program, decl: ast.VarDecl) -> None:
+    for name in decl.names:
+        low = name.lower()
+        if decl.is_constant:
+            bits, elements = type_mark_bits(decl.type_mark, program)
+            program.constants[low] = Symbol(
+                name, SymKind.CONSTANT, bits=bits, elements=elements
+            )
+            continue
+        if (
+            low in program.globals
+            or low in program.ports
+            or low in program.behaviors
+        ):
+            raise ParseError(
+                f"specification-level name {name!r} declared more than once "
+                f"(the subset requires unique global names)",
+                decl.line,
+            )
+        program.globals[low] = _global_symbol(program, decl, name)
+
+
+def _local_symbols(
+    program: Program, decls, params: Tuple[ast.Param, ...]
+) -> Tuple[Dict[str, Symbol], int]:
+    symbols: Dict[str, Symbol] = {}
+    param_bits = 0
+    for param in params:
+        bits, elements = type_mark_bits(param.type_mark, program)
+        for name in param.names:
+            symbols[name.lower()] = Symbol(
+                name, SymKind.LOCAL, bits=bits, elements=elements
+            )
+            param_bits += bits
+    for decl in decls:
+        if isinstance(decl, ast.ArrayTypeDecl):
+            _register_types(program, [decl])
+            continue
+        bits, elements = type_mark_bits(decl.type_mark, program)
+        for name in decl.names:
+            symbols[name.lower()] = Symbol(
+                name,
+                SymKind.CONSTANT if decl.is_constant else SymKind.LOCAL,
+                bits=bits,
+                elements=elements,
+            )
+    return symbols, param_bits
+
+
+def analyze(spec: ast.Specification) -> Program:
+    """Build the :class:`Program` symbol tables for a parsed spec."""
+    program = Program(spec=spec)
+    _register_types(program, spec.types)
+
+    for port_decl in spec.ports:
+        bits, elements = type_mark_bits(port_decl.type_mark, program)
+        for name in port_decl.names:
+            low = name.lower()
+            if low in program.ports:
+                raise ParseError(f"duplicate port {name!r}")
+            program.ports[low] = Symbol(
+                name,
+                SymKind.PORT,
+                bits=bits,
+                elements=elements,
+                direction=port_decl.mode,
+            )
+
+    # subprogram and process names first, so calls resolve regardless of
+    # declaration order
+    for sub in spec.subprograms:
+        low = sub.name.lower()
+        if low in program.behaviors:
+            raise ParseError(f"duplicate subprogram {sub.name!r}", sub.line)
+        program.behaviors[low] = BehaviorInfo(sub.name, False, sub)
+    for proc in spec.processes:
+        low = proc.name.lower()
+        if low in program.behaviors:
+            raise ParseError(f"duplicate process name {proc.name!r}", proc.line)
+        program.behaviors[low] = BehaviorInfo(proc.name, True, proc)
+
+    # architecture-level objects
+    for obj in spec.objects:
+        _add_global(program, obj)
+
+    # process-declared variables are specification-level (Figure 1 scoping);
+    # process-declared types register globally too
+    for proc in spec.processes:
+        for decl in proc.decls:
+            if isinstance(decl, ast.ArrayTypeDecl):
+                _register_types(program, [decl])
+            else:
+                _add_global(program, decl)
+
+    # subprogram locals stay local
+    for sub in spec.subprograms:
+        info = program.behaviors[sub.name.lower()]
+        info.locals, info.param_bits = _local_symbols(
+            program, sub.decls, sub.params
+        )
+
+    return program

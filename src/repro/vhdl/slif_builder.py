@@ -1,0 +1,467 @@
+"""Building the SLIF access graph from an analyzed specification.
+
+This is the front end proper (the paper's T-slif step): walk every
+behavior's statements once, and produce
+
+* one SLIF node per process, procedure/function, specification-level
+  variable and port;
+* one channel per (source behavior, accessed object) pair, with the
+  ``accfreq``/``accmin``/``accmax`` weights computed from static loop
+  bounds and the branch-probability profile, and the ``bits`` weight
+  from the Section 2.4.1 encoding rules;
+* an operation profile per behavior (regions of operation DAGs) that the
+  :mod:`repro.synth` preprocessors consume to generate ict/size weights
+  and concurrency tags.
+
+Frequencies compose multiplicatively down the control tree: an access
+inside a 128-iteration loop inside a probability-0.5 branch occurs
+``0.5 * 128 = 64`` times per start-to-finish execution of its behavior —
+exactly the arithmetic behind Figure 3's ``accfreq = 65`` annotation on
+the ``EvaluateRule -> mr1`` edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.channels import AccessKind, Channel, channel_name
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior, Port, PortDirection, Variable
+from repro.errors import ParseError
+from repro.synth.ops import Op, OpClass, OpDag, OpProfile, Region
+from repro.vhdl import ast
+from repro.vhdl.parser import parse_source
+from repro.vhdl.profiler import BranchProfile
+from repro.vhdl.semantics import BehaviorInfo, Program, SymKind, Symbol, analyze
+
+# operator -> operation class
+_MULT_OPS = {"*", "**"}
+_DIV_OPS = {"/", "mod", "rem"}
+
+
+@dataclass
+class _AccessTotals:
+    """Accumulated access counts from one behavior to one object."""
+
+    kind: AccessKind
+    avg: float = 0.0
+    low: float = 0.0
+    high: float = 0.0
+    tag: Optional[str] = None   # explicit fork/join concurrency tag
+
+    def bump(self, kind: AccessKind, avg: float, low: float, high: float) -> None:
+        if self.kind is not kind and {self.kind, kind} <= {
+            AccessKind.READ,
+            AccessKind.WRITE,
+            AccessKind.READ_WRITE,
+        }:
+            self.kind = AccessKind.READ_WRITE
+        self.avg += avg
+        self.low += low
+        self.high += high
+
+
+@dataclass
+class _RegionCtx:
+    """A region under construction plus the frequency multipliers.
+
+    ``avg``/``low``/``high`` are the expected / guaranteed-minimum /
+    worst-case execution counts of this region per run of the behavior.
+    ``last_write`` maps object names to the op that last defined them in
+    this region, for dependence edges within the region.
+    """
+
+    dag: OpDag
+    avg: float
+    low: float
+    high: float
+    label: str
+    last_write: Dict[str, int] = field(default_factory=dict)
+
+
+class _BehaviorWalker:
+    """Walks one behavior's statements, producing accesses + op profile."""
+
+    def __init__(
+        self,
+        program: Program,
+        info: BehaviorInfo,
+        profile: BranchProfile,
+    ) -> None:
+        self.program = program
+        self.info = info
+        self.profile = profile
+        self.accesses: Dict[str, _AccessTotals] = {}
+        self.op_profile = OpProfile()
+        self._if_count = 0
+        self._for_count = 0
+        self._while_count = 0
+        self._fork_count = 0
+        self._loop_vars: List[str] = []
+        self._fork_tag: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def walk(self) -> None:
+        body: Tuple[ast.Stmt, ...] = self.info.decl.body
+        root = self._new_region(1.0, 1.0, 1.0, "body")
+        self._walk_stmts(body, root)
+
+    def _new_region(
+        self, avg: float, low: float, high: float, label: str
+    ) -> _RegionCtx:
+        ctx = _RegionCtx(OpDag(), avg, low, high, label)
+        self.op_profile.add_region(
+            Region(ctx.dag, count=avg, label=f"{self.info.name}.{label}")
+        )
+        return ctx
+
+    # ------------------------------------------------------------------
+    # access recording
+
+    def _record(
+        self,
+        symbol: Symbol,
+        kind: AccessKind,
+        ctx: _RegionCtx,
+    ) -> None:
+        totals = self.accesses.get(symbol.name)
+        if totals is None:
+            totals = _AccessTotals(kind)
+            self.accesses[symbol.name] = totals
+        totals.bump(kind, ctx.avg, ctx.low, ctx.high)
+        if self._fork_tag is not None and totals.tag is None:
+            totals.tag = self._fork_tag
+
+    # ------------------------------------------------------------------
+    # expressions
+
+    def _resolve(self, ident: str) -> Symbol:
+        return self.program.resolve(
+            self.info.name, ident, tuple(self._loop_vars)
+        )
+
+    def _eval(self, expr: ast.Expr, ctx: _RegionCtx) -> Optional[int]:
+        """Add ``expr``'s operations to the region; return the value op."""
+        if isinstance(expr, ast.IntLit):
+            return None
+        if isinstance(expr, ast.Name):
+            return self._eval_name(expr, ctx)
+        if isinstance(expr, ast.CallExpr):
+            return self._eval_call(expr.func, expr.args, ctx, expr.line)
+        if isinstance(expr, ast.Unary):
+            operand = self._eval(expr.operand, ctx)
+            preds = () if operand is None else (operand,)
+            return ctx.dag.add(OpClass.ALU, preds)
+        if isinstance(expr, ast.Binary):
+            left = self._eval(expr.left, ctx)
+            right = self._eval(expr.right, ctx)
+            preds = tuple(p for p in (left, right) if p is not None)
+            if expr.op in _MULT_OPS:
+                cls = OpClass.MULT
+            elif expr.op in _DIV_OPS:
+                cls = OpClass.DIV
+            else:
+                cls = OpClass.ALU
+            return ctx.dag.add(cls, preds)
+        raise ParseError(f"unsupported expression node {type(expr).__name__}")
+
+    def _eval_name(self, name: ast.Name, ctx: _RegionCtx) -> Optional[int]:
+        symbol = self._resolve(name.ident)
+        if symbol.kind is SymKind.SUBPROGRAM:
+            args = (name.index,) if name.index is not None else ()
+            return self._eval_call(name.ident, args, ctx, name.line)
+        index_op = None
+        if name.index is not None:
+            index_op = self._eval(name.index, ctx)
+        if symbol.kind in (SymKind.LOOP_VAR, SymKind.CONSTANT):
+            return index_op  # folded into addressing/immediates
+        preds: Tuple[int, ...] = ()
+        deps = [p for p in (index_op, ctx.last_write.get(symbol.name)) if p is not None]
+        preds = tuple(deps)
+        if symbol.kind is SymKind.LOCAL:
+            return ctx.dag.add(OpClass.MEM, preds)
+        # specification-level object: a channel access
+        op = ctx.dag.add(OpClass.ACCESS, preds, access=symbol.name)
+        self._record(symbol, AccessKind.READ, ctx)
+        return op
+
+    def _eval_call(
+        self,
+        func: str,
+        args: Tuple[ast.Expr, ...],
+        ctx: _RegionCtx,
+        line: int,
+    ) -> int:
+        symbol = self._resolve(func)
+        if symbol.kind is not SymKind.SUBPROGRAM:
+            raise ParseError(
+                f"{func!r} is not callable (resolved to {symbol.kind.value})",
+                line,
+            )
+        arg_ops = tuple(
+            op for op in (self._eval(a, ctx) for a in args) if op is not None
+        )
+        op = ctx.dag.add(OpClass.ACCESS, arg_ops, access=symbol.name)
+        self._record(symbol, AccessKind.CALL, ctx)
+        return op
+
+    # ------------------------------------------------------------------
+    # statements
+
+    def _walk_stmts(self, stmts, ctx: _RegionCtx) -> None:
+        for stmt in stmts:
+            self._walk_stmt(stmt, ctx)
+
+    def _walk_stmt(self, stmt: ast.Stmt, ctx: _RegionCtx) -> None:
+        if isinstance(stmt, (ast.Assign, ast.SignalAssign)):
+            value_op = self._eval(stmt.value, ctx)
+            self._assign(stmt.target, value_op, ctx)
+            return
+        if isinstance(stmt, ast.ProcCall):
+            self._eval_call(stmt.name, stmt.args, ctx, stmt.line)
+            return
+        if isinstance(stmt, ast.If):
+            self._walk_if(stmt, ctx)
+            return
+        if isinstance(stmt, ast.For):
+            self._walk_for(stmt, ctx)
+            return
+        if isinstance(stmt, ast.While):
+            self._walk_while(stmt, ctx)
+            return
+        if isinstance(stmt, ast.Fork):
+            self._walk_fork(stmt, ctx)
+            return
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._eval(stmt.value, ctx)
+            return
+        if isinstance(stmt, (ast.Wait, ast.Null)):
+            return
+        raise ParseError(f"unsupported statement {type(stmt).__name__}")
+
+    def _assign(
+        self, target: ast.Name, value_op: Optional[int], ctx: _RegionCtx
+    ) -> None:
+        symbol = self._resolve(target.ident)
+        index_op = None
+        if target.index is not None:
+            index_op = self._eval(target.index, ctx)
+        preds = tuple(p for p in (value_op, index_op) if p is not None)
+        if symbol.kind is SymKind.LOCAL:
+            op = ctx.dag.add(OpClass.MEM, preds)
+            ctx.last_write[symbol.name] = op
+            return
+        if symbol.kind in (SymKind.GLOBAL_VAR, SymKind.PORT):
+            op = ctx.dag.add(OpClass.ACCESS, preds, access=symbol.name)
+            ctx.last_write[symbol.name] = op
+            self._record(symbol, AccessKind.WRITE, ctx)
+            return
+        raise ParseError(
+            f"cannot assign to {target.ident!r} "
+            f"(resolved to {symbol.kind.value})",
+            target.line,
+        )
+
+    def _walk_if(self, stmt: ast.If, ctx: _RegionCtx) -> None:
+        if_id = f"if{self._if_count}"
+        self._if_count += 1
+        has_else = stmt.else_body is not None
+        arm_count = len(stmt.arms) + (1 if has_else else 0)
+        for arm in stmt.arms:
+            cond_op = self._eval(arm.condition, ctx)
+            ctx.dag.add(
+                OpClass.BRANCH, () if cond_op is None else (cond_op,)
+            )
+        bodies = [(idx, arm.body) for idx, arm in enumerate(stmt.arms)]
+        if has_else:
+            bodies.append((len(stmt.arms), stmt.else_body))
+        for idx, body in bodies:
+            prob = self.profile.arm_probability(
+                self.info.name, if_id, idx, arm_count, has_else
+            )
+            if prob == 0.0:
+                continue
+            arm_ctx = self._new_region(
+                ctx.avg * prob,
+                0.0,                      # a branch may never be taken
+                ctx.high,                 # ...or taken every time
+                f"{if_id}.arm{idx}",
+            )
+            self._walk_stmts(body, arm_ctx)
+
+    def _static_trips(self, stmt: ast.For) -> Optional[float]:
+        first = _const_eval(stmt.low)
+        second = _const_eval(stmt.high)
+        if first is None or second is None:
+            return None
+        # bounds are stored in written order: `10 downto 1` iterates
+        # downward, `1 to 10` upward; a backwards range is null (0 trips)
+        if stmt.downto:
+            return float(max(0, first - second + 1))
+        return float(max(0, second - first + 1))
+
+    def _walk_for(self, stmt: ast.For, ctx: _RegionCtx) -> None:
+        for_id = f"for{self._for_count}"
+        self._for_count += 1
+        static = self._static_trips(stmt)
+        trips = self.profile.for_trips(self.info.name, for_id, static)
+        # non-constant bounds still cost their evaluation, once
+        if static is None:
+            self._eval(stmt.low, ctx)
+            self._eval(stmt.high, ctx)
+        body_ctx = self._new_region(
+            ctx.avg * trips, ctx.low * trips, ctx.high * trips, for_id
+        )
+        # per-iteration loop overhead: index increment + bound test/branch
+        inc = body_ctx.dag.add(OpClass.ALU)
+        body_ctx.dag.add(OpClass.BRANCH, (inc,))
+        self._loop_vars.append(stmt.var)
+        try:
+            self._walk_stmts(stmt.body, body_ctx)
+        finally:
+            self._loop_vars.pop()
+
+    def _walk_fork(self, stmt: ast.Fork, ctx: _RegionCtx) -> None:
+        """Section 2.3: calls between fork and join share a concurrency
+        tag — "same-source channels with the same tag could be accessed
+        concurrently"."""
+        tag = f"{self.info.name}.fork{self._fork_count}"
+        self._fork_count += 1
+        previous = self._fork_tag
+        self._fork_tag = tag
+        try:
+            for call in stmt.calls:
+                self._eval_call(call.name, call.args, ctx, call.line)
+        finally:
+            self._fork_tag = previous
+
+    def _walk_while(self, stmt: ast.While, ctx: _RegionCtx) -> None:
+        while_id = f"while{self._while_count}"
+        self._while_count += 1
+        trips = self.profile.while_trips(self.info.name, while_id)
+        body_ctx = self._new_region(
+            ctx.avg * trips,
+            0.0,                          # a while loop may run zero times
+            ctx.high * max(trips, 1.0),
+            while_id,
+        )
+        cond_op = self._eval(stmt.condition, body_ctx)
+        body_ctx.dag.add(OpClass.BRANCH, () if cond_op is None else (cond_op,))
+        self._walk_stmts(stmt.body, body_ctx)
+
+
+def _const_eval(expr: ast.Expr) -> Optional[int]:
+    """Fold literal-only arithmetic; ``None`` when not static."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        inner = _const_eval(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "+":
+            return inner
+        if expr.op == "abs":
+            return abs(inner)
+        return None
+    if isinstance(expr, ast.Binary):
+        left = _const_eval(expr.left)
+        right = _const_eval(expr.right)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/" and right != 0:
+            return left // right
+    return None
+
+
+# ---------------------------------------------------------------------------
+# graph assembly
+
+
+def build_slif(
+    program: Program,
+    name: str = "slif",
+    profile: Optional[BranchProfile] = None,
+) -> Slif:
+    """Assemble the SLIF access graph for an analyzed program."""
+    profile = profile or BranchProfile()
+    slif = Slif(name)
+
+    for info in program.behaviors.values():
+        slif.add_behavior(
+            Behavior(
+                info.name,
+                is_process=info.is_process,
+                parameter_bits=info.param_bits,
+                source_ref=f"{program.spec.entity}:{info.decl.line}",
+            )
+        )
+    for symbol in program.globals.values():
+        slif.add_variable(
+            Variable(
+                symbol.name,
+                bits=symbol.bits,
+                elements=symbol.elements,
+                concurrent=symbol.is_signal,
+            )
+        )
+    for symbol in program.ports.values():
+        slif.add_port(
+            Port(symbol.name, PortDirection(symbol.direction), symbol.bits)
+        )
+
+    for info in program.behaviors.values():
+        walker = _BehaviorWalker(program, info, profile)
+        walker.walk()
+        behavior = slif.get_behavior(info.name)
+        behavior.op_profile = walker.op_profile
+        for dst, totals in walker.accesses.items():
+            node = slif.get_node(dst)
+            bits = node.access_bits
+            slif.add_channel(
+                Channel(
+                    channel_name(info.name, dst),
+                    info.name,
+                    dst,
+                    totals.kind,
+                    accfreq=totals.avg,
+                    accmin=min(totals.low, totals.avg),
+                    accmax=max(totals.high, totals.avg),
+                    bits=bits,
+                    tag=totals.tag,
+                )
+            )
+    return slif
+
+
+def build_slif_from_source(
+    source: str,
+    name: str = "slif",
+    profile: Optional[BranchProfile] = None,
+    granularity: "Granularity" = None,
+) -> Slif:
+    """Parse, analyze and build in one call (the T-slif pipeline).
+
+    ``granularity`` selects how coarse the behavior nodes are:
+    :attr:`~repro.vhdl.granularity.Granularity.BEHAVIOR` (default) keeps
+    processes and procedures; ``BASIC_BLOCK`` additionally extracts each
+    process basic block into its own pseudo-procedure (Section 2.2's
+    finer-granularity option).
+    """
+    from repro.vhdl.granularity import Granularity, split_basic_blocks
+
+    spec = parse_source(source)
+    if granularity is Granularity.BASIC_BLOCK:
+        spec, profile = split_basic_blocks(spec, profile)
+    program = analyze(spec)
+    return build_slif(program, name=name, profile=profile)

@@ -1,0 +1,58 @@
+"""Builders shared by test modules (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.core import Slif, SlifBuilder
+from repro.core.partition import Partition, single_bus_partition
+
+
+def build_demo_graph() -> Slif:
+    """A small annotated system used across the unit tests.
+
+    One process calling one procedure, one shared buffer, a flag, two
+    ports; a CPU, an ASIC, a memory and one 16-wire bus.
+    """
+    return (
+        SlifBuilder("demo")
+        .process("Main", ict={"proc": 50.0, "asic": 8.0}, size={"proc": 120, "asic": 900, "mem": 0})
+        .procedure(
+            "Sub",
+            ict={"proc": 20.0, "asic": 3.0},
+            size={"proc": 60, "asic": 400, "mem": 0},
+            parameter_bits=8,
+        )
+        .variable(
+            "buf",
+            bits=8,
+            elements=64,
+            ict={"proc": 0.2, "asic": 0.05, "mem": 0.2},
+            size={"proc": 64, "asic": 768, "mem": 32},
+        )
+        .variable(
+            "flag",
+            bits=1,
+            ict={"proc": 0.2, "asic": 0.05, "mem": 0.2},
+            size={"proc": 1, "asic": 2, "mem": 1},
+        )
+        .port("in1", "in", 8)
+        .port("out1", "out", 8)
+        .call("Main", "Sub", freq=2)
+        .read("Main", "in1", freq=1)
+        .write("Main", "out1", freq=1)
+        .read("Sub", "buf", freq=64)
+        .write("Main", "flag", freq=3)
+        .processor("CPU", "proc", size_constraint=500, io_constraint=64)
+        .asic("HW", "asic", size_constraint=2000, io_constraint=100)
+        .memory("RAM", "mem", size_constraint=256)
+        .bus("sysbus", bitwidth=16, ts=0.1, td=1.0)
+        .build()
+    )
+
+
+def build_demo_partition(slif: Slif, sub_on: str = "CPU") -> Partition:
+    """All objects on the CPU except ``Sub`` (and buf on RAM)."""
+    return single_bus_partition(
+        slif,
+        {"Main": "CPU", "Sub": sub_on, "buf": "RAM", "flag": "CPU"},
+        name="demo",
+    )

@@ -1,0 +1,153 @@
+"""Unit tests for the CDFG and ADD comparison-format builders."""
+
+import pytest
+
+from repro.cdfg.add import AddNodeKind, build_add
+from repro.cdfg.cdfg import CdfgEdgeKind, CdfgNodeKind, build_cdfg
+from repro.cdfg.stats import (
+    FormatStats,
+    compare_formats_from_source,
+    render_comparison,
+)
+from repro.vhdl.parser import parse_source
+from repro.vhdl.semantics import analyze
+
+SIMPLE = """
+entity E is
+    port ( a : in integer; b : out integer );
+end;
+
+Main: process
+    variable v : integer;
+begin
+    v := a + 1;
+    if (v > 3) then
+        v := v * 2;
+    else
+        v := 0;
+    end if;
+    for i in 1 to 8 loop
+        v := v + i;
+    end loop;
+    b <= v;
+    wait;
+end process;
+"""
+
+
+@pytest.fixture
+def program():
+    return analyze(parse_source(SIMPLE))
+
+
+class TestCdfg:
+    def test_every_operation_is_a_node(self, program):
+        cdfg = build_cdfg(program)
+        counts = cdfg.node_counts()
+        assert counts[CdfgNodeKind.OP] >= 4       # +, >, *, + (+ loop bookkeeping)
+        assert counts[CdfgNodeKind.READ] >= 5
+        assert counts[CdfgNodeKind.WRITE] >= 4
+        assert counts[CdfgNodeKind.CONST] >= 4
+
+    def test_control_structure_nodes(self, program):
+        counts = build_cdfg(program).node_counts()
+        assert counts[CdfgNodeKind.BRANCH] == 1
+        assert counts[CdfgNodeKind.JOIN] == 1
+        assert counts[CdfgNodeKind.LOOP_ENTRY] == 1
+        assert counts[CdfgNodeKind.LOOP_EXIT] == 1
+        assert counts[CdfgNodeKind.START] == 1
+
+    def test_statement_anchors_chain(self, program):
+        cdfg = build_cdfg(program)
+        counts = cdfg.node_counts()
+        # v:=, v:=, v:=, v:= (loop body), b<= : five assignments
+        assert counts[CdfgNodeKind.STATEMENT] == 5
+
+    def test_loop_bookkeeping_expanded(self, program):
+        cdfg = build_cdfg(program)
+        # the for loop contributes index init/increment/test dataflow
+        labels = [n.label for n in cdfg.nodes if n.kind is CdfgNodeKind.WRITE]
+        assert labels.count("i") == 2  # init + increment writes
+
+    def test_edges_are_data_and_control(self, program):
+        cdfg = build_cdfg(program)
+        kinds = {e.kind for e in cdfg.edges}
+        assert kinds == {CdfgEdgeKind.DATA, CdfgEdgeKind.CONTROL}
+
+    def test_elsif_chain_desugars_to_nested_branches(self):
+        program = analyze(
+            parse_source(
+                """entity E is end;
+                Main: process
+                    variable v : integer;
+                begin
+                    if (v = 1) then
+                        v := 1;
+                    elsif (v = 2) then
+                        v := 2;
+                    elsif (v = 3) then
+                        v := 3;
+                    end if;
+                    wait;
+                end process;"""
+            )
+        )
+        counts = build_cdfg(program).node_counts()
+        assert counts[CdfgNodeKind.BRANCH] == 3
+        assert counts[CdfgNodeKind.JOIN] == 3
+
+    def test_call_parameters_are_copy_nodes(self):
+        program = analyze(
+            parse_source(
+                """entity E is end;
+                Main: process begin
+                    P(1, 2, 3);
+                    wait;
+                end process;
+                procedure P(a, b, c : in integer) is
+                    variable t : integer;
+                begin
+                    t := a;
+                end;"""
+            )
+        )
+        counts = build_cdfg(program).node_counts()
+        assert counts[CdfgNodeKind.PARAM] == 3
+
+
+class TestAdd:
+    def test_variable_node_per_target(self, program):
+        add = build_add(program)
+        counts = add.node_counts()
+        # targets in Main: v, i is loop bookkeeping (not assigned), b
+        assert counts[AddNodeKind.VARIABLE] == 2
+
+    def test_guarded_assignments_get_decisions(self, program):
+        counts = build_add(program).node_counts()
+        # v:=v*2 (if), v:=0 (else), v:=v+i (for) are guarded;
+        # v:=a+1 and b<=v are not
+        assert counts[AddNodeKind.DECISION] == 3
+
+    def test_every_assignment_gets_a_value_node(self, program):
+        counts = build_add(program).node_counts()
+        assert counts[AddNodeKind.VALUE] == 5
+
+    def test_no_control_sequencing(self, program):
+        # ADDs have no statement ordering: all structure is guards
+        add = build_add(program)
+        kinds = {n.kind for n in add.nodes}
+        assert AddNodeKind.GUARD in kinds
+
+
+class TestComparison:
+    def test_ordering_slif_smallest(self):
+        stats = {s.format: s for s in compare_formats_from_source(SIMPLE)}
+        assert stats["slif-ag"].nodes < stats["add"].nodes < stats["cdfg"].nodes
+
+    def test_n_squared(self):
+        s = FormatStats("x", nodes=35, edges=56)
+        assert s.n_squared == 1225  # the paper's SLIF figure
+
+    def test_render_table(self):
+        text = render_comparison(compare_formats_from_source(SIMPLE))
+        assert "slif-ag" in text and "cdfg" in text and "n^2" in text

@@ -1,0 +1,143 @@
+"""Unit tests for the fluent SlifBuilder."""
+
+import pytest
+
+from repro.core import AccessKind, SlifBuilder
+from repro.errors import SlifError
+
+
+def test_quickstart_chain_builds():
+    g = (
+        SlifBuilder("t")
+        .process("P", ict={"proc": 1}, size={"proc": 1})
+        .variable("v", bits=8)
+        .read("P", "v", freq=3)
+        .processor("CPU")
+        .bus("b")
+        .build()
+    )
+    assert g.num_bv == 2
+    assert g.channels["P->v"].accfreq == 3
+
+
+def test_default_bits_from_target():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .variable("arr", bits=8, elements=128)
+        .read("P", "arr")
+        .build()
+    )
+    assert g.channels["P->arr"].bits == 15  # 8 data + 7 address
+
+
+def test_explicit_bits_override():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .variable("v", bits=32)
+        .read("P", "v", bits=8)
+        .build()
+    )
+    assert g.channels["P->v"].bits == 8
+
+
+def test_call_bits_are_parameter_bits():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .procedure("f", parameter_bits=24)
+        .call("P", "f")
+        .build()
+    )
+    ch = g.channels["P->f"]
+    assert ch.kind is AccessKind.CALL
+    assert ch.bits == 24
+
+
+def test_message_channel():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .process("Q")
+        .message("P", "Q", bits=64)
+        .build()
+    )
+    assert g.channels["P->Q"].kind is AccessKind.MESSAGE
+    assert g.channels["P->Q"].bits == 64
+
+
+def test_min_max_frequencies():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .variable("v")
+        .read("P", "v", freq=5, accmin=1, accmax=9)
+        .build()
+    )
+    ch = g.channels["P->v"]
+    assert (ch.accmin, ch.accfreq, ch.accmax) == (1, 5, 9)
+
+
+def test_tags():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .variable("a")
+        .variable("b")
+        .read("P", "a", tag="t0")
+        .read("P", "b", tag="t0")
+        .build()
+    )
+    assert g.channels["P->a"].tag == g.channels["P->b"].tag == "t0"
+
+
+def test_component_kinds():
+    g = (
+        SlifBuilder()
+        .process("P")
+        .processor("CPU", "proc")
+        .asic("HW", "asic", size_constraint=1000, io_constraint=50)
+        .memory("RAM", "mem", size_constraint=64)
+        .bus("b", bitwidth=8, ts=0.2, td=2.0)
+        .build()
+    )
+    assert g.processors["CPU"].is_standard
+    assert g.processors["HW"].is_custom
+    assert g.memories["RAM"].size_constraint == 64
+    assert g.buses["b"].bitwidth == 8
+
+
+def test_custom_technology_registration():
+    from repro.core.components import Technology, TechnologyKind
+
+    tech = Technology("fpga", TechnologyKind.CUSTOM_PROCESSOR, "CLBs")
+    g = SlifBuilder().technology(tech).process("P").asic("F", "fpga").build()
+    assert g.processors["F"].technology.size_unit == "CLBs"
+
+
+def test_validating_build_rejects_missing_weights():
+    b = (
+        SlifBuilder()
+        .process("P")  # no weights at all
+        .processor("CPU", "proc")
+        .bus("b")
+    )
+    with pytest.raises(SlifError, match="missing-ict"):
+        b.build(validate=True)
+
+
+def test_validating_build_accepts_complete():
+    g = (
+        SlifBuilder()
+        .process("P", ict={"proc": 1}, size={"proc": 2})
+        .processor("CPU", "proc")
+        .bus("b")
+        .build(validate=True)
+    )
+    assert g.num_behaviors == 1
+
+
+def test_slif_property_exposes_graph_mid_build():
+    b = SlifBuilder().process("P")
+    assert b.slif.num_behaviors == 1

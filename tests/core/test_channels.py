@@ -1,0 +1,60 @@
+"""Unit tests for channels and access-frequency modes."""
+
+import pytest
+
+from repro.core.channels import AccessKind, Channel, FreqMode, channel_name
+
+
+class TestChannel:
+    def test_defaults_fill_min_max(self):
+        c = Channel("a->b", "a", "b", accfreq=5.0)
+        assert c.accmin == 5.0
+        assert c.accmax == 5.0
+
+    def test_explicit_min_max(self):
+        c = Channel("a->b", "a", "b", accfreq=5.0, accmin=1.0, accmax=9.0)
+        assert c.frequency(FreqMode.MIN) == 1.0
+        assert c.frequency(FreqMode.AVG) == 5.0
+        assert c.frequency(FreqMode.MAX) == 9.0
+
+    def test_inconsistent_min_max_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("a->b", "a", "b", accfreq=5.0, accmin=6.0)
+        with pytest.raises(ValueError):
+            Channel("a->b", "a", "b", accfreq=5.0, accmax=4.0)
+
+    def test_kind_coercion_from_string(self):
+        assert Channel("a->b", "a", "b", "call").kind is AccessKind.CALL
+
+    def test_is_call(self):
+        assert Channel("a->b", "a", "b", AccessKind.CALL).is_call
+        assert not Channel("a->b", "a", "b", AccessKind.READ).is_call
+
+    def test_is_message(self):
+        assert Channel("a->b", "a", "b", AccessKind.MESSAGE).is_message
+
+    def test_negative_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("a->b", "a", "b", accfreq=-1.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("a->b", "a", "b", bits=-1)
+
+    def test_zero_bits_allowed_for_calls(self):
+        # a parameterless call transfers no data
+        assert Channel("a->b", "a", "b", AccessKind.CALL, bits=0).bits == 0
+
+    def test_empty_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            Channel("x", "", "b")
+        with pytest.raises(ValueError):
+            Channel("x", "a", "")
+
+    def test_str_shows_annotations(self):
+        text = str(Channel("a->b", "a", "b", accfreq=65, bits=15))
+        assert "65" in text and "15" in text
+
+
+def test_channel_name_is_canonical():
+    assert channel_name("FuzzyMain", "in1val") == "FuzzyMain->in1val"

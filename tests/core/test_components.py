@@ -1,0 +1,82 @@
+"""Unit tests for processors, memories, buses and technologies."""
+
+import pytest
+
+from repro.core.components import (
+    Bus,
+    Memory,
+    Processor,
+    Technology,
+    TechnologyKind,
+    custom_processor_technology,
+    memory_technology,
+    standard_processor_technology,
+)
+
+
+class TestTechnology:
+    def test_kind_predicates(self):
+        assert standard_processor_technology().is_software
+        assert custom_processor_technology().is_hardware
+        assert memory_technology().is_memory
+
+    def test_names_default(self):
+        assert standard_processor_technology().name == "proc"
+        assert custom_processor_technology().name == "asic"
+        assert memory_technology().name == "mem"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Technology("", TechnologyKind.MEMORY)
+
+
+class TestProcessor:
+    def test_standard_vs_custom(self):
+        p = Processor("CPU", standard_processor_technology())
+        a = Processor("HW", custom_processor_technology())
+        assert p.is_standard and not p.is_custom
+        assert a.is_custom and not a.is_standard
+
+    def test_memory_technology_rejected(self):
+        with pytest.raises(ValueError):
+            Processor("P", memory_technology())
+
+    def test_negative_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            Processor("P", standard_processor_technology(), size_constraint=-1)
+        with pytest.raises(ValueError):
+            Processor("P", standard_processor_technology(), io_constraint=-1)
+
+    def test_unconstrained_by_default(self):
+        p = Processor("P", standard_processor_technology())
+        assert p.size_constraint is None
+        assert p.io_constraint is None
+
+
+class TestMemory:
+    def test_requires_memory_technology(self):
+        with pytest.raises(ValueError):
+            Memory("M", standard_processor_technology())
+
+    def test_valid(self):
+        m = Memory("M", memory_technology(), size_constraint=1024)
+        assert m.size_constraint == 1024
+
+
+class TestBus:
+    def test_transfer_time_selects_ts_td(self):
+        b = Bus("b", bitwidth=16, ts=0.1, td=1.0)
+        assert b.transfer_time(same_component=True) == 0.1
+        assert b.transfer_time(same_component=False) == 1.0
+
+    def test_td_usually_larger_is_not_enforced(self):
+        # the paper says td is *usually* larger; it is not a rule
+        Bus("b", ts=2.0, td=1.0)
+
+    def test_invalid_bitwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Bus("b", bitwidth=0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            Bus("b", ts=-0.1)

@@ -1,0 +1,48 @@
+"""Unit tests for DOT export."""
+
+from repro.core.dot import to_dot
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+def test_dot_contains_all_nodes_and_edges():
+    g = build_demo_graph()
+    text = to_dot(g)
+    for name in list(g.behaviors) + list(g.variables) + list(g.ports):
+        assert f'"{name}"' in text
+    assert text.count("->") >= g.num_channels
+
+
+def test_dot_marks_processes_bold():
+    text = to_dot(build_demo_graph())
+    main_line = [l for l in text.splitlines() if l.strip().startswith('"Main"')][0]
+    assert "penwidth=2" in main_line
+
+
+def test_dot_annotations_optional():
+    g = build_demo_graph()
+    assert "f=" in to_dot(g, annotate=True)
+    assert "f=" not in to_dot(g, annotate=False)
+
+
+def test_dot_with_partition_clusters():
+    g = build_demo_graph()
+    p = build_demo_partition(g, sub_on="HW")
+    text = to_dot(g, p)
+    assert "subgraph cluster_" in text
+    assert '"CPU"' in text and '"HW"' in text and '"RAM"' in text
+
+
+def test_dot_is_well_formed():
+    text = to_dot(build_demo_graph())
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    assert text.count("{") == text.count("}")
+
+
+def test_dot_quotes_odd_names():
+    from repro.core import SlifBuilder
+
+    g = SlifBuilder('odd').process('has"quote').build()
+    text = to_dot(g)
+    assert '\\"' in text

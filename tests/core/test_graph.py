@@ -1,0 +1,184 @@
+"""Unit tests for the Slif access-graph container."""
+
+import pytest
+
+from repro.core.channels import AccessKind, Channel
+from repro.core.graph import Slif
+from repro.core.nodes import Behavior, Port, Variable
+from repro.errors import SlifNameError
+
+
+def small_graph() -> Slif:
+    g = Slif("g")
+    g.add_behavior(Behavior("P", is_process=True))
+    g.add_behavior(Behavior("f"))
+    g.add_variable(Variable("v", bits=8))
+    g.add_port(Port("io", "in", 8))
+    g.add_channel(Channel("P->f", "P", "f", AccessKind.CALL, accfreq=2))
+    g.add_channel(Channel("f->v", "f", "v", AccessKind.READ, accfreq=3))
+    g.add_channel(Channel("P->io", "P", "io", AccessKind.READ))
+    return g
+
+
+class TestInsertion:
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_behaviors == 2
+        assert g.num_variables == 1
+        assert g.num_bv == 3
+        assert g.num_ports == 1
+        assert g.num_channels == 3
+
+    def test_duplicate_node_name_rejected_across_kinds(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.add_variable(Variable("P"))
+        with pytest.raises(SlifNameError):
+            g.add_behavior(Behavior("v"))
+        with pytest.raises(SlifNameError):
+            g.add_port(Port("f"))
+
+    def test_channel_requires_behavior_source(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.add_channel(Channel("v->f", "v", "f"))
+
+    def test_channel_requires_existing_dst(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.add_channel(Channel("P->ghost", "P", "ghost"))
+
+    def test_duplicate_channel_rejected(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.add_channel(Channel("P->f", "P", "f"))
+
+    def test_component_name_collision(self):
+        from repro.core.components import Memory, Processor, memory_technology, standard_processor_technology
+
+        g = small_graph()
+        g.add_processor(Processor("X", standard_processor_technology()))
+        with pytest.raises(SlifNameError):
+            g.add_memory(Memory("X", memory_technology()))
+
+
+class TestFoldAccess:
+    def test_new_access_creates_channel(self):
+        g = small_graph()
+        ch = g.fold_access("P", "v", AccessKind.WRITE, freq=1, bits=8)
+        assert ch.name == "P->v"
+        assert g.num_channels == 4
+
+    def test_repeated_access_folds_frequency(self):
+        g = small_graph()
+        g.fold_access("P", "v", AccessKind.WRITE, freq=1, bits=8)
+        ch = g.fold_access("P", "v", AccessKind.WRITE, freq=2, bits=8)
+        assert ch.accfreq == 3
+        assert g.num_channels == 4  # still one edge per (src, dst)
+
+    def test_mixed_read_write_degrades_to_rw(self):
+        g = small_graph()
+        g.fold_access("P", "v", AccessKind.WRITE, freq=1, bits=8)
+        ch = g.fold_access("P", "v", AccessKind.READ, freq=1, bits=8)
+        assert ch.kind is AccessKind.READ_WRITE
+
+    def test_bits_take_maximum(self):
+        g = small_graph()
+        g.fold_access("P", "v", AccessKind.WRITE, freq=1, bits=8)
+        ch = g.fold_access("P", "v", AccessKind.WRITE, freq=1, bits=16)
+        assert ch.bits == 16
+
+
+class TestTraversal:
+    def test_out_channels(self):
+        g = small_graph()
+        assert {c.dst for c in g.out_channels("P")} == {"f", "io"}
+
+    def test_in_channels(self):
+        g = small_graph()
+        assert [c.src for c in g.in_channels("v")] == ["f"]
+
+    def test_callers_of(self):
+        g = small_graph()
+        assert g.callers_of("f") == ["P"]
+
+    def test_processes(self):
+        g = small_graph()
+        assert [p.name for p in g.processes()] == ["P"]
+
+    def test_unknown_names_raise(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.out_channels("nope")
+        with pytest.raises(SlifNameError):
+            g.get_node("nope")
+        with pytest.raises(SlifNameError):
+            g.get_behavior("v")
+
+
+class TestRemoval:
+    def test_remove_channel_detaches(self):
+        g = small_graph()
+        g.remove_channel("f->v")
+        assert g.num_channels == 2
+        assert g.in_channels("v") == []
+
+    def test_remove_node_requires_detached(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.remove_node("f")
+        g.remove_channel("P->f")
+        g.remove_channel("f->v")
+        g.remove_node("f")
+        assert g.num_behaviors == 1
+
+    def test_remove_unknown_raises(self):
+        g = small_graph()
+        with pytest.raises(SlifNameError):
+            g.remove_channel("nope")
+
+
+class TestCycles:
+    def test_acyclic_has_no_cycle(self):
+        assert small_graph().find_call_cycle() is None
+
+    def test_direct_recursion_found(self):
+        g = small_graph()
+        g.add_channel(Channel("f->f", "f", "f", AccessKind.CALL))
+        cycle = g.find_call_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1] == "f"
+
+    def test_mutual_recursion_found(self):
+        g = small_graph()
+        g.add_behavior(Behavior("h"))
+        g.add_channel(Channel("f->h", "f", "h", AccessKind.CALL))
+        g.add_channel(Channel("h->f", "h", "f", AccessKind.CALL))
+        cycle = g.find_call_cycle()
+        assert cycle is not None
+        assert set(cycle) >= {"f", "h"}
+
+    def test_variable_edges_do_not_form_cycles(self):
+        # f reads v and P writes v: not recursion (edges point at v)
+        g = small_graph()
+        g.fold_access("P", "v", AccessKind.WRITE)
+        assert g.find_call_cycle() is None
+
+
+class TestCopy:
+    def test_copy_is_deep_for_weights(self):
+        g = small_graph()
+        g.behaviors["f"].ict.set("proc", 5.0)
+        clone = g.copy()
+        clone.behaviors["f"].ict.set("proc", 99.0)
+        assert g.behaviors["f"].ict["proc"] == 5.0
+
+    def test_copy_preserves_stats(self):
+        g = small_graph()
+        assert g.copy().stats() == g.stats()
+
+    def test_copy_channels_independent(self):
+        g = small_graph()
+        clone = g.copy()
+        clone.channels["P->f"].accfreq = 99
+        assert g.channels["P->f"].accfreq == 2

@@ -1,0 +1,81 @@
+"""Unit tests for behavior, variable and port nodes."""
+
+import pytest
+
+from repro.core.nodes import Behavior, NodeKind, Port, PortDirection, Variable
+
+
+class TestBehavior:
+    def test_defaults(self):
+        b = Behavior("f")
+        assert not b.is_process
+        assert b.parameter_bits == 0
+        assert b.kind is NodeKind.BEHAVIOR
+
+    def test_process_flag(self):
+        assert Behavior("p", is_process=True).is_process
+
+    def test_weights_from_dicts(self):
+        b = Behavior("f", ict={"proc": 5.0}, size={"proc": 10.0})
+        assert b.ict["proc"] == 5.0
+        assert b.size["proc"] == 10.0
+
+    def test_access_bits_is_parameter_bits(self):
+        assert Behavior("f", parameter_bits=24).access_bits == 24
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Behavior("")
+
+    def test_negative_parameter_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Behavior("f", parameter_bits=-1)
+
+    def test_str_mentions_flavor(self):
+        assert "process" in str(Behavior("p", is_process=True))
+        assert "procedure" in str(Behavior("q"))
+
+
+class TestVariable:
+    def test_scalar_access_bits(self):
+        assert Variable("v", bits=8).access_bits == 8
+
+    def test_array_access_bits_adds_address(self):
+        # Section 2.4.1 / Figure 3: 8 data bits + 7 address bits
+        v = Variable("mr1", bits=8, elements=128)
+        assert v.access_bits == 15
+
+    def test_total_bits(self):
+        assert Variable("v", bits=8, elements=64).total_bits == 512
+
+    def test_is_array(self):
+        assert Variable("v", elements=2).is_array
+        assert not Variable("v").is_array
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("v", bits=0)
+        with pytest.raises(ValueError):
+            Variable("v", elements=0)
+
+    def test_kind(self):
+        assert Variable("v").kind is NodeKind.VARIABLE
+
+
+class TestPort:
+    def test_direction_coercion(self):
+        assert Port("p", "out").direction is PortDirection.OUT
+
+    def test_access_bits(self):
+        assert Port("p", bits=12).access_bits == 12
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Port("p", "sideways")
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Port("p", bits=0)
+
+    def test_kind(self):
+        assert Port("p").kind is NodeKind.PORT

@@ -1,0 +1,146 @@
+"""Unit tests for the .slif textual format."""
+
+import pytest
+
+from repro.core.textfmt import dumps, loads
+from repro.errors import ParseError
+
+from _helpers import build_demo_graph
+
+
+def test_round_trip_structure():
+    g = build_demo_graph()
+    g2 = loads(dumps(g))
+    assert g2.stats() == g.stats()
+    assert set(g2.channels) == set(g.channels)
+
+
+def test_round_trip_annotations():
+    g = build_demo_graph()
+    g2 = loads(dumps(g))
+    assert g2.behaviors["Main"].ict == g.behaviors["Main"].ict
+    assert g2.behaviors["Sub"].parameter_bits == 8
+    assert g2.variables["buf"].elements == 64
+    ch = g2.channels["Sub->buf"]
+    assert (ch.accfreq, ch.bits) == (64, 14)
+
+
+def test_round_trip_components():
+    g = build_demo_graph()
+    g2 = loads(dumps(g))
+    assert g2.processors["CPU"].size_constraint == 500
+    assert g2.processors["CPU"].io_constraint == 64
+    assert g2.memories["RAM"].technology.is_memory
+    assert g2.buses["sysbus"].bitwidth == 16
+
+
+def test_dumps_is_stable_fixed_point():
+    g = build_demo_graph()
+    text = dumps(g)
+    assert dumps(loads(text)) == text
+
+
+def test_comments_and_blanks_ignored():
+    text = "# header\nslif 1 t\n\n# a process\nprocess P  # trailing\n"
+    g = loads(text)
+    assert "P" in g.behaviors
+
+
+def test_minimal_document():
+    g = loads("slif 1 empty\n")
+    assert g.name == "empty"
+    assert g.num_bv == 0
+
+
+def test_missing_header_rejected():
+    with pytest.raises(ParseError, match="header"):
+        loads("process P\n")
+
+
+def test_unknown_declaration_rejected():
+    with pytest.raises(ParseError, match="widget"):
+        loads("slif 1 t\nwidget X\n")
+
+
+def test_channel_requires_freq_and_bits():
+    with pytest.raises(ParseError, match="freq"):
+        loads("slif 1 t\nprocess P\nvariable v bits 8\nchannel P -> v read\n")
+
+
+def test_channel_with_min_max_tag():
+    g = loads(
+        "slif 1 t\nprocess P\nvariable v bits 8\n"
+        "channel P -> v read freq 5 min 1 max 9 bits 8 tag t0\n"
+    )
+    ch = g.channels["P->v"]
+    assert (ch.accmin, ch.accfreq, ch.accmax, ch.tag) == (1, 5, 9, "t0")
+
+
+def test_bad_weight_entry_reports_line():
+    with pytest.raises(ParseError, match="line 2"):
+        loads("slif 1 t\nprocess P ict(proc)\n")
+
+
+def test_undeclared_technology_rejected():
+    with pytest.raises(ParseError, match="undeclared technology"):
+        loads("slif 1 t\nprocessor CPU proc\n")
+
+
+def test_variable_requires_bits():
+    with pytest.raises(ParseError, match="bits"):
+        loads("slif 1 t\nvariable v\n")
+
+
+def test_bad_access_kind_rejected():
+    with pytest.raises(ParseError, match="access kind"):
+        loads(
+            "slif 1 t\nprocess P\nvariable v bits 8\n"
+            "channel P -> v poke freq 1 bits 8\n"
+        )
+
+
+def test_constraint_syntax():
+    g = loads(
+        "slif 1 t\n"
+        "technology proc standard_processor bytes us\n"
+        "processor CPU proc size<=500 io<=40\n"
+    )
+    assert g.processors["CPU"].size_constraint == 500
+    assert g.processors["CPU"].io_constraint == 40
+
+
+def test_loaded_graph_estimable():
+    """A graph that went through text form still estimates identically."""
+    from repro.core.partition import single_bus_partition
+    from repro.estimate.exectime import execution_time
+
+    g = build_demo_graph()
+    g2 = loads(dumps(g))
+    mapping = {"Main": "CPU", "Sub": "HW", "buf": "RAM", "flag": "CPU"}
+    p1 = single_bus_partition(g, mapping)
+    p2 = single_bus_partition(g2, mapping)
+    assert execution_time(g2, p2, "Main") == pytest.approx(
+        execution_time(g, p1, "Main")
+    )
+
+
+def test_pair_times_round_trip():
+    from repro.core.components import Bus
+
+    g = build_demo_graph()
+    bus = g.buses["sysbus"]
+    g.buses["sysbus"] = Bus(
+        "sysbus", bus.bitwidth, bus.ts, bus.td,
+        {("proc", "mem"): 0.4, ("proc", "proc"): 0.05},
+    )
+    g2 = loads(dumps(g))
+    assert g2.buses["sysbus"].pair_times == {
+        ("mem", "proc"): 0.4,
+        ("proc", "proc"): 0.05,
+    }
+    assert dumps(loads(dumps(g))) == dumps(g)
+
+
+def test_malformed_pair_rejected():
+    with pytest.raises(ParseError, match="pair"):
+        loads("slif 1 t\nbus b width 8 pair nonsense\n")

@@ -1,0 +1,97 @@
+"""Unit tests for whole-graph validation."""
+
+import pytest
+
+from repro.core.channels import AccessKind, Channel
+from repro.core.nodes import Behavior, Variable
+from repro.core.validate import Severity, errors_only, validate_slif
+
+from _helpers import build_demo_graph
+
+
+def codes(issues):
+    return {i.code for i in issues}
+
+
+def test_demo_graph_is_clean():
+    assert validate_slif(build_demo_graph()) == []
+
+
+def test_recursion_reported():
+    g = build_demo_graph()
+    g.add_channel(Channel("Sub->Sub", "Sub", "Sub", AccessKind.CALL))
+    issues = validate_slif(g)
+    assert "recursion" in codes(issues)
+    assert any(i.severity is Severity.ERROR for i in issues)
+
+
+def test_call_to_process_reported():
+    g = build_demo_graph()
+    g.add_behavior(
+        Behavior("P2", is_process=True, ict={"proc": 1, "asic": 1}, size={"proc": 1, "asic": 1})
+    )
+    g.add_channel(Channel("Sub->P2", "Sub", "P2", AccessKind.CALL))
+    assert "call-target" in codes(validate_slif(g))
+
+
+def test_call_to_variable_reported():
+    g = build_demo_graph()
+    g.add_channel(Channel("Sub->flag", "Sub", "flag", AccessKind.CALL))
+    assert "call-target" in codes(validate_slif(g))
+
+
+def test_zero_frequency_warns():
+    g = build_demo_graph()
+    g.channels["Sub->buf"].accfreq = 0
+    g.channels["Sub->buf"].accmin = 0
+    g.channels["Sub->buf"].accmax = 0
+    issues = validate_slif(g)
+    assert "zero-freq" in codes(issues)
+    # warnings are not errors
+    assert "zero-freq" not in codes(errors_only(issues))
+
+
+def test_zero_bits_warns_for_non_calls():
+    g = build_demo_graph()
+    g.channels["Sub->buf"].bits = 0
+    assert "zero-bits" in codes(validate_slif(g))
+
+
+def test_zero_bits_fine_for_calls():
+    g = build_demo_graph()
+    g.channels["Main->Sub"].bits = 0
+    assert "zero-bits" not in codes(validate_slif(g))
+
+
+def test_missing_ict_weight_is_error():
+    g = build_demo_graph()
+    g.add_behavior(Behavior("Orphanless", ict={"proc": 1.0}, size={"proc": 1, "asic": 1}))
+    g.fold_access("Main", "Orphanless", AccessKind.CALL)
+    issues = errors_only(validate_slif(g))
+    assert any(i.code == "missing-ict" and "asic" in i.message for i in issues)
+
+
+def test_missing_variable_weight_is_error():
+    g = build_demo_graph()
+    g.add_variable(Variable("w", bits=4, ict={"proc": 0.1}, size={"proc": 1}))
+    g.fold_access("Main", "w", AccessKind.READ, bits=4)
+    issue_codes = codes(errors_only(validate_slif(g)))
+    assert "missing-ict" in issue_codes
+    assert "missing-size" in issue_codes
+
+
+def test_unreachable_object_warns():
+    g = build_demo_graph()
+    g.add_variable(
+        Variable("lonely", ict={"proc": 1, "asic": 1, "mem": 1}, size={"proc": 1, "asic": 1, "mem": 1})
+    )
+    issues = validate_slif(g)
+    assert "unreachable" in codes(issues)
+
+
+def test_issue_str_format():
+    g = build_demo_graph()
+    g.channels["Sub->buf"].bits = 0
+    issue = [i for i in validate_slif(g) if i.code == "zero-bits"][0]
+    assert "zero-bits" in str(issue)
+    assert "warning" in str(issue)

@@ -1,0 +1,100 @@
+"""Unit tests for bitrate estimation (Eqs. 2-3) and bus capacity."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimate.bitrate import (
+    all_bus_loads,
+    bus_bitrate,
+    bus_capacity,
+    bus_load,
+    channel_bitrate,
+)
+from repro.estimate.exectime import ExecTimeEstimator, execution_time
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+class TestChannelBitrate:
+    def test_matches_equation_2(self, g, p):
+        # ChanBitrate(c) = freq * bits / Exectime(src)
+        sub_time = execution_time(g, p, "Sub")
+        bits = g.channels["Sub->buf"].bits  # 8 data + 6 address = 14
+        expected = 64 * bits / sub_time
+        assert channel_bitrate(g, p, "Sub->buf") == pytest.approx(expected)
+
+    def test_zero_traffic_is_zero(self, g, p):
+        g.channels["Main->Sub"].bits = 0
+        assert channel_bitrate(g, p, "Main->Sub") == 0.0
+
+    def test_zero_time_source_raises(self, g, p):
+        # a behavior with zero ict and no transfers cannot form a rate
+        g.behaviors["Sub"].ict.set("proc", 0.0)
+        g.variables["buf"].ict.set("mem", 0.0)
+        g.buses["sysbus"].ts = 0.0
+        g.buses["sysbus"].td = 0.0
+        with pytest.raises(EstimationError, match="zero"):
+            channel_bitrate(g, p, "Sub->buf")
+
+    def test_shared_estimator_consistency(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        a = channel_bitrate(g, p, "Sub->buf", est)
+        b = channel_bitrate(g, p, "Sub->buf")
+        assert a == pytest.approx(b)
+
+
+class TestBusBitrate:
+    def test_sums_channel_bitrates(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        total = sum(
+            channel_bitrate(g, p, name, est) for name in g.channels
+        )
+        assert bus_bitrate(g, p, "sysbus", est) == pytest.approx(total)
+
+    def test_unknown_bus_raises(self, g, p):
+        with pytest.raises(EstimationError):
+            bus_bitrate(g, p, "ghostbus")
+
+
+class TestCapacity:
+    def test_worst_case_uses_td(self, g):
+        assert bus_capacity(g, "sysbus") == pytest.approx(16 / 1.0)
+
+    def test_best_case_uses_ts(self, g):
+        assert bus_capacity(g, "sysbus", worst_case=False) == pytest.approx(16 / 0.1)
+
+    def test_zero_time_is_infinite(self, g):
+        g.buses["sysbus"].td = 0.0
+        assert bus_capacity(g, "sysbus") == float("inf")
+
+
+class TestBusLoad:
+    def test_saturation_flag(self, g, p):
+        load = bus_load(g, p, "sysbus")
+        assert load.saturation == pytest.approx(load.demand / load.capacity)
+        assert load.saturated == (load.saturation > 1.0)
+
+    def test_effective_bitrate_capped(self, g, p):
+        load = bus_load(g, p, "sysbus")
+        assert load.effective_bitrate <= load.capacity
+
+    def test_all_bus_loads_covers_every_bus(self, g, p):
+        loads = all_bus_loads(g, p)
+        assert set(loads) == {"sysbus"}
+
+    def test_infinite_capacity_never_saturates(self, g, p):
+        g.buses["sysbus"].td = 0.0
+        g.buses["sysbus"].ts = 0.0
+        load = bus_load(g, p, "sysbus")
+        assert not load.saturated
+        assert load.saturation == 0.0

@@ -1,0 +1,73 @@
+"""Unit tests for execution-time breakdowns."""
+
+import pytest
+
+from repro.estimate.breakdown import system_breakdowns, time_breakdown
+from repro.estimate.exectime import execution_time
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+def test_shares_sum_exactly_to_eq1(g, p):
+    breakdown = time_breakdown(g, p, "Main")
+    assert breakdown.total == pytest.approx(execution_time(g, p, "Main"))
+
+
+def test_ict_component(g, p):
+    assert time_breakdown(g, p, "Main").ict == 50.0
+    p.move("Main", "HW")
+    assert time_breakdown(g, p, "Main").ict == 8.0
+
+
+def test_per_channel_attribution(g, p):
+    breakdown = time_breakdown(g, p, "Main")
+    by_name = {c.channel: c for c in breakdown.channels}
+    sub = by_name["Main->Sub"]
+    assert sub.accesses == 2
+    assert sub.transfer == pytest.approx(2 * 0.1)
+    assert sub.inside == pytest.approx(2 * (20 + 64 * 1.2))
+
+
+def test_hottest_sorted(g, p):
+    hottest = time_breakdown(g, p, "Main").hottest(2)
+    assert hottest[0].total >= hottest[1].total
+    assert hottest[0].channel == "Main->Sub"  # the call dominates
+
+
+def test_leaf_behavior_breakdown(g, p):
+    breakdown = time_breakdown(g, p, "Sub")
+    assert breakdown.ict == 20.0
+    assert breakdown.communication == pytest.approx(64 * 1.2)
+
+
+def test_render_mentions_percentages(g, p):
+    text = time_breakdown(g, p, "Main").render()
+    assert "%" in text
+    assert "Main->Sub" in text
+
+
+def test_system_breakdowns_cover_processes(g, p):
+    result = system_breakdowns(g, p)
+    assert set(result) == {"Main"}
+    assert result["Main"].total == pytest.approx(execution_time(g, p, "Main"))
+
+
+def test_breakdown_on_fuzzy(fuzzy_system):
+    breakdown = time_breakdown(
+        fuzzy_system.slif, fuzzy_system.partition, "FuzzyMain"
+    )
+    assert breakdown.total == pytest.approx(
+        execution_time(fuzzy_system.slif, fuzzy_system.partition, "FuzzyMain")
+    )
+    # the rule evaluation dominates the controller's cycle
+    assert breakdown.hottest(1)[0].dst in ("EvaluateRule", "InitRules")

@@ -1,0 +1,95 @@
+"""Unit tests for the Estimator facade and EstimateReport."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.estimate.engine import Estimator, estimate
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+class TestReport:
+    def test_report_covers_everything(self, g, p):
+        report = estimate(g, p)
+        assert set(report.component_sizes) == {"CPU", "HW", "RAM"}
+        assert set(report.component_ios) == {"CPU", "HW", "RAM"}
+        assert set(report.process_times) == {"Main"}
+        assert set(report.bus_loads) == {"sysbus"}
+        assert report.system_time == report.process_times["Main"]
+
+    def test_feasible_when_fits(self, g, p):
+        assert estimate(g, p).feasible
+
+    def test_size_violation_reported(self, g, p):
+        g.processors["CPU"].size_constraint = 10
+        report = estimate(g, p)
+        assert not report.feasible
+        v = [x for x in report.violations if x.metric == "size"][0]
+        assert v.component == "CPU"
+        assert v.excess == pytest.approx(171)
+        assert v.ratio == pytest.approx(171 / 10)
+
+    def test_io_violation_reported(self, g):
+        p = build_demo_partition(g, sub_on="HW")
+        g.processors["HW"].io_constraint = 4
+        report = estimate(g, p)
+        assert any(v.metric == "io" and v.component == "HW" for v in report.violations)
+
+    def test_incomplete_partition_rejected(self, g):
+        from repro.core.partition import Partition
+
+        with pytest.raises(PartitionError):
+            Estimator(g, Partition(g)).report()
+
+    def test_render_mentions_key_figures(self, g, p):
+        text = estimate(g, p).render()
+        assert "CPU" in text and "sysbus" in text and "Main" in text
+        assert "all constraints satisfied" in text
+
+    def test_render_mentions_violations(self, g, p):
+        g.processors["CPU"].size_constraint = 10
+        text = estimate(g, p).render()
+        assert "VIOLATIONS" in text
+
+    def test_bus_bitrates_property(self, g, p):
+        report = estimate(g, p)
+        assert report.bus_bitrates["sysbus"] == pytest.approx(
+            report.bus_loads["sysbus"].demand
+        )
+
+
+class TestEstimatorCaching:
+    def test_invalidate_refreshes_times(self, g, p):
+        est = Estimator(g, p)
+        before = est.system_time()
+        p.move("Sub", "HW")
+        est.invalidate()
+        assert est.system_time() != before
+
+    def test_individual_metrics_match_report(self, g, p):
+        est = Estimator(g, p)
+        report = est.report()
+        assert est.component_sizes() == report.component_sizes
+        assert est.component_ios() == report.component_ios
+        assert est.execution_time("Main") == pytest.approx(report.system_time)
+
+    def test_violation_str(self, g, p):
+        g.processors["CPU"].size_constraint = 10
+        v = Estimator(g, p).violations()[0]
+        assert "CPU" in str(v) and "size" in str(v)
+
+    def test_zero_limit_ratio_is_infinite(self):
+        from repro.estimate.engine import Violation
+
+        v = Violation("X", "size", used=5, limit=0)
+        assert v.ratio == float("inf")

@@ -1,0 +1,186 @@
+"""Unit tests for execution-time estimation (Eq. 1).
+
+The demo graph's numbers are chosen so every expected value below can
+be verified by hand against the paper's equation:
+
+  Main on CPU (ict 50), Sub on CPU (ict 20), buf on RAM (access 0.2),
+  flag on CPU (access 0.2), bus: 16 wires, ts=0.1, td=1.0.
+
+  Sub:  ict 20 + 64 * (td(1.0) * ceil(15/16) + 0.2)        = 96.8
+  Main: ict 50 + 2*(ts*ceil(8/16) + Sub) + 1*(td * ceil(8/16))  [in1]
+          + 1*(td) [out1] + 3*(ts) [flag]
+"""
+
+import pytest
+
+from repro.core.channels import FreqMode
+from repro.errors import EstimationError, RecursionCycleError
+from repro.estimate.exectime import ExecTimeEstimator, execution_time, transfer_time
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)  # everything on CPU, buf on RAM
+
+
+class TestTransferTime:
+    def test_same_component_uses_ts(self, g, p):
+        # Main->Sub both on CPU; 8 bits over 16 wires = 1 transfer at ts
+        assert transfer_time(g, p, g.channels["Main->Sub"]) == pytest.approx(0.1)
+
+    def test_cross_component_uses_td(self, g, p):
+        # Sub on CPU, buf on RAM: td
+        assert transfer_time(g, p, g.channels["Sub->buf"]) == pytest.approx(1.0)
+
+    def test_port_access_uses_td(self, g, p):
+        assert transfer_time(g, p, g.channels["Main->in1"]) == pytest.approx(1.0)
+
+    def test_wide_transfer_splits(self, g, p):
+        g.channels["Sub->buf"].bits = 33  # over 16 wires -> 3 transfers
+        assert transfer_time(g, p, g.channels["Sub->buf"]) == pytest.approx(3.0)
+
+    def test_zero_bits_is_free(self, g, p):
+        g.channels["Main->Sub"].bits = 0
+        assert transfer_time(g, p, g.channels["Main->Sub"]) == 0.0
+
+
+class TestExectime:
+    def test_variable_time_is_mapped_access_time(self, g, p):
+        assert execution_time(g, p, "buf") == pytest.approx(0.2)
+
+    def test_port_time_is_zero(self, g, p):
+        assert ExecTimeEstimator(g, p).exectime("in1") == 0.0
+
+    def test_sub_hand_computed(self, g, p):
+        # ict 20 + 64 accesses * (1.0 transfer + 0.2 access)
+        assert execution_time(g, p, "Sub") == pytest.approx(20 + 64 * 1.2)
+
+    def test_main_hand_computed(self, g, p):
+        sub = 20 + 64 * 1.2
+        expected = (
+            50.0                      # ict on CPU
+            + 2 * (0.1 + sub)         # two calls of Sub, same component
+            + 1 * 1.0                 # read in1 (port, td; ports take 0)
+            + 1 * 1.0                 # write out1
+            + 3 * (0.1 + 0.2)         # flag: ts transfer + 0.2 access time
+        )
+        assert execution_time(g, p, "Main") == pytest.approx(expected)
+
+    def test_moving_sub_to_hw_changes_times(self, g):
+        p = build_demo_partition(g, sub_on="HW")
+        # Sub's ict becomes 3 (asic); its call transfer becomes td
+        sub = 3 + 64 * 1.2
+        expected = 50.0 + 2 * (1.0 + sub) + 1.0 + 1.0 + 3 * (0.1 + 0.2)
+        assert execution_time(g, p, "Main") == pytest.approx(expected)
+
+    def test_memoization_consistent_with_fresh(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        first = est.exectime("Main")
+        assert est.exectime("Main") == first
+        assert execution_time(g, p, "Main") == first
+
+    def test_invalidate_after_move(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        before = est.exectime("Main")
+        p.move("Sub", "HW")
+        est.invalidate()
+        assert est.exectime("Main") != before
+
+    def test_unmapped_object_raises(self, g):
+        from repro.core.partition import Partition
+
+        est = ExecTimeEstimator(g, Partition(g))
+        with pytest.raises(Exception):
+            est.exectime("Main")
+
+    def test_unknown_object_raises(self, g, p):
+        with pytest.raises(EstimationError):
+            ExecTimeEstimator(g, p).exectime("ghost")
+
+
+class TestModes:
+    def test_min_max_bracket_average(self, g, p):
+        g.channels["Sub->buf"].accmin = 10
+        g.channels["Sub->buf"].accmax = 100
+        lo = ExecTimeEstimator(g, p, FreqMode.MIN).exectime("Sub")
+        avg = ExecTimeEstimator(g, p, FreqMode.AVG).exectime("Sub")
+        hi = ExecTimeEstimator(g, p, FreqMode.MAX).exectime("Sub")
+        assert lo < avg < hi
+        assert lo == pytest.approx(20 + 10 * 1.2)
+        assert hi == pytest.approx(20 + 100 * 1.2)
+
+
+class TestConcurrency:
+    def test_tagged_channels_overlap(self, g, p):
+        # tag the two port accesses of Main: they overlap in concurrent mode
+        g.channels["Main->in1"].tag = "t"
+        g.channels["Main->out1"].tag = "t"
+        seq = ExecTimeEstimator(g, p, concurrent=False).exectime("Main")
+        con = ExecTimeEstimator(g, p, concurrent=True).exectime("Main")
+        assert con == pytest.approx(seq - 1.0)  # one of the two 1.0s hides
+
+    def test_untagged_unchanged_in_concurrent_mode(self, g, p):
+        seq = ExecTimeEstimator(g, p, concurrent=False).exectime("Main")
+        con = ExecTimeEstimator(g, p, concurrent=True).exectime("Main")
+        assert con == pytest.approx(seq)
+
+
+class TestRecursion:
+    def test_recursion_detected(self, g, p):
+        from repro.core.channels import AccessKind, Channel
+
+        g.add_channel(Channel("Sub->Sub", "Sub", "Sub", AccessKind.CALL))
+        p.assign_channel("Sub->Sub", "sysbus")
+        with pytest.raises(RecursionCycleError, match="Sub"):
+            execution_time(g, p, "Main")
+
+    def test_estimator_recovers_after_cycle_error(self, g, p):
+        from repro.core.channels import AccessKind, Channel
+
+        g.add_channel(Channel("Sub->Sub", "Sub", "Sub", AccessKind.CALL))
+        p.assign_channel("Sub->Sub", "sysbus")
+        est = ExecTimeEstimator(g, p)
+        with pytest.raises(RecursionCycleError):
+            est.exectime("Sub")
+        # the failed computation must not leave stale in-progress state
+        g.remove_channel("Sub->Sub")
+        est.invalidate()
+        assert est.exectime("Sub") == pytest.approx(20 + 64 * 1.2)
+
+
+class TestSystemTimes:
+    def test_process_times_and_system_time(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        times = est.process_times()
+        assert set(times) == {"Main"}
+        assert est.system_time() == times["Main"]
+
+    def test_serialized_system_time_sums_per_component(self, g, p):
+        from repro.core.nodes import Behavior
+
+        g.add_behavior(
+            Behavior("P2", is_process=True, ict={"proc": 7, "asic": 1}, size={"proc": 1, "asic": 1})
+        )
+        p.assign("P2", "CPU")
+        est = ExecTimeEstimator(g, p)
+        # concurrent view: max of the two; serialized: sum (same CPU)
+        assert est.serialized_system_time() == pytest.approx(
+            est.exectime("Main") + 7
+        )
+        assert est.system_time() == pytest.approx(est.exectime("Main"))
+
+    def test_empty_system(self):
+        from repro.core import Slif
+        from repro.core.partition import Partition
+
+        g = Slif("empty")
+        est = ExecTimeEstimator(g, Partition(g))
+        assert est.system_time() == 0.0
+        assert est.serialized_system_time() == 0.0

@@ -1,0 +1,167 @@
+"""Unit tests for the paper's sketched extensions.
+
+Two refinements the paper names but does not evaluate:
+
+* per-component-pair bus transfer times (Section 2.4.1's "more
+  extensive set of annotations ... we have not yet explored this
+  possibility");
+* saturation-aware performance derating (Section 3.2's reference [2]).
+"""
+
+import pytest
+
+from repro.core.components import Bus
+from repro.estimate.derate import derated_estimate
+from repro.estimate.exectime import execution_time, transfer_time
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+class TestPairTimes:
+    def _graph_with_pair_bus(self, pair_times):
+        g = build_demo_graph()
+        bus = g.buses["sysbus"]
+        g.buses["sysbus"] = Bus(
+            "sysbus", bus.bitwidth, bus.ts, bus.td, pair_times
+        )
+        return g
+
+    def test_pair_specific_time_wins(self):
+        # Sub (CPU, tech proc) -> buf (RAM, tech mem): pair time 0.4
+        g = self._graph_with_pair_bus({("proc", "mem"): 0.4})
+        p = build_demo_partition(g)
+        assert transfer_time(g, p, g.channels["Sub->buf"]) == pytest.approx(0.4)
+
+    def test_pair_key_order_insensitive(self):
+        g = self._graph_with_pair_bus({("mem", "proc"): 0.4})
+        p = build_demo_partition(g)
+        assert transfer_time(g, p, g.channels["Sub->buf"]) == pytest.approx(0.4)
+
+    def test_same_tech_pair_overrides_ts(self):
+        # Main -> Sub, both on CPU (proc/proc)
+        g = self._graph_with_pair_bus({("proc", "proc"): 0.05})
+        p = build_demo_partition(g)
+        assert transfer_time(g, p, g.channels["Main->Sub"]) == pytest.approx(0.05)
+
+    def test_unlisted_pair_falls_back(self):
+        g = self._graph_with_pair_bus({("proc", "asic"): 0.7})
+        p = build_demo_partition(g)
+        # proc->mem is not listed: scalar td applies
+        assert transfer_time(g, p, g.channels["Sub->buf"]) == pytest.approx(1.0)
+
+    def test_port_endpoint_uses_scalars(self):
+        g = self._graph_with_pair_bus({("proc", "proc"): 0.05})
+        p = build_demo_partition(g)
+        # ports have no technology: td
+        assert transfer_time(g, p, g.channels["Main->in1"]) == pytest.approx(1.0)
+
+    def test_negative_pair_time_rejected(self):
+        with pytest.raises(ValueError):
+            Bus("b", pair_times={("a", "b"): -1.0})
+
+    def test_exec_time_uses_pair_times(self):
+        g = self._graph_with_pair_bus({("proc", "mem"): 0.4})
+        p = build_demo_partition(g)
+        base = build_demo_graph()
+        bp = build_demo_partition(base)
+        # 64 buf accesses drop from 1.0 to 0.4 each inside Sub, twice via Main
+        diff = execution_time(base, bp, "Main") - execution_time(g, p, "Main")
+        assert diff == pytest.approx(2 * 64 * 0.6)
+
+    def test_round_trip_preserves_pair_times(self):
+        from repro.core.serialize import slif_from_json, slif_to_json
+
+        g = self._graph_with_pair_bus({("proc", "mem"): 0.4, ("proc", "proc"): 0.05})
+        g2 = slif_from_json(slif_to_json(g))
+        assert g2.buses["sysbus"].pair_times == g.buses["sysbus"].pair_times
+
+    def test_copy_preserves_pair_times(self):
+        g = self._graph_with_pair_bus({("proc", "mem"): 0.4})
+        assert g.copy().buses["sysbus"].pair_times == {("mem", "proc"): 0.4}
+
+
+class TestDerating:
+    def test_unsaturated_bus_matches_plain_eq1(self):
+        g = build_demo_graph()
+        p = build_demo_partition(g)
+        result = derated_estimate(g, p)
+        assert result.converged
+        assert result.bus_slowdown["sysbus"] == 1.0
+        assert result.process_times["Main"] == pytest.approx(
+            execution_time(g, p, "Main")
+        )
+
+    def _saturated_case(self):
+        """Oversubscription needs *contention*: a single channel is
+        self-throttled (its own transfers lengthen its source's execution
+        time), so we add concurrent processes that each demand most of
+        the bus's bandwidth."""
+        from repro.core.channels import AccessKind
+        from repro.core.nodes import Behavior
+
+        g = build_demo_graph()
+        g.buses["sysbus"].bitwidth = 4
+        for i in range(3):
+            name = f"Hammer{i}"
+            g.add_behavior(
+                Behavior(
+                    name,
+                    is_process=True,
+                    ict={"proc": 1.0, "asic": 1.0},
+                    size={"proc": 1, "asic": 1, "mem": 0},
+                )
+            )
+            g.fold_access(name, "buf", AccessKind.READ, freq=100, bits=14)
+        p = build_demo_partition(g, sub_on="HW")
+        for i in range(3):
+            p.assign(f"Hammer{i}", "CPU")
+            p.assign_channel(f"Hammer{i}->buf", "sysbus")
+        return g, p
+
+    def test_saturation_slows_system_down(self):
+        g, p = self._saturated_case()
+        plain = execution_time(g, p, "Main")
+        result = derated_estimate(g, p)
+        assert result.converged
+        assert result.bus_slowdown["sysbus"] >= 1.0
+        assert result.system_time >= plain
+
+    def test_fixed_point_settles_near_capacity(self):
+        """At the fixed point the derated demand sits at/below capacity."""
+        from repro.estimate.bitrate import bus_capacity
+
+        g, p = self._saturated_case()
+        result = derated_estimate(g, p)
+        # recompute demand under the final times
+        demand = 0.0
+        from repro.estimate.derate import _DeratedExecTime
+        from repro.core.channels import FreqMode
+
+        est = _DeratedExecTime(g, p, result.bus_slowdown, FreqMode.AVG)
+        for ch in g.channels.values():
+            moved = ch.accfreq * ch.bits
+            if moved:
+                demand += moved / est.exectime(ch.src)
+        assert demand <= bus_capacity(g, "sysbus") * 1.05
+
+    def test_history_recorded(self):
+        g, p = self._saturated_case()
+        result = derated_estimate(g, p)
+        assert len(result.history) == result.rounds
+        assert result.saturated_buses() == ["sysbus"]
+
+    def test_round_cap_respected(self):
+        g, p = self._saturated_case()
+        result = derated_estimate(g, p, max_rounds=1)
+        assert result.rounds == 1
+
+    def test_fuzzy_hw_partition_saturates(self, fuzzy_system):
+        """The realistic case from the quickstart: heavy HW offload over a
+        16-wire bus oversubscribes it, and derating says by how much."""
+        system = fuzzy_system
+        partition = system.partition.copy()
+        for name in ("Convolve", "ComputeCentroid", "EvaluateRule", "Min"):
+            partition.move(name, "HW")
+        result = derated_estimate(system.slif, partition)
+        assert result.converged
+        assert result.bus_slowdown["sysbus"] > 1.0

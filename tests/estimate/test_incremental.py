@@ -1,0 +1,113 @@
+"""Unit tests for incremental size/IO estimation under moves."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.estimate.incremental import IncrementalEstimator
+from repro.estimate.io import all_component_ios
+from repro.estimate.size import all_component_sizes
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+def test_initial_tallies_match_fresh(g, p):
+    inc = IncrementalEstimator(g, p)
+    assert inc.component_sizes() == all_component_sizes(g, p)
+    assert inc.component_ios() == all_component_ios(g, p)
+
+
+def test_move_updates_sizes(g, p):
+    inc = IncrementalEstimator(g, p)
+    inc.apply_move("Sub", "HW")
+    assert inc.component_size("CPU") == pytest.approx(121)
+    assert inc.component_size("HW") == pytest.approx(400)
+    inc.verify_consistency()
+
+
+def test_move_updates_io(g, p):
+    inc = IncrementalEstimator(g, p)
+    assert inc.component_io("HW") == 0  # empty component
+    inc.apply_move("Sub", "HW")
+    assert inc.component_io("HW") == 16
+    inc.verify_consistency()
+
+
+def test_undo_restores_exactly(g, p):
+    inc = IncrementalEstimator(g, p)
+    before_sizes = inc.component_sizes()
+    before_ios = inc.component_ios()
+    record = inc.apply_move("Sub", "HW")
+    inc.undo(record)
+    assert inc.component_sizes() == before_sizes
+    assert inc.component_ios() == before_ios
+    inc.verify_consistency()
+
+
+def test_noop_move_and_undo(g, p):
+    inc = IncrementalEstimator(g, p)
+    record = inc.apply_move("Sub", "CPU")  # already there
+    inc.undo(record)
+    inc.verify_consistency()
+
+
+def test_many_moves_stay_consistent(g, p):
+    inc = IncrementalEstimator(g, p)
+    for comp in ["HW", "CPU", "HW", "CPU"]:
+        inc.apply_move("Sub", comp)
+        inc.verify_consistency()
+    for comp in ["CPU", "HW", "RAM", "CPU"]:
+        inc.apply_move("buf", comp)
+        inc.verify_consistency()
+
+
+def test_exec_time_recomputed_lazily(g, p):
+    inc = IncrementalEstimator(g, p)
+    before = inc.execution_time("Main")
+    inc.apply_move("Sub", "HW")
+    after = inc.execution_time("Main")
+    assert after != before
+    from repro.estimate.exectime import execution_time
+
+    assert after == pytest.approx(execution_time(g, p, "Main"))
+
+
+def test_system_time(g, p):
+    inc = IncrementalEstimator(g, p)
+    assert inc.system_time() == pytest.approx(inc.execution_time("Main"))
+
+
+def test_requires_complete_partition(g):
+    from repro.core.partition import Partition
+
+    with pytest.raises(PartitionError):
+        IncrementalEstimator(g, Partition(g))
+
+
+def test_unknown_component_query_raises(g, p):
+    inc = IncrementalEstimator(g, p)
+    with pytest.raises(PartitionError):
+        inc.component_size("ghost")
+
+
+def test_self_loop_channels_never_drift(g, p):
+    """A recursive call edge (self-loop) moves both endpoints at once and
+    must never perturb the cut tallies."""
+    from repro.core.channels import AccessKind, Channel
+
+    g.add_channel(Channel("Sub->Sub", "Sub", "Sub", AccessKind.CALL))
+    p.assign_channel("Sub->Sub", "sysbus")
+    inc = IncrementalEstimator(g, p)
+    record = inc.apply_move("Sub", "HW")
+    inc.verify_consistency()
+    inc.undo(record)
+    inc.verify_consistency()

@@ -1,0 +1,78 @@
+"""Unit tests for I/O (pin) estimation (Eq. 6)."""
+
+import pytest
+
+from repro.core.components import Bus
+from repro.errors import EstimationError
+from repro.estimate.io import (
+    all_component_ios,
+    component_io,
+    cut_channel_names,
+    io_violation,
+)
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+def test_io_is_cut_bus_bitwidth(g):
+    p = build_demo_partition(g, sub_on="HW")
+    # CPU has cut channels (Main->Sub, ports, buf) all on the 16-wire bus
+    assert component_io(g, p, "CPU") == 16
+    assert component_io(g, p, "HW") == 16
+    assert component_io(g, p, "RAM") == 16
+
+
+def test_component_with_no_cut_channels_has_zero_io(g):
+    # everything on CPU except nothing: HW is empty, so nothing crosses it
+    p = build_demo_partition(g, sub_on="CPU")
+    assert component_io(g, p, "HW") == 0
+
+
+def test_two_buses_sum(g):
+    g.add_bus(Bus("bus2", bitwidth=8, ts=0.1, td=1.0))
+    from repro.core.partition import Partition
+
+    p = Partition(g)
+    for obj, comp in {"Main": "CPU", "Sub": "HW", "buf": "RAM", "flag": "CPU"}.items():
+        p.assign(obj, comp)
+    for name in g.channels:
+        p.assign_channel(name, "sysbus")
+    p.assign_channel("Main->Sub", "bus2")
+    # CPU's boundary is crossed by channels on both buses
+    assert component_io(g, p, "CPU") == 24
+
+
+def test_bus_counted_once_despite_many_cut_channels(g):
+    p = build_demo_partition(g, sub_on="HW")
+    assert len(cut_channel_names(g, p, "CPU")) > 1
+    assert component_io(g, p, "CPU") == 16  # one bus, one bitwidth
+
+
+def test_all_component_ios(g):
+    p = build_demo_partition(g)
+    ios = all_component_ios(g, p)
+    assert set(ios) == {"CPU", "HW", "RAM"}
+
+
+def test_io_violation(g):
+    p = build_demo_partition(g, sub_on="HW")
+    g.processors["HW"].io_constraint = 8
+    assert io_violation(g, p, "HW") == 8  # 16 used - 8 allowed
+
+
+def test_io_violation_none_for_unconstrained(g):
+    p = build_demo_partition(g)
+    g.processors["CPU"].io_constraint = None
+    assert io_violation(g, p, "CPU") is None
+    assert io_violation(g, p, "RAM") is None  # memories carry no pin budget
+
+
+def test_unknown_component_raises(g):
+    p = build_demo_partition(g)
+    with pytest.raises(EstimationError):
+        component_io(g, p, "ghost")

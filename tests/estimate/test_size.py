@@ -1,0 +1,124 @@
+"""Unit tests for size estimation (Eqs. 4-5) and the sharing refinement."""
+
+import pytest
+
+from repro.errors import EstimationError
+from repro.estimate.size import (
+    all_component_sizes,
+    component_size,
+    component_size_shared,
+    object_size,
+    size_violation,
+)
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+class TestObjectSize:
+    def test_lookup_by_component_technology(self, g):
+        assert object_size(g, "Main", "CPU") == 120
+        assert object_size(g, "Main", "HW") == 900
+        assert object_size(g, "buf", "RAM") == 32
+
+    def test_unknown_component_raises(self, g):
+        with pytest.raises(Exception):
+            object_size(g, "Main", "ghost")
+
+
+class TestComponentSize:
+    def test_software_size_sums_bytes(self, g, p):
+        # Main (120) + Sub (60) + flag (1) on CPU
+        assert component_size(g, p, "CPU") == pytest.approx(181)
+
+    def test_memory_size(self, g, p):
+        assert component_size(g, p, "RAM") == pytest.approx(32)
+
+    def test_empty_component_is_zero(self, g, p):
+        assert component_size(g, p, "HW") == 0.0
+
+    def test_moving_object_moves_size(self, g, p):
+        p.move("Sub", "HW")
+        assert component_size(g, p, "CPU") == pytest.approx(121)
+        assert component_size(g, p, "HW") == pytest.approx(400)
+
+    def test_all_component_sizes(self, g, p):
+        sizes = all_component_sizes(g, p)
+        assert set(sizes) == {"CPU", "HW", "RAM"}
+
+    def test_unknown_component_raises(self, g, p):
+        with pytest.raises(EstimationError):
+            component_size(g, p, "ghost")
+
+
+class TestViolations:
+    def test_fits_is_zero(self, g, p):
+        assert size_violation(g, p, "CPU") == 0.0
+
+    def test_overflow_reported(self, g, p):
+        g.processors["CPU"].size_constraint = 100
+        assert size_violation(g, p, "CPU") == pytest.approx(81)
+
+    def test_unconstrained_is_none(self, g, p):
+        g.processors["CPU"].size_constraint = None
+        assert size_violation(g, p, "CPU") is None
+
+
+class TestSharedSize:
+    def _graph_with_profiles(self):
+        from repro.synth.ops import OpClass, OpProfile, Region, chain_dag
+
+        g = build_demo_graph()
+        ops = [OpClass.ALU, OpClass.MULT, OpClass.MEM]
+        g.behaviors["Main"].op_profile = OpProfile([Region(chain_dag(ops), count=10)])
+        g.behaviors["Sub"].op_profile = OpProfile([Region(chain_dag(ops), count=5)])
+        return g
+
+    def test_sharing_never_exceeds_sum(self):
+        g = self._graph_with_profiles()
+        p = build_demo_partition(g, sub_on="HW")
+        p.move("Main", "HW")
+        plain = component_size(g, p, "HW")
+        # recompute behavior weights from the profiles so plain and shared
+        # are comparable
+        from repro.synth.annotate import annotate_slif
+
+        annotate_slif(g)
+        plain = component_size(g, p, "HW")
+        shared = component_size_shared(g, p, "HW")
+        assert shared <= plain
+
+    def test_sharing_saves_when_behaviors_coexist(self):
+        # two behaviors with identical op mixes share every FU: the saving
+        # is one full set of functional units
+        g = self._graph_with_profiles()
+        from repro.synth.annotate import annotate_slif
+
+        annotate_slif(g)
+        p = build_demo_partition(g, sub_on="HW")
+        p.move("Main", "HW")
+        shared = component_size_shared(g, p, "HW")
+        plain = component_size(g, p, "HW")
+        assert shared < plain
+
+    def test_falls_back_without_profiles(self, g, p):
+        # no op profiles: shared must equal the plain Eq. 4 sum
+        p.move("Sub", "HW")
+        assert component_size_shared(g, p, "HW") == component_size(g, p, "HW")
+
+    def test_software_component_uses_plain_sum(self):
+        g = self._graph_with_profiles()
+        from repro.synth.annotate import annotate_slif
+
+        annotate_slif(g)
+        p = build_demo_partition(g)
+        assert component_size_shared(g, p, "CPU") == component_size(g, p, "CPU")

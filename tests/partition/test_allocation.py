@@ -1,0 +1,124 @@
+"""Unit tests for component allocation."""
+
+import pytest
+
+from repro.core import SlifBuilder
+from repro.core.components import (
+    custom_processor_technology,
+    memory_technology,
+    standard_processor_technology,
+)
+from repro.errors import AllocationError
+from repro.partition.allocation import (
+    BusTemplate,
+    ComponentTemplate,
+    allocate,
+    enumerate_allocations,
+    instantiate_allocation,
+)
+
+
+def functional_graph():
+    """Component-free functionality: two processes, two variables."""
+    return (
+        SlifBuilder("func")
+        .process("A", ict={"proc": 10, "asic": 2}, size={"proc": 100, "asic": 700})
+        .process("B", ict={"proc": 10, "asic": 2}, size={"proc": 100, "asic": 700})
+        .variable("x", bits=8, ict={"proc": 0.2, "asic": 0.05, "mem": 0.2}, size={"proc": 1, "asic": 12, "mem": 1})
+        .variable("y", bits=8, ict={"proc": 0.2, "asic": 0.05, "mem": 0.2}, size={"proc": 1, "asic": 12, "mem": 1})
+        .access("A", "x", freq=4)
+        .access("B", "y", freq=4)
+        .build()
+    )
+
+
+CATALOG = [
+    ComponentTemplate("cpu", standard_processor_technology(), size_constraint=150, price=5.0),
+    ComponentTemplate("hw", custom_processor_technology(), size_constraint=1500, price=20.0),
+    ComponentTemplate("ram", memory_technology(), size_constraint=64, price=1.0, is_memory=True),
+]
+
+
+class TestInstantiate:
+    def test_adds_components_and_bus(self):
+        slif = instantiate_allocation(functional_graph(), [CATALOG[0], CATALOG[2]])
+        assert "cpu" in slif.processors
+        assert "ram" in slif.memories
+        assert "sysbus" in slif.buses
+
+    def test_duplicate_templates_get_suffixes(self):
+        slif = instantiate_allocation(functional_graph(), [CATALOG[0], CATALOG[0]])
+        assert set(slif.processors) == {"cpu", "cpu2"}
+
+    def test_rejects_graph_with_components(self):
+        g = functional_graph()
+        from repro.core.components import Processor
+
+        g.add_processor(Processor("P", standard_processor_technology()))
+        with pytest.raises(AllocationError):
+            instantiate_allocation(g, [CATALOG[0]])
+
+    def test_original_untouched(self):
+        g = functional_graph()
+        instantiate_allocation(g, [CATALOG[0]])
+        assert not g.processors
+
+
+class TestEnumerate:
+    def test_every_allocation_has_a_processor(self):
+        for combo in enumerate_allocations(CATALOG, 2):
+            assert any(not t.is_memory for t in combo)
+
+    def test_sizes_bounded(self):
+        assert all(
+            1 <= len(c) <= 2 for c in enumerate_allocations(CATALOG, 2)
+        )
+
+    def test_count(self):
+        # size 1: cpu, hw; size 2: multisets of 3 items (6) minus {ram,ram}
+        combos = list(enumerate_allocations(CATALOG, 2))
+        assert len(combos) == 2 + 5
+
+
+class TestAllocate:
+    def test_finds_feasible_cheapest(self):
+        # one cpu (150) cannot hold both processes (200): needs a second
+        # component; cpu+cpu (price 10) beats cpu+hw (25) and hw-only (20)
+        result = allocate(functional_graph(), CATALOG, max_components=2)
+        assert result.feasible
+        names = sorted(t.name for t in result.templates)
+        assert names == ["cpu", "cpu"]
+        assert result.price == 10.0
+
+    def test_single_component_when_it_fits(self):
+        catalog = [
+            ComponentTemplate(
+                "bigcpu", standard_processor_technology(), size_constraint=10_000, price=7.0
+            )
+        ]
+        result = allocate(functional_graph(), catalog, max_components=2)
+        assert result.feasible
+        assert [t.name for t in result.templates] == ["bigcpu"]
+
+    def test_infeasible_catalog_returns_best_effort(self):
+        catalog = [
+            ComponentTemplate(
+                "tiny", standard_processor_technology(), size_constraint=10, price=1.0
+            )
+        ]
+        result = allocate(functional_graph(), catalog, max_components=1)
+        assert not result.feasible
+        assert result.cost > 0
+
+    def test_empty_catalog_rejected(self):
+        with pytest.raises(AllocationError):
+            allocate(functional_graph(), [])
+
+    def test_custom_bus_template(self):
+        result = allocate(
+            functional_graph(),
+            CATALOG,
+            bus=BusTemplate(name="mainbus", bitwidth=8),
+            max_components=2,
+        )
+        assert result.slif.buses["mainbus"].bitwidth == 8

@@ -1,0 +1,70 @@
+"""Unit tests for closeness-based clustering."""
+
+import pytest
+
+from repro.partition.clustering import (
+    build_clusters,
+    closeness_matrix,
+    cluster_partition,
+)
+from repro.errors import PartitionError
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+def test_closeness_weighs_traffic(g):
+    scores = closeness_matrix(g)
+    # Sub<->buf moves 64 accesses x 14 bits; Main<->Sub only 2 x 8
+    assert scores[("Sub", "buf")] > scores[("Main", "Sub")]
+
+
+def test_closeness_excludes_ports(g):
+    scores = closeness_matrix(g)
+    assert not any("in1" in key or "out1" in key for key in scores)
+
+
+def test_build_clusters_count(g):
+    clusters = build_clusters(g, 2)
+    assert len(clusters) == 2
+    all_objs = set().union(*clusters)
+    assert all_objs == {"Main", "Sub", "buf", "flag"}
+
+
+def test_heaviest_pair_merges_first(g):
+    clusters = build_clusters(g, 3)
+    # Sub and buf communicate most: they must share a cluster
+    containing_sub = next(c for c in clusters if "Sub" in c)
+    assert "buf" in containing_sub
+
+
+def test_cluster_partition_result_is_proper(g):
+    p = build_demo_partition(g)
+    result = cluster_partition(g, p)
+    assert result.partition.validate() == []
+    assert result.algorithm == "clustering"
+
+
+def test_cluster_partition_without_refinement(g):
+    p = build_demo_partition(g)
+    result = cluster_partition(g, p, refine=False)
+    assert result.partition.validate() == []
+    assert result.evaluations == 1
+
+
+def test_requires_components():
+    from repro.core import SlifBuilder
+    from repro.core.partition import Partition
+
+    g = SlifBuilder("x").process("P").bus("b").build()
+    with pytest.raises(PartitionError):
+        cluster_partition(g, Partition(g))
+
+
+def test_invalid_target_count(g):
+    with pytest.raises(PartitionError):
+        build_clusters(g, 0)

@@ -1,0 +1,107 @@
+"""Unit tests for the partitioning cost function."""
+
+import pytest
+
+from repro.partition.cost import CostWeights, PartitionCost
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+def test_feasible_partition_costs_zero(g):
+    p = build_demo_partition(g)
+    assert PartitionCost(g, p).cost() == 0.0
+
+
+def test_size_violation_normalized(g):
+    g.processors["CPU"].size_constraint = 100
+    p = build_demo_partition(g)  # CPU holds 181
+    cost = PartitionCost(g, p).cost()
+    assert cost == pytest.approx((181 - 100) / 100)
+
+
+def test_io_violation_normalized(g):
+    g.processors["HW"].io_constraint = 8
+    p = build_demo_partition(g, sub_on="HW")  # HW boundary crossed: 16 wires
+    cost = PartitionCost(g, p).cost()
+    assert cost == pytest.approx((16 - 8) / 8)
+
+
+def test_time_constraint_term(g):
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p, time_constraint=100.0)
+    time = pc.inc.system_time()
+    assert time > 100.0
+    assert pc.cost() == pytest.approx((time - 100.0) / 100.0)
+
+
+def test_time_constraint_satisfied_is_free(g):
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p, time_constraint=1e9)
+    assert pc.cost() == 0.0
+
+
+def test_balance_term_prefers_spread(g):
+    weights = CostWeights(size=0.0, io=0.0, time=0.0, balance=1.0)
+    lumped = build_demo_partition(g)  # nearly everything on CPU
+    pc = PartitionCost(g, lumped, weights)
+    lumped_cost = pc.cost()
+    record = pc.apply_move("Sub", "HW")
+    spread_cost = pc.cost()
+    assert spread_cost < lumped_cost
+    pc.undo(record)
+
+
+def test_weights_scale_terms(g):
+    g.processors["CPU"].size_constraint = 100
+    p = build_demo_partition(g)
+    base = PartitionCost(g, p, CostWeights(size=1.0)).cost()
+    doubled = PartitionCost(g, p, CostWeights(size=2.0)).cost()
+    assert doubled == pytest.approx(2 * base)
+
+
+def test_try_move_leaves_state_unchanged(g):
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p)
+    before = p.object_mapping()
+    pc.try_move("Sub", "HW")
+    assert p.object_mapping() == before
+    pc.inc.verify_consistency()
+
+
+def test_try_move_predicts_applied_cost(g):
+    g.processors["CPU"].size_constraint = 150
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p)
+    predicted = pc.try_move("Sub", "HW")
+    pc.apply_move("Sub", "HW")
+    assert pc.cost() == pytest.approx(predicted)
+
+
+def test_candidate_components_respect_kinds(g):
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p)
+    assert set(pc.candidate_components("Main")) == {"HW"}  # behaviors: processors only
+    assert set(pc.candidate_components("buf")) == {"CPU", "HW"}  # currently on RAM
+
+
+def test_movable_objects_are_all_bv(g):
+    p = build_demo_partition(g)
+    assert set(PartitionCost(g, p).movable_objects()) == {
+        "Main",
+        "Sub",
+        "buf",
+        "flag",
+    }
+
+
+def test_evaluation_counter(g):
+    p = build_demo_partition(g)
+    pc = PartitionCost(g, p)
+    pc.cost()
+    pc.try_move("Sub", "HW")
+    assert pc.evaluations == 2

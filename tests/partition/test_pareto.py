@@ -1,0 +1,109 @@
+"""Unit tests for Pareto-front exploration."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.pareto import DesignPoint, ParetoFront, explore_pareto
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+class TestDesignPoint:
+    def test_dominates_strictly_better(self):
+        a = DesignPoint(10.0, 100.0, ())
+        b = DesignPoint(20.0, 200.0, ())
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = DesignPoint(10.0, 100.0, ())
+        b = DesignPoint(10.0, 100.0, ())
+        assert not a.dominates(b)
+
+    def test_trade_off_points_incomparable(self):
+        fast_big = DesignPoint(5.0, 500.0, ())
+        slow_small = DesignPoint(50.0, 50.0, ())
+        assert not fast_big.dominates(slow_small)
+        assert not slow_small.dominates(fast_big)
+
+
+class TestParetoFront:
+    def test_dominated_candidates_rejected(self):
+        front = ParetoFront()
+        assert front.add(DesignPoint(10.0, 100.0, (), "good"))
+        assert not front.add(DesignPoint(20.0, 200.0, (), "worse"))
+        assert len(front.points) == 1
+
+    def test_new_point_prunes_dominated(self):
+        front = ParetoFront()
+        front.add(DesignPoint(20.0, 200.0, (), "old"))
+        front.add(DesignPoint(10.0, 100.0, (), "better"))
+        assert [p.label for p in front.points] == ["better"]
+
+    def test_incomparable_points_coexist_sorted(self):
+        front = ParetoFront()
+        front.add(DesignPoint(5.0, 500.0, (), "fast"))
+        front.add(DesignPoint(50.0, 50.0, (), "small"))
+        assert [p.label for p in front.points] == ["small", "fast"]
+
+    def test_duplicates_rejected(self):
+        front = ParetoFront()
+        assert front.add(DesignPoint(10.0, 100.0, ()))
+        assert not front.add(DesignPoint(10.0, 100.0, ()))
+
+    def test_render(self):
+        front = ParetoFront()
+        front.add(DesignPoint(10.0, 100.0, (), "p"))
+        assert "Pareto front" in front.render()
+
+
+class TestExplore:
+    def test_front_is_mutually_non_dominated(self):
+        g = build_demo_graph()
+        front = explore_pareto(g, build_demo_partition(g), constraint_steps=4)
+        for a in front.points:
+            for b in front.points:
+                if a is not b:
+                    assert not a.dominates(b)
+
+    def test_includes_hardware_trade(self):
+        g = build_demo_graph()
+        # remove constraints so the sweep has the full range to play with
+        g.processors["CPU"].size_constraint = None
+        g.processors["HW"].size_constraint = None
+        front = explore_pareto(g, build_demo_partition(g), constraint_steps=4)
+        sizes = {p.hardware_size for p in front.points}
+        assert len(sizes) >= 2  # at least software-only and some offload
+
+    def test_constraints_restored(self):
+        g = build_demo_graph()
+        before = g.processors["CPU"].size_constraint
+        explore_pareto(g, build_demo_partition(g), constraint_steps=2)
+        assert g.processors["CPU"].size_constraint == before
+
+    def test_requires_custom_processor(self):
+        from repro.core import SlifBuilder
+        from repro.core.partition import single_bus_partition
+
+        g = (
+            SlifBuilder("sw-only")
+            .process("P", ict={"proc": 1}, size={"proc": 1})
+            .processor("CPU", "proc")
+            .bus("b")
+            .build()
+        )
+        p = single_bus_partition(g, {"P": "CPU"})
+        with pytest.raises(PartitionError):
+            explore_pareto(g, p)
+
+    def test_fuzzy_front_shows_speed_for_area(self, fuzzy_system):
+        front = explore_pareto(
+            fuzzy_system.slif,
+            fuzzy_system.partition,
+            constraint_steps=4,
+            random_starts=2,
+        )
+        assert len(front.points) >= 2
+        # more hardware must mean (weakly) less time along the front
+        times = [p.system_time for p in front.points]
+        assert times == sorted(times, reverse=True)

@@ -1,0 +1,160 @@
+"""Property-based tests on the SLIF data structures.
+
+A random-graph strategy generates arbitrary (but structurally legal)
+access graphs with components; the invariants checked here must hold for
+every one of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlifBuilder
+from repro.core.channels import AccessKind
+from repro.core.graph import Slif
+
+# ---------------------------------------------------------------------------
+# strategies
+
+
+@st.composite
+def slif_graphs(draw) -> Slif:
+    """A random legal SLIF graph with at least one process and one bus."""
+    n_procs = draw(st.integers(1, 3))
+    n_subs = draw(st.integers(0, 4))
+    n_vars = draw(st.integers(0, 5))
+    builder = SlifBuilder("prop")
+    weights = {"proc": 1.0, "asic": 1.0, "mem": 1.0}
+    behaviors = []
+    for i in range(n_procs):
+        name = f"P{i}"
+        builder.process(name, ict=weights, size=weights)
+        behaviors.append(name)
+    for i in range(n_subs):
+        name = f"f{i}"
+        builder.procedure(name, ict=weights, size=weights, parameter_bits=8)
+        behaviors.append(name)
+    variables = []
+    for i in range(n_vars):
+        name = f"v{i}"
+        bits = draw(st.integers(1, 32))
+        elements = draw(st.sampled_from([1, 1, 4, 64]))
+        builder.variable(name, bits=bits, elements=elements, ict=weights, size=weights)
+        variables.append(name)
+
+    # calls strictly "forward" (process -> earlier-indexed procedure graph
+    # is acyclic by construction)
+    sub_names = [b for b in behaviors if b.startswith("f")]
+    for i, src in enumerate(behaviors):
+        for dst in sub_names:
+            if dst == src:
+                continue
+            # only allow calls from processes or lower-indexed subs: acyclic
+            if src.startswith("f") and int(src[1:]) >= int(dst[1:]):
+                continue
+            if draw(st.booleans()):
+                builder.call(src, dst, freq=draw(st.floats(0.5, 8.0)))
+    for src in behaviors:
+        for dst in variables:
+            if draw(st.integers(0, 3)) == 0:
+                builder.access(src, dst, freq=draw(st.floats(0.0, 100.0)))
+
+    builder.processor("CPU", "proc").asic("HW", "asic").memory("RAM", "mem")
+    builder.bus("bus", bitwidth=draw(st.sampled_from([8, 16, 32])))
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# properties
+
+
+@given(slif_graphs())
+@settings(max_examples=40, deadline=None)
+def test_adjacency_is_consistent(g):
+    """Every channel appears in exactly one out-list and one in-list."""
+    for ch in g.channels.values():
+        assert ch.name in [c.name for c in g.out_channels(ch.src)]
+        assert ch.name in [c.name for c in g.in_channels(ch.dst)]
+    # and the lists contain nothing else
+    total_out = sum(len(g.out_channels(b)) for b in g.behaviors)
+    assert total_out == g.num_channels
+
+
+@given(slif_graphs())
+@settings(max_examples=40, deadline=None)
+def test_construction_is_acyclic(g):
+    """The strategy's forward-call rule guarantees no recursion."""
+    assert g.find_call_cycle() is None
+
+
+@given(slif_graphs())
+@settings(max_examples=40, deadline=None)
+def test_copy_equals_original(g):
+    clone = g.copy()
+    assert clone.stats() == g.stats()
+    assert set(clone.channels) == set(g.channels)
+    for name, ch in g.channels.items():
+        assert clone.channels[name].accfreq == ch.accfreq
+
+
+@given(slif_graphs())
+@settings(max_examples=40, deadline=None)
+def test_json_round_trip(g):
+    """Serialization is lossless for arbitrary graphs."""
+    from repro.core.serialize import slif_from_json, slif_to_json
+
+    g2 = slif_from_json(slif_to_json(g))
+    assert g2.stats() == g.stats()
+    for name, ch in g.channels.items():
+        ch2 = g2.channels[name]
+        assert (ch2.src, ch2.dst, ch2.kind) == (ch.src, ch.dst, ch.kind)
+        assert ch2.accfreq == ch.accfreq
+        assert ch2.bits == ch.bits
+    for name, b in g.behaviors.items():
+        assert g2.behaviors[name].ict == b.ict
+    # double round trip is the identity on the JSON text
+    assert slif_to_json(g2) == slif_to_json(g)
+
+
+@given(slif_graphs(), st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_random_partition_always_proper(g, seed):
+    from repro.partition.random_part import random_partition
+
+    p = random_partition(g, seed=seed)
+    assert p.is_complete()
+    assert p.validate() == []
+
+
+@given(slif_graphs(), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_cut_channels_definition(g, seed):
+    """A channel is cut by a component iff exactly one endpoint is inside."""
+    from repro.partition.random_part import random_partition
+
+    p = random_partition(g, seed=seed)
+    for comp in list(g.processors) + list(g.memories):
+        cut = {c.name for c in p.cut_channels(comp)}
+        for ch in g.channels.values():
+            src_in = p.maybe_bv_comp(ch.src) == comp
+            dst_in = p.maybe_bv_comp(ch.dst) == comp
+            assert ((ch.name in cut)) == (src_in != dst_in)
+
+
+@given(slif_graphs())
+@settings(max_examples=30, deadline=None)
+def test_text_format_round_trip(g):
+    """The .slif textual form is lossless for arbitrary graphs."""
+    from repro.core.textfmt import dumps, loads
+
+    g2 = loads(dumps(g))
+    assert g2.stats() == g.stats()
+    for name, ch in g.channels.items():
+        ch2 = g2.channels[name]
+        assert ch2.accfreq == ch.accfreq
+        assert ch2.bits == ch.bits
+        assert ch2.kind == ch.kind
+    for name, b in g.behaviors.items():
+        assert g2.behaviors[name].ict == b.ict
+        assert g2.behaviors[name].size == b.size
+    # writer output is a fixed point
+    assert dumps(g2) == dumps(g)

@@ -1,0 +1,57 @@
+"""Property-based tests on the partitioning algorithms.
+
+For arbitrary graphs and starting points: every algorithm returns a
+proper partition, never worse than its start, with an honest cost
+value (re-evaluating the returned partition reproduces the reported
+cost).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import ALGORITHMS, run_algorithm
+from repro.partition.cost import PartitionCost
+from repro.partition.random_part import random_partition
+
+from test_prop_graph import slif_graphs
+
+
+def _constrain(g):
+    """Give the CPU a constraint that makes the problem non-trivial."""
+    total = sum(b.size.get("proc", default=0.0) for b in g.behaviors.values())
+    total += sum(v.size.get("proc", default=0.0) for v in g.variables.values())
+    g.processors["CPU"].size_constraint = max(total * 0.6, 1.0)
+    return g
+
+
+@given(slif_graphs(), st.integers(0, 100), st.sampled_from(sorted(ALGORITHMS)))
+@settings(max_examples=20, deadline=None)
+def test_algorithms_return_proper_never_worse(g, seed, algorithm):
+    _constrain(g)
+    start = random_partition(g, seed=seed)
+    start_cost = PartitionCost(g, start.copy()).cost()
+
+    result = run_algorithm(algorithm, g, start, seed=seed)
+
+    assert result.partition.validate() == []
+    assert result.cost <= start_cost + 1e-9
+    # the reported cost is reproducible from the returned partition
+    recomputed = PartitionCost(g, result.partition.copy()).cost()
+    assert abs(recomputed - result.cost) < 1e-9
+    # the input partition was not mutated (algorithms work on copies)
+    assert PartitionCost(g, start.copy()).cost() == start_cost
+
+
+@given(slif_graphs(), st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_greedy_reaches_local_minimum(g, seed):
+    """No single move improves a greedy result (the definition of its
+    termination condition)."""
+    _constrain(g)
+    start = random_partition(g, seed=seed)
+    result = run_algorithm("greedy", g, start)
+    evaluator = PartitionCost(g, result.partition.copy())
+    base = evaluator.cost()
+    for obj in evaluator.movable_objects():
+        for comp in evaluator.candidate_components(obj):
+            assert evaluator.try_move(obj, comp) >= base - 1e-9

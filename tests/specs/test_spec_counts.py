@@ -1,0 +1,106 @@
+"""Figure 4 structural reproduction: every benchmark's measured shape.
+
+The paper's Figure 4 reports, per example, the specification line count
+and the number of behavior/variable objects (BV) and channels (C) in
+the built SLIF.  Our regenerated benchmarks reproduce those numbers
+exactly; these tests pin them so the benchmarks cannot drift.
+"""
+
+import pytest
+
+from repro.core.validate import errors_only, validate_slif
+from repro.specs import PAPER_FIGURE4, SPEC_NAMES, spec_source, spec_targets
+from repro.vhdl.lexer import count_source_lines
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_line_counts_match_figure4(name):
+    assert count_source_lines(spec_source(name)) == PAPER_FIGURE4[name]["lines"]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_bv_counts_match_figure4(name, all_spec_graphs):
+    assert all_spec_graphs[name].num_bv == PAPER_FIGURE4[name]["bv"]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_channel_counts_match_figure4(name, all_spec_graphs):
+    assert all_spec_graphs[name].num_channels == PAPER_FIGURE4[name]["channels"]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_targets_consistent_with_paper_table(name):
+    targets = spec_targets(name)
+    row = PAPER_FIGURE4[name]
+    assert targets["lines"] == row["lines"]
+    assert targets["bv"] == row["bv"]
+    assert targets["channels"] == row["channels"]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_specs_are_structurally_valid(name, all_spec_graphs):
+    """No recursion, no bad call targets, everything process-reachable."""
+    graph = all_spec_graphs[name]
+    issues = validate_slif(graph)
+    # weight errors are expected (graphs here are pre-annotation); only
+    # structural error codes matter
+    structural = [
+        i
+        for i in errors_only(issues)
+        if i.code not in ("missing-ict", "missing-size")
+    ]
+    assert structural == []
+    unreachable = [i for i in issues if i.code == "unreachable"]
+    assert unreachable == []
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_specs_annotate_cleanly(name, all_spec_graphs):
+    """After preprocessing, every node has every technology's weights."""
+    from repro.synth.annotate import annotate_slif
+
+    graph = all_spec_graphs[name].copy()
+    # copy() drops op profiles only if deepcopy failed; re-take originals
+    for b, orig in zip(graph.behaviors.values(), all_spec_graphs[name].behaviors.values()):
+        b.op_profile = orig.op_profile
+    annotate_slif(graph)
+    for behavior in graph.behaviors.values():
+        assert "proc" in behavior.ict and "asic" in behavior.ict
+    for variable in graph.variables.values():
+        assert "mem" in variable.size
+
+
+def test_ether_has_many_processes(all_spec_graphs):
+    """The ether benchmark's C < BV property requires many processes."""
+    ether = all_spec_graphs["ether"]
+    process_count = len(ether.processes())
+    assert ether.num_channels < ether.num_bv
+    # C >= BV - P for a fully connected design: check the arithmetic
+    assert ether.num_channels >= ether.num_bv - process_count
+
+
+def test_all_spec_names_build():
+    assert SPEC_NAMES == ["ans", "ether", "fuzzy", "vol"]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_profile_entries_reference_real_behaviors(name, all_spec_graphs):
+    """A typo'd behavior name in a bundled profile would silently no-op
+    (the lookup just misses); pin every entry to an existing behavior."""
+    from repro.specs import spec_profile
+
+    graph = all_spec_graphs[name]
+    behaviors = {b.lower() for b in graph.behaviors}
+    for (behavior, key), value in spec_profile(name).items():
+        assert behavior in behaviors, f"profile names unknown behavior {behavior!r}"
+        assert value >= 0
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_sources_parse_standalone(name):
+    """The padded sources are valid input for any VHDL-subset consumer:
+    parse them from scratch (no profile, no cache) without error."""
+    from repro.vhdl.parser import parse_source
+
+    spec = parse_source(spec_source(name))
+    assert spec.processes

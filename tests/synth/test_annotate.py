@@ -1,0 +1,100 @@
+"""Unit tests for the preprocessing driver (annotate_slif)."""
+
+import pytest
+
+from repro.core import SlifBuilder
+from repro.synth.annotate import (
+    annotate_behavior_weights,
+    annotate_channel_tags,
+    annotate_slif,
+    annotate_variable_weights,
+)
+from repro.synth.ops import OpClass, OpDag, OpProfile, Region, chain_dag
+from repro.synth.techlib import default_library
+
+
+def graph_with_profiles():
+    g = (
+        SlifBuilder("t")
+        .process("P")
+        .variable("a", bits=8)
+        .variable("b", bits=8, elements=32)
+        .read("P", "a")
+        .read("P", "b")
+        .build()
+    )
+    dag = OpDag()
+    x = dag.add(OpClass.ACCESS, access="a")
+    y = dag.add(OpClass.ACCESS, access="b")
+    dag.add(OpClass.ALU, preds=(x, y))
+    g.behaviors["P"].op_profile = OpProfile([Region(dag, count=1)])
+    return g
+
+
+def test_behavior_weights_filled_for_all_technologies():
+    g = graph_with_profiles()
+    annotate_behavior_weights(g, default_library())
+    b = g.behaviors["P"]
+    assert "proc" in b.ict and "asic" in b.ict
+    assert "proc" in b.size and "asic" in b.size
+
+
+def test_variable_weights_filled_for_all_technologies():
+    g = graph_with_profiles()
+    annotate_variable_weights(g, default_library())
+    v = g.variables["b"]
+    for tech in ("proc", "asic", "mem"):
+        assert tech in v.ict and tech in v.size
+    # memory sizes are words (one per 8-bit element), processor sizes bytes
+    assert v.size["mem"] == 32
+    assert v.size["proc"] == 32
+
+
+def test_tags_derived_from_schedule():
+    g = graph_with_profiles()
+    annotate_channel_tags(g, default_library())
+    # accesses of a and b both start at t=0 -> concurrent -> same tag
+    assert g.channels["P->a"].tag is not None
+    assert g.channels["P->a"].tag == g.channels["P->b"].tag
+
+
+def test_existing_tags_not_overwritten():
+    g = graph_with_profiles()
+    g.channels["P->a"].tag = "designer-set"
+    annotate_channel_tags(g, default_library())
+    assert g.channels["P->a"].tag == "designer-set"
+
+
+def test_unprofiled_behavior_untouched():
+    g = (
+        SlifBuilder("t")
+        .process("Hand", ict={"proc": 42.0}, size={"proc": 7.0})
+        .build()
+    )
+    annotate_slif(g)
+    # the paper allows designer-specified weights; they must survive
+    assert g.behaviors["Hand"].ict["proc"] == 42.0
+    assert "asic" not in g.behaviors["Hand"].ict
+
+
+def test_annotate_slif_end_to_end_validates():
+    from repro.core.validate import errors_only, validate_slif
+
+    g = graph_with_profiles()
+    g.add_processor(
+        __import__("repro.core.components", fromlist=["Processor"]).Processor(
+            "CPU", default_library().processors["proc"].technology()
+        )
+    )
+    annotate_slif(g)
+    assert errors_only(validate_slif(g)) == []
+
+
+def test_tags_skipped_without_asic_models():
+    from repro.synth.techlib import TechLibrary
+
+    g = graph_with_profiles()
+    lib = TechLibrary()
+    lib.add_processor(default_library().processors["proc"])
+    annotate_slif(g, lib)  # must not raise
+    assert g.channels["P->a"].tag is None

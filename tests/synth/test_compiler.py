@@ -1,0 +1,69 @@
+"""Unit tests for the software compilation model."""
+
+import pytest
+
+from repro.synth.compiler import compile_behavior, compile_behavior_set
+from repro.synth.ops import OpClass, OpDag, OpProfile, Region, chain_dag
+from repro.synth.techlib import default_library
+
+
+@pytest.fixture
+def proc():
+    return default_library().processors["proc"]
+
+
+def test_ict_from_dynamic_counts(proc):
+    profile = OpProfile([Region(chain_dag([OpClass.ALU, OpClass.MULT]), count=10)])
+    est = compile_behavior(profile, proc)
+    expected = 10 * (1 + 12) * proc.clock_us
+    assert est.ict == pytest.approx(expected)
+
+
+def test_code_bytes_from_static_counts(proc):
+    profile = OpProfile([Region(chain_dag([OpClass.ALU, OpClass.MULT]), count=10)])
+    est = compile_behavior(profile, proc)
+    # bytes do not scale with execution count: 2 + 3 + overhead 12
+    assert est.code_bytes == 2 + 3 + 12
+
+
+def test_access_ops_cost_no_time_but_some_bytes(proc):
+    dag = OpDag()
+    dag.add(OpClass.ACCESS, access="v")
+    profile = OpProfile([Region(dag, count=100)])
+    est = compile_behavior(profile, proc)
+    assert est.ict == 0.0  # communication time comes from Eq. 1
+    assert est.code_bytes > proc.call_overhead_bytes  # the instruction exists
+
+
+def test_empty_profile(proc):
+    est = compile_behavior(OpProfile(), proc)
+    assert est.ict == 0.0
+    assert est.code_bytes == proc.call_overhead_bytes
+
+
+def test_branch_probability_scales_time_not_size(proc):
+    full = OpProfile([Region(chain_dag([OpClass.DIV]), count=1.0)])
+    half = OpProfile([Region(chain_dag([OpClass.DIV]), count=0.5)])
+    assert compile_behavior(half, proc).ict == pytest.approx(
+        compile_behavior(full, proc).ict / 2
+    )
+    assert compile_behavior(half, proc).code_bytes == compile_behavior(
+        full, proc
+    ).code_bytes
+
+
+def test_compile_set_sums(proc):
+    a = OpProfile([Region(chain_dag([OpClass.ALU]), count=1)])
+    b = OpProfile([Region(chain_dag([OpClass.MULT]), count=2)])
+    total = compile_behavior_set([a, b], proc)
+    assert total.ict == pytest.approx(
+        compile_behavior(a, proc).ict + compile_behavior(b, proc).ict
+    )
+    assert total.code_bytes == (
+        compile_behavior(a, proc).code_bytes + compile_behavior(b, proc).code_bytes
+    )
+
+
+def test_size_property_alias(proc):
+    est = compile_behavior(OpProfile(), proc)
+    assert est.size == est.code_bytes

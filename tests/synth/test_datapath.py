@@ -1,0 +1,117 @@
+"""Unit tests for the datapath synthesis model and hardware sharing."""
+
+import pytest
+
+from repro.synth.datapath import (
+    synthesize_behavior,
+    synthesize_behavior_set,
+    unshared_size,
+)
+from repro.synth.ops import OpClass, OpProfile, Region, chain_dag, parallel_dag
+from repro.synth.techlib import default_library
+
+
+@pytest.fixture
+def asic():
+    return default_library().asics["asic"]
+
+
+def simple_profile(count=10.0):
+    return OpProfile(
+        [Region(chain_dag([OpClass.ALU, OpClass.MULT, OpClass.MEM]), count=count)]
+    )
+
+
+class TestSingleBehavior:
+    def test_ict_scales_with_region_count(self, asic):
+        a = synthesize_behavior(simple_profile(10), asic)
+        b = synthesize_behavior(simple_profile(20), asic)
+        assert b.ict == pytest.approx(2 * a.ict)
+
+    def test_ict_is_count_times_latency(self, asic):
+        est = synthesize_behavior(simple_profile(10), asic)
+        chain_latency = (
+            asic.op_delay(OpClass.ALU)
+            + asic.op_delay(OpClass.MULT)
+            + asic.op_delay(OpClass.MEM)
+        )
+        assert est.ict == pytest.approx(10 * chain_latency)
+
+    def test_area_includes_fus_registers_control(self, asic):
+        est = synthesize_behavior(simple_profile(), asic)
+        fu_area = (
+            asic.op_area(OpClass.ALU)
+            + asic.op_area(OpClass.MULT)
+            + asic.op_area(OpClass.MEM)
+        )
+        assert est.area > fu_area  # registers + control on top
+
+    def test_parallelism_buys_time_for_area(self, asic):
+        serial = OpProfile([Region(chain_dag([OpClass.ALU] * 4), count=1)])
+        par = OpProfile([Region(parallel_dag([OpClass.ALU] * 4), count=1)])
+        s = synthesize_behavior(serial, asic)
+        p = synthesize_behavior(par, asic)
+        assert p.ict < s.ict          # faster
+        assert p.area > s.area        # more ALUs allocated
+
+    def test_empty_profile_is_free(self, asic):
+        est = synthesize_behavior(OpProfile(), asic)
+        assert est.ict == 0.0
+        assert est.area == 0.0
+        assert est.states == 0
+
+    def test_access_ops_cost_nothing(self, asic):
+        from repro.synth.ops import OpDag
+
+        dag = OpDag()
+        dag.add(OpClass.ACCESS, access="v")
+        est = synthesize_behavior(OpProfile([Region(dag, count=100)]), asic)
+        assert est.ict == 0.0
+        assert est.area == pytest.approx(
+            est.states * asic.control_area_per_state
+        )
+
+
+class TestSharing:
+    def test_shared_le_unshared(self, asic):
+        profiles = [simple_profile(10), simple_profile(5), simple_profile(2)]
+        shared = synthesize_behavior_set(profiles, asic).area
+        unshared = unshared_size(profiles, asic)
+        assert shared <= unshared
+
+    def test_identical_behaviors_share_all_fus(self, asic):
+        # the paper's overestimate scenario: summing sizes counts the
+        # multiplier N times though one suffices
+        profiles = [simple_profile(10)] * 4
+        shared = synthesize_behavior_set(profiles, asic)
+        single = synthesize_behavior(simple_profile(10), asic)
+        assert shared.fu_allocation == single.fu_allocation
+        # savings are exactly 3 extra FU+register sets
+        assert shared.area < unshared_size(profiles, asic)
+
+    def test_shared_ict_sums(self, asic):
+        profiles = [simple_profile(10), simple_profile(5)]
+        shared = synthesize_behavior_set(profiles, asic)
+        assert shared.ict == pytest.approx(
+            sum(synthesize_behavior(p, asic).ict for p in profiles)
+        )
+
+    def test_control_states_sum_not_shared(self, asic):
+        profiles = [simple_profile(10), simple_profile(5)]
+        shared = synthesize_behavior_set(profiles, asic)
+        assert shared.states == sum(
+            synthesize_behavior(p, asic).states for p in profiles
+        )
+
+    def test_disjoint_op_mixes_share_nothing(self, asic):
+        only_alu = OpProfile([Region(chain_dag([OpClass.ALU]), count=1)])
+        only_mult = OpProfile([Region(chain_dag([OpClass.MULT]), count=1)])
+        shared = synthesize_behavior_set([only_alu, only_mult], asic)
+        # the union datapath needs both FU kinds
+        assert shared.fu_allocation[OpClass.ALU] == 1
+        assert shared.fu_allocation[OpClass.MULT] == 1
+
+    def test_empty_set(self, asic):
+        est = synthesize_behavior_set([], asic)
+        assert est.area == 0.0
+        assert est.ict == 0.0

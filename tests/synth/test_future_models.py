@@ -1,0 +1,144 @@
+"""Unit tests for the Section 6 future-work technology models.
+
+"We also plan to continue to extend SLIF to represent more
+sophisticated architectures, such as those including ... pipelined
+processors, and memory hierarchies."  Both extensions live in the
+technology library and flow through the standard preprocessors, so
+every estimation equation picks them up for free.
+"""
+
+import pytest
+
+from repro.synth.compiler import compile_behavior
+from repro.synth.ops import OpClass, OpProfile, Region, chain_dag
+from repro.synth.techlib import MemoryModel, ProcessorModel, default_library
+
+
+class TestPipelinedProcessor:
+    def _models(self, depth):
+        base = default_library().processors["proc"]
+        pipelined = ProcessorModel(
+            name="proc5",
+            clock_us=base.clock_us,
+            cycles=base.cycles,
+            bytes_per_op=base.bytes_per_op,
+            call_overhead_bytes=base.call_overhead_bytes,
+            mem_access_cycles=base.mem_access_cycles,
+            pipeline_depth=depth,
+            branch_penalty_cycles=3.0,
+        )
+        return base, pipelined
+
+    def test_pipelining_speeds_up_straightline_code(self):
+        base, pipelined = self._models(depth=4)
+        profile = OpProfile(
+            [Region(chain_dag([OpClass.MULT, OpClass.DIV, OpClass.ALU]), count=10)]
+        )
+        assert compile_behavior(profile, pipelined).ict < compile_behavior(
+            profile, base
+        ).ict
+
+    def test_single_cycle_floor(self):
+        _, pipelined = self._models(depth=100)
+        # an ALU op is already 1 cycle; depth cannot push it below
+        assert pipelined.op_cycles(OpClass.ALU) == 1.0
+
+    def test_branch_penalty_charged(self):
+        base, pipelined = self._models(depth=4)
+        # branch: base 2 cycles -> max(1, 2/4) + 3 penalty = 4
+        assert pipelined.op_cycles(OpClass.BRANCH) == pytest.approx(4.0)
+
+    def test_branchy_code_gains_less(self):
+        base, pipelined = self._models(depth=4)
+        straight = OpProfile(
+            [Region(chain_dag([OpClass.MULT] * 4), count=10)]
+        )
+        branchy = OpProfile(
+            [Region(chain_dag([OpClass.MULT, OpClass.BRANCH] * 2), count=10)]
+        )
+        gain_straight = (
+            compile_behavior(straight, base).ict
+            / compile_behavior(straight, pipelined).ict
+        )
+        gain_branchy = (
+            compile_behavior(branchy, base).ict
+            / compile_behavior(branchy, pipelined).ict
+        )
+        assert gain_straight > gain_branchy
+
+    def test_code_size_unchanged(self):
+        base, pipelined = self._models(depth=4)
+        profile = OpProfile([Region(chain_dag([OpClass.MULT] * 3), count=5)])
+        assert (
+            compile_behavior(profile, pipelined).code_bytes
+            == compile_behavior(profile, base).code_bytes
+        )
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorModel(pipeline_depth=0)
+
+    def test_depth_one_is_identity(self):
+        base, _ = self._models(depth=4)
+        plain = ProcessorModel(cycles=base.cycles)
+        for cls in (OpClass.ALU, OpClass.MULT, OpClass.DIV):
+            assert plain.op_cycles(cls) == base.op_cycles(cls)
+
+
+class TestMemoryHierarchy:
+    def test_flat_memory_unchanged(self):
+        mem = MemoryModel(access_time_us=0.2)
+        assert mem.variable_access_time() == 0.2
+
+    def test_cache_blends_access_time(self):
+        mem = MemoryModel(
+            access_time_us=0.2, cache_hit_rate=0.9, cache_access_time_us=0.05
+        )
+        assert mem.variable_access_time() == pytest.approx(
+            0.9 * 0.05 + 0.1 * 0.2
+        )
+
+    def test_perfect_cache(self):
+        mem = MemoryModel(
+            access_time_us=0.2, cache_hit_rate=1.0, cache_access_time_us=0.05
+        )
+        assert mem.variable_access_time() == pytest.approx(0.05)
+
+    def test_invalid_hit_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel(cache_hit_rate=1.5)
+
+    def test_cache_flows_into_execution_time(self):
+        """The hierarchy reaches Eq. 1 through the standard annotators."""
+        from repro.core import SlifBuilder
+        from repro.core.partition import single_bus_partition
+        from repro.estimate.exectime import execution_time
+        from repro.synth.annotate import annotate_slif
+        from repro.synth.techlib import TechLibrary
+
+        def build(mem_model):
+            lib = TechLibrary()
+            lib.add_processor(default_library().processors["proc"])
+            lib.add_memory(mem_model)
+            g = (
+                SlifBuilder("t")
+                .process("P", ict={"proc": 1.0}, size={"proc": 10})
+                .variable("v", bits=8)
+                .read("P", "v", freq=100)
+                .processor("CPU", "proc")
+                .memory("RAM", "mem")
+                .bus("bus", bitwidth=16, ts=0.1, td=0.1)
+                .build()
+            )
+            annotate_slif(g, lib)
+            p = single_bus_partition(g, {"P": "CPU", "v": "RAM"})
+            return execution_time(g, p, "P")
+
+        slow = build(MemoryModel(access_time_us=0.2))
+        fast = build(
+            MemoryModel(
+                access_time_us=0.2, cache_hit_rate=0.9, cache_access_time_us=0.05
+            )
+        )
+        # 100 accesses x (0.2 - 0.065) saved
+        assert slow - fast == pytest.approx(100 * (0.2 - 0.065))

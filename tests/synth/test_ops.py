@@ -1,0 +1,104 @@
+"""Unit tests for the operation-level behavior abstraction."""
+
+import pytest
+
+from repro.synth.ops import (
+    Op,
+    OpClass,
+    OpDag,
+    OpProfile,
+    Region,
+    chain_dag,
+    parallel_dag,
+)
+
+
+class TestOp:
+    def test_access_requires_target(self):
+        with pytest.raises(ValueError):
+            Op(OpClass.ACCESS)
+
+    def test_non_access_rejects_target(self):
+        with pytest.raises(ValueError):
+            Op(OpClass.ALU, access="x")
+
+    def test_access_is_not_computational(self):
+        assert not OpClass.ACCESS.is_computational
+        assert OpClass.MULT.is_computational
+
+
+class TestOpDag:
+    def test_append_returns_index(self):
+        dag = OpDag()
+        assert dag.add(OpClass.ALU) == 0
+        assert dag.add(OpClass.MULT, preds=(0,)) == 1
+
+    def test_forward_reference_rejected(self):
+        dag = OpDag()
+        with pytest.raises(ValueError):
+            dag.add(OpClass.ALU, preds=(0,))  # references itself
+
+    def test_out_of_range_pred_rejected(self):
+        dag = OpDag([Op(OpClass.ALU)])
+        with pytest.raises(ValueError):
+            dag.add(OpClass.ALU, preds=(5,))
+
+    def test_op_counts(self):
+        dag = chain_dag([OpClass.ALU, OpClass.ALU, OpClass.MULT])
+        assert dag.op_counts() == {OpClass.ALU: 2, OpClass.MULT: 1}
+
+    def test_critical_path_serial(self):
+        dag = chain_dag([OpClass.ALU, OpClass.ALU, OpClass.ALU])
+        assert dag.critical_path_length({OpClass.ALU: 2.0}) == 6.0
+
+    def test_critical_path_parallel(self):
+        dag = parallel_dag([OpClass.ALU, OpClass.ALU, OpClass.ALU])
+        assert dag.critical_path_length({OpClass.ALU: 2.0}) == 2.0
+
+    def test_empty_dag(self):
+        assert OpDag().critical_path_length({}) == 0.0
+        assert len(OpDag()) == 0
+
+
+class TestRegion:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Region(OpDag(), count=-1)
+
+    def test_defaults(self):
+        r = Region(OpDag())
+        assert r.count == 1.0
+        assert r.static_occurrences == 1
+
+
+class TestOpProfile:
+    def test_static_vs_dynamic(self):
+        dag = chain_dag([OpClass.ALU, OpClass.MULT])
+        profile = OpProfile([Region(dag, count=10)])
+        assert profile.static_counts() == {OpClass.ALU: 1, OpClass.MULT: 1}
+        assert profile.dynamic_counts() == {OpClass.ALU: 10, OpClass.MULT: 10}
+
+    def test_multiple_regions_sum(self):
+        a = Region(chain_dag([OpClass.ALU]), count=2)
+        b = Region(chain_dag([OpClass.ALU, OpClass.ALU]), count=3)
+        profile = OpProfile([a, b])
+        assert profile.dynamic_counts()[OpClass.ALU] == 2 + 6
+        assert profile.static_counts()[OpClass.ALU] == 3
+
+    def test_totals(self):
+        profile = OpProfile([Region(chain_dag([OpClass.ALU, OpClass.MEM]), count=4)])
+        assert profile.total_static_ops == 2
+        assert profile.total_dynamic_ops == 8
+
+    def test_accesses_listed_with_counts(self):
+        dag = OpDag()
+        dag.add(OpClass.ACCESS, access="v")
+        dag.add(OpClass.ACCESS, access="w")
+        profile = OpProfile([Region(dag, count=5)])
+        assert sorted(profile.accesses()) == [("v", 5), ("w", 5)]
+
+    def test_fractional_counts_from_branch_probability(self):
+        dag = chain_dag([OpClass.ALU])
+        profile = OpProfile([Region(dag, count=0.5)])
+        assert profile.dynamic_counts()[OpClass.ALU] == 0.5
+        assert profile.static_counts()[OpClass.ALU] == 1

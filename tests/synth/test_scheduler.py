@@ -1,0 +1,103 @@
+"""Unit tests for list scheduling and concurrency-tag derivation."""
+
+import pytest
+
+from repro.synth.ops import OpClass, OpDag, chain_dag, parallel_dag
+from repro.synth.scheduler import derive_access_tags, list_schedule
+from repro.synth.techlib import AsicModel, default_library
+
+
+@pytest.fixture
+def asic():
+    return default_library().asics["asic"]
+
+
+class TestListSchedule:
+    def test_serial_chain_latency_sums(self, asic):
+        dag = chain_dag([OpClass.ALU, OpClass.ALU, OpClass.ALU])
+        schedule = list_schedule(dag, asic)
+        assert schedule.latency == pytest.approx(3 * asic.op_delay(OpClass.ALU))
+        assert schedule.units_used[OpClass.ALU] == 1
+
+    def test_parallel_ops_use_budget(self, asic):
+        # 4 independent ALU ops, budget 2 -> two waves of two
+        dag = parallel_dag([OpClass.ALU] * 4)
+        schedule = list_schedule(dag, asic)
+        assert schedule.units_used[OpClass.ALU] == 2
+        assert schedule.latency == pytest.approx(2 * asic.op_delay(OpClass.ALU))
+
+    def test_single_unit_serializes(self, asic):
+        # 3 independent multiplies, budget 1 -> strictly sequential
+        dag = parallel_dag([OpClass.MULT] * 3)
+        schedule = list_schedule(dag, asic)
+        assert schedule.units_used[OpClass.MULT] == 1
+        assert schedule.latency == pytest.approx(3 * asic.op_delay(OpClass.MULT))
+
+    def test_dependencies_respected(self, asic):
+        dag = OpDag()
+        a = dag.add(OpClass.ALU)
+        b = dag.add(OpClass.MULT, preds=(a,))
+        schedule = list_schedule(dag, asic)
+        assert schedule.start[b] >= schedule.finish[a]
+
+    def test_empty_dag(self, asic):
+        schedule = list_schedule(OpDag(), asic)
+        assert schedule.latency == 0.0
+        assert schedule.states == 0
+
+    def test_deterministic(self, asic):
+        dag = parallel_dag([OpClass.ALU, OpClass.MULT, OpClass.MEM, OpClass.ALU])
+        s1 = list_schedule(dag, asic)
+        s2 = list_schedule(dag, asic)
+        assert s1.start == s2.start
+        assert s1.unit_of_op == s2.unit_of_op
+
+    def test_critical_path_priority_beats_fifo(self, asic):
+        # a long chain plus a short independent op: the chain head must be
+        # scheduled first even though the short op has a lower index region
+        dag = OpDag()
+        short = dag.add(OpClass.MULT)              # index 0
+        c1 = dag.add(OpClass.MULT)                 # chain of 3 mults
+        c2 = dag.add(OpClass.MULT, preds=(c1,))
+        c3 = dag.add(OpClass.MULT, preds=(c2,))
+        schedule = list_schedule(dag, asic)        # MULT budget is 1
+        assert schedule.start[c1] == 0.0           # chain head goes first
+        assert schedule.latency == pytest.approx(4 * asic.op_delay(OpClass.MULT))
+
+    def test_states_count_distinct_start_times(self, asic):
+        dag = chain_dag([OpClass.ALU, OpClass.ALU])
+        assert list_schedule(dag, asic).states == 2
+
+    def test_concurrent_groups(self, asic):
+        dag = parallel_dag([OpClass.ALU, OpClass.MULT])
+        groups = list_schedule(dag, asic).concurrent_groups()
+        assert groups[0] == [0, 1]  # both start at t=0
+
+
+class TestAccessTags:
+    def test_simultaneous_accesses_share_tag(self, asic):
+        dag = OpDag()
+        dag.add(OpClass.ACCESS, access="a")
+        dag.add(OpClass.ACCESS, access="b")
+        schedule = list_schedule(dag, asic)
+        tags = derive_access_tags(dag, schedule, "B.r0")
+        assert tags[0] == tags[1]
+        assert tags[0].startswith("B.r0")
+
+    def test_sequential_accesses_untagged(self, asic):
+        dag = OpDag()
+        a = dag.add(OpClass.ALU)
+        dag.add(OpClass.ACCESS, preds=(a,), access="x")
+        dag.add(OpClass.ACCESS, access="y")
+        schedule = list_schedule(dag, asic)
+        tags = derive_access_tags(dag, schedule, "B.r0")
+        # x starts after the ALU; y at 0: different starts, no group of 2
+        assert tags == {}
+
+    def test_same_object_concurrency_not_tagged(self, asic):
+        # two simultaneous accesses of ONE object are not concurrency
+        dag = OpDag()
+        dag.add(OpClass.ACCESS, access="v")
+        dag.add(OpClass.ACCESS, access="v")
+        schedule = list_schedule(dag, asic)
+        assert derive_access_tags(dag, schedule, "B") == {}

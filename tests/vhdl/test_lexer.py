@@ -1,0 +1,79 @@
+"""Unit tests for the VHDL-subset tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl.lexer import TokKind, count_source_lines, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    toks = tokenize("ENTITY Entity entity")
+    assert all(t.kind is TokKind.KEYWORD for t in toks[:-1])
+    assert all(t.text == "entity" for t in toks[:-1])
+
+
+def test_identifier_keeps_raw_spelling():
+    tok = tokenize("FuzzyMain")[0]
+    assert tok.kind is TokKind.IDENT
+    assert tok.raw == "FuzzyMain"
+    assert tok.text == "fuzzymain"
+
+
+def test_integers_with_underscores():
+    tok = tokenize("1_024")[0]
+    assert tok.kind is TokKind.INT
+    assert tok.text == "1024"
+
+
+def test_comments_stripped():
+    assert texts("a -- comment with := symbols\nb") == ["a", "b"]
+
+
+def test_multichar_symbols_maximal_munch():
+    assert texts("a := b <= c /= d >= e") == [
+        "a", ":=", "b", "<=", "c", "/=", "d", ">=", "e",
+    ]
+
+
+def test_positions_tracked():
+    toks = tokenize("ab\n  cd")
+    assert (toks[0].line, toks[0].column) == (1, 1)
+    assert (toks[1].line, toks[1].column) == (2, 3)
+
+
+def test_string_literal():
+    tok = tokenize('"hello world"')[0]
+    assert tok.kind is TokKind.STRING
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError):
+        tokenize('"oops')
+
+
+def test_char_literal():
+    toks = tokenize("'1' '0'")
+    assert toks[0].kind is TokKind.CHAR
+    assert toks[1].kind is TokKind.CHAR
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ParseError, match="unexpected"):
+        tokenize("a @ b")
+
+
+def test_eof_token_terminates():
+    toks = tokenize("x")
+    assert toks[-1].kind is TokKind.EOF
+
+
+def test_count_source_lines_skips_blanks():
+    assert count_source_lines("a\n\n  \nb\n") == 2

@@ -1,0 +1,275 @@
+"""Unit tests for the VHDL-subset parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+from repro.vhdl.parser import parse_source
+
+MINIMAL = """
+entity E is
+    port ( a : in integer; b : out integer );
+end;
+
+Main: process
+    variable x : integer;
+begin
+    x := a + 1;
+    b <= x;
+    wait until true;
+end process;
+"""
+
+
+def test_entity_and_ports():
+    spec = parse_source(MINIMAL)
+    assert spec.entity == "E"
+    assert len(spec.ports) == 2
+    assert spec.ports[0].names == ("a",)
+    assert spec.ports[0].mode == "in"
+    assert spec.ports[1].mode == "out"
+
+
+def test_process_parsed():
+    spec = parse_source(MINIMAL)
+    assert len(spec.processes) == 1
+    proc = spec.processes[0]
+    assert proc.name == "Main"
+    assert len(proc.body) == 3
+    assert isinstance(proc.body[0], ast.Assign)
+    assert isinstance(proc.body[1], ast.SignalAssign)
+    assert isinstance(proc.body[2], ast.Wait)
+
+
+def test_anonymous_process_gets_name():
+    spec = parse_source(
+        "entity E is end;\nprocess begin wait; end process;"
+    )
+    assert spec.processes[0].name == "process1"
+
+
+def test_port_list_with_grouped_names():
+    spec = parse_source(
+        "entity E is port ( a, b, c : in integer ); end;"
+    )
+    assert spec.ports[0].names == ("a", "b", "c")
+
+
+def test_range_constrained_type():
+    spec = parse_source(
+        "entity E is port ( a : in integer range 0 to 255 ); end;"
+    )
+    mark = spec.ports[0].type_mark
+    assert (mark.low, mark.high) == (0, 255)
+
+
+def test_array_type_declaration():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            type buf_t is array (1 to 64) of integer range 0 to 255;
+            variable buf : buf_t;
+        begin
+            buf(1) := 0;
+            wait;
+        end process;"""
+    )
+    decl = spec.processes[0].decls[0]
+    assert isinstance(decl, ast.ArrayTypeDecl)
+    assert (decl.low, decl.high) == (1, 64)
+
+
+def test_downto_range_normalised():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            type buf_t is array (7 downto 0) of integer;
+            variable buf : buf_t;
+        begin
+            wait;
+        end process;"""
+    )
+    decl = spec.processes[0].decls[0]
+    assert (decl.low, decl.high) == (0, 7)
+
+
+def test_if_elsif_else():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            variable x : integer;
+        begin
+            if (x = 1) then
+                x := 2;
+            elsif (x = 2) then
+                x := 3;
+            else
+                x := 0;
+            end if;
+            wait;
+        end process;"""
+    )
+    stmt = spec.processes[0].body[0]
+    assert isinstance(stmt, ast.If)
+    assert len(stmt.arms) == 2
+    assert stmt.else_body is not None
+
+
+def test_for_and_while_loops():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            variable x : integer;
+        begin
+            for i in 1 to 10 loop
+                x := x + i;
+            end loop;
+            while (x > 0) loop
+                x := x - 1;
+            end loop;
+            wait;
+        end process;"""
+    )
+    body = spec.processes[0].body
+    assert isinstance(body[0], ast.For)
+    assert isinstance(body[1], ast.While)
+    assert body[0].var == "i"
+
+
+def test_procedure_with_params():
+    spec = parse_source(
+        """entity E is end;
+        procedure P(a : in integer; b, c : in integer range 0 to 7) is
+            variable t : integer;
+        begin
+            t := a + b + c;
+        end;"""
+    )
+    sub = spec.subprograms[0]
+    assert not sub.is_function
+    assert sub.params[0].names == ("a",)
+    assert sub.params[1].names == ("b", "c")
+
+
+def test_function_with_return():
+    spec = parse_source(
+        """entity E is end;
+        function F(a : in integer) return integer is
+        begin
+            return a * 2;
+        end;"""
+    )
+    sub = spec.subprograms[0]
+    assert sub.is_function
+    assert isinstance(sub.body[0], ast.Return)
+
+
+def test_procedure_call_statement():
+    spec = parse_source(
+        """entity E is end;
+        Main: process begin
+            DoThing;
+            DoOther(1, 2);
+            wait;
+        end process;"""
+    )
+    body = spec.processes[0].body
+    assert isinstance(body[0], ast.ProcCall)
+    assert body[0].args == ()
+    assert len(body[1].args) == 2
+
+
+def test_expression_precedence():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            variable x : integer;
+        begin
+            x := 1 + 2 * 3;
+            wait;
+        end process;"""
+    )
+    expr = spec.processes[0].body[0].value
+    assert isinstance(expr, ast.Binary) and expr.op == "+"
+    assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+
+def test_relational_and_logical():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            variable x : integer;
+        begin
+            if (x > 1) and (x < 9) then
+                x := 0;
+            end if;
+            wait;
+        end process;"""
+    )
+    cond = spec.processes[0].body[0].arms[0].condition
+    assert cond.op == "and"
+
+
+def test_unary_minus_and_not():
+    spec = parse_source(
+        """entity E is end;
+        Main: process
+            variable x : integer;
+        begin
+            x := -x + 1;
+            wait;
+        end process;"""
+    )
+    expr = spec.processes[0].body[0].value
+    assert isinstance(expr.left, ast.Unary)
+
+
+def test_architecture_wrapper_style():
+    spec = parse_source(
+        """entity E is port ( a : in integer ); end;
+        architecture behav of E is
+            signal s : integer;
+        begin
+            Main: process begin
+                s <= a;
+                wait;
+            end process;
+        end behav;"""
+    )
+    assert len(spec.processes) == 1
+    assert spec.objects[0].is_signal
+
+
+def test_library_use_clauses_skipped():
+    spec = parse_source(
+        """library ieee;
+        use ieee.std_logic_1164.all;
+        entity E is end;"""
+    )
+    assert spec.entity == "E"
+
+
+def test_parse_error_has_position():
+    with pytest.raises(ParseError) as info:
+        parse_source("entity E is port ( a : in integer ); end;\n???")
+    assert "line" in str(info.value)
+
+
+def test_missing_then_rejected():
+    with pytest.raises(ParseError, match="then"):
+        parse_source(
+            """entity E is end;
+            Main: process
+                variable x : integer;
+            begin
+                if (x = 1)
+                    x := 2;
+                end if;
+                wait;
+            end process;"""
+        )
+
+
+def test_source_lines_recorded():
+    spec = parse_source(MINIMAL)
+    assert spec.source_lines == 10  # non-empty lines of MINIMAL

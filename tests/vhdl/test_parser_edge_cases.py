@@ -1,0 +1,160 @@
+"""Additional parser/front-end edge cases beyond the core grammar tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl import ast
+from repro.vhdl.parser import parse_source
+from repro.vhdl.slif_builder import build_slif_from_source
+
+
+def _single_process(body, decls="    variable x : integer;\n"):
+    return parse_source(
+        "entity E is end;\nMain: process\n"
+        + decls
+        + "begin\n"
+        + body
+        + "\n    wait;\nend process;"
+    )
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["mod", "rem"])
+    def test_mod_rem_bind_like_multiplication(self, op):
+        spec = _single_process(f"    x := 1 + x {op} 4;")
+        expr = spec.processes[0].body[0].value
+        assert expr.op == "+"
+        assert expr.right.op == op
+
+    @pytest.mark.parametrize("op", ["xor", "nand", "nor"])
+    def test_extended_logical_operators(self, op):
+        spec = _single_process(f"    x := (x = 1) {op} (x = 2);")
+        assert spec.processes[0].body[0].value.op == op
+
+    def test_power_operator(self):
+        spec = _single_process("    x := 2 ** 8;")
+        assert spec.processes[0].body[0].value.op == "**"
+
+    def test_abs_unary(self):
+        spec = _single_process("    x := abs x;")
+        value = spec.processes[0].body[0].value
+        assert isinstance(value, ast.Unary) and value.op == "abs"
+
+    def test_concatenation_counts_as_alu(self):
+        g = build_slif_from_source(
+            "entity E is end;\nMain: process\n"
+            "    variable x : integer;\n"
+            "begin\n    x := x & 1;\n    wait;\nend process;"
+        )
+        assert "Main" in g.behaviors
+
+
+class TestDeclarations:
+    def test_constant_with_initializer(self):
+        spec = parse_source(
+            "entity E is end;\nconstant LIMIT : integer := 5 * 2;\n"
+        )
+        assert spec.objects[0].is_constant
+
+    def test_shared_variable(self):
+        spec = parse_source(
+            "entity E is end;\nshared variable s : integer;\n"
+        )
+        assert spec.objects[0].names == ("s",)
+        assert not spec.objects[0].is_signal
+
+    def test_variable_with_initializer(self):
+        spec = _single_process("    x := 1;", "    variable x : integer := 7;\n")
+        assert spec.processes[0].decls[0].names == ("x",)
+
+    def test_signal_in_architecture(self):
+        spec = parse_source(
+            "entity E is end;\nsignal clkdiv : integer range 0 to 15;\n"
+        )
+        assert spec.objects[0].is_signal
+
+
+class TestStatements:
+    def test_signal_assignment_with_after_clause(self):
+        spec = _single_process("    y <= x after 10;", "    variable x : integer;\n    signal y : integer;\n")
+        assert isinstance(spec.processes[0].body[0], ast.SignalAssign)
+
+    def test_downto_for_loop(self):
+        spec = _single_process(
+            "    for i in 10 downto 1 loop\n        x := x + i;\n    end loop;"
+        )
+        loop = spec.processes[0].body[0]
+        assert loop.downto
+
+    def test_downto_loop_trip_count(self):
+        g = build_slif_from_source(
+            "entity E is end;\nMain: process\n"
+            "    variable x : integer;\n"
+            "begin\n"
+            "    for i in 10 downto 1 loop\n"
+            "        x := 1;\n"
+            "    end loop;\n"
+            "    wait;\nend process;"
+        )
+        assert g.channels["Main->x"].accfreq == pytest.approx(10)
+
+    def test_null_statement(self):
+        spec = _single_process("    null;")
+        assert isinstance(spec.processes[0].body[0], ast.Null)
+
+    def test_empty_process_body_rejected_gracefully(self):
+        # 'begin end process' with no statements parses to empty body
+        spec = parse_source(
+            "entity E is end;\nMain: process begin end process;"
+        )
+        assert spec.processes[0].body == ()
+
+    def test_deeply_nested_control(self):
+        g = build_slif_from_source(
+            "entity E is end;\nMain: process\n"
+            "    variable x : integer;\n"
+            "begin\n"
+            "    for i in 1 to 2 loop\n"
+            "        if (x = 0) then\n"
+            "            while (x < 4) loop\n"
+            "                x := x + 1;\n"
+            "            end loop;\n"
+            "        end if;\n"
+            "    end loop;\n"
+            "    wait;\nend process;"
+        )
+        # per outer iteration: if-cond read (1) + 0.5 prob x 4 while
+        # trips x (while-cond read + body read + body write)
+        assert g.channels["Main->x"].accfreq == pytest.approx(
+            2 * (1 + 0.5 * 4 * 3)
+        )
+
+
+class TestErrors:
+    def test_assignment_to_constant_rejected(self):
+        with pytest.raises(ParseError, match="cannot assign"):
+            build_slif_from_source(
+                "entity E is end;\nconstant K : integer;\n"
+                "Main: process begin\n    K := 1;\n    wait;\nend process;"
+            )
+
+    def test_assignment_to_loop_var_rejected(self):
+        with pytest.raises(ParseError, match="cannot assign"):
+            build_slif_from_source(
+                "entity E is end;\nMain: process\n"
+                "    variable x : integer;\nbegin\n"
+                "    for i in 1 to 4 loop\n        i := 1;\n    end loop;\n"
+                "    wait;\nend process;"
+            )
+
+    def test_missing_end_process(self):
+        with pytest.raises(ParseError):
+            parse_source("entity E is end;\nMain: process begin wait;")
+
+    def test_unbalanced_parentheses(self):
+        with pytest.raises(ParseError):
+            _single_process("    x := (1 + 2;")
+
+    def test_garbage_after_entity(self):
+        with pytest.raises(ParseError, match="design item"):
+            parse_source("entity E is end;\n42;")

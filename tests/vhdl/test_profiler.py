@@ -1,0 +1,84 @@
+"""Unit tests for branch-probability profiles."""
+
+import pytest
+
+from repro.errors import SlifError
+from repro.vhdl.profiler import DEFAULT_WHILE_TRIPS, BranchProfile
+
+
+class TestDefaults:
+    def test_if_without_else_uniform_over_outcomes(self):
+        p = BranchProfile()
+        # one arm + fall-through = 2 outcomes
+        assert p.arm_probability("B", "if0", 0, 1, has_else=False) == 0.5
+
+    def test_if_else_uniform(self):
+        p = BranchProfile()
+        assert p.arm_probability("B", "if0", 0, 2, has_else=True) == 0.5
+        assert p.arm_probability("B", "if0", 1, 2, has_else=True) == 0.5
+
+    def test_if_elsif_without_else(self):
+        p = BranchProfile()
+        # two arms + fall-through = 3 outcomes
+        assert p.arm_probability("B", "if0", 0, 2, has_else=False) == pytest.approx(1 / 3)
+
+    def test_while_default(self):
+        assert BranchProfile().while_trips("B", "while0") == DEFAULT_WHILE_TRIPS
+
+    def test_for_static_bounds_win(self):
+        assert BranchProfile().for_trips("B", "for0", 128.0) == 128.0
+
+    def test_for_without_static_uses_default(self):
+        assert BranchProfile().for_trips("B", "for0", None) == DEFAULT_WHILE_TRIPS
+
+
+class TestExplicitEntries:
+    def test_explicit_probability(self):
+        p = BranchProfile()
+        p.set("EvaluateRule", "if0.arm0", 0.5)
+        assert p.arm_probability("EvaluateRule", "if0", 0, 2, False) == 0.5
+
+    def test_lookup_case_insensitive(self):
+        p = BranchProfile()
+        p.set("EvaluateRule", "IF0.ARM0", 0.25)
+        assert p.lookup("evaluaterule", "if0.arm0") == 0.25
+
+    def test_explicit_for_override(self):
+        p = BranchProfile()
+        p.set("B", "for0", 10)
+        assert p.for_trips("B", "for0", 128.0) == 10
+
+    def test_explicit_while(self):
+        p = BranchProfile()
+        p.set("B", "while0", 40)
+        assert p.while_trips("B", "while0") == 40
+
+    def test_negative_rejected(self):
+        with pytest.raises(SlifError):
+            BranchProfile().set("B", "if0.arm0", -0.1)
+
+
+class TestTextFormat:
+    def test_parse_and_dump_round_trip(self):
+        text = "# header\nA if0.arm0 0.5\nB while0 16\n"
+        p = BranchProfile.parse(text)
+        assert len(p) == 2
+        p2 = BranchProfile.parse(p.dump())
+        assert p2.lookup("a", "if0.arm0") == 0.5
+        assert p2.lookup("b", "while0") == 16
+
+    def test_comments_and_blanks_ignored(self):
+        p = BranchProfile.parse("\n# only comments\n\n")
+        assert len(p) == 0
+
+    def test_inline_comment(self):
+        p = BranchProfile.parse("A if0.arm0 0.5  # taken half the time\n")
+        assert p.lookup("A", "if0.arm0") == 0.5
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(SlifError, match="line 1"):
+            BranchProfile.parse("A if0.arm0\n")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(SlifError, match="bad value"):
+            BranchProfile.parse("A if0.arm0 often\n")

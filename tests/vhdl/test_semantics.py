@@ -1,0 +1,151 @@
+"""Unit tests for name resolution and width computation."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.vhdl.parser import parse_source
+from repro.vhdl.semantics import SymKind, analyze
+
+SPEC = """
+entity E is
+    port ( a : in integer range 0 to 255; b : out bit );
+end;
+
+Main: process
+    type arr_t is array (1 to 128) of integer range 0 to 255;
+    variable big : arr_t;
+    variable small : integer range 0 to 15;
+begin
+    Helper(1);
+    small := a;
+    wait;
+end process;
+
+procedure Helper(n : in integer range 0 to 3) is
+    variable local : integer;
+begin
+    big(n) := small + local;
+end;
+"""
+
+
+@pytest.fixture
+def program():
+    return analyze(parse_source(SPEC))
+
+
+class TestWidths:
+    def test_range_width(self, program):
+        assert program.ports["a"].bits == 8
+        assert program.globals["small"].bits == 4
+
+    def test_bit_width(self, program):
+        assert program.ports["b"].bits == 1
+
+    def test_array_width_and_elements(self, program):
+        big = program.globals["big"]
+        assert big.bits == 8
+        assert big.elements == 128
+
+    def test_unconstrained_integer_defaults_to_32(self):
+        program = analyze(
+            parse_source("entity E is port ( x : in integer ); end;")
+        )
+        assert program.ports["x"].bits == 32
+
+
+class TestScoping:
+    def test_process_variables_are_global(self, program):
+        # Figure 1 scoping: process-declared storage is visible to
+        # subprograms and becomes SLIF nodes
+        assert program.globals["big"].kind is SymKind.GLOBAL_VAR
+        assert program.resolve("Helper", "big").kind is SymKind.GLOBAL_VAR
+
+    def test_subprogram_locals_stay_local(self, program):
+        assert program.resolve("Helper", "local").kind is SymKind.LOCAL
+        with pytest.raises(ParseError):
+            program.resolve("Main", "local")
+
+    def test_parameters_are_local(self, program):
+        assert program.resolve("Helper", "n").kind is SymKind.LOCAL
+
+    def test_param_bits_summed(self, program):
+        assert program.behaviors["helper"].param_bits == 2  # range 0..3
+
+    def test_ports_resolve_everywhere(self, program):
+        assert program.resolve("Main", "a").kind is SymKind.PORT
+        assert program.resolve("Helper", "a").kind is SymKind.PORT
+
+    def test_subprogram_names_resolve(self, program):
+        sym = program.resolve("Main", "Helper")
+        assert sym.kind is SymKind.SUBPROGRAM
+        assert sym.bits == 2
+
+    def test_loop_vars_win(self, program):
+        sym = program.resolve("Main", "small", loop_vars=("small",))
+        assert sym.kind is SymKind.LOOP_VAR
+
+    def test_unresolved_raises(self, program):
+        with pytest.raises(ParseError, match="ghost"):
+            program.resolve("Main", "ghost")
+
+
+class TestCollisions:
+    def test_duplicate_global_rejected(self):
+        with pytest.raises(ParseError, match="unique"):
+            analyze(
+                parse_source(
+                    """entity E is end;
+                    A: process variable x : integer; begin wait; end process;
+                    B: process variable x : integer; begin wait; end process;"""
+                )
+            )
+
+    def test_duplicate_subprogram_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            analyze(
+                parse_source(
+                    """entity E is end;
+                    procedure P is begin null; end;
+                    procedure P is begin null; end;"""
+                )
+            )
+
+    def test_duplicate_port_rejected(self):
+        with pytest.raises(ParseError, match="duplicate"):
+            analyze(
+                parse_source(
+                    "entity E is port ( a : in integer; a : out integer ); end;"
+                )
+            )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ParseError, match="unknown type"):
+            analyze(
+                parse_source(
+                    """entity E is end;
+                    Main: process
+                        variable x : mystery_t;
+                    begin
+                        wait;
+                    end process;"""
+                )
+            )
+
+
+def test_constants_are_not_slif_objects():
+    program = analyze(
+        parse_source(
+            """entity E is end;
+            constant LIMIT : integer range 0 to 255;
+            Main: process
+                variable x : integer;
+            begin
+                x := LIMIT;
+                wait;
+            end process;"""
+        )
+    )
+    assert "limit" in program.constants
+    assert "limit" not in program.globals
+    assert program.resolve("Main", "LIMIT").kind is SymKind.CONSTANT

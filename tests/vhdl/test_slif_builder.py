@@ -1,0 +1,281 @@
+"""Unit tests for AST-to-SLIF construction: nodes, channels, frequencies."""
+
+import pytest
+
+from repro.core.channels import AccessKind
+from repro.vhdl.profiler import BranchProfile
+from repro.vhdl.slif_builder import build_slif_from_source
+
+
+def build(source, profile=None):
+    return build_slif_from_source(source, "t", profile)
+
+
+BASIC = """
+entity E is
+    port ( a : in integer range 0 to 255; b : out integer range 0 to 255 );
+end;
+
+Main: process
+    variable v : integer range 0 to 255;
+begin
+    v := a;
+    Helper;
+    b <= v;
+    wait;
+end process;
+
+procedure Helper is
+begin
+    v := v + 1;
+end;
+"""
+
+
+class TestNodes:
+    def test_behaviors_variables_ports(self):
+        g = build(BASIC)
+        assert set(g.behaviors) == {"Main", "Helper"}
+        assert set(g.variables) == {"v"}
+        assert set(g.ports) == {"a", "b"}
+        assert g.behaviors["Main"].is_process
+        assert not g.behaviors["Helper"].is_process
+
+    def test_variable_shape_from_type(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                type t is array (1 to 64) of integer range 0 to 255;
+                variable arr : t;
+            begin
+                arr(1) := 0;
+                wait;
+            end process;"""
+        )
+        assert g.variables["arr"].bits == 8
+        assert g.variables["arr"].elements == 64
+
+    def test_op_profile_attached(self):
+        g = build(BASIC)
+        from repro.synth.ops import OpProfile
+
+        assert isinstance(g.behaviors["Main"].op_profile, OpProfile)
+        assert g.behaviors["Main"].op_profile.total_static_ops > 0
+
+
+class TestChannels:
+    def test_read_write_call_kinds(self):
+        g = build(BASIC)
+        assert g.channels["Main->a"].kind is AccessKind.READ
+        assert g.channels["Main->b"].kind is AccessKind.WRITE
+        assert g.channels["Main->Helper"].kind is AccessKind.CALL
+        assert g.channels["Helper->v"].kind is AccessKind.READ_WRITE
+
+    def test_access_folding_single_edge(self):
+        g = build(BASIC)
+        # Main writes v once, Helper reads+writes: one edge per (src, dst)
+        assert "Main->v" in g.channels
+        assert g.num_channels == 5
+
+    def test_bits_from_target(self):
+        g = build(BASIC)
+        assert g.channels["Main->a"].bits == 8
+
+    def test_call_bits_from_params(self):
+        g = build(
+            """entity E is end;
+            Main: process begin
+                P(1, 2);
+                wait;
+            end process;
+            procedure P(x : in integer range 0 to 255;
+                        y : in integer range 0 to 15) is
+                variable t : integer;
+            begin
+                t := x + y;
+            end;"""
+        )
+        assert g.channels["Main->P"].bits == 12  # 8 + 4
+
+
+class TestFrequencies:
+    def test_loop_multiplies(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                for i in 1 to 10 loop
+                    v := v + 1;
+                end loop;
+                wait;
+            end process;"""
+        )
+        assert g.channels["Main->v"].accfreq == pytest.approx(20)  # r+w per iter
+
+    def test_nested_loops_multiply(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                for i in 1 to 4 loop
+                    for j in 1 to 5 loop
+                        v := 1;
+                    end loop;
+                end loop;
+                wait;
+            end process;"""
+        )
+        assert g.channels["Main->v"].accfreq == pytest.approx(20)
+
+    def test_branch_probability_scales(self):
+        src = """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                if (v = 0) then
+                    v := 1;
+                end if;
+                wait;
+            end process;"""
+        g = build(src)  # default: arm prob 0.5 -> read 1 + write 0.5
+        assert g.channels["Main->v"].accfreq == pytest.approx(1.5)
+        profile = BranchProfile()
+        profile.set("Main", "if0.arm0", 1.0)
+        g = build(src, profile)
+        assert g.channels["Main->v"].accfreq == pytest.approx(2.0)
+
+    def test_while_uses_profile_trips(self):
+        src = """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                while (v > 0) loop
+                    v := v - 1;
+                end loop;
+                wait;
+            end process;"""
+        profile = BranchProfile()
+        profile.set("Main", "while0", 10)
+        g = build(src, profile)
+        # condition read + body r/w per iteration: 3 accesses x 10
+        assert g.channels["Main->v"].accfreq == pytest.approx(30)
+
+    def test_accmin_zero_for_conditional(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+                variable w : integer;
+            begin
+                w := 1;
+                if (w = 0) then
+                    v := 1;
+                end if;
+                wait;
+            end process;"""
+        )
+        assert g.channels["Main->v"].accmin == 0.0
+        assert g.channels["Main->v"].accmax >= 1.0
+        assert g.channels["Main->w"].accmin >= 1.0  # unconditional
+
+    def test_zero_probability_arm_dropped(self):
+        profile = BranchProfile()
+        profile.set("Main", "if0.arm0", 0.0)
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+                variable w : integer;
+            begin
+                w := 1;
+                if (w = 2) then
+                    v := 1;
+                end if;
+                wait;
+            end process;""",
+            profile,
+        )
+        assert "Main->v" not in g.channels
+
+
+class TestLocals:
+    def test_subprogram_locals_do_not_become_nodes(self):
+        g = build(
+            """entity E is end;
+            Main: process begin
+                P;
+                wait;
+            end process;
+            procedure P is
+                variable scratch : integer;
+            begin
+                scratch := scratch + 1;
+            end;"""
+        )
+        # Figure 2: procedure-local 'trunc' has no node
+        assert "scratch" not in g.variables
+        assert g.num_channels == 1  # just the call
+
+    def test_loop_variable_not_a_node(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                for i in 1 to 3 loop
+                    v := i;
+                end loop;
+                wait;
+            end process;"""
+        )
+        assert "i" not in g.variables
+
+
+class TestFunctionsInExpressions:
+    def test_zero_arg_function_in_signal_assign(self):
+        g = build(
+            """entity E is
+                port ( o : out integer );
+            end;
+            Main: process begin
+                o <= Compute;
+                wait;
+            end process;
+            function Compute return integer is
+            begin
+                return 7;
+            end;"""
+        )
+        assert g.channels["Main->Compute"].kind is AccessKind.CALL
+
+    def test_one_arg_function_call_disambiguated(self):
+        g = build(
+            """entity E is end;
+            Main: process
+                variable v : integer;
+            begin
+                v := Twice(v);
+                wait;
+            end process;
+            function Twice(x : in integer) return integer is
+            begin
+                return x * 2;
+            end;"""
+        )
+        assert g.channels["Main->Twice"].kind is AccessKind.CALL
+
+    def test_uncallable_target_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="not callable"):
+            build(
+                """entity E is end;
+                Main: process
+                    variable v : integer;
+                begin
+                    v(1);
+                    wait;
+                end process;"""
+            )
