@@ -8,9 +8,18 @@ prints the paper-vs-measured row it reproduces, so running
     pytest benchmarks/ --benchmark-only -s
 
 produces the full evaluation in one shot.
+
+Observability hook: run with ``SLIF_OBS=1`` in the environment to
+enable the ``repro.obs`` instrumentation registry around each benchmark
+and attach its snapshot (counters, gauges, histograms) to the
+benchmark's ``extra_info`` — visible in ``--benchmark-json`` output.
+Instrumentation is left disabled by default so the measured timings
+stay representative of production (uninstrumented) runs.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -37,6 +46,28 @@ def built_systems():
     from repro.system import build_system
 
     return {name: build_system(name) for name in ("ans", "ether", "fuzzy", "vol")}
+
+
+@pytest.fixture(autouse=True)
+def obs_snapshot(request):
+    """Attach a ``repro.obs`` registry snapshot to each benchmark result.
+
+    Opt-in via ``SLIF_OBS=1`` so default benchmark runs measure the
+    instrumentation-disabled (one branch per hot-path point) code.
+    """
+    from repro import obs
+
+    capture = os.environ.get("SLIF_OBS") == "1"
+    if capture:
+        obs.reset()
+        obs.enable()
+    yield
+    if capture:
+        obs.disable()
+        if "benchmark" in request.fixturenames:
+            benchmark = request.getfixturevalue("benchmark")
+            benchmark.extra_info["obs"] = obs.snapshot()
+        obs.reset()
 
 
 def report(lines):

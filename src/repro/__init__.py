@@ -38,6 +38,11 @@ The package is organised as:
     Generators for the paper's four benchmark specifications
     (answering machine, ethernet coprocessor, fuzzy controller,
     volume-measuring instrument).
+``repro.obs``
+    The instrumentation layer: counters/gauges/histograms, span
+    tracing, JSONL export and summary reporting — off by default,
+    enabled by ``repro.obs.enable()`` or the CLI's ``--stats`` /
+    ``--trace-out`` flags.
 
 Quickstart::
 
@@ -68,6 +73,7 @@ from repro.core import (
     SlifBuilder,
     Variable,
 )
+from repro import obs
 from repro.system import DesignSystem, build_system
 
 __version__ = "1.0.0"
@@ -93,5 +99,6 @@ __all__ = [
     "SlifNameError",
     "Variable",
     "build_system",
+    "obs",
     "__version__",
 ]

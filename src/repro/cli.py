@@ -18,16 +18,24 @@ Subcommands mirror the system-design workflow:
     Run graph validation and print all findings.
 ``slif dot <spec>``
     Emit a Graphviz rendering of the access graph.
+``slif explore <spec>``
+    Sweep the hardware/software trade-off and print the Pareto front.
+
+Observability: instrumentation (``repro.obs``) is enabled for the
+duration of every command, so all subcommands report phase timing from
+the same span data.  ``--stats`` (on ``build``/``estimate``/
+``partition``/``explore``) prints the full instrumentation summary to
+stderr; ``--trace-out FILE`` writes the span/metric JSONL export.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
 from typing import Optional
 
+from repro import obs
 from repro.errors import SlifError
 
 
@@ -88,13 +96,12 @@ def cmd_build(args: argparse.Namespace) -> int:
     from repro.core.serialize import slif_to_json
     from repro.core.textfmt import dumps as slif_dumps
 
-    started = time.perf_counter()
-    slif = _build_graph(
-        args.spec,
-        granularity=args.granularity,
-        profile_path=getattr(args, "profile", None),
-    )
-    elapsed = time.perf_counter() - started
+    with obs.span("cli.build", spec=args.spec) as sp:
+        slif = _build_graph(
+            args.spec,
+            granularity=args.granularity,
+            profile_path=getattr(args, "profile", None),
+        )
     text = slif_dumps(slif) if args.format == "text" else slif_to_json(slif)
     if args.output:
         Path(args.output).write_text(text)
@@ -103,7 +110,7 @@ def cmd_build(args: argparse.Namespace) -> int:
         print(text)
     print(
         f"-- built {slif.name}: {slif.num_bv} objects, "
-        f"{slif.num_channels} channels in {elapsed:.3f}s",
+        f"{slif.num_channels} channels in {sp.duration:.3f}s",
         file=sys.stderr,
     )
     return 0
@@ -111,19 +118,44 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 def cmd_estimate(args: argparse.Namespace) -> int:
     system = _build_system(args.spec)
-    started = time.perf_counter()
-    report = system.report()
-    elapsed = time.perf_counter() - started
+    with obs.span("cli.estimate", spec=args.spec) as sp:
+        report = system.report()
     print(report.render())
-    print(f"-- estimated in {elapsed * 1000:.2f} ms", file=sys.stderr)
+    print(f"-- estimated in {sp.duration * 1000:.2f} ms", file=sys.stderr)
     return 0
 
 
 def cmd_partition(args: argparse.Namespace) -> int:
     system = _build_system(args.spec)
-    result = system.repartition(args.algorithm, seed=args.seed)
+    with obs.span(
+        "cli.partition", spec=args.spec, algorithm=args.algorithm, seed=args.seed
+    ) as sp:
+        result = system.repartition(args.algorithm, seed=args.seed)
     print(result)
     print(system.report().render())
+    print(
+        f"-- partition {args.algorithm} seed={args.seed}: "
+        f"{result.iterations} iterations, {result.evaluations} cost "
+        f"evaluations in {sp.duration:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    system = _build_system(args.spec)
+    with obs.span("cli.explore", spec=args.spec, seed=args.seed) as sp:
+        front = system.explore(
+            constraint_steps=args.steps,
+            random_starts=args.random_starts,
+            seed=args.seed,
+        )
+    print(front.render())
+    print(
+        f"-- explore seed={args.seed}: {front.evaluated} designs evaluated, "
+        f"{len(front.points)} on the front in {sp.duration:.3f}s",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -206,6 +238,20 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Observability flags shared by build/estimate/partition/explore."""
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the instrumentation summary (counters, spans) to stderr",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the span/metric trace as JSONL to FILE",
+    )
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="slif",
@@ -233,10 +279,12 @@ def make_parser() -> argparse.ArgumentParser:
         help="branch-probability file (overrides any bundled profile)",
     )
     p.add_argument("--granularity", **granularity_kwargs)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_build)
 
     p = sub.add_parser("estimate", help="estimate all design metrics")
     p.add_argument("spec")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_estimate)
 
     p = sub.add_parser("partition", help="run a partitioning algorithm")
@@ -247,7 +295,22 @@ def make_parser() -> argparse.ArgumentParser:
         choices=["greedy", "group_migration", "annealing", "clustering", "random"],
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser(
+        "explore", help="sweep the time/area trade-off (Pareto front)"
+    )
+    p.add_argument("spec")
+    p.add_argument(
+        "--steps", type=int, default=8, help="CPU-constraint sweep steps"
+    )
+    p.add_argument(
+        "--random-starts", type=int, default=5, help="random starts per step"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("stats", help="structural counts + format comparison")
     p.add_argument("spec")
@@ -282,14 +345,36 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _emit_obs(args: argparse.Namespace) -> None:
+    """Honour --stats / --trace-out for the subcommands that carry them."""
+    if getattr(args, "stats", False):
+        print(obs.render_summary(), file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        try:
+            lines = obs.write_jsonl(trace_out)
+        except OSError as exc:
+            raise SlifError(f"cannot write trace to {trace_out}: {exc}") from exc
+        print(f"-- wrote {lines} trace lines to {trace_out}", file=sys.stderr)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
+    # One command = one instrumentation session: collection is on for
+    # every subcommand (that is where the consistent stderr timing lines
+    # come from); --stats / --trace-out only control what gets surfaced.
+    obs.reset()
+    obs.enable()
     try:
-        return args.func(args)
+        code = args.func(args)
+        _emit_obs(args)
+        return code
     except SlifError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        obs.disable()
 
 
 if __name__ == "__main__":

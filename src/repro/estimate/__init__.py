@@ -25,10 +25,15 @@ from repro.estimate.derate import DeratedEstimate, derated_estimate
 from repro.estimate.engine import EstimateReport, Estimator, Violation, estimate
 from repro.estimate.exectime import (
     ExecTimeEstimator,
+    ExecTimeStats,
     execution_time,
     transfer_time,
 )
-from repro.estimate.incremental import IncrementalEstimator, MoveRecord
+from repro.estimate.incremental import (
+    IncrementalEstimator,
+    IncrementalStats,
+    MoveRecord,
+)
 from repro.estimate.io import (
     all_component_ios,
     component_io,
@@ -51,7 +56,9 @@ __all__ = [
     "EstimateReport",
     "Estimator",
     "ExecTimeEstimator",
+    "ExecTimeStats",
     "IncrementalEstimator",
+    "IncrementalStats",
     "MoveRecord",
     "Violation",
     "all_bus_loads",

@@ -24,6 +24,7 @@ from repro.estimate.bitrate import BusLoad, all_bus_loads, channel_bitrate
 from repro.estimate.exectime import ExecTimeEstimator
 from repro.estimate.io import all_component_ios, io_violation
 from repro.estimate.size import all_component_sizes, size_violation
+from repro.obs import span
 
 
 @dataclass(frozen=True)
@@ -140,6 +141,11 @@ class Estimator:
         """Drop caches after the partition or annotations changed."""
         self._exec.invalidate()
 
+    @property
+    def exec_stats(self):
+        """Memo telemetry of the shared execution-time evaluator."""
+        return self._exec.stats
+
     # -- individual metrics -------------------------------------------
 
     def execution_time(self, behavior: str) -> float:
@@ -191,25 +197,31 @@ class Estimator:
 
     def report(self) -> EstimateReport:
         """Compute everything at once (the partitioning inner-loop call)."""
-        self.partition.require_complete()
-        sizes = self.component_sizes()
-        ios = self.component_ios()
-        times = self._exec.process_times()
-        system_time = max(times.values()) if times else 0.0
-        violations = self.violations(sizes, ios)
-        if self.time_constraint is not None and system_time > self.time_constraint:
-            violations.append(
-                Violation("<system>", "time", system_time, self.time_constraint)
+        with span("estimate.report", partition=self.partition.name):
+            self.partition.require_complete()
+            with span("estimate.size"):
+                sizes = self.component_sizes()
+            with span("estimate.io"):
+                ios = self.component_ios()
+            with span("estimate.exectime"):
+                times = self._exec.process_times()
+            system_time = max(times.values()) if times else 0.0
+            violations = self.violations(sizes, ios)
+            if self.time_constraint is not None and system_time > self.time_constraint:
+                violations.append(
+                    Violation("<system>", "time", system_time, self.time_constraint)
+                )
+            with span("estimate.bitrate"):
+                bus_loads = self.bus_loads()
+            return EstimateReport(
+                partition_name=self.partition.name,
+                component_sizes=sizes,
+                component_ios=ios,
+                process_times=times,
+                system_time=system_time,
+                bus_loads=bus_loads,
+                violations=violations,
             )
-        return EstimateReport(
-            partition_name=self.partition.name,
-            component_sizes=sizes,
-            component_ios=ios,
-            process_times=times,
-            system_time=system_time,
-            bus_loads=self.bus_loads(),
-            violations=violations,
-        )
 
 
 def estimate(

@@ -35,12 +35,38 @@ forever.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from repro.core.channels import Channel, FreqMode
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import EstimationError, RecursionCycleError
+from repro.obs import OBS
+
+
+@dataclass
+class ExecTimeStats:
+    """Per-estimator memo telemetry (see also the global registry).
+
+    ``memo_hits``/``memo_misses`` describe the *current memo generation*
+    — :meth:`ExecTimeEstimator.invalidate` resets them along with the
+    memo itself, so the hit rate always refers to the cache contents it
+    was measured against.  ``invalidations`` and ``max_depth`` are
+    cumulative over the estimator's lifetime.  The process-global
+    counters (``estimate.exectime.*``) are never reset by invalidation,
+    giving whole-run totals instead.
+    """
+
+    memo_hits: int = 0
+    memo_misses: int = 0
+    invalidations: int = 0
+    max_depth: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
 
 
 def _endpoint_technology(
@@ -96,10 +122,20 @@ class ExecTimeEstimator:
         self._memo: Dict[str, float] = {}
         self._in_progress: Set[str] = set()
         self._stack: List[str] = []
+        self.stats = ExecTimeStats()
 
     def invalidate(self) -> None:
-        """Drop all cached results (after a partition or annotation edit)."""
+        """Drop all cached results (after a partition or annotation edit).
+
+        Also starts a fresh memo generation in :attr:`stats`: hit/miss
+        counts reset so the reported rate matches the new cache.
+        """
         self._memo.clear()
+        self.stats.invalidations += 1
+        self.stats.memo_hits = 0
+        self.stats.memo_misses = 0
+        if OBS.enabled:
+            OBS.inc("estimate.exectime.invalidations")
 
     # ------------------------------------------------------------------
 
@@ -111,11 +147,17 @@ class ExecTimeEstimator:
         transfer).
         """
         if name in self._memo:
+            self.stats.memo_hits += 1
+            if OBS.enabled:
+                OBS.inc("estimate.exectime.memo_hit")
             return self._memo[name]
         slif = self.slif
         if name in slif.ports:
             return 0.0
         if name in slif.variables:
+            self.stats.memo_misses += 1
+            if OBS.enabled:
+                OBS.inc("estimate.exectime.memo_miss")
             var = slif.variables[name]
             comp = slif.get_component(self.partition.get_bv_comp(name))
             value = var.ict.get(comp.technology.name)
@@ -126,8 +168,16 @@ class ExecTimeEstimator:
         if name in self._in_progress:
             cycle_start = self._stack.index(name)
             raise RecursionCycleError(self._stack[cycle_start:] + [name])
+        self.stats.memo_misses += 1
+        if OBS.enabled:
+            OBS.inc("estimate.exectime.memo_miss")
         self._in_progress.add(name)
         self._stack.append(name)
+        depth = len(self._stack)
+        if depth > self.stats.max_depth:
+            self.stats.max_depth = depth
+            if OBS.enabled:
+                OBS.gauge("estimate.exectime.max_depth").max(depth)
         try:
             behavior = slif.behaviors[name]
             comp = slif.get_component(self.partition.get_bv_comp(name))

@@ -31,6 +31,7 @@ from repro.core.partition import Partition
 from repro.errors import PartitionError
 from repro.estimate.exectime import ExecTimeEstimator
 from repro.estimate.size import object_size
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,23 @@ class MoveRecord:
     obj: str
     src: str
     dst: str
+
+
+@dataclass
+class IncrementalStats:
+    """Telemetry for the move/undo inner loop.
+
+    ``recomputes`` counts the times the lazy execution-time memo was
+    actually rebuilt; ``recomputes_avoided`` counts moves whose
+    invalidation piggybacked on one already pending — the savings the
+    laziness exists for.  Mirrored to the global
+    ``estimate.incremental.*`` counters when collection is enabled.
+    """
+
+    moves_applied: int = 0
+    moves_undone: int = 0
+    recomputes: int = 0
+    recomputes_avoided: int = 0
 
 
 class IncrementalEstimator:
@@ -62,6 +80,7 @@ class IncrementalEstimator:
         self.partition = partition
         self._exec = ExecTimeEstimator(slif, partition, mode)
         self._exec_dirty = False
+        self.stats = IncrementalStats()
         self._sizes: Dict[str, float] = {}
         # cut channel counts: (component, bus) -> number of cut channels
         self._cut_counts: Dict[Tuple[str, str], int] = {}
@@ -109,17 +128,26 @@ class IncrementalEstimator:
     def component_ios(self) -> Dict[str, int]:
         return {name: self.component_io(name) for name in self._sizes}
 
-    def execution_time(self, behavior: str) -> float:
-        """Eq. 1, recomputed lazily after moves."""
+    @property
+    def exec_stats(self):
+        """Memo telemetry of the lazily-refreshed exectime evaluator."""
+        return self._exec.stats
+
+    def _refresh_exec(self) -> None:
         if self._exec_dirty:
             self._exec.invalidate()
             self._exec_dirty = False
+            self.stats.recomputes += 1
+            if OBS.enabled:
+                OBS.inc("estimate.incremental.recomputes")
+
+    def execution_time(self, behavior: str) -> float:
+        """Eq. 1, recomputed lazily after moves."""
+        self._refresh_exec()
         return self._exec.exectime(behavior)
 
     def system_time(self) -> float:
-        if self._exec_dirty:
-            self._exec.invalidate()
-            self._exec_dirty = False
+        self._refresh_exec()
         return self._exec.system_time()
 
     # ------------------------------------------------------------------
@@ -138,7 +166,10 @@ class IncrementalEstimator:
             return record
         self._shift(obj, src, component)
         part.move(obj, component)
-        self._exec_dirty = True
+        self._mark_dirty()
+        self.stats.moves_applied += 1
+        if OBS.enabled:
+            OBS.inc("estimate.incremental.moves_applied")
         return record
 
     def undo(self, record: MoveRecord) -> None:
@@ -147,7 +178,19 @@ class IncrementalEstimator:
             return
         self._shift(record.obj, record.dst, record.src)
         self.partition.move(record.obj, record.src)
-        self._exec_dirty = True
+        self._mark_dirty()
+        self.stats.moves_undone += 1
+        if OBS.enabled:
+            OBS.inc("estimate.incremental.moves_undone")
+
+    def _mark_dirty(self) -> None:
+        if self._exec_dirty:
+            # an invalidation is already pending; this move rides along
+            self.stats.recomputes_avoided += 1
+            if OBS.enabled:
+                OBS.inc("estimate.incremental.recomputes_avoided")
+        else:
+            self._exec_dirty = True
 
     def _shift(self, obj: str, src: str, dst: str) -> None:
         """Update tallies for moving ``obj`` from ``src`` to ``dst``.

@@ -1,0 +1,131 @@
+"""repro.obs — the instrumentation layer.
+
+A dependency-free, near-zero-overhead-when-disabled observability
+subsystem: thread-safe counters/gauges/histograms in a process-global
+:class:`~repro.obs.metrics.Registry`, a span-based wall-time tracer,
+JSONL export and a human-readable summary.
+
+The estimators, partitioning searches and the VHDL front end are
+instrumented against the module-level singletons here.  Everything is
+**off by default**; an instrumentation point is written as::
+
+    from repro.obs import OBS, span
+
+    if OBS.enabled:
+        OBS.inc("estimate.exectime.memo_hit")
+
+    with span("estimate.report"):
+        ...
+
+so disabled instrumentation costs one attribute load and one branch
+(counters) or one function call returning a shared no-op object
+(spans).  Enable collection with :func:`enable` — the CLI does this for
+``--stats`` / ``--trace-out`` — read results via :func:`snapshot`,
+:func:`render_summary` (table) or :func:`write_jsonl` (machine form),
+and clear state between runs with :func:`reset`.
+
+Typical library use::
+
+    from repro import build_system, obs
+
+    obs.enable()
+    system = build_system("fuzzy")
+    system.repartition("annealing")
+    print(obs.render_summary())
+    obs.write_jsonl("trace.jsonl")
+    obs.reset()
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import dumps_jsonl, jsonl_lines, read_jsonl, write_jsonl
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+from repro.obs.report import render_summary
+from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, Tracer
+
+#: The process-global registry all built-in instrumentation reports to.
+REGISTRY = Registry(enabled=False)
+
+#: Alias used at instrumentation points (``if OBS.enabled: OBS.inc(...)``).
+OBS = REGISTRY
+
+#: The process-global tracer; gated by ``REGISTRY.enabled``.
+TRACER = Tracer(registry=REGISTRY)
+
+
+def enabled() -> bool:
+    """Is collection currently on?"""
+    return REGISTRY.enabled
+
+
+def enable() -> None:
+    """Turn metric and span collection on (process-wide)."""
+    REGISTRY.enabled = True
+
+
+def disable() -> None:
+    """Turn collection off; already-collected data is kept."""
+    REGISTRY.enabled = False
+
+
+def reset() -> None:
+    """Drop all collected metrics and spans (the flag is unchanged)."""
+    REGISTRY.reset()
+    TRACER.reset()
+
+
+def span(name: str, **attributes):
+    """Open a wall-time span on the global tracer (no-op when disabled)."""
+    return TRACER.span(name, **attributes)
+
+
+def add_event(name: str, **attributes) -> None:
+    """Attach an event to the innermost open span, if any."""
+    TRACER.add_event(name, **attributes)
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> dict:
+    """Plain-data copy of every collected metric."""
+    return REGISTRY.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NOOP_SPAN",
+    "NoopSpan",
+    "OBS",
+    "REGISTRY",
+    "Registry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "add_event",
+    "counter",
+    "disable",
+    "dumps_jsonl",
+    "enable",
+    "enabled",
+    "gauge",
+    "histogram",
+    "jsonl_lines",
+    "read_jsonl",
+    "render_summary",
+    "reset",
+    "snapshot",
+    "span",
+    "write_jsonl",
+]

@@ -1,0 +1,80 @@
+"""JSONL export of collected metrics and spans.
+
+One JSON document per line, each tagged with a ``type`` field:
+
+``{"type": "meta", ...}``
+    First line: export timestamp, span/drop counts.
+``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
+  "start": ..., "duration": ..., "attributes": {...}, "events": [...]}``
+    One per finished span, in completion order.  ``parent_id`` is null
+    for roots; ``start`` is a Unix wall-clock timestamp and
+    ``duration`` is in seconds.
+``{"type": "counter"|"gauge", "name": ..., "value": ...}``
+``{"type": "histogram", "name": ..., "count": ..., "sum": ...,
+  "mean": ..., "min": ..., "p50": ..., "p95": ..., "max": ...}``
+
+The format is trivially consumed by ``jq``, pandas, or a ten-line
+Python loop — see the README's worked example.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+
+def jsonl_lines(registry=None, tracer=None) -> Iterator[str]:
+    """Serialize ``registry`` and ``tracer`` as JSONL lines (no newlines)."""
+    from repro import obs
+
+    registry = registry if registry is not None else obs.REGISTRY
+    tracer = tracer if tracer is not None else obs.TRACER
+
+    spans = tracer.spans()
+    yield json.dumps(
+        {
+            "type": "meta",
+            "exported_at": time.time(),
+            "spans": len(spans),
+            "spans_dropped": tracer.dropped,
+        }
+    )
+    for span in spans:
+        doc = span.to_dict()
+        doc["type"] = "span"
+        yield json.dumps(doc)
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        yield json.dumps({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        yield json.dumps({"type": "gauge", "name": name, "value": value})
+    for name, summary in snapshot["histograms"].items():
+        doc = {"type": "histogram", "name": name}
+        doc.update(summary)
+        yield json.dumps(doc)
+
+
+def dumps_jsonl(registry=None, tracer=None) -> str:
+    """The full JSONL export as one string (trailing newline included)."""
+    return "".join(line + "\n" for line in jsonl_lines(registry, tracer))
+
+
+def write_jsonl(
+    path: Union[str, Path], registry=None, tracer=None
+) -> int:
+    """Write the JSONL export to ``path``; returns the line count."""
+    lines = list(jsonl_lines(registry, tracer))
+    Path(path).write_text("\n".join(lines) + "\n")
+    return len(lines)
+
+
+def read_jsonl(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL export back into a list of dicts (for analysis)."""
+    docs = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            docs.append(json.loads(line))
+    return docs

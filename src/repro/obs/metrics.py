@@ -1,0 +1,283 @@
+"""Metric primitives: counters, gauges, histograms and their registry.
+
+The instrumentation contract is the one SpecSyn's own feedback loop
+implies (Section 6: "rapid estimates ... for each option examined"): the
+system must be able to *count* what the estimators and searches do —
+memo hits, cost evaluations, accepted moves — without perturbing the
+very hot paths whose speed is the paper's claim.  Hence:
+
+* every metric is thread-safe (a single lock per metric; contention is
+  irrelevant at the coarse rates instrumentation points fire);
+* the :class:`Registry` carries an ``enabled`` flag, and every
+  instrumentation point in the codebase is written as
+  ``if OBS.enabled: OBS.inc(...)`` so disabled instrumentation costs
+  one attribute load and one branch;
+* there are no dependencies beyond the standard library.
+
+Metrics are named with dotted paths (``estimate.exectime.memo_hit``,
+``partition.annealing.accepted``) so the summary table and JSONL export
+group naturally by subsystem.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that goes up and down (temperature, best cost, depth)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    def max(self, value: float) -> None:
+        """Keep the running maximum (used for recursion depth)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """A distribution with exact quantiles over a bounded sample.
+
+    Samples are kept sorted (insertion via ``bisect``), so quantile
+    queries are O(1) and observation is O(log n) comparisons plus the
+    list shift.  When ``max_samples`` is exceeded the structure keeps
+    every *k*-th subsequent observation (simple systematic sampling) —
+    count/sum/min/max stay exact, quantiles become approximate.
+    """
+
+    __slots__ = (
+        "name", "_samples", "_count", "_sum", "_min", "_max",
+        "_stride", "_skip", "max_samples", "_lock",
+    )
+
+    def __init__(self, name: str, max_samples: int = 8192) -> None:
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._stride = 1
+        self._skip = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            self._skip += 1
+            if self._skip < self._stride:
+                return
+            self._skip = 0
+            if len(self._samples) >= self.max_samples:
+                # thin the reservoir: keep every other sample, double stride
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            insort(self._samples, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 <= q <= 1) of the observed sample."""
+        with self._lock:
+            if not self._samples:
+                return 0.0
+            idx = min(len(self._samples) - 1, int(q * len(self._samples)))
+            return self._samples[idx]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples = []
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+            self._stride = 1
+            self._skip = 0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self._count})"
+
+
+class Registry:
+    """Named metrics plus the global on/off switch.
+
+    ``enabled`` is a plain attribute on purpose: the hot-path guard
+    ``if OBS.enabled`` must not pay a method call.  Metric creation is
+    get-or-create under a lock; the returned objects are stable, so
+    call sites may cache them.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, max_samples: int = 8192) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(
+                    name, Histogram(name, max_samples)
+                )
+
+    # -- one-call conveniences used by instrumentation points ----------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, Gauge]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def counter_value(self, name: str) -> int:
+        """The current value of ``name`` (0 if never incremented)."""
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A plain-data copy of every metric, for export / benchmarks."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (the enabled flag is left as is)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

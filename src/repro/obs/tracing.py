@@ -1,0 +1,189 @@
+"""Span tracing: nested wall-time measurement with attributes.
+
+A *span* is one timed region of work — ``with span("estimate.exectime")``
+— with a name, attributes, optional point-in-time *events*, and a parent
+(the span that was open on the same thread when it started).  The
+finished spans form a forest that reconstructs where a run's wall time
+went: ``cli.partition`` → ``system.build`` → ``vhdl.parse`` …
+
+Design points:
+
+* **Disabled is free.**  :meth:`Tracer.span` returns a shared no-op
+  span when the registry is disabled; entering/exiting it does nothing
+  and allocates nothing.
+* **Thread safety.**  The open-span stack is thread-local (so parenting
+  is correct under concurrent use); the finished-span list is guarded
+  by a lock.
+* **Bounded memory.**  At most ``max_spans`` finished spans are kept;
+  beyond that, spans are counted in ``dropped`` instead of stored (the
+  counters keep working regardless).
+
+Durations come from :func:`time.perf_counter`; start timestamps are
+also captured with :func:`time.time` so exported traces can be aligned
+with external logs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class NoopSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    duration: float = 0.0
+    name: str = ""
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        return None
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One timed region; created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "tracer", "name", "attributes", "events",
+        "span_id", "parent_id", "start_wall", "_start", "duration",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.events: List[Dict[str, Any]] = []
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self.start_wall = 0.0
+        self._start = 0.0
+        self.duration = 0.0
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Record a point-in-time event inside this span."""
+        self.events.append(
+            {
+                "name": name,
+                "offset": time.perf_counter() - self._start,
+                "attributes": attributes,
+            }
+        )
+
+    # -- context manager ----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self.tracer._pop(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start_wall,
+            "duration": self.duration,
+        }
+        if self.attributes:
+            doc["attributes"] = self.attributes
+        if self.events:
+            doc["events"] = self.events
+        return doc
+
+
+class Tracer:
+    """Collects finished spans; owns per-thread open-span stacks."""
+
+    def __init__(self, registry=None, max_spans: int = 100_000) -> None:
+        self.registry = registry
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._finished: List[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry is None or self.registry.enabled
+
+    # -- public API ----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span (use as a context manager); no-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, name, attributes)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        """Attach an event to the current span; silently no-op otherwise."""
+        current = self.current()
+        if current is not None:
+            current.add_event(name, **attributes)
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._finished)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._finished = []
+            self.dropped = 0
+
+    # -- span plumbing -------------------------------------------------
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        with self._lock:
+            span.span_id = self._next_id
+            self._next_id += 1
+        span.parent_id = stack[-1].span_id if stack else None
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:  # mispaired exit; recover
+            stack.remove(span)
+        with self._lock:
+            if len(self._finished) < self.max_spans:
+                self._finished.append(span)
+            else:
+                self.dropped += 1

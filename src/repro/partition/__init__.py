@@ -10,6 +10,7 @@ from typing import Optional
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import PartitionError
+from repro.obs import span
 from repro.partition.allocation import (
     AllocationResult,
     BusTemplate,
@@ -58,7 +59,12 @@ def run_algorithm(
         raise PartitionError(
             f"unknown algorithm {name!r}; available: {sorted(ALGORITHMS)}"
         ) from None
-    return algorithm(slif, partition, **kwargs)
+    with span(f"partition.{name}", graph=slif.name) as sp:
+        result = algorithm(slif, partition, **kwargs)
+        sp.set_attribute("cost", result.cost)
+        sp.set_attribute("iterations", result.iterations)
+        sp.set_attribute("evaluations", result.evaluations)
+    return result
 
 
 __all__ = [

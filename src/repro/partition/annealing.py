@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.core.graph import Slif
 from repro.core.partition import Partition
+from repro.obs import OBS, add_event
 from repro.partition.cost import CostWeights, PartitionCost
 from repro.partition.result import PartitionResult
 
@@ -48,6 +49,8 @@ def simulated_annealing(
     while temperature > min_temperature:
         for _ in range(moves_per_temperature):
             iterations += 1
+            if OBS.enabled:
+                OBS.inc("partition.annealing.iterations")
             obj = rng.choice(objects)
             candidates = evaluator.candidate_components(obj)
             if not candidates:
@@ -58,12 +61,28 @@ def simulated_annealing(
             delta = cost - current
             if delta <= 0 or rng.random() < math.exp(-delta / temperature):
                 current = cost
+                if OBS.enabled:
+                    OBS.inc("partition.annealing.accepted")
                 if current < best_cost - 1e-12:
                     best_cost = current
                     best_snapshot = working.copy(name="annealing-best")
                     history.append(best_cost)
+                    if OBS.enabled:
+                        OBS.inc("partition.annealing.improvements")
             else:
                 evaluator.undo(record)
+                if OBS.enabled:
+                    OBS.inc("partition.annealing.rejected")
+        if OBS.enabled:
+            # temperature + best-cost trajectory, one event per cooling step
+            OBS.set_gauge("partition.annealing.temperature", temperature)
+            OBS.set_gauge("partition.annealing.best_cost", best_cost)
+            add_event(
+                "annealing.cool",
+                temperature=temperature,
+                current_cost=current,
+                best_cost=best_cost,
+            )
         temperature *= cooling
 
     return PartitionResult(

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import PartitionError
+from repro.obs import OBS
 from repro.partition.cost import CostWeights
 from repro.partition.greedy import greedy_improve
 from repro.partition.result import PartitionResult
@@ -74,6 +75,8 @@ def build_clusters(slif: Slif, target_count: int) -> List[Set[str]]:
         _, i, j = best
         clusters[i] = clusters[i] | clusters[j]
         del clusters[j]
+        if OBS.enabled:
+            OBS.inc("partition.clustering.merges")
     return clusters
 
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.estimate.incremental import IncrementalEstimator, MoveRecord
+from repro.obs import OBS
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,8 @@ class PartitionCost:
     def cost(self) -> float:
         """Cost of the current partition state."""
         self.evaluations += 1
+        if OBS.enabled:
+            OBS.inc("partition.cost.evaluations")
         w = self.weights
         total = 0.0
         if w.size or w.balance:

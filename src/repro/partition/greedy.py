@@ -16,6 +16,7 @@ from typing import Optional
 
 from repro.core.graph import Slif
 from repro.core.partition import Partition
+from repro.obs import OBS
 from repro.partition.cost import CostWeights, PartitionCost
 from repro.partition.result import PartitionResult
 
@@ -39,6 +40,8 @@ def greedy_improve(
     while improved and passes < max_passes:
         improved = False
         passes += 1
+        if OBS.enabled:
+            OBS.inc("partition.greedy.passes")
         for obj in evaluator.movable_objects():
             best_cost = current
             best_comp = None
@@ -52,6 +55,8 @@ def greedy_improve(
                 current = best_cost
                 history.append(current)
                 improved = True
+                if OBS.enabled:
+                    OBS.inc("partition.greedy.improving_moves")
 
     return PartitionResult(
         partition=working,

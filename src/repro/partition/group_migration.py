@@ -16,6 +16,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.graph import Slif
 from repro.core.partition import Partition
+from repro.obs import OBS
 from repro.partition.cost import CostWeights, PartitionCost
 from repro.partition.result import PartitionResult
 
@@ -37,6 +38,8 @@ def group_migration(
 
     while passes < max_passes:
         passes += 1
+        if OBS.enabled:
+            OBS.inc("partition.group_migration.passes")
         pass_start_cost = current
         locked: set = set()
         # the sequence of applied moves: (obj, from, to, cost after move)
@@ -60,6 +63,8 @@ def group_migration(
             locked.add(obj)
             trail.append((obj, src, comp, cost))
             current = cost
+            if OBS.enabled:
+                OBS.inc("partition.group_migration.moves")
 
         # roll back to the best prefix of the pass
         best_idx = -1
@@ -70,6 +75,8 @@ def group_migration(
                 best_idx = idx
         for obj, src, _comp, _cost in reversed(trail[best_idx + 1:]):
             evaluator.apply_move(obj, src)
+            if OBS.enabled:
+                OBS.inc("partition.group_migration.rollback_moves")
         current = best_cost
         history.append(current)
 

@@ -27,6 +27,7 @@ from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import PartitionError
 from repro.estimate.engine import Estimator
+from repro.obs import add_event, span
 from repro.partition.greedy import greedy_improve
 from repro.partition.random_part import random_partition
 
@@ -136,43 +137,54 @@ def explore_pareto(
         raise PartitionError("no software processor to trade against")
 
     front = ParetoFront()
-    front.add(_evaluate(slif, start, hardware_components, "start"))
+    with span("partition.explore", graph=slif.name) as sp:
+        front.add(_evaluate(slif, start, hardware_components, "start"))
 
-    saved = {
-        name: slif.processors[name].size_constraint for name in software
-    }
-    try:
-        baseline = Estimator(slif, start).report()
-        base_sizes = {name: baseline.component_sizes[name] for name in software}
-        for step in range(constraint_steps):
-            fraction = 1.0 - step / constraint_steps
-            for name in software:
-                slif.processors[name].size_constraint = max(
-                    base_sizes[name] * fraction, 1.0
-                )
-            result = greedy_improve(slif, start)
-            front.add(
-                _evaluate(
-                    slif,
-                    result.partition,
-                    hardware_components,
-                    f"greedy@{fraction:.2f}",
-                )
-            )
-            for idx in range(random_starts):
-                candidate = random_partition(
-                    slif, seed=seed + step * random_starts + idx
-                )
-                refined = greedy_improve(slif, candidate)
+        saved = {
+            name: slif.processors[name].size_constraint for name in software
+        }
+        try:
+            baseline = Estimator(slif, start).report()
+            base_sizes = {
+                name: baseline.component_sizes[name] for name in software
+            }
+            for step in range(constraint_steps):
+                fraction = 1.0 - step / constraint_steps
+                for name in software:
+                    slif.processors[name].size_constraint = max(
+                        base_sizes[name] * fraction, 1.0
+                    )
+                result = greedy_improve(slif, start)
                 front.add(
                     _evaluate(
                         slif,
-                        refined.partition,
+                        result.partition,
                         hardware_components,
-                        f"random@{fraction:.2f}.{idx}",
+                        f"greedy@{fraction:.2f}",
                     )
                 )
-    finally:
-        for name, constraint in saved.items():
-            slif.processors[name].size_constraint = constraint
+                for idx in range(random_starts):
+                    candidate = random_partition(
+                        slif, seed=seed + step * random_starts + idx
+                    )
+                    refined = greedy_improve(slif, candidate)
+                    front.add(
+                        _evaluate(
+                            slif,
+                            refined.partition,
+                            hardware_components,
+                            f"random@{fraction:.2f}.{idx}",
+                        )
+                    )
+                add_event(
+                    "explore.step",
+                    fraction=fraction,
+                    front_size=len(front.points),
+                    evaluated=front.evaluated,
+                )
+        finally:
+            for name, constraint in saved.items():
+                slif.processors[name].size_constraint = constraint
+        sp.set_attribute("points", len(front.points))
+        sp.set_attribute("evaluated", front.evaluated)
     return front

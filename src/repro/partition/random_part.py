@@ -12,6 +12,7 @@ from typing import Optional
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import PartitionError
+from repro.obs import OBS
 from repro.partition.cost import CostWeights, PartitionCost
 from repro.partition.result import PartitionResult
 
@@ -64,6 +65,8 @@ def random_restart(
     evaluations = 1
     history = [best_cost]
     for i in range(restarts):
+        if OBS.enabled:
+            OBS.inc("partition.random.restarts")
         candidate = random_partition(slif, seed=seed + i, name=f"random-{i}")
         cost = PartitionCost(slif, candidate, weights, time_constraint).cost()
         evaluations += 1

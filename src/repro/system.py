@@ -52,6 +52,23 @@ class DesignSystem:
         self.partition = result.partition
         return result
 
+    def explore(
+        self,
+        constraint_steps: int = 8,
+        random_starts: int = 5,
+        seed: int = 0,
+    ):
+        """Sweep the time/area trade-off (Pareto front) from here."""
+        from repro.partition.pareto import explore_pareto
+
+        return explore_pareto(
+            self.slif,
+            self.partition,
+            constraint_steps=constraint_steps,
+            random_starts=random_starts,
+            seed=seed,
+        )
+
     def to_dot(self, annotate: bool = True) -> str:
         """DOT rendering of the access graph, clustered by component."""
         from repro.core.dot import to_dot
@@ -77,6 +94,7 @@ def build_system(
     free to be repartitioned.
     """
     from repro.core.components import Bus, Processor
+    from repro.obs import span
     from repro.specs import spec_profile, spec_source
     from repro.synth.annotate import annotate_slif
     from repro.synth.techlib import default_library
@@ -91,16 +109,18 @@ def build_system(
         profile = spec_profile(spec)
         name = spec
 
-    slif = build_slif_from_source(source, name=name, profile=profile)
-    library = default_library()
-    annotate_slif(slif, library)
+    with span("system.build", spec=name):
+        slif = build_slif_from_source(source, name=name, profile=profile)
+        library = default_library()
+        with span("synth.annotate"):
+            annotate_slif(slif, library)
 
-    proc_tech = library.processors["proc"].technology()
-    asic_tech = library.asics["asic"].technology()
-    slif.add_processor(Processor(processor_name, proc_tech))
-    slif.add_processor(Processor(asic_name, asic_tech))
-    slif.add_bus(Bus("sysbus", bitwidth=bus_bitwidth, ts=0.1, td=1.0))
+        proc_tech = library.processors["proc"].technology()
+        asic_tech = library.asics["asic"].technology()
+        slif.add_processor(Processor(processor_name, proc_tech))
+        slif.add_processor(Processor(asic_name, asic_tech))
+        slif.add_bus(Bus("sysbus", bitwidth=bus_bitwidth, ts=0.1, td=1.0))
 
-    object_map = {obj: processor_name for obj in slif.bv_names()}
-    partition = single_bus_partition(slif, object_map, name=f"{name}-initial")
+        object_map = {obj: processor_name for obj in slif.bv_names()}
+        partition = single_bus_partition(slif, object_map, name=f"{name}-initial")
     return DesignSystem(slif=slif, partition=partition)

@@ -31,7 +31,6 @@ from repro.core.nodes import Behavior, Port, PortDirection, Variable
 from repro.errors import ParseError
 from repro.synth.ops import Op, OpClass, OpDag, OpProfile, Region
 from repro.vhdl import ast
-from repro.vhdl.parser import parse_source
 from repro.vhdl.profiler import BranchProfile
 from repro.vhdl.semantics import BehaviorInfo, Program, SymKind, Symbol, analyze
 
@@ -458,10 +457,23 @@ def build_slif_from_source(
     process basic block into its own pseudo-procedure (Section 2.2's
     finer-granularity option).
     """
+    from repro.obs import span
     from repro.vhdl.granularity import Granularity, split_basic_blocks
+    from repro.vhdl.lexer import count_source_lines, tokenize
+    from repro.vhdl.parser import Parser
 
-    spec = parse_source(source)
-    if granularity is Granularity.BASIC_BLOCK:
-        spec, profile = split_basic_blocks(spec, profile)
-    program = analyze(spec)
-    return build_slif(program, name=name, profile=profile)
+    with span("vhdl.frontend", spec=name) as sp:
+        with span("vhdl.lex"):
+            tokens = tokenize(source)
+        with span("vhdl.parse"):
+            spec = Parser(tokens, count_source_lines(source)).parse_specification()
+        if granularity is Granularity.BASIC_BLOCK:
+            with span("vhdl.granularity"):
+                spec, profile = split_basic_blocks(spec, profile)
+        with span("vhdl.semantics"):
+            program = analyze(spec)
+        with span("vhdl.build"):
+            slif = build_slif(program, name=name, profile=profile)
+        sp.set_attribute("objects", slif.num_bv)
+        sp.set_attribute("channels", slif.num_channels)
+    return slif

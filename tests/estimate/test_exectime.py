@@ -155,6 +155,81 @@ class TestRecursion:
         assert est.exectime("Sub") == pytest.approx(20 + 64 * 1.2)
 
 
+class TestMemoStats:
+    """The instrumentation contract of the memo (repro.obs satellite)."""
+
+    def test_first_evaluation_is_all_misses(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        est.exectime("Main")
+        # Main, Sub, buf and flag are computed once each; ports are not
+        # memoized and count as neither hit nor miss
+        assert est.stats.memo_misses == 4
+        assert est.stats.memo_hits == 0
+
+    def test_repeated_calls_hit(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        est.exectime("Main")
+        misses = est.stats.memo_misses
+        est.exectime("Main")
+        est.exectime("Sub")
+        assert est.stats.memo_hits == 2
+        assert est.stats.memo_misses == misses  # nothing recomputed
+
+    def test_hit_rate(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        assert est.stats.hit_rate == 0.0   # nothing observed yet
+        est.exectime("Main")
+        est.exectime("Main")
+        assert est.stats.hit_rate == pytest.approx(1 / 5)
+
+    def test_invalidate_resets_generation_counts(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        est.exectime("Main")
+        est.exectime("Main")
+        assert est.stats.memo_hits == 1
+        est.invalidate()
+        assert est.stats.invalidations == 1
+        assert est.stats.memo_hits == 0
+        assert est.stats.memo_misses == 0
+        est.exectime("Main")
+        assert est.stats.memo_misses == 4   # fresh generation, all misses
+
+    def test_max_depth_tracks_call_chain(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        est.exectime("Main")   # Main -> Sub is a depth-2 behavior chain
+        assert est.stats.max_depth == 2
+        est.invalidate()
+        assert est.stats.max_depth == 2   # cumulative, not per generation
+
+    def test_global_counters_when_enabled(self, g, p):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            est = ExecTimeEstimator(g, p)
+            est.exectime("Main")
+            est.exectime("Main")
+            est.invalidate()
+            counters = obs.snapshot()["counters"]
+            assert counters["estimate.exectime.memo_miss"] == 4
+            assert counters["estimate.exectime.memo_hit"] == 1
+            assert counters["estimate.exectime.invalidations"] == 1
+            assert obs.snapshot()["gauges"]["estimate.exectime.max_depth"] == 2
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_disabled_obs_records_nothing_globally(self, g, p):
+        from repro import obs
+
+        obs.reset()
+        est = ExecTimeEstimator(g, p)
+        est.exectime("Main")
+        assert obs.snapshot()["counters"] == {}
+        assert est.stats.memo_misses == 4   # instance stats always work
+
+
 class TestSystemTimes:
     def test_process_times_and_system_time(self, g, p):
         est = ExecTimeEstimator(g, p)

@@ -99,6 +99,69 @@ def test_unknown_component_query_raises(g, p):
         inc.component_size("ghost")
 
 
+class TestMoveStats:
+    """Move/undo telemetry stays consistent with the tallies."""
+
+    def test_moves_and_undos_counted(self, g, p):
+        inc = IncrementalEstimator(g, p)
+        record = inc.apply_move("Sub", "HW")
+        inc.undo(record)
+        assert inc.stats.moves_applied == 1
+        assert inc.stats.moves_undone == 1
+        inc.verify_consistency()
+
+    def test_noop_move_not_counted(self, g, p):
+        inc = IncrementalEstimator(g, p)
+        record = inc.apply_move("Sub", "CPU")   # already there
+        inc.undo(record)
+        assert inc.stats.moves_applied == 0
+        assert inc.stats.moves_undone == 0
+
+    def test_lazy_recompute_counting(self, g, p):
+        inc = IncrementalEstimator(g, p)
+        inc.execution_time("Main")
+        assert inc.stats.recomputes == 0        # first eval: memo was clean
+        inc.apply_move("Sub", "HW")             # marks dirty
+        inc.apply_move("buf", "CPU")            # piggybacks on pending dirty
+        inc.apply_move("flag", "HW")
+        assert inc.stats.recomputes_avoided == 2
+        inc.execution_time("Main")              # pays one recompute for 3 moves
+        assert inc.stats.recomputes == 1
+        inc.execution_time("Main")              # clean again: no extra recompute
+        assert inc.stats.recomputes == 1
+
+    def test_exec_stats_reachable_and_consistent(self, g, p):
+        inc = IncrementalEstimator(g, p)
+        inc.execution_time("Main")
+        assert inc.exec_stats.memo_misses == 4
+        inc.apply_move("Sub", "HW")
+        inc.execution_time("Main")
+        # invalidation started a fresh generation: misses counted anew
+        assert inc.exec_stats.invalidations == 1
+        assert inc.exec_stats.memo_misses == 4
+        inc.verify_consistency()
+
+    def test_global_counters_when_enabled(self, g, p):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            inc = IncrementalEstimator(g, p)
+            record = inc.apply_move("Sub", "HW")
+            inc.apply_move("buf", "CPU")
+            inc.undo(record)
+            inc.system_time()
+            counters = obs.snapshot()["counters"]
+            assert counters["estimate.incremental.moves_applied"] == 2
+            assert counters["estimate.incremental.moves_undone"] == 1
+            assert counters["estimate.incremental.recomputes_avoided"] == 2
+            assert counters["estimate.incremental.recomputes"] == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+
 def test_self_loop_channels_never_drift(g, p):
     """A recursive call edge (self-loop) moves both endpoints at once and
     must never perturb the cut tallies."""

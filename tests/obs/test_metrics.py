@@ -1,0 +1,110 @@
+"""Unit tests for the metric primitives and registry."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Registry
+
+
+def test_counter_inc_and_reset():
+    c = Counter("x")
+    assert c.value == 0
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    c.reset()
+    assert c.value == 0
+
+
+def test_counter_thread_safety():
+    c = Counter("x")
+
+    def worker():
+        for _ in range(10_000):
+            c.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == 40_000
+
+
+def test_gauge_set_add_max():
+    g = Gauge("depth")
+    g.set(3.0)
+    assert g.value == 3.0
+    g.add(-1.0)
+    assert g.value == 2.0
+    g.max(5.0)
+    assert g.value == 5.0
+    g.max(1.0)   # lower values do not regress the maximum
+    assert g.value == 5.0
+
+
+def test_histogram_quantiles_exact():
+    h = Histogram("t")
+    for v in range(1, 101):   # 1..100
+        h.observe(float(v))
+    assert h.count == 100
+    assert h.sum == pytest.approx(5050.0)
+    assert h.mean == pytest.approx(50.5)
+    assert h.min == 1.0
+    assert h.max == 100.0
+    assert 45.0 <= h.p50 <= 56.0
+    assert 90.0 <= h.p95 <= 100.0
+
+
+def test_histogram_thinning_keeps_exact_totals():
+    h = Histogram("t", max_samples=64)
+    for v in range(1000):
+        h.observe(float(v))
+    assert h.count == 1000                 # exact despite sampling
+    assert h.sum == pytest.approx(sum(range(1000)))
+    assert h.max == 999.0
+    assert len(h._samples) <= 64 + 1
+    # quantiles stay in the right neighbourhood
+    assert 300.0 <= h.p50 <= 700.0
+
+
+def test_histogram_empty():
+    h = Histogram("t")
+    assert h.count == 0
+    assert h.p50 == 0.0
+    assert h.mean == 0.0
+
+
+def test_registry_get_or_create_is_stable():
+    r = Registry()
+    assert r.counter("a") is r.counter("a")
+    assert r.gauge("b") is r.gauge("b")
+    assert r.histogram("c") is r.histogram("c")
+
+
+def test_registry_conveniences_and_snapshot():
+    r = Registry(enabled=True)
+    r.inc("hits")
+    r.inc("hits", 2)
+    r.set_gauge("temp", 0.5)
+    r.observe("lat", 1.0)
+    r.observe("lat", 3.0)
+    snap = r.snapshot()
+    assert snap["counters"] == {"hits": 3}
+    assert snap["gauges"] == {"temp": 0.5}
+    assert snap["histograms"]["lat"]["count"] == 2
+    assert r.counter_value("hits") == 3
+    assert r.counter_value("never") == 0
+
+
+def test_registry_reset_drops_metrics_keeps_flag():
+    r = Registry(enabled=True)
+    r.inc("hits")
+    r.reset()
+    assert r.snapshot()["counters"] == {}
+    assert r.enabled is True
+
+
+def test_registry_disabled_by_default():
+    assert Registry().enabled is False

@@ -1,0 +1,110 @@
+"""Unit tests for span tracing."""
+
+import threading
+
+from repro.obs.metrics import Registry
+from repro.obs.tracing import NOOP_SPAN, Tracer
+
+
+def make_tracer(enabled=True, **kwargs):
+    return Tracer(registry=Registry(enabled=enabled), **kwargs)
+
+
+def test_disabled_tracer_hands_out_the_noop_singleton():
+    tracer = make_tracer(enabled=False)
+    span = tracer.span("anything", key="value")
+    assert span is NOOP_SPAN
+    with span as s:
+        s.set_attribute("k", 1)
+        s.add_event("e")
+    assert s.duration == 0.0
+    assert tracer.spans() == []
+
+
+def test_span_measures_duration_and_records():
+    tracer = make_tracer()
+    with tracer.span("work", spec="fuzzy") as s:
+        pass
+    assert s.duration >= 0.0
+    finished = tracer.spans()
+    assert len(finished) == 1
+    assert finished[0].name == "work"
+    assert finished[0].attributes == {"spec": "fuzzy"}
+
+
+def test_nesting_sets_parent_ids():
+    tracer = make_tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            assert tracer.current() is inner
+        assert tracer.current() is outer
+    assert tracer.current() is None
+    by_name = {s.name: s for s in tracer.spans()}
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+
+
+def test_add_event_attaches_to_current_span():
+    tracer = make_tracer()
+    with tracer.span("outer"):
+        tracer.add_event("tick", step=1)
+    tracer.add_event("orphan")   # no open span: silently dropped
+    (span,) = tracer.spans()
+    assert len(span.events) == 1
+    assert span.events[0]["name"] == "tick"
+    assert span.events[0]["attributes"] == {"step": 1}
+    assert span.events[0]["offset"] >= 0.0
+
+
+def test_exception_marks_span_and_still_records():
+    tracer = make_tracer()
+    try:
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    (span,) = tracer.spans()
+    assert span.attributes["error"] == "ValueError"
+
+
+def test_max_spans_drops_beyond_cap():
+    tracer = make_tracer(max_spans=3)
+    for i in range(5):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.spans()) == 3
+    assert tracer.dropped == 2
+    tracer.reset()
+    assert tracer.spans() == []
+    assert tracer.dropped == 0
+
+
+def test_threads_get_independent_stacks():
+    tracer = make_tracer()
+    parents = {}
+
+    def worker(tag):
+        with tracer.span(f"root-{tag}"):
+            with tracer.span(f"child-{tag}") as child:
+                parents[tag] = child.parent_id
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    by_name = {s.name: s for s in tracer.spans()}
+    assert len(by_name) == 8
+    for tag in range(4):
+        assert parents[tag] == by_name[f"root-{tag}"].span_id
+
+
+def test_to_dict_shape():
+    tracer = make_tracer()
+    with tracer.span("work", a=1) as s:
+        s.add_event("e", b=2)
+    doc = tracer.spans()[0].to_dict()
+    assert doc["name"] == "work"
+    assert doc["attributes"] == {"a": 1}
+    assert doc["events"][0]["name"] == "e"
+    assert {"span_id", "parent_id", "start", "duration"} <= set(doc)

@@ -119,6 +119,75 @@ def test_build_with_profile_override(tmp_path, capsys):
     assert "VolMain -> Calibrate call freq 1" in out
 
 
+def test_estimate_timing_line_from_span(capsys):
+    assert main(["estimate", "vol"]) == 0
+    err = capsys.readouterr().err
+    assert "-- estimated in" in err and "ms" in err
+
+
+def test_estimate_stats_summary(capsys):
+    assert main(["estimate", "vol", "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "== instrumentation summary ==" in err
+    assert "estimate.report" in err
+    assert "vhdl.parse" in err
+    assert "exectime memo hit rate" in err
+
+
+def test_partition_stderr_echoes_seed_iterations_and_timing(capsys):
+    assert main(["partition", "vol", "--algorithm", "greedy", "--seed", "7"]) == 0
+    err = capsys.readouterr().err
+    assert "-- partition greedy seed=7:" in err
+    assert "iterations" in err
+    assert "cost evaluations" in err
+    assert "s" in err.split("in ")[-1]   # the wall-time suffix
+
+
+def test_partition_annealing_stats_reports_search_telemetry(capsys):
+    assert main(
+        ["partition", "vol", "--algorithm", "annealing", "--stats"]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "exectime memo hit rate" in err
+    assert "cost evaluations" in err
+    assert "annealing acceptance rate" in err
+    assert "partition.annealing.iterations" in err
+
+
+def test_trace_out_covers_build_estimate_and_search(tmp_path, capsys):
+    import json as _json
+
+    trace = tmp_path / "trace.jsonl"
+    assert main(
+        ["partition", "vol", "--algorithm", "greedy", "--trace-out", str(trace)]
+    ) == 0
+    docs = [_json.loads(line) for line in trace.read_text().splitlines()]
+    assert docs[0]["type"] == "meta"
+    span_names = {d["name"] for d in docs if d["type"] == "span"}
+    # the trace covers build -> estimate -> search
+    assert {"system.build", "vhdl.parse", "estimate.report",
+            "partition.greedy", "cli.partition"} <= span_names
+    counter_names = {d["name"] for d in docs if d["type"] == "counter"}
+    assert "partition.cost.evaluations" in counter_names
+    assert f"wrote {len(docs)} trace lines" in capsys.readouterr().err
+
+
+def test_obs_disabled_after_cli_run(capsys):
+    from repro import obs
+
+    assert main(["estimate", "vol", "--stats"]) == 0
+    assert not obs.enabled()
+
+
+def test_explore_prints_pareto_front(capsys):
+    assert main(
+        ["explore", "vol", "--steps", "2", "--random-starts", "1"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "Pareto front" in captured.out
+    assert "-- explore seed=0:" in captured.err
+
+
 def test_breakdown_all_processes(capsys):
     assert main(["breakdown", "vol"]) == 0
     out = capsys.readouterr().out
