@@ -1,0 +1,102 @@
+"""The speed gap the paper's estimators exist to exploit: vs. simulation.
+
+Sections 1 and 3 argue that annotated-sum estimation approximates what
+a detailed simulation would report at a tiny fraction of the cost —
+"such speed enables rapid feedback during interactive design".  With
+``repro.sim`` providing the simulation side, that gap is now measurable
+in-repo instead of cited: these benchmarks time the full estimator
+sweep against a discrete-event run of the same ``(slif, partition)``
+and assert the claimed orders-of-magnitude separation, alongside the
+fidelity the validation harness reports for the same inputs.
+
+Shape to reproduce: estimation at least 10x faster than simulation on
+every example (the gap grows with workload size — ``fuzzy``'s 2.5k
+dynamic accesses per iteration put it past 100x), while the estimates
+stay within the same order of magnitude as the simulated ground truth.
+"""
+
+import time
+
+import pytest
+
+from conftest import report
+from repro.estimate.engine import Estimator
+from repro.sim import SimConfig, Simulator, validate
+
+#: Iterations per simulation run: enough to average the Bernoulli
+#: rounding of fractional access frequencies into the AVG expectation.
+SIM_ITERATIONS = 20
+
+
+@pytest.mark.parametrize("example", ["ans", "ether", "fuzzy", "vol"])
+def test_simulation_cost(benchmark, built_systems, example):
+    """Baseline: what one simulated ground-truth run costs."""
+    system = built_systems[example]
+    config = SimConfig(seed=0, iterations=SIM_ITERATIONS)
+
+    def simulate_once():
+        return Simulator(system.slif, system.partition, config).run()
+
+    result = benchmark(simulate_once)
+    assert result.end_time > 0
+    assert not result.truncated
+    report(
+        [
+            f"sim cost / {example}: {result.events} events for "
+            f"{SIM_ITERATIONS} iterations, "
+            f"{benchmark.stats.stats.mean * 1000:.2f} ms",
+        ]
+    )
+
+
+@pytest.mark.parametrize("example", ["ans", "ether", "fuzzy", "vol"])
+def test_estimation_at_least_10x_faster(built_systems, example):
+    """The acceptance gap, measured best-of-N on both sides."""
+    system = built_systems[example]
+    config = SimConfig(seed=0, iterations=SIM_ITERATIONS)
+
+    Estimator(system.slif, system.partition).report()  # warm imports
+    best_est = float("inf")
+    for _ in range(5):
+        t0 = time.perf_counter()
+        Estimator(system.slif, system.partition).report()
+        best_est = min(best_est, time.perf_counter() - t0)
+
+    Simulator(system.slif, system.partition, config).run()  # warm
+    best_sim = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        Simulator(system.slif, system.partition, config).run()
+        best_sim = min(best_sim, time.perf_counter() - t0)
+
+    ratio = best_sim / best_est
+    report(
+        [
+            f"sim vs estimate / {example}: simulate "
+            f"{best_sim * 1000:.2f} ms, estimate {best_est * 1000:.3f} ms "
+            f"(ratio {ratio:.0f}x)",
+        ]
+    )
+    assert ratio > 10.0
+
+
+def test_gap_widest_on_largest_workload(built_systems):
+    """fuzzy's ~2.5k dynamic accesses/iteration stretch the gap furthest."""
+    system = built_systems["fuzzy"]
+    report_obj = validate(
+        system.slif, system.partition, seed=0, iterations=SIM_ITERATIONS
+    )
+    report(
+        [
+            f"fuzzy fidelity: exectime max rel err "
+            f"{report_obj.max_rel_error('exectime') * 100:.2f}%, "
+            f"bus bitrate max rel err "
+            f"{report_obj.max_rel_error('bus_bitrate') * 100:.2f}%, "
+            f"speedup {report_obj.speedup:.0f}x",
+        ]
+    )
+    assert report_obj.speedup > 50.0
+    # fidelity on the default partition: the estimator tracks simulated
+    # ground truth closely where its model is exact
+    assert report_obj.max_rel_error("exectime") < 0.5
+    assert report_obj.max_rel_error("bus_bitrate") < 1.0

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Estimator fidelity, measured against simulated ground truth.
+
+The paper's pitch is a trade: accept estimation error in exchange for
+answers in microseconds instead of simulation minutes.  This example
+quantifies both sides of that trade with the ``repro.sim``
+discrete-event simulator:
+
+1. validate the estimators on every bundled benchmark with the default
+   all-software partition, printing the per-metric relative error plus
+   the measured speedup — error tracks how much concurrency the spec
+   carries, since concurrent streams contend for the one bus the
+   equations price as always-free;
+2. re-validate ``fuzzy`` with its hot procedures moved to hardware
+   (``repro.specs.HW_CANDIDATES``), which routes their traffic across
+   the shared system bus: the simulator now sees queueing the
+   contention-blind equations cannot, and the error visibly grows.
+
+Run:  python examples/sim_vs_estimate.py
+"""
+
+from repro import build_system
+from repro.sim import validate
+from repro.specs import spec_hw_candidates
+
+
+def row(name, report):
+    print(
+        f"{name:>14} {report.max_rel_error('exectime') * 100:>10.2f}% "
+        f"{report.max_rel_error('bus_bitrate') * 100:>10.2f}% "
+        f"{report.mean_rel_error() * 100:>10.2f}% "
+        f"{report.speedup:>8.0f}x"
+    )
+
+
+def main() -> None:
+    print("estimator vs discrete-event simulation (seed=0, 10 iterations)\n")
+    print(f"{'partition':>14} {'exectime':>11} {'bus rate':>11} "
+          f"{'mean err':>11} {'speedup':>9}")
+
+    for name in ("ans", "ether", "fuzzy", "vol"):
+        system = build_system(name)
+        report = validate(system.slif, system.partition, seed=0, iterations=10)
+        row(f"{name}/sw", report)
+
+    system = build_system("fuzzy")
+    for candidate in spec_hw_candidates("fuzzy"):
+        system.partition.move(candidate, "HW")
+    report = validate(system.slif, system.partition, seed=0, iterations=10)
+    row("fuzzy/hw", report)
+
+    print(
+        "\nWhere accesses are sequential the estimate is near-exact (fuzzy's"
+        "\nexecution time agrees to ~0.1%).  Error concentrates where event"
+        "\nstreams overlap: ether's eight concurrent processes queue for the"
+        "\none bus Eq. 1 prices as always-free, and moving fuzzy's hot"
+        "\nprocedures to hardware pushes their traffic onto that bus too."
+        "\nThe speedup column is the other side of the trade: ground truth"
+        "\ncosts 10-300x more wall clock, every time you ask."
+    )
+
+
+if __name__ == "__main__":
+    main()

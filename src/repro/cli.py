@@ -20,6 +20,10 @@ Subcommands mirror the system-design workflow:
     Emit a Graphviz rendering of the access graph.
 ``slif explore <spec>``
     Sweep the hardware/software trade-off and print the Pareto front.
+``slif simulate <spec> [--seed N] [--validate]``
+    Execute the annotated graph in the discrete-event simulator; with
+    ``--validate``, also run the estimators and report the per-metric
+    relative error against the simulated ground truth.
 
 Observability: instrumentation (``repro.obs``) is enabled for the
 duration of every command, so all subcommands report phase timing from
@@ -154,6 +158,39 @@ def cmd_explore(args: argparse.Namespace) -> int:
     print(
         f"-- explore seed={args.seed}: {front.evaluated} designs evaluated, "
         f"{len(front.points)} on the front in {sp.duration:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core.channels import FreqMode
+    from repro.sim import SimConfig, simulate, validate
+
+    system = _build_system(args.spec)
+    config = SimConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        mode=FreqMode(args.mode),
+        concurrent=not args.sequential,
+        time_limit=args.time_limit,
+    )
+    if args.validate:
+        with obs.span("cli.simulate", spec=args.spec, seed=args.seed) as sp:
+            report = validate(system.slif, system.partition, config=config)
+        print(report.render())
+        print(
+            f"-- validated in {sp.duration:.3f}s: estimate "
+            f"{report.est_seconds * 1000:.2f} ms vs simulation "
+            f"{report.sim_seconds * 1000:.2f} ms ({report.speedup:.0f}x)",
+            file=sys.stderr,
+        )
+        return 0
+    with obs.span("cli.simulate", spec=args.spec, seed=args.seed) as sp:
+        result = simulate(system.slif, system.partition, config=config)
+    print(result.render())
+    print(
+        f"-- simulated {result.events} events in {sp.duration:.3f}s",
         file=sys.stderr,
     )
     return 0
@@ -311,6 +348,43 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_obs_args(p)
     p.set_defaults(func=cmd_explore)
+
+    p = sub.add_parser(
+        "simulate",
+        help="discrete-event simulation (ground truth for the estimators)",
+    )
+    p.add_argument("spec")
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for the Bernoulli rounding of fractional access counts",
+    )
+    p.add_argument(
+        "--iterations",
+        type=int,
+        default=10,
+        help="system iterations to run back-to-back (averages out seed noise)",
+    )
+    p.add_argument("--mode", choices=["avg", "min", "max"], default="avg")
+    p.add_argument(
+        "--sequential",
+        action="store_true",
+        help="ignore concurrency tags (the paper's sequential Eq. 1 model)",
+    )
+    p.add_argument(
+        "--time-limit",
+        type=float,
+        default=None,
+        help="truncate the run at this simulated time",
+    )
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the estimators too and report per-metric relative error",
+    )
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("stats", help="structural counts + format comparison")
     p.add_argument("spec")

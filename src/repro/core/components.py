@@ -151,9 +151,11 @@ class Bus:
     there would be a unique ts value for each component type, and a
     unique td value for each possible pair of component types" which
     the paper had "not yet explored".  ``pair_times`` implements that
-    extension: an optional map from technology-name pairs (order
-    insensitive; same-name pairs give per-type ``ts``) to transfer
-    times, consulted before the scalar defaults.
+    extension: an optional map from technology-name pairs (order and
+    case insensitive; same-name pairs give per-type ``ts``) to transfer
+    times, consulted before the scalar defaults.  Keys are normalised
+    to lowercase sorted tuples at construction so any spelling survives
+    a save/load round trip through JSON or the text format.
     """
 
     name: str
@@ -176,7 +178,7 @@ class Bus:
                     raise ValueError(
                         f"bus {self.name!r}: negative pair time for {pair}"
                     )
-                a, b = pair
+                a, b = (pair[0].lower(), pair[1].lower())
                 normalised[(min(a, b), max(a, b))] = float(value)
             self.pair_times = normalised
 
@@ -193,7 +195,8 @@ class Bus:
         ``ts``/``td`` apply.
         """
         if self.pair_times and src_tech and dst_tech:
-            key = (min(src_tech, dst_tech), max(src_tech, dst_tech))
+            a, b = src_tech.lower(), dst_tech.lower()
+            key = (min(a, b), max(a, b))
             specific = self.pair_times.get(key)
             if specific is not None:
                 return specific

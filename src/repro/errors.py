@@ -57,6 +57,17 @@ class RecursionCycleError(EstimationError):
         self.cycle = list(cycle)
 
 
+class SimulationError(SlifError):
+    """A discrete-event simulation could not run (or was aborted).
+
+    Raised by :mod:`repro.sim` when a simulation exceeds its event or
+    access budget (a runaway workload), or when the access graph or
+    partition cannot be compiled into an executable model (missing
+    annotations surface as :class:`EstimationError`, exactly as they
+    would from the estimators).
+    """
+
+
 class ParseError(SlifError):
     """The VHDL-subset front end rejected its input.
 

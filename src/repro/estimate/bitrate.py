@@ -43,14 +43,17 @@ def channel_bitrate(
     ch = slif.get_channel(channel)
     est = estimator or ExecTimeEstimator(slif, partition)
     src_time = est.exectime(ch.src)
-    moved = ch.frequency(est.mode) * ch.bits
-    if moved == 0.0:
-        return 0.0
+    # The zero-time check comes first: a source that finishes in zero
+    # time is impossible whether or not this channel moves data, and
+    # returning 0.0 early would hide the defect for zero-bit channels.
     if src_time <= 0.0:
         raise EstimationError(
             f"channel {channel!r}: source behavior {ch.src!r} has zero "
             f"execution time; cannot form a bitrate"
         )
+    moved = ch.frequency(est.mode) * ch.bits
+    if moved == 0.0:
+        return 0.0
     return moved / src_time
 
 
@@ -68,6 +71,24 @@ def bus_bitrate(
         channel_bitrate(slif, partition, ch, est)
         for ch in partition.channels_on(bus)
     )
+
+
+def all_channel_bitrates(
+    slif: Slif,
+    partition: Partition,
+    estimator: Optional[ExecTimeEstimator] = None,
+) -> Dict[str, float]:
+    """``ChanBitrate(c)`` for every channel, sharing one memoized estimator.
+
+    The sharing matters: a fresh estimator per channel would redo the
+    Eq. 1 recursion from scratch each time, turning a linear sweep into
+    a quadratic one on call-deep graphs.
+    """
+    est = estimator or ExecTimeEstimator(slif, partition)
+    return {
+        name: channel_bitrate(slif, partition, name, est)
+        for name in slif.channels
+    }
 
 
 def bus_capacity(slif: Slif, bus: str, worst_case: bool = True) -> float:

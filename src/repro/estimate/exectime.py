@@ -123,6 +123,11 @@ class ExecTimeEstimator:
         self._in_progress: Set[str] = set()
         self._stack: List[str] = []
         self.stats = ExecTimeStats()
+        # Whole-run construction count: helpers are expected to share
+        # one estimator per call tree, and this counter is how tests
+        # (and --stats) catch a regression to one-per-channel.
+        if OBS.enabled:
+            OBS.inc("estimate.exectime.estimators_created")
 
     def invalidate(self) -> None:
         """Drop all cached results (after a partition or annotation edit).

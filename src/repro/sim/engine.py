@@ -1,0 +1,331 @@
+"""The simulation engine: tasks, the event loop, and run results.
+
+:class:`Simulator` drives the compiled process model
+(:mod:`repro.sim.procmodel`) through the discrete-event core
+(:mod:`repro.sim.events`): each SLIF process becomes a root task, each
+concurrency-tag fork spawns child tasks, and every command a stream
+yields either completes inline (zero-cost work) or suspends the task
+until a scheduled resume time.  Bus transfers are granted by the FIFO
+servers in :mod:`repro.sim.busmodel`, so when several tasks hit one bus
+the later arrivals wait and the contention shows up in the makespan.
+
+Everything is deterministic for a fixed seed: the event queue breaks
+ties by schedule order, bus grants are FIFO, and the only random draws
+(fractional access frequencies) come from one seeded generator.
+
+Runaway protection: ``max_events`` bounds the total number of scheduled
+events (a zero-cost cycle cannot spin forever — it raises
+:class:`~repro.errors.SimulationError`), and ``time_limit`` truncates a
+run at a simulated-time horizon, reporting partial results.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.channels import FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import RecursionCycleError, SimulationError
+from repro.obs import OBS
+from repro.sim.busmodel import BusServer, build_bus_servers
+from repro.sim.events import Clock, EventQueue
+from repro.sim.procmodel import (
+    CHECKPOINT,
+    Delay,
+    Fork,
+    ProcessModel,
+    Transfer,
+    _Checkpoint,
+)
+from repro.sim.tracing import SimTrace
+
+
+@dataclass
+class SimConfig:
+    """Knobs for one simulation run.
+
+    ``iterations`` runs every process back-to-back that many times;
+    reported per-process times are per-iteration averages, so raising it
+    averages out the Bernoulli noise of fractional access frequencies.
+    """
+
+    seed: int = 0
+    iterations: int = 1
+    mode: FreqMode = FreqMode.AVG
+    concurrent: bool = True
+    max_events: int = 5_000_000
+    time_limit: Optional[float] = None
+    keep_transactions: bool = False
+    max_transactions: int = 100_000
+
+
+class _Task:
+    """A running event stream: a generator plus its fork-join linkage."""
+
+    __slots__ = ("gen", "name", "parent", "pending_children", "primed")
+
+    def __init__(self, gen, name: str, parent: Optional["_Task"] = None) -> None:
+        self.gen = gen
+        self.name = name
+        self.parent = parent
+        self.pending_children = 0
+        self.primed = False
+
+
+@dataclass
+class SimResult:
+    """What one simulation run observed.
+
+    The derived metrics mirror the estimator's equations so the
+    validation harness can compare like with like:
+
+    * a channel's simulated bitrate is the bits it moved divided by its
+      source behavior's cumulative active time (the run-long analogue of
+      Eq. 2's per-execution ratio);
+    * a bus's simulated bitrate is the sum of its channels' bitrates
+      (Eq. 3's analogue);
+    * bus utilization is busy time over the full makespan — the quantity
+      the estimator approximates with demand/capacity.
+    """
+
+    name: str
+    seed: int
+    iterations: int
+    mode: FreqMode
+    concurrent: bool
+    end_time: float
+    events: int
+    truncated: bool
+    trace: SimTrace
+    process_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def per_iteration_time(self) -> float:
+        """Makespan of one system iteration (end-to-end / iterations)."""
+        return self.end_time / self.iterations if self.iterations else 0.0
+
+    def channel_bitrates(self) -> Dict[str, Optional[float]]:
+        """Simulated bitrate per channel; ``None`` if never exercised."""
+        rates: Dict[str, Optional[float]] = {}
+        for name, tally in self.trace.channels.items():
+            src = self.trace.behaviors.get(tally.src)
+            if src is None or src.active_time <= 0.0 or tally.accesses == 0:
+                rates[name] = None if tally.accesses == 0 else 0.0
+                continue
+            rates[name] = tally.bits / src.active_time
+        return rates
+
+    def bus_bitrates(self) -> Dict[str, float]:
+        """Simulated bitrate per bus: sum of its channels' bitrates."""
+        rates: Dict[str, float] = {}
+        chan_rates = self.channel_bitrates()
+        for name, tally in self.trace.channels.items():
+            if tally.bus is None or not tally.bus:
+                continue
+            rate = chan_rates.get(name)
+            if rate:
+                rates[tally.bus] = rates.get(tally.bus, 0.0) + rate
+        return rates
+
+    def bus_utilization(self) -> Dict[str, float]:
+        """Fraction of the makespan each bus spent moving data."""
+        if self.end_time <= 0.0:
+            return {bus: 0.0 for bus in self.trace.buses}
+        return {
+            bus: tally.busy_time / self.end_time
+            for bus, tally in self.trace.buses.items()
+        }
+
+    def render(self) -> str:
+        from repro.sim.report import render_sim_result
+
+        return render_sim_result(self)
+
+
+class Simulator:
+    """Discrete-event executor for one annotated ``(slif, partition)`` pair."""
+
+    def __init__(
+        self,
+        slif: Slif,
+        partition: Partition,
+        config: Optional[SimConfig] = None,
+    ) -> None:
+        self.slif = slif
+        self.partition = partition
+        self.config = config or SimConfig()
+        if not slif.processes():
+            raise SimulationError(
+                f"{slif.name!r} has no process behaviors; nothing to simulate"
+            )
+        cycle = slif.find_call_cycle()
+        if cycle:
+            raise RecursionCycleError(cycle)
+        partition.require_complete()
+
+    def run(self) -> SimResult:
+        """Execute the model to completion (or truncation) and tally."""
+        config = self.config
+        trace = SimTrace(
+            keep_transactions=config.keep_transactions,
+            max_transactions=config.max_transactions,
+        )
+        rng = random.Random(config.seed)
+        with obs.span(
+            "sim.run", graph=self.slif.name, seed=config.seed,
+            iterations=config.iterations,
+        ):
+            model = ProcessModel(
+                self.slif,
+                self.partition,
+                trace,
+                rng,
+                mode=config.mode,
+                concurrent=config.concurrent,
+            )
+            clock = Clock()
+            queue = EventQueue()
+            buses = build_bus_servers(self.slif)
+            self._clock = clock
+            self._queue = queue
+            self._buses = buses
+            self._trace = trace
+            for proc in self.slif.processes():
+                task = _Task(
+                    model.process_stream(proc.name, config.iterations),
+                    name=proc.name,
+                )
+                self._schedule(0.0, task)
+            truncated = False
+            obs_on = OBS.enabled
+            while queue:
+                time, task = queue.pop()
+                if config.time_limit is not None and time > config.time_limit:
+                    truncated = True
+                    clock.advance(config.time_limit)
+                    break
+                clock.advance(time)
+                if obs_on:
+                    OBS.inc("sim.events")
+                self._step(task)
+            process_times = {
+                name: finish / config.iterations
+                for name, finish in trace.process_finish.items()
+            }
+        return SimResult(
+            name=self.slif.name,
+            seed=config.seed,
+            iterations=config.iterations,
+            mode=config.mode,
+            concurrent=config.concurrent,
+            end_time=clock.now,
+            events=queue.scheduled,
+            truncated=truncated,
+            trace=trace,
+            process_times=process_times,
+        )
+
+    # -- internals ------------------------------------------------------
+
+    def _schedule(self, time: float, task: _Task) -> None:
+        if self._queue.scheduled >= self.config.max_events:
+            raise SimulationError(
+                f"simulation of {self.slif.name!r} exceeded its event budget "
+                f"(max_events={self.config.max_events}); the workload is "
+                f"runaway or the budget too small"
+            )
+        self._queue.schedule(time, task)
+
+    def _step(self, task: _Task) -> None:
+        """Drive one task until it suspends (or finishes).
+
+        Zero-cost commands — checkpoints, zero delays, uncontended
+        zero-duration transfers, empty forks — continue inline without
+        touching the event queue, so only real time consumption costs an
+        event.
+        """
+        clock, trace = self._clock, self._trace
+        gen = task.gen
+        while True:
+            try:
+                if task.primed:
+                    command = gen.send(clock.now)
+                else:
+                    task.primed = True
+                    command = next(gen)
+            except StopIteration:
+                self._finish(task)
+                return
+            if type(command) is _Checkpoint:
+                continue
+            if type(command) is Delay:
+                if command.duration <= 0.0:
+                    continue
+                self._schedule(clock.now + command.duration, task)
+                return
+            if type(command) is Transfer:
+                plan = command.plan
+                trace.access(plan.name, plan.src, plan.bus or "", plan.bits)
+                if plan.transfers == 0 or plan.bus is None:
+                    continue
+                server = self._buses[plan.bus]
+                start, depth = server.request(clock.now, plan.duration)
+                finish = start + plan.duration
+                trace.bus_granted(
+                    channel=plan.name,
+                    bus=plan.bus,
+                    requested=clock.now,
+                    started=start,
+                    duration=plan.duration,
+                    transfers=plan.transfers,
+                    bits=plan.bits,
+                    queue_depth=depth,
+                )
+                if finish <= clock.now:
+                    continue
+                self._schedule(finish, task)
+                return
+            if type(command) is Fork:
+                children = command.children
+                if not children:
+                    continue
+                task.pending_children = len(children)
+                for index, child_gen in enumerate(children):
+                    child = _Task(
+                        child_gen, name=f"{task.name}#{index}", parent=task
+                    )
+                    self._schedule(clock.now, child)
+                return
+            raise SimulationError(
+                f"task {task.name!r} yielded an unknown command: {command!r}"
+            )
+
+    def _finish(self, task: _Task) -> None:
+        parent = task.parent
+        if parent is not None:
+            parent.pending_children -= 1
+            if parent.pending_children == 0:
+                self._step(parent)
+            return
+        self._trace.process_done(task.name, self._clock.now)
+
+
+def simulate(
+    slif: Slif,
+    partition: Partition,
+    seed: int = 0,
+    iterations: int = 1,
+    mode: FreqMode = FreqMode.AVG,
+    concurrent: bool = True,
+    config: Optional[SimConfig] = None,
+) -> SimResult:
+    """One-call simulation with the common knobs exposed directly."""
+    if config is None:
+        config = SimConfig(
+            seed=seed, iterations=iterations, mode=mode, concurrent=concurrent
+        )
+    return Simulator(slif, partition, config).run()

@@ -1,0 +1,278 @@
+"""Executable process model: SLIF behaviors compiled to event streams.
+
+The simulator does not interpret the access graph on the fly.
+:class:`ProcessModel` *compiles* each behavior once, against the given
+partition and annotations, into a flat plan — its ``ict`` on the mapped
+component's technology, and one :class:`ChannelPlan` per out-channel
+with the bus, per-access transfer duration and destination action all
+resolved up front.  Compilation reuses the estimator's
+:func:`~repro.estimate.exectime.transfer_time` so a transfer costs the
+simulator *exactly* what Eq. 1 charges it; any fidelity gap between
+estimate and simulation is then attributable to dynamics (contention,
+concurrency, stochastic access counts), never to divergent arithmetic.
+
+Behaviors execute as generators yielding command objects:
+
+:class:`Delay`
+    consume computation time (``ict``, or a variable's access time);
+:class:`Transfer`
+    move one access's bits over the channel's bus (the engine handles
+    queueing);
+:class:`Fork`
+    run child streams concurrently and join on all of them — used for
+    the Section 2.3 concurrency tags: same-tag channels of one source
+    are accessed in parallel, mirroring the estimator's ``concurrent``
+    mode where a tag group costs the *max* of its members;
+:data:`CHECKPOINT`
+    a zero-cost probe whose resume value is the current simulation time
+    (how a stream brackets a behavior's start and finish).
+
+Fractional access frequencies (branch-profile averages like ``2.5``)
+become integer access counts by a seeded Bernoulli draw on the
+fractional part — the *only* randomness in the simulator, and the
+reason ``--seed`` exists: expectation matches the AVG-mode estimate,
+and a fixed seed reproduces a run bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.channels import Channel, FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.errors import SimulationError
+from repro.estimate.exectime import transfer_time
+from repro.sim.tracing import SimTrace
+
+#: Destination-action kinds resolved at compile time.
+DST_BEHAVIOR = "behavior"
+DST_VARIABLE = "variable"
+DST_PORT = "port"
+
+
+class Delay:
+    """Consume ``duration`` of local computation time."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        self.duration = duration
+
+
+class Transfer:
+    """Move one access of ``plan``'s channel across its bus."""
+
+    __slots__ = ("plan",)
+
+    def __init__(self, plan: "ChannelPlan") -> None:
+        self.plan = plan
+
+
+class Fork:
+    """Run ``children`` streams concurrently; resume when all finish."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: List[Iterator]) -> None:
+        self.children = children
+
+
+class _Checkpoint:
+    """Zero-cost command; the engine resumes the stream with ``clock.now``."""
+
+    __slots__ = ()
+
+
+#: Shared checkpoint instance (the command carries no state).
+CHECKPOINT = _Checkpoint()
+
+
+class ChannelPlan:
+    """One out-channel of one behavior, fully resolved for execution."""
+
+    __slots__ = (
+        "name", "src", "dst", "dst_kind", "bus", "duration",
+        "transfers", "bits", "freq", "tag", "var_delay",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        src: str,
+        dst: str,
+        dst_kind: str,
+        bus: Optional[str],
+        duration: float,
+        transfers: int,
+        bits: int,
+        freq: float,
+        tag: Optional[str],
+        var_delay: float,
+    ) -> None:
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.dst_kind = dst_kind
+        self.bus = bus
+        self.duration = duration
+        self.transfers = transfers
+        self.bits = bits
+        self.freq = freq
+        self.tag = tag
+        self.var_delay = var_delay
+
+
+class BehaviorPlan:
+    """A behavior's compiled execution recipe."""
+
+    __slots__ = ("name", "ict", "channels")
+
+    def __init__(self, name: str, ict: float, channels: List[ChannelPlan]) -> None:
+        self.name = name
+        self.ict = ict
+        self.channels = channels
+
+
+class ProcessModel:
+    """Compiled, executable form of one ``(slif, partition)`` pair.
+
+    Compilation happens eagerly in the constructor so annotation or
+    mapping problems surface before the first event fires, as
+    :class:`~repro.errors.EstimationError` — the same diagnostics the
+    estimators raise for the same defects.
+    """
+
+    def __init__(
+        self,
+        slif: Slif,
+        partition: Partition,
+        trace: SimTrace,
+        rng: random.Random,
+        mode: FreqMode = FreqMode.AVG,
+        concurrent: bool = True,
+    ) -> None:
+        self.slif = slif
+        self.partition = partition
+        self.trace = trace
+        self.rng = rng
+        self.mode = mode
+        self.concurrent = concurrent
+        self.plans: Dict[str, BehaviorPlan] = {}
+        self._var_delay: Dict[str, float] = {}
+        for name in slif.behaviors:
+            self.plans[name] = self._compile_behavior(name)
+
+    # -- compilation ----------------------------------------------------
+
+    def _variable_delay(self, name: str) -> float:
+        cached = self._var_delay.get(name)
+        if cached is not None:
+            return cached
+        var = self.slif.variables[name]
+        comp = self.slif.get_component(self.partition.get_bv_comp(name))
+        value = var.ict.get(comp.technology.name)
+        self._var_delay[name] = value
+        return value
+
+    def _compile_channel(self, channel: Channel) -> ChannelPlan:
+        slif, partition = self.slif, self.partition
+        if channel.dst in slif.behaviors:
+            dst_kind, var_delay = DST_BEHAVIOR, 0.0
+        elif channel.dst in slif.variables:
+            dst_kind, var_delay = DST_VARIABLE, self._variable_delay(channel.dst)
+        else:
+            dst_kind, var_delay = DST_PORT, 0.0
+        if channel.bits == 0:
+            bus: Optional[str] = None
+            transfers = 0
+            duration = 0.0
+        else:
+            bus = partition.get_chan_bus(channel.name)
+            transfers = math.ceil(channel.bits / slif.get_bus(bus).bitwidth)
+            duration = transfer_time(slif, partition, channel)
+        return ChannelPlan(
+            name=channel.name,
+            src=channel.src,
+            dst=channel.dst,
+            dst_kind=dst_kind,
+            bus=bus,
+            duration=duration,
+            transfers=transfers,
+            bits=channel.bits,
+            freq=channel.frequency(self.mode),
+            tag=channel.tag if self.concurrent else None,
+            var_delay=var_delay,
+        )
+
+    def _compile_behavior(self, name: str) -> BehaviorPlan:
+        behavior = self.slif.behaviors[name]
+        comp = self.slif.get_component(self.partition.get_bv_comp(name))
+        ict = behavior.ict.get(comp.technology.name)
+        channels = [
+            self._compile_channel(c) for c in self.slif.out_channels(name)
+        ]
+        return BehaviorPlan(name, ict, channels)
+
+    # -- stochastic access counts ---------------------------------------
+
+    def draw_count(self, freq: float) -> int:
+        """Integer access count for one execution, expectation ``freq``."""
+        if freq <= 0.0:
+            return 0
+        base = int(freq)
+        frac = freq - base
+        if frac > 0.0 and self.rng.random() < frac:
+            base += 1
+        return base
+
+    # -- execution streams ----------------------------------------------
+
+    def process_stream(self, name: str, iterations: int) -> Iterator:
+        """Top-level stream: run process ``name`` back-to-back ``iterations`` times."""
+        if iterations < 1:
+            raise SimulationError(
+                f"process {name!r}: iterations must be >= 1, got {iterations}"
+            )
+        for _ in range(iterations):
+            # yield from (not a re-yield loop) so the engine's send()
+            # values reach the nested stream's checkpoints.
+            yield from self.behavior_stream(name)
+
+    def behavior_stream(self, name: str) -> Iterator:
+        """One execution of behavior ``name`` per Eq. 1's structure.
+
+        Internal computation first, then the channel accesses in
+        declaration order; a concurrency-tag group forks at its first
+        member's position and joins before the next entry.
+        """
+        plan = self.plans[name]
+        start = yield CHECKPOINT
+        if plan.ict > 0.0:
+            yield Delay(plan.ict)
+        done_tags = None
+        for entry in plan.channels:
+            if entry.tag is None:
+                yield from self.channel_stream(entry)
+            else:
+                if done_tags is None:
+                    done_tags = set()
+                if entry.tag in done_tags:
+                    continue
+                done_tags.add(entry.tag)
+                group = [e for e in plan.channels if e.tag == entry.tag]
+                yield Fork([self.channel_stream(e) for e in group])
+        end = yield CHECKPOINT
+        self.trace.behavior_done(name, end - start)
+
+    def channel_stream(self, entry: ChannelPlan) -> Iterator:
+        """All of one execution's accesses over one channel, in sequence."""
+        count = self.draw_count(entry.freq)
+        for _ in range(count):
+            yield Transfer(entry)
+            if entry.dst_kind == DST_BEHAVIOR:
+                yield from self.behavior_stream(entry.dst)
+            elif entry.dst_kind == DST_VARIABLE and entry.var_delay > 0.0:
+                yield Delay(entry.var_delay)

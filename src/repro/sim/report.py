@@ -1,0 +1,149 @@
+"""Human-readable rendering of simulation runs and validation reports.
+
+Renderers are deterministic for a fixed seed: rows are sorted by name,
+floats are formatted with fixed precision, and no wall-clock quantity
+appears in the output (the CLI prints timing to stderr instead) — so a
+repeated ``slif simulate --seed N`` produces byte-identical stdout,
+which is both a usability property and the determinism contract's
+enforcement point in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import SimResult
+    from repro.sim.validate import ValidationReport
+
+
+def _fmt(value: float) -> str:
+    """Compact fixed-ish float form (stable across runs)."""
+    if value != value:  # NaN
+        return "nan"
+    if value == float("inf"):
+        return "inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e6 or abs(value) < 1e-3:
+        return f"{value:.4e}"
+    return f"{value:.4f}".rstrip("0").rstrip(".")
+
+
+def _pct(value: float) -> str:
+    if value == float("inf"):
+        return "inf"
+    return f"{value * 100:.2f}%"
+
+
+def render_sim_result(result: "SimResult") -> str:
+    """The ``slif simulate`` stdout body."""
+    lines: List[str] = []
+    lines.append(
+        f"simulation of {result.name!r}  "
+        f"(seed={result.seed}, iterations={result.iterations}, "
+        f"mode={result.mode.value}, "
+        f"{'concurrent' if result.concurrent else 'sequential'})"
+    )
+    lines.append(
+        f"  end time: {_fmt(result.end_time)}  "
+        f"({_fmt(result.per_iteration_time)} per iteration)  "
+        f"events: {result.events}"
+        + ("  [TRUNCATED]" if result.truncated else "")
+    )
+    lines.append("")
+    lines.append("  process                    finish/iter   executions")
+    for name in sorted(result.process_times):
+        tally = result.trace.behaviors.get(name)
+        executions = tally.executions if tally else 0
+        lines.append(
+            f"  {name:<24} {_fmt(result.process_times[name]):>13}   "
+            f"{executions:>10}"
+        )
+    utilization = result.bus_utilization()
+    bitrates = result.bus_bitrates()
+    if result.trace.buses:
+        lines.append("")
+        lines.append(
+            "  bus            transactions      busy     util   bitrate"
+            "   max queue"
+        )
+        for bus in sorted(result.trace.buses):
+            tally = result.trace.buses[bus]
+            lines.append(
+                f"  {bus:<14} {tally.transactions:>12}"
+                f" {_fmt(tally.busy_time):>9}"
+                f" {_pct(utilization.get(bus, 0.0)):>8}"
+                f" {_fmt(bitrates.get(bus, 0.0)):>9}"
+                f" {tally.max_queue_depth:>11}"
+            )
+    accesses = result.trace.total_accesses()
+    transactions = result.trace.total_transactions()
+    lines.append("")
+    lines.append(
+        f"  {len(result.trace.channels)} channels exercised, "
+        f"{accesses} accesses, {transactions} bus transactions"
+    )
+    if result.trace.dropped_transactions:
+        lines.append(
+            f"  ({result.trace.dropped_transactions} transaction records "
+            f"dropped beyond the keep limit)"
+        )
+    return "\n".join(lines)
+
+
+_METRIC_ORDER = ("exectime", "bus_bitrate", "bus_utilization", "channel_bitrate")
+
+_METRIC_TITLES = {
+    "exectime": "execution time (Eq. 1)",
+    "bus_bitrate": "bus bitrate (Eq. 3)",
+    "bus_utilization": "bus utilization",
+    "channel_bitrate": "channel bitrate (Eq. 2)",
+}
+
+
+def render_validation(report: "ValidationReport") -> str:
+    """The ``slif simulate --validate`` stdout body."""
+    lines: List[str] = []
+    lines.append(
+        f"validation of {report.name!r}  "
+        f"(seed={report.seed}, iterations={report.iterations}, "
+        f"{report.sim_events} sim events)"
+    )
+    for metric in _METRIC_ORDER:
+        rows = report.rows_for(metric)
+        if not rows:
+            continue
+        lines.append("")
+        lines.append(f"  {_METRIC_TITLES.get(metric, metric)}")
+        lines.append(
+            "    name                      estimated     simulated   rel err"
+        )
+        for row in sorted(rows, key=lambda r: r.name):
+            lines.append(
+                f"    {row.name:<24} {_fmt(row.estimated):>12} "
+                f"{_fmt(row.simulated):>13} {_pct(row.rel_error):>9}"
+            )
+        lines.append(
+            f"    -- max {_pct(report.max_rel_error(metric))}, "
+            f"mean {_pct(report.mean_rel_error(metric))} over {len(rows)} rows"
+        )
+    if report.not_exercised:
+        lines.append("")
+        lines.append(
+            f"  {len(report.not_exercised)} channels not exercised: "
+            + ", ".join(sorted(report.not_exercised)[:8])
+            + (" ..." if len(report.not_exercised) > 8 else "")
+        )
+    worst = report.worst()
+    lines.append("")
+    lines.append(
+        f"  overall: max rel err {_pct(report.max_rel_error())}, "
+        f"mean {_pct(report.mean_rel_error())}"
+        + (
+            f"  (worst: {worst.metric}/{worst.name})"
+            if worst is not None
+            else ""
+        )
+    )
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Simulation tracing: per-object tallies and optional transaction logs.
+
+The estimators reduce a design to a handful of numbers; the simulator's
+value is that it can also say *what happened* — how many times each
+behavior ran, how long each bus was busy, how deep its queue got.
+:class:`SimTrace` is the single collection point the engine, process
+model and bus servers report into, and the bridge to :mod:`repro.obs`:
+when the global registry is enabled, accesses/transactions/events tick
+process-global counters and bus queue depths feed per-bus histograms,
+so ``slif simulate --stats`` and ``--trace-out`` surface simulation
+internals through the same pipeline as the estimators and searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs import OBS
+
+
+@dataclass
+class BehaviorTally:
+    """How often a behavior executed and its cumulative inclusive time.
+
+    ``active_time`` sums the start-to-finish span of every execution,
+    *including* time spent in transfers, callees and forked children —
+    the simulation analogue of ``executions * Exectime(b)`` (Eq. 1).
+    """
+
+    executions: int = 0
+    active_time: float = 0.0
+
+
+@dataclass
+class ChannelTally:
+    """Traffic observed on one channel across the whole run."""
+
+    src: str = ""
+    bus: str = ""
+    accesses: int = 0
+    bits: float = 0.0
+    transactions: int = 0
+    transfer_time: float = 0.0   # bus occupancy attributable to this channel
+    wait_time: float = 0.0       # time spent queued behind other traffic
+
+
+@dataclass
+class BusTally:
+    """Load observed on one bus across the whole run."""
+
+    requests: int = 0
+    transactions: int = 0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+    max_queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class TransactionRecord:
+    """One channel access's trip over a bus (kept only when requested)."""
+
+    channel: str
+    bus: str
+    requested: float
+    started: float
+    duration: float
+    transfers: int
+    bits: int
+
+    @property
+    def waited(self) -> float:
+        return self.started - self.requested
+
+
+class SimTrace:
+    """Tally collector for one simulation run.
+
+    ``keep_transactions`` opts into recording every individual
+    :class:`TransactionRecord` (bounded by ``max_transactions``; the
+    overflow is counted in :attr:`dropped_transactions`).  Tallies are
+    always collected — they are the raw material of the simulation
+    report and the validation harness.
+    """
+
+    def __init__(
+        self,
+        keep_transactions: bool = False,
+        max_transactions: int = 100_000,
+    ) -> None:
+        self.behaviors: Dict[str, BehaviorTally] = {}
+        self.channels: Dict[str, ChannelTally] = {}
+        self.buses: Dict[str, BusTally] = {}
+        self.process_finish: Dict[str, float] = {}
+        self.transactions: List[TransactionRecord] = []
+        self.keep_transactions = keep_transactions
+        self.max_transactions = max_transactions
+        self.dropped_transactions = 0
+
+    # -- hooks the engine / model / bus servers call --------------------
+
+    def behavior_done(self, name: str, elapsed: float) -> None:
+        tally = self.behaviors.get(name)
+        if tally is None:
+            tally = self.behaviors[name] = BehaviorTally()
+        tally.executions += 1
+        tally.active_time += elapsed
+
+    def access(self, channel: str, src: str, bus: str, bits: int) -> None:
+        tally = self.channels.get(channel)
+        if tally is None:
+            tally = self.channels[channel] = ChannelTally(src=src, bus=bus)
+        tally.accesses += 1
+        tally.bits += bits
+        if OBS.enabled:
+            OBS.inc("sim.accesses")
+
+    def bus_granted(
+        self,
+        channel: str,
+        bus: str,
+        requested: float,
+        started: float,
+        duration: float,
+        transfers: int,
+        bits: int,
+        queue_depth: int,
+    ) -> None:
+        """One access's burst of ``transfers`` transactions went through."""
+        waited = started - requested
+        bus_tally = self.buses.get(bus)
+        if bus_tally is None:
+            bus_tally = self.buses[bus] = BusTally()
+        bus_tally.requests += 1
+        bus_tally.transactions += transfers
+        bus_tally.busy_time += duration
+        bus_tally.wait_time += waited
+        if queue_depth > bus_tally.max_queue_depth:
+            bus_tally.max_queue_depth = queue_depth
+        chan_tally = self.channels.get(channel)
+        if chan_tally is not None:
+            chan_tally.transactions += transfers
+            chan_tally.transfer_time += duration
+            chan_tally.wait_time += waited
+        if OBS.enabled:
+            OBS.inc("sim.transactions", transfers)
+            OBS.observe(f"sim.bus.{bus}.queue_depth", queue_depth)
+            if waited > 0:
+                OBS.observe(f"sim.bus.{bus}.wait_time", waited)
+        if self.keep_transactions:
+            if len(self.transactions) < self.max_transactions:
+                self.transactions.append(
+                    TransactionRecord(
+                        channel, bus, requested, started, duration,
+                        transfers, bits,
+                    )
+                )
+            else:
+                self.dropped_transactions += 1
+
+    def process_done(self, name: str, finish: float) -> None:
+        self.process_finish[name] = finish
+
+    # -- derived --------------------------------------------------------
+
+    def total_accesses(self) -> int:
+        return sum(t.accesses for t in self.channels.values())
+
+    def total_transactions(self) -> int:
+        return sum(t.transactions for t in self.buses.values())

@@ -1,0 +1,270 @@
+"""Estimator-validation harness: simulated ground truth vs. Eq. 1-3.
+
+The paper's core claim is that the annotated-sum estimators approximate
+what a detailed simulation reports at a tiny fraction of the cost
+(Sections 1 and 3).  :func:`validate` closes that loop: it runs the
+memoized estimators and the discrete-event simulator on the *same*
+``(slif, partition)`` and reports the per-metric relative error —
+execution time per process and for the system, bitrate per bus and per
+channel, and bus utilization — along with the wall-clock cost of each
+side, so the speed/fidelity trade-off is a measured quantity instead of
+a cited one.
+
+Conventions:
+
+* the simulation is ground truth — relative error is
+  ``|est - sim| / |sim|`` (zero when both are ~zero, infinite when the
+  estimator invents a value the simulation never saw);
+* channels whose source behavior never executed in the run are listed
+  as *not exercised* rather than scored;
+* the estimator-side bus utilization — a quantity Eq. 3 only bounds via
+  capacity — is derived by propagating expected execution counts down
+  the access graph (a process executes once per system iteration; a
+  callee executes its caller's count times the channel frequency) and
+  dividing the implied bus busy time by the estimated system time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.core.channels import FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition
+from repro.estimate.bitrate import bus_bitrate, channel_bitrate
+from repro.estimate.exectime import ExecTimeEstimator, transfer_time
+from repro.sim.engine import SimConfig, SimResult, simulate
+
+#: Below this magnitude a metric is considered zero for error purposes.
+TINY = 1e-12
+
+
+def relative_error(estimated: float, simulated: float) -> float:
+    """``|est - sim| / |sim|`` with the zero-ground-truth conventions."""
+    if abs(simulated) > TINY:
+        return abs(estimated - simulated) / abs(simulated)
+    if abs(estimated) <= TINY:
+        return 0.0
+    return float("inf")
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's estimated-vs-simulated pair."""
+
+    metric: str   # "exectime" | "bus_bitrate" | "bus_utilization" | "channel_bitrate"
+    name: str     # process / bus / channel name ("<system>" for the system row)
+    estimated: float
+    simulated: float
+
+    @property
+    def rel_error(self) -> float:
+        return relative_error(self.estimated, self.simulated)
+
+
+def execution_counts(
+    slif: Slif, mode: FreqMode = FreqMode.AVG
+) -> Dict[str, float]:
+    """Expected executions of each behavior per system iteration.
+
+    A process runs once; every other behavior runs as often as its
+    callers do, weighted by channel frequency.  The access graph is
+    acyclic for call edges (recursion is rejected upstream), so a
+    memoized walk over the in-edges terminates.
+    """
+    memo: Dict[str, float] = {}
+
+    def count(name: str) -> float:
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        memo[name] = 0.0  # breaks accidental cycles defensively
+        total = 1.0 if slif.behaviors[name].is_process else 0.0
+        for channel in slif.in_channels(name):
+            if channel.src in slif.behaviors:
+                total += count(channel.src) * channel.frequency(mode)
+        memo[name] = total
+        return total
+
+    return {name: count(name) for name in slif.behaviors}
+
+
+def estimated_bus_utilization(
+    slif: Slif,
+    partition: Partition,
+    estimator: ExecTimeEstimator,
+) -> Dict[str, float]:
+    """Estimator-side analogue of simulated busy-time / makespan."""
+    system_time = estimator.system_time()
+    counts = execution_counts(slif, estimator.mode)
+    busy: Dict[str, float] = {bus: 0.0 for bus in slif.buses}
+    for channel in slif.channels.values():
+        if channel.bits == 0:
+            continue
+        bus = partition.get_chan_bus(channel.name)
+        per_access = transfer_time(slif, partition, channel)
+        executions = counts.get(channel.src, 0.0)
+        busy[bus] += executions * channel.frequency(estimator.mode) * per_access
+    if system_time <= 0.0:
+        return {bus: 0.0 for bus in busy}
+    return {bus: b / system_time for bus, b in busy.items()}
+
+
+@dataclass
+class ValidationReport:
+    """Side-by-side fidelity report for one ``(slif, partition)``."""
+
+    name: str
+    seed: int
+    iterations: int
+    rows: List[MetricComparison] = field(default_factory=list)
+    not_exercised: List[str] = field(default_factory=list)
+    est_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    sim_events: int = 0
+    sim_result: Optional[SimResult] = None
+
+    @property
+    def speedup(self) -> float:
+        """How many times faster estimation was than simulation."""
+        if self.est_seconds <= 0.0:
+            return float("inf")
+        return self.sim_seconds / self.est_seconds
+
+    def rows_for(self, metric: str) -> List[MetricComparison]:
+        return [r for r in self.rows if r.metric == metric]
+
+    def _errors(self, metric: Optional[str] = None) -> List[float]:
+        rows = self.rows if metric is None else self.rows_for(metric)
+        return [r.rel_error for r in rows if r.rel_error != float("inf")]
+
+    def max_rel_error(self, metric: Optional[str] = None) -> float:
+        errors = self._errors(metric)
+        return max(errors) if errors else 0.0
+
+    def mean_rel_error(self, metric: Optional[str] = None) -> float:
+        errors = self._errors(metric)
+        return sum(errors) / len(errors) if errors else 0.0
+
+    def worst(self) -> Optional[MetricComparison]:
+        """The row with the largest (finite-preferring) relative error."""
+        if not self.rows:
+            return None
+        finite = [r for r in self.rows if r.rel_error != float("inf")]
+        pool = finite or self.rows
+        return max(pool, key=lambda r: r.rel_error)
+
+    def render(self) -> str:
+        from repro.sim.report import render_validation
+
+        return render_validation(self)
+
+
+def validate(
+    slif: Slif,
+    partition: Partition,
+    seed: int = 0,
+    iterations: int = 10,
+    mode: FreqMode = FreqMode.AVG,
+    concurrent: bool = True,
+    config: Optional[SimConfig] = None,
+    include_channels: bool = True,
+) -> ValidationReport:
+    """Run estimator and simulator on the same inputs; compare metrics.
+
+    ``iterations`` repeats every process back-to-back in one simulation
+    so the Bernoulli rounding of fractional access frequencies averages
+    toward the AVG-mode expectation the estimator computes.
+    """
+    if config is None:
+        config = SimConfig(
+            seed=seed, iterations=iterations, mode=mode, concurrent=concurrent
+        )
+    with obs.span("sim.validate", graph=slif.name, seed=config.seed):
+        est_started = time.perf_counter()
+        estimator = ExecTimeEstimator(
+            slif, partition, mode=config.mode, concurrent=config.concurrent
+        )
+        est_process_times = estimator.process_times()
+        est_bus_rates = {
+            bus: bus_bitrate(slif, partition, bus, estimator)
+            for bus in slif.buses
+        }
+        est_utilization = estimated_bus_utilization(slif, partition, estimator)
+        est_chan_rates: Dict[str, float] = {}
+        if include_channels:
+            est_chan_rates = {
+                name: channel_bitrate(slif, partition, name, estimator)
+                for name in slif.channels
+            }
+        est_seconds = time.perf_counter() - est_started
+
+        sim_started = time.perf_counter()
+        result = simulate(slif, partition, config=config)
+        sim_seconds = time.perf_counter() - sim_started
+
+    report = ValidationReport(
+        name=slif.name,
+        seed=config.seed,
+        iterations=config.iterations,
+        est_seconds=est_seconds,
+        sim_seconds=sim_seconds,
+        sim_events=result.events,
+        sim_result=result,
+    )
+    rows = report.rows
+
+    for proc, est_time in est_process_times.items():
+        sim_time = result.process_times.get(proc)
+        if sim_time is None:
+            continue  # truncated before this process finished
+        rows.append(MetricComparison("exectime", proc, est_time, sim_time))
+    est_system = max(est_process_times.values()) if est_process_times else 0.0
+    rows.append(
+        MetricComparison(
+            "exectime", "<system>", est_system, result.per_iteration_time
+        )
+    )
+
+    sim_bus_rates = result.bus_bitrates()
+    for bus in slif.buses:
+        rows.append(
+            MetricComparison(
+                "bus_bitrate",
+                bus,
+                est_bus_rates.get(bus, 0.0),
+                sim_bus_rates.get(bus, 0.0),
+            )
+        )
+
+    sim_utilization = result.bus_utilization()
+    for bus in slif.buses:
+        rows.append(
+            MetricComparison(
+                "bus_utilization",
+                bus,
+                est_utilization.get(bus, 0.0),
+                sim_utilization.get(bus, 0.0),
+            )
+        )
+
+    if include_channels:
+        sim_chan_rates = result.channel_bitrates()
+        for name in slif.channels:
+            sim_rate = sim_chan_rates.get(name)
+            if sim_rate is None:
+                report.not_exercised.append(name)
+                continue
+            rows.append(
+                MetricComparison(
+                    "channel_bitrate",
+                    name,
+                    est_chan_rates.get(name, 0.0),
+                    sim_rate,
+                )
+            )
+
+    return report

@@ -49,6 +49,20 @@ PAPER_FORMAT_COMPARISON = {
 }
 
 
+#: Behaviors worth considering for a hardware mapping, per benchmark:
+#: the computation-heavy procedures (largest software ``ict``) that a
+#: designer would shortlist for the custom processor.  The simulator's
+#: examples and benchmarks use these to build *contended* partitions —
+#: moving them to hardware routes their traffic across the system bus,
+#: which is where simulation and estimation start to disagree.
+HW_CANDIDATES: Dict[str, List[str]] = {
+    "ans": ["PlayMessages", "Beep", "DetectDtmf", "MeasureRing"],
+    "ether": ["Parity", "NextBackoff", "Crc8Step", "HashAddr"],
+    "fuzzy": ["ComputeCentroid", "EvaluateRule", "Convolve", "Min"],
+    "vol": ["Calibrate", "FilterSample", "ComputeVolume", "Median3"],
+}
+
+
 def _module(name: str):
     try:
         return _MODULES[name]
@@ -78,10 +92,18 @@ def spec_targets(name: str) -> Dict[str, int]:
     }
 
 
+def spec_hw_candidates(name: str) -> List[str]:
+    """Hardware-mapping candidates for a bundled benchmark (may be empty)."""
+    _module(name)  # validates the name
+    return list(HW_CANDIDATES.get(name, []))
+
+
 __all__ = [
+    "HW_CANDIDATES",
     "PAPER_FIGURE4",
     "PAPER_FORMAT_COMPARISON",
     "SPEC_NAMES",
+    "spec_hw_candidates",
     "spec_profile",
     "spec_source",
     "spec_targets",

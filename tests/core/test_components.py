@@ -80,3 +80,26 @@ class TestBus:
     def test_negative_times_rejected(self):
         with pytest.raises(ValueError):
             Bus("b", ts=-0.1)
+
+
+class TestPairTimesCase:
+    """Pair keys are case-insensitive: normalised to lowercase sorted
+    tuples at construction, and looked up case-blind."""
+
+    def test_keys_normalised_to_lowercase(self):
+        bus = Bus("b", pair_times={("PROC", "Mem"): 0.4})
+        assert bus.pair_times == {("mem", "proc"): 0.4}
+
+    def test_lookup_is_case_insensitive(self):
+        bus = Bus("b", ts=0.1, td=1.0, pair_times={("proc", "mem"): 0.4})
+        assert bus.transfer_time(False, "PROC", "MEM") == 0.4
+        assert bus.transfer_time(False, "Mem", "Proc") == 0.4
+
+    def test_mixed_case_key_matches_lowercase_technologies(self):
+        bus = Bus("b", ts=0.1, td=1.0, pair_times={("ASIC", "Proc"): 0.7})
+        assert bus.transfer_time(False, "proc", "asic") == 0.7
+
+    def test_unmatched_pair_still_falls_back(self):
+        bus = Bus("b", ts=0.1, td=1.0, pair_times={("PROC", "MEM"): 0.4})
+        assert bus.transfer_time(False, "proc", "asic") == 1.0
+        assert bus.transfer_time(True, "proc", "asic") == pytest.approx(0.1)

@@ -94,3 +94,23 @@ def test_partition_graph_mismatch_rejected():
     other.name = "different"
     with pytest.raises(SlifError, match="different|demo"):
         partition_from_json(partition_to_json(p), other)
+
+
+def test_pair_times_round_trip_case_insensitive():
+    from repro.core.components import Bus
+
+    g = build_demo_graph()
+    bus = g.buses["sysbus"]
+    g.buses["sysbus"] = Bus(
+        "sysbus", bus.bitwidth, bus.ts, bus.td,
+        {("PROC", "Mem"): 0.4, ("Proc", "PROC"): 0.05},
+    )
+    g2 = slif_from_json(slif_to_json(g))
+    # keys arrive lowercased (construction normalises) and survive the trip
+    assert g2.buses["sysbus"].pair_times == {
+        ("mem", "proc"): 0.4,
+        ("proc", "proc"): 0.05,
+    }
+    # the reloaded bus resolves mixed-case technology names identically
+    assert g2.buses["sysbus"].transfer_time(False, "Proc", "MEM") == 0.4
+    assert slif_to_json(slif_from_json(slif_to_json(g))) == slif_to_json(g)

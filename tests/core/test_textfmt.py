@@ -144,3 +144,21 @@ def test_pair_times_round_trip():
 def test_malformed_pair_rejected():
     with pytest.raises(ParseError, match="pair"):
         loads("slif 1 t\nbus b width 8 pair nonsense\n")
+
+
+def test_pair_times_case_insensitive_round_trip():
+    from repro.core.components import Bus
+
+    g = build_demo_graph()
+    bus = g.buses["sysbus"]
+    g.buses["sysbus"] = Bus(
+        "sysbus", bus.bitwidth, bus.ts, bus.td,
+        {("PROC", "Mem"): 0.4, ("ASIC", "asic"): 0.05},
+    )
+    g2 = loads(dumps(g))
+    assert g2.buses["sysbus"].pair_times == {
+        ("mem", "proc"): 0.4,
+        ("asic", "asic"): 0.05,
+    }
+    assert g2.buses["sysbus"].transfer_time(False, "MEM", "Proc") == 0.4
+    assert dumps(loads(dumps(g))) == dumps(g)

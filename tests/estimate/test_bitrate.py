@@ -98,3 +98,80 @@ class TestBusLoad:
         load = bus_load(g, p, "sysbus")
         assert not load.saturated
         assert load.saturation == 0.0
+
+
+class TestZeroTimeDiagnostic:
+    """Regression: the zero-exectime check fires before the zero-moved
+    shortcut, so an impossible channel (zero bits AND zero source time)
+    raises instead of silently reporting 0.0."""
+
+    def test_zero_bits_zero_time_source_raises(self, g, p):
+        g.channels["Sub->buf"].bits = 0
+        g.behaviors["Sub"].ict.set("proc", 0.0)
+        g.variables["buf"].ict.set("mem", 0.0)
+        g.buses["sysbus"].ts = 0.0
+        g.buses["sysbus"].td = 0.0
+        with pytest.raises(EstimationError, match="zero"):
+            channel_bitrate(g, p, "Sub->buf")
+
+
+class TestEstimatorSharing:
+    """One memoized estimator per call tree, observable via the
+    ``estimate.exectime.estimators_created`` counter."""
+
+    def _created(self):
+        from repro import obs
+
+        return obs.REGISTRY.counter_value("estimate.exectime.estimators_created")
+
+    def test_bus_bitrate_constructs_one_estimator(self, g, p):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            bus_bitrate(g, p, "sysbus")
+            assert self._created() == 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_all_channel_bitrates_constructs_one_estimator(self, g, p):
+        from repro import obs
+        from repro.estimate.bitrate import all_channel_bitrates
+
+        obs.reset()
+        obs.enable()
+        try:
+            rates = all_channel_bitrates(g, p)
+            assert self._created() == 1
+        finally:
+            obs.disable()
+            obs.reset()
+        assert set(rates) == set(g.channels)
+
+    def test_passed_estimator_constructs_none(self, g, p):
+        from repro import obs
+        from repro.estimate.bitrate import all_channel_bitrates
+
+        est = ExecTimeEstimator(g, p)
+        obs.reset()
+        obs.enable()
+        try:
+            all_channel_bitrates(g, p, est)
+            bus_bitrate(g, p, "sysbus", est)
+            all_bus_loads(g, p, est)
+            assert self._created() == 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_all_channel_bitrates_matches_per_channel(self, g, p):
+        from repro.estimate.bitrate import all_channel_bitrates
+
+        est = ExecTimeEstimator(g, p)
+        rates = all_channel_bitrates(g, p, est)
+        for name in g.channels:
+            assert rates[name] == pytest.approx(
+                channel_bitrate(g, p, name, est)
+            )

@@ -76,3 +76,13 @@ def test_unknown_component_raises(g):
     p = build_demo_partition(g)
     with pytest.raises(EstimationError):
         component_io(g, p, "ghost")
+
+
+def test_all_component_ios_matches_per_component_sweep(g):
+    # the one-pass implementation must agree with Eq. 6 computed
+    # component by component, for both split and all-software partitions
+    for sub_on in ("CPU", "HW"):
+        p = build_demo_partition(g, sub_on=sub_on)
+        ios = all_component_ios(g, p)
+        for name in list(g.processors) + list(g.memories):
+            assert ios[name] == component_io(g, p, name), (sub_on, name)

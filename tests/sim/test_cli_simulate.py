@@ -1,0 +1,57 @@
+"""Integration tests for the ``slif simulate`` subcommand."""
+
+from repro.cli import main
+
+
+def test_simulate_runs(capsys):
+    assert main(["simulate", "vol"]) == 0
+    out = capsys.readouterr().out
+    assert "simulation of 'vol'" in out
+    assert "VolMain" in out
+
+
+def test_stdout_deterministic_for_fixed_seed(capsys):
+    assert main(["simulate", "ether", "--seed", "5"]) == 0
+    first = capsys.readouterr().out
+    assert main(["simulate", "ether", "--seed", "5"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_validate_flag(capsys):
+    assert main(["simulate", "vol", "--validate", "--iterations", "5"]) == 0
+    captured = capsys.readouterr()
+    assert "validation of 'vol'" in captured.out
+    assert "execution time (Eq. 1)" in captured.out
+    assert "bus bitrate (Eq. 3)" in captured.out
+    assert "-- validated" in captured.err
+
+
+def test_stats_surfaces_sim_counters(capsys):
+    assert main(["simulate", "vol", "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "sim.events" in err
+    assert "sim.accesses" in err
+    assert "queue_depth" in err
+
+
+def test_trace_out_writes_jsonl(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    assert main(["simulate", "vol", "--trace-out", str(trace)]) == 0
+    assert trace.exists()
+    assert '"sim.run"' in trace.read_text()
+
+
+def test_sequential_flag(capsys):
+    assert main(["simulate", "vol", "--sequential"]) == 0
+    assert "sequential" in capsys.readouterr().out
+
+
+def test_time_limit_truncates(capsys):
+    assert main(["simulate", "vol", "--time-limit", "1.0"]) == 0
+    assert "[TRUNCATED]" in capsys.readouterr().out
+
+
+def test_unknown_spec_fails_cleanly(capsys):
+    assert main(["simulate", "no_such_spec"]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Unit tests for the discrete-event core (clock + queue determinism)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Clock, EventQueue
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().now == 0.0
+
+    def test_advance(self):
+        c = Clock()
+        c.advance(3.5)
+        assert c.now == 3.5
+
+    def test_advance_to_same_time_is_fine(self):
+        c = Clock()
+        c.advance(2.0)
+        c.advance(2.0)
+        assert c.now == 2.0
+
+    def test_cannot_run_backwards(self):
+        c = Clock()
+        c.advance(5.0)
+        with pytest.raises(SimulationError, match="backwards"):
+            c.advance(4.9)
+
+
+class TestEventQueue:
+    def test_orders_by_time(self):
+        q = EventQueue()
+        q.schedule(3.0, "c")
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        assert [q.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_break_by_schedule_order(self):
+        # determinism contract: simultaneous events fire FIFO, regardless
+        # of payload type (payloads are never compared)
+        q = EventQueue()
+        payloads = [object() for _ in range(8)]
+        for p in payloads:
+            q.schedule(1.0, p)
+        assert [q.pop()[1] for _ in range(8)] == payloads
+
+    def test_pop_returns_time(self):
+        q = EventQueue()
+        q.schedule(2.5, "x")
+        assert q.pop() == (2.5, "x")
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().schedule(-0.1, "x")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty"):
+            EventQueue().pop()
+
+    def test_scheduled_counts_all_events_ever(self):
+        q = EventQueue()
+        q.schedule(1.0, "a")
+        q.schedule(2.0, "b")
+        q.pop()
+        q.schedule(3.0, "c")
+        assert q.scheduled == 3
+        assert len(q) == 2
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.schedule(1.0, "a")
+        assert q and len(q) == 1

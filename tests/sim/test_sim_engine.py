@@ -1,0 +1,256 @@
+"""Engine tests: exactness vs. Eq. 1, contention, fork-join, guards."""
+
+import pytest
+
+from repro.core import SlifBuilder
+from repro.core.partition import single_bus_partition
+from repro.errors import RecursionCycleError, SimulationError
+from repro.estimate.exectime import ExecTimeEstimator
+from repro.sim import SimConfig, Simulator, simulate
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+class TestExactness:
+    """With integral frequencies, no tags and a single process, the
+    simulation must reproduce Eq. 1 *exactly* — same transfer-time
+    arithmetic, no contention, no randomness in play."""
+
+    def test_single_process_matches_estimator(self, g, p):
+        expected = ExecTimeEstimator(g, p).exectime("Main")
+        result = simulate(g, p, seed=0, iterations=1)
+        assert result.end_time == pytest.approx(expected)
+        assert result.process_times["Main"] == pytest.approx(expected)
+
+    def test_iterations_scale_linearly(self, g, p):
+        expected = ExecTimeEstimator(g, p).exectime("Main")
+        result = simulate(g, p, seed=0, iterations=4)
+        assert result.end_time == pytest.approx(4 * expected)
+        assert result.per_iteration_time == pytest.approx(expected)
+
+    def test_seed_is_irrelevant_without_fractional_freqs(self, g, p):
+        ends = {simulate(g, p, seed=s).end_time for s in range(4)}
+        assert len(ends) == 1
+
+    def test_validation_metrics_match(self, g, p):
+        est = ExecTimeEstimator(g, p)
+        result = simulate(g, p, seed=0, iterations=1)
+        from repro.estimate.bitrate import bus_bitrate
+
+        assert result.bus_bitrates()["sysbus"] == pytest.approx(
+            bus_bitrate(g, p, "sysbus", est)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self, g, p):
+        a = simulate(g, p, seed=7, iterations=3)
+        b = simulate(g, p, seed=7, iterations=3)
+        assert a.end_time == b.end_time
+        assert a.events == b.events
+        assert a.render() == b.render()
+
+    def test_fractional_freq_varies_with_seed(self):
+        g = (
+            SlifBuilder("frac")
+            .process("P", ict={"proc": 1.0})
+            .procedure("Q", ict={"proc": 10.0}, parameter_bits=0)
+            .call("P", "Q", freq=2.5)
+            .processor("CPU", "proc")
+            .bus("b", bitwidth=8)
+            .build()
+        )
+        p = single_bus_partition(g, {"P": "CPU", "Q": "CPU"})
+        ends = {simulate(g, p, seed=s).end_time for s in range(10)}
+        # Q runs 2 or 3 times depending on the Bernoulli draw
+        assert ends == {21.0, 31.0}
+
+    def test_fractional_freq_expectation_matches_estimator(self):
+        g = (
+            SlifBuilder("frac")
+            .process("P", ict={"proc": 1.0})
+            .procedure("Q", ict={"proc": 10.0}, parameter_bits=0)
+            .call("P", "Q", freq=2.5)
+            .processor("CPU", "proc")
+            .bus("b", bitwidth=8)
+            .build()
+        )
+        p = single_bus_partition(g, {"P": "CPU", "Q": "CPU"})
+        expected = ExecTimeEstimator(g, p).exectime("P")  # 26.0
+        runs = [simulate(g, p, seed=s, iterations=50) for s in range(5)]
+        mean = sum(r.per_iteration_time for r in runs) / len(runs)
+        assert mean == pytest.approx(expected, rel=0.05)
+
+
+def _contended_system():
+    """Two processes hammering one bus from different components."""
+    builder = (
+        SlifBuilder("contended")
+        .process("P1", ict={"proc": 1.0, "asic": 1.0})
+        .process("P2", ict={"proc": 1.0, "asic": 1.0})
+        .variable("v1", bits=64, ict={"proc": 0.0, "asic": 0.0, "mem": 0.0},
+                  size={"proc": 8, "asic": 8, "mem": 8})
+        .variable("v2", bits=64, ict={"proc": 0.0, "asic": 0.0, "mem": 0.0},
+                  size={"proc": 8, "asic": 8, "mem": 8})
+        .write("P1", "v1", freq=10, bits=64)
+        .write("P2", "v2", freq=10, bits=64)
+        .processor("CPU", "proc")
+        .asic("HW", "asic")
+        .memory("RAM", "mem")
+        .bus("shared", bitwidth=16, ts=0.1, td=1.0)
+    )
+    g = builder.build()
+    p = single_bus_partition(
+        g, {"P1": "CPU", "P2": "HW", "v1": "RAM", "v2": "RAM"}
+    )
+    return g, p
+
+
+class TestContention:
+    def test_saturated_bus_stretches_makespan(self):
+        g, p = _contended_system()
+        est = ExecTimeEstimator(g, p)
+        # each process alone: 1.0 ict + 10 accesses * 4 transfers * 1.0
+        analytic = est.system_time()
+        result = simulate(g, p, seed=0)
+        # both processes demand the bus at once; the second's transfers
+        # queue behind the first's, so the makespan exceeds the
+        # contention-blind estimate
+        assert result.per_iteration_time > analytic * 1.5
+        assert result.trace.buses["shared"].wait_time > 0.0
+        assert result.trace.buses["shared"].max_queue_depth >= 1
+
+    def test_busy_time_equals_total_transfer_time(self):
+        g, p = _contended_system()
+        result = simulate(g, p, seed=0)
+        # 2 processes * 10 accesses * 4 transfers * 1.0 td
+        assert result.trace.buses["shared"].busy_time == pytest.approx(80.0)
+        assert result.trace.buses["shared"].transactions == 80
+
+    def test_utilization_saturates(self):
+        g, p = _contended_system()
+        result = simulate(g, p, seed=0)
+        util = result.bus_utilization()["shared"]
+        # nearly back-to-back transfers: utilization close to 1
+        assert util > 0.9
+
+
+def _forked_system():
+    """One process with a concurrency-tag group of two zero-bit calls."""
+    g = (
+        SlifBuilder("forked")
+        .process("P", ict={"proc": 5.0})
+        .procedure("A", ict={"proc": 10.0}, parameter_bits=0)
+        .procedure("B", ict={"proc": 20.0}, parameter_bits=0)
+        .call("P", "A", freq=1, tag="t0")
+        .call("P", "B", freq=1, tag="t0")
+        .processor("CPU", "proc")
+        .bus("b", bitwidth=8)
+        .build()
+    )
+    p = single_bus_partition(g, {"P": "CPU", "A": "CPU", "B": "CPU"})
+    return g, p
+
+
+class TestForkJoin:
+    def test_tagged_group_runs_concurrently(self):
+        g, p = _forked_system()
+        concurrent_est = ExecTimeEstimator(g, p, concurrent=True)
+        result = simulate(g, p, seed=0, concurrent=True)
+        # zero-bit calls never touch the bus, so fork-join time is
+        # exactly the estimator's max-of-group: 5 + max(10, 20)
+        assert result.end_time == pytest.approx(concurrent_est.exectime("P"))
+        assert result.end_time == pytest.approx(25.0)
+
+    def test_sequential_mode_ignores_tags(self):
+        g, p = _forked_system()
+        sequential_est = ExecTimeEstimator(g, p, concurrent=False)
+        result = simulate(g, p, seed=0, concurrent=False)
+        assert result.end_time == pytest.approx(sequential_est.exectime("P"))
+        assert result.end_time == pytest.approx(35.0)
+
+    def test_fork_children_counted_once(self):
+        g, p = _forked_system()
+        result = simulate(g, p, seed=0, concurrent=True)
+        assert result.trace.behaviors["A"].executions == 1
+        assert result.trace.behaviors["B"].executions == 1
+
+
+class TestGuards:
+    def test_event_budget_raises(self, g, p):
+        config = SimConfig(seed=0, iterations=100, max_events=10)
+        with pytest.raises(SimulationError, match="event budget"):
+            Simulator(g, p, config).run()
+
+    def test_time_limit_truncates(self, g, p):
+        full = simulate(g, p, seed=0)
+        config = SimConfig(seed=0, time_limit=full.end_time / 2)
+        result = Simulator(g, p, config).run()
+        assert result.truncated
+        assert result.end_time == pytest.approx(full.end_time / 2)
+        assert "Main" not in result.process_times
+
+    def test_no_processes_raises(self):
+        g = (
+            SlifBuilder("empty")
+            .procedure("Q", ict={"proc": 1.0})
+            .processor("CPU", "proc")
+            .bus("b")
+            .build()
+        )
+        p = single_bus_partition(g, {"Q": "CPU"})
+        with pytest.raises(SimulationError, match="no process"):
+            Simulator(g, p)
+
+    def test_recursion_rejected(self):
+        g = (
+            SlifBuilder("rec")
+            .process("P", ict={"proc": 1.0})
+            .procedure("A", ict={"proc": 1.0}, parameter_bits=0)
+            .procedure("B", ict={"proc": 1.0}, parameter_bits=0)
+            .call("P", "A", freq=1)
+            .call("A", "B", freq=1)
+            .call("B", "A", freq=1)
+            .processor("CPU", "proc")
+            .bus("b")
+            .build()
+        )
+        p = single_bus_partition(
+            g, {"P": "CPU", "A": "CPU", "B": "CPU"}
+        )
+        with pytest.raises(RecursionCycleError):
+            Simulator(g, p)
+
+    def test_incomplete_partition_rejected(self, g):
+        from repro.core.partition import Partition
+        from repro.errors import PartitionError
+
+        incomplete = Partition(g, "incomplete")
+        with pytest.raises(PartitionError):
+            Simulator(g, incomplete)
+
+
+class TestTransactions:
+    def test_keep_transactions_records_each_grant(self, g, p):
+        config = SimConfig(seed=0, keep_transactions=True)
+        result = Simulator(g, p, config).run()
+        assert len(result.trace.transactions) == result.trace.total_accesses()
+        record = result.trace.transactions[0]
+        assert record.started >= record.requested
+        assert record.duration >= 0.0
+
+    def test_transaction_cap_drops_overflow(self, g, p):
+        config = SimConfig(seed=0, keep_transactions=True, max_transactions=5)
+        result = Simulator(g, p, config).run()
+        assert len(result.trace.transactions) == 5
+        assert result.trace.dropped_transactions > 0

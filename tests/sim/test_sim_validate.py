@@ -1,0 +1,132 @@
+"""Tests for the estimator-validation harness."""
+
+import pytest
+
+from repro.core import SlifBuilder
+from repro.core.partition import single_bus_partition
+from repro.sim.validate import (
+    ValidationReport,
+    execution_counts,
+    relative_error,
+    validate,
+)
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+@pytest.fixture
+def g():
+    return build_demo_graph()
+
+
+@pytest.fixture
+def p(g):
+    return build_demo_partition(g)
+
+
+class TestRelativeError:
+    def test_plain_ratio(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_sim_is_ground_truth(self):
+        # error is relative to the simulated value, not the estimate
+        assert relative_error(1.0, 2.0) == pytest.approx(0.5)
+        assert relative_error(2.0, 1.0) == pytest.approx(1.0)
+
+    def test_both_zero_is_zero(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+    def test_estimate_without_ground_truth_is_infinite(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+
+
+class TestExecutionCounts:
+    def test_demo_counts(self, g):
+        counts = execution_counts(g)
+        assert counts["Main"] == pytest.approx(1.0)  # process: once/iteration
+        assert counts["Sub"] == pytest.approx(2.0)   # called at freq 2
+
+    def test_nested_calls_multiply(self):
+        g = (
+            SlifBuilder("nested")
+            .process("P", ict={"proc": 1.0})
+            .procedure("A", ict={"proc": 1.0}, parameter_bits=0)
+            .procedure("B", ict={"proc": 1.0}, parameter_bits=0)
+            .call("P", "A", freq=3)
+            .call("A", "B", freq=4)
+            .processor("CPU", "proc")
+            .bus("b")
+            .build()
+        )
+        counts = execution_counts(g)
+        assert counts["A"] == pytest.approx(3.0)
+        assert counts["B"] == pytest.approx(12.0)
+
+
+class TestValidateDemo:
+    """The demo graph is the exactness substrate: integral frequencies,
+    no tags, one process — every metric must agree to float precision."""
+
+    def test_all_metrics_agree(self, g, p):
+        report = validate(g, p, seed=0, iterations=3)
+        assert report.max_rel_error() < 1e-9
+        assert report.mean_rel_error() < 1e-9
+
+    def test_covers_every_metric_family(self, g, p):
+        report = validate(g, p, seed=0, iterations=1)
+        metrics = {row.metric for row in report.rows}
+        assert metrics == {
+            "exectime", "bus_bitrate", "bus_utilization", "channel_bitrate"
+        }
+
+    def test_system_row_present(self, g, p):
+        report = validate(g, p, seed=0, iterations=1)
+        names = [r.name for r in report.rows_for("exectime")]
+        assert "<system>" in names and "Main" in names
+
+    def test_timings_collected(self, g, p):
+        report = validate(g, p, seed=0, iterations=1)
+        assert report.est_seconds > 0.0
+        assert report.sim_seconds > 0.0
+        assert report.speedup == pytest.approx(
+            report.sim_seconds / report.est_seconds
+        )
+
+    def test_worst_row(self, g, p):
+        report = validate(g, p, seed=0, iterations=1)
+        worst = report.worst()
+        assert worst is not None
+        assert worst.rel_error == report.max_rel_error()
+
+    def test_render_is_deterministic(self, g, p):
+        a = validate(g, p, seed=1, iterations=2).render()
+        b = validate(g, p, seed=1, iterations=2).render()
+        assert a == b
+        assert "execution time (Eq. 1)" in a
+        assert "bus bitrate (Eq. 3)" in a
+
+
+class TestNotExercised:
+    def test_zero_freq_channel_listed(self, g, p):
+        g.channels["Main->flag"].accfreq = 0.0
+        report = validate(g, p, seed=0, iterations=1)
+        assert "Main->flag" in report.not_exercised
+        scored = [r.name for r in report.rows_for("channel_bitrate")]
+        assert "Main->flag" not in scored
+
+    def test_exclude_channels_entirely(self, g, p):
+        report = validate(g, p, seed=0, iterations=1, include_channels=False)
+        assert not report.rows_for("channel_bitrate")
+        assert not report.not_exercised
+
+
+class TestReportAggregates:
+    def test_empty_report_degenerates_gracefully(self):
+        report = ValidationReport(name="empty", seed=0, iterations=1)
+        assert report.max_rel_error() == 0.0
+        assert report.mean_rel_error() == 0.0
+        assert report.worst() is None
+
+    def test_metric_filter(self, g, p):
+        report = validate(g, p, seed=0, iterations=1)
+        assert report.max_rel_error("exectime") <= report.max_rel_error()

@@ -1,0 +1,85 @@
+"""Acceptance-level tests: the harness on the four bundled benchmarks."""
+
+import pytest
+
+from repro.sim import simulate, validate
+from repro.specs import HW_CANDIDATES, SPEC_NAMES, spec_hw_candidates
+from repro.system import build_system
+
+SPECS = ("ans", "ether", "fuzzy", "vol")
+
+
+@pytest.fixture(scope="module")
+def systems():
+    return {name: build_system(name) for name in SPECS}
+
+
+@pytest.mark.parametrize("name", SPECS)
+def test_validation_runs_end_to_end(systems, name):
+    system = systems[name]
+    report = validate(system.slif, system.partition, seed=0, iterations=5)
+    # the acceptance metrics: exectime and bus bitrate are both scored
+    exectime_rows = report.rows_for("exectime")
+    bus_rows = report.rows_for("bus_bitrate")
+    assert exectime_rows and bus_rows
+    assert report.max_rel_error("exectime") != float("inf")
+    assert report.max_rel_error("bus_bitrate") != float("inf")
+    # the estimators track the simulated ground truth to well within an
+    # order of magnitude on the default all-software partition
+    assert report.max_rel_error("exectime") < 2.0
+    assert report.max_rel_error("bus_bitrate") < 5.0
+
+
+@pytest.mark.parametrize("name", SPECS)
+def test_simulation_deterministic_per_seed(systems, name):
+    system = systems[name]
+    a = simulate(system.slif, system.partition, seed=9, iterations=2)
+    b = simulate(system.slif, system.partition, seed=9, iterations=2)
+    assert a.end_time == b.end_time
+    assert a.events == b.events
+    assert a.render() == b.render()
+
+
+def test_seed_changes_fractional_rounding(systems):
+    # ether carries 31 fractional-frequency channels, so different seeds
+    # must produce different dynamic behavior
+    system = systems["ether"]
+    ends = {
+        simulate(system.slif, system.partition, seed=s).end_time
+        for s in range(5)
+    }
+    assert len(ends) >= 2
+
+
+@pytest.mark.parametrize("name", SPECS)
+def test_every_process_finishes(systems, name):
+    system = systems[name]
+    result = simulate(system.slif, system.partition, seed=0)
+    processes = {b.name for b in system.slif.processes()}
+    assert set(result.process_times) == processes
+    assert not result.truncated
+
+
+@pytest.mark.parametrize("name", SPECS)
+def test_hw_candidates_are_real_procedures(systems, name):
+    system = systems[name]
+    for candidate in spec_hw_candidates(name):
+        behavior = system.slif.behaviors[candidate]
+        assert not behavior.is_process
+
+
+def test_hw_candidates_cover_every_spec():
+    assert set(HW_CANDIDATES) == set(SPEC_NAMES)
+
+
+def test_hw_partition_simulates():
+    # moving the fuzzy hot spots to hardware routes their traffic over
+    # the bus; the simulation must still run and show more bus activity
+    system = build_system("fuzzy")
+    baseline = simulate(system.slif, system.partition, seed=0)
+    for candidate in spec_hw_candidates("fuzzy"):
+        system.partition.move(candidate, "HW")
+    contended = simulate(system.slif, system.partition, seed=0)
+    base_bus = sum(t.busy_time for t in baseline.trace.buses.values())
+    cont_bus = sum(t.busy_time for t in contended.trace.buses.values())
+    assert cont_bus > base_bus
