@@ -25,11 +25,20 @@ Subcommands mirror the system-design workflow:
     ``--validate``, also run the estimators and report the per-metric
     relative error against the simulated ground truth.
 
+``breakdown``, ``transform`` and the flag-by-flag reference for every
+subcommand live in ``docs/cli.md``.
+
+Parallelism: ``partition`` and ``explore`` accept ``--jobs N`` to fan
+candidate evaluation across worker processes (0 = all cores) via
+``repro.explore``; output is byte-identical to ``--jobs 1`` for the
+same seed.
+
 Observability: instrumentation (``repro.obs``) is enabled for the
 duration of every command, so all subcommands report phase timing from
 the same span data.  ``--stats`` (on ``build``/``estimate``/
-``partition``/``explore``) prints the full instrumentation summary to
-stderr; ``--trace-out FILE`` writes the span/metric JSONL export.
+``partition``/``explore``/``simulate``) prints the full instrumentation
+summary to stderr; ``--trace-out FILE`` writes the span/metric JSONL
+export.
 """
 
 from __future__ import annotations
@@ -134,7 +143,9 @@ def cmd_partition(args: argparse.Namespace) -> int:
     with obs.span(
         "cli.partition", spec=args.spec, algorithm=args.algorithm, seed=args.seed
     ) as sp:
-        result = system.repartition(args.algorithm, seed=args.seed)
+        result = system.repartition(
+            args.algorithm, seed=args.seed, jobs=args.jobs
+        )
     print(result)
     print(system.report().render())
     print(
@@ -153,10 +164,12 @@ def cmd_explore(args: argparse.Namespace) -> int:
             constraint_steps=args.steps,
             random_starts=args.random_starts,
             seed=args.seed,
+            jobs=args.jobs,
         )
     print(front.render())
     print(
-        f"-- explore seed={args.seed}: {front.evaluated} designs evaluated, "
+        f"-- explore seed={args.seed} jobs={args.jobs}: "
+        f"{front.evaluated} designs evaluated, "
         f"{len(front.points)} on the front in {sp.duration:.3f}s",
         file=sys.stderr,
     )
@@ -275,6 +288,18 @@ def cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
+    """Worker-count flag shared by the exploration-capable subcommands."""
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for candidate evaluation (0 = all cores); "
+        "results are identical for any value given the same seed",
+    )
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     """Observability flags shared by build/estimate/partition/explore."""
     p.add_argument(
@@ -329,9 +354,17 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--algorithm",
         default="greedy",
-        choices=["greedy", "group_migration", "annealing", "clustering", "random"],
+        choices=[
+            "greedy",
+            "greedy_multistart",
+            "group_migration",
+            "annealing",
+            "clustering",
+            "random",
+        ],
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_partition)
 
@@ -346,6 +379,7 @@ def make_parser() -> argparse.ArgumentParser:
         "--random-starts", type=int, default=5, help="random starts per step"
     )
     p.add_argument("--seed", type=int, default=0)
+    _add_jobs_arg(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_explore)
 

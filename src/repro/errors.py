@@ -33,6 +33,19 @@ class PartitionError(SlifError):
     """
 
 
+class WorkerError(PartitionError):
+    """An exploration candidate failed inside a worker process.
+
+    Raised by :mod:`repro.explore` in place of the original exception so
+    the failure survives the trip back through ``multiprocessing``'s
+    pickling: the message embeds the original error type and text plus
+    the candidate context (label, candidate index, chunk index).  The
+    message-only constructor is what keeps the exception pickle-safe —
+    exceptions with richer ``__init__`` signatures cannot be rebuilt
+    from their ``args`` on the parent side.
+    """
+
+
 class EstimationError(SlifError):
     """A design-metric estimate could not be computed.
 

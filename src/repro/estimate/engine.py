@@ -196,7 +196,19 @@ class Estimator:
         return found
 
     def report(self) -> EstimateReport:
-        """Compute everything at once (the partitioning inner-loop call)."""
+        """Compute everything at once (the partitioning inner-loop call).
+
+        >>> from repro.system import build_system
+        >>> from repro.estimate.engine import Estimator
+        >>> system = build_system("vol")
+        >>> report = Estimator(system.slif, system.partition).report()
+        >>> round(report.system_time, 3)
+        38.402
+        >>> report.feasible
+        True
+        >>> sorted(report.process_times)
+        ['VolMain']
+        """
         with span("estimate.report", partition=self.partition.name):
             self.partition.require_complete()
             with span("estimate.size"):

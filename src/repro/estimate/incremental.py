@@ -158,6 +158,20 @@ class IncrementalEstimator:
 
         Returns an undo token.  Moving an object to its current
         component is a no-op move (still returns a valid token).
+
+        >>> from repro.system import build_system
+        >>> from repro.estimate.incremental import IncrementalEstimator
+        >>> system = build_system("vol")
+        >>> inc = IncrementalEstimator(system.slif, system.partition)
+        >>> before = inc.component_sizes()
+        >>> record = inc.apply_move("Calibrate", "HW")
+        >>> record
+        MoveRecord(obj='Calibrate', src='CPU', dst='HW')
+        >>> inc.component_size("CPU") < before["CPU"]
+        True
+        >>> inc.undo(record)
+        >>> inc.component_sizes() == before
+        True
         """
         part = self.partition
         src = part.get_bv_comp(obj)
@@ -173,7 +187,16 @@ class IncrementalEstimator:
         return record
 
     def undo(self, record: MoveRecord) -> None:
-        """Exactly reverse a move made by :meth:`apply_move`."""
+        """Exactly reverse a move made by :meth:`apply_move`.
+
+        >>> from repro.system import build_system
+        >>> from repro.estimate.incremental import IncrementalEstimator
+        >>> system = build_system("vol")
+        >>> inc = IncrementalEstimator(system.slif, system.partition)
+        >>> inc.undo(inc.apply_move("Median3", "HW"))
+        >>> system.partition.get_bv_comp("Median3")
+        'CPU'
+        """
         if record.src == record.dst:
             return
         self._shift(record.obj, record.dst, record.src)

@@ -1,0 +1,73 @@
+"""repro.explore — the parallel design-space exploration engine.
+
+The paper's argument is that O(graph) estimation makes evaluating
+*thousands* of candidate partitions feasible (Sections 3 and 5); this
+package makes that workload scale across cores.  A
+:class:`~repro.explore.plan.WorkPlan` shards candidate evaluations into
+deterministic chunks, :func:`~repro.explore.engine.run_plan` fans the
+chunks across a ``multiprocessing`` pool (each worker holding its own
+graph copy and memoized estimators) or runs them through one in-process
+runner (``jobs=1``, the batched sequential fallback), and the merge
+step unions chunk-local Pareto fronts / multi-start outcomes in
+candidate order — so the same seed produces byte-identical results at
+any ``--jobs`` value.
+
+Users normally reach this machinery through
+:func:`repro.partition.pareto.explore_pareto`,
+:func:`repro.partition.random_part.random_restart`,
+:func:`repro.partition.greedy.greedy_multistart` and
+:func:`repro.partition.annealing.simulated_annealing` — each grew
+``jobs`` (and where applicable ``restarts``/``starts``) keyword
+arguments — or via ``slif explore --jobs N`` / ``slif partition
+--jobs N`` on the command line.
+"""
+
+from repro.explore.engine import (
+    improvement_history,
+    merge_fronts,
+    merge_restarts,
+    resolve_jobs,
+    run_multistart,
+    run_plan,
+)
+from repro.explore.plan import (
+    CHEAP_CHUNK,
+    HEAVY_CHUNK,
+    CandidateSpec,
+    Chunk,
+    WorkPlan,
+    pareto_plan,
+    restart_plan,
+)
+from repro.explore.worker import (
+    ChunkResult,
+    ChunkRunner,
+    PlanPayload,
+    RestartOutcome,
+    init_worker,
+    prune_local_front,
+    run_worker_chunk,
+)
+
+__all__ = [
+    "CHEAP_CHUNK",
+    "HEAVY_CHUNK",
+    "CandidateSpec",
+    "Chunk",
+    "ChunkResult",
+    "ChunkRunner",
+    "PlanPayload",
+    "RestartOutcome",
+    "WorkPlan",
+    "improvement_history",
+    "init_worker",
+    "merge_fronts",
+    "merge_restarts",
+    "pareto_plan",
+    "prune_local_front",
+    "resolve_jobs",
+    "restart_plan",
+    "run_multistart",
+    "run_plan",
+    "run_worker_chunk",
+]

@@ -1,0 +1,240 @@
+"""The exploration coordinator: fan chunks out, merge results back.
+
+:func:`run_plan` executes a :class:`~repro.explore.plan.WorkPlan` either
+in-process (``jobs=1``, the batched sequential fallback — one
+:class:`~repro.explore.worker.ChunkRunner` shared by every chunk) or
+across a ``multiprocessing`` pool where each worker process holds its
+own runner, graph copy and memoized estimators.  Results come back as
+:class:`~repro.explore.worker.ChunkResult`\\ s and are merged in
+candidate-index order, which replays the sequential insertion order
+exactly — the reason ``--jobs N`` output is byte-identical to
+``--jobs 1`` for the same seed.
+
+Observability: the coordinator records per-worker chunk telemetry into
+the existing :mod:`repro.obs` registry — ``explore.chunks`` /
+``explore.candidates`` counters, an ``explore.chunk_seconds`` histogram
+of per-chunk wall time, ``explore.merge.discards`` for candidates that
+fell off the merged front, and an ``explore.jobs`` gauge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PartitionError
+from repro.obs import OBS, add_event
+from repro.explore.plan import CandidateSpec, WorkPlan
+from repro.explore.worker import (
+    ChunkResult,
+    PlanPayload,
+    RestartOutcome,
+    init_worker,
+    run_worker_chunk,
+)
+
+
+def resolve_jobs(jobs: Optional[int], chunks: int) -> int:
+    """Normalize a ``--jobs`` value: 0/None means all cores; cap by chunks.
+
+    >>> resolve_jobs(4, 2)
+    2
+    >>> resolve_jobs(1, 100)
+    1
+    """
+    if jobs is None or jobs == 0:
+        jobs = os.cpu_count() or 1
+    if jobs < 0:
+        raise PartitionError(f"jobs must be >= 0, got {jobs}")
+    return max(1, min(jobs, chunks))
+
+
+def run_plan(
+    payload: PlanPayload, plan: WorkPlan, jobs: int = 1
+) -> List[ChunkResult]:
+    """Evaluate every chunk of ``plan`` and return results in chunk order.
+
+    ``jobs=1`` shares one in-process :class:`ChunkRunner` across all
+    chunks; ``jobs>1`` spawns a worker pool whose processes each build a
+    private runner from the payload.  Either way the same chunks are
+    evaluated with the same per-candidate code, so the merged result is
+    independent of ``jobs``.
+    """
+    chunks = plan.chunks()
+    workers = resolve_jobs(jobs, len(chunks))
+    if OBS.enabled:
+        OBS.set_gauge("explore.jobs", workers)
+    if workers <= 1:
+        from repro.explore.worker import ChunkRunner
+
+        runner = ChunkRunner(payload)
+        results = [runner.run_chunk(chunk) for chunk in chunks]
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=workers, initializer=init_worker, initargs=(payload,)
+        ) as pool:
+            results = pool.map(run_worker_chunk, chunks, chunksize=1)
+    results.sort(key=lambda r: r.chunk_index)
+    if OBS.enabled:
+        for result in results:
+            OBS.inc("explore.chunks")
+            OBS.inc("explore.candidates", result.candidates)
+            OBS.observe("explore.chunk_seconds", result.seconds)
+        add_event(
+            "explore.chunks_done",
+            chunks=len(results),
+            jobs=workers,
+            candidates=sum(r.candidates for r in results),
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# merging
+
+
+def merge_fronts(results: List[ChunkResult], evaluated: int):
+    """Union chunk-local fronts into the global non-dominated set.
+
+    Points are inserted in ascending candidate-index order — the exact
+    order a sequential sweep would have used — so ties and pruning
+    resolve identically no matter how the plan was sharded.  Returns the
+    merged :class:`~repro.partition.pareto.ParetoFront` with
+    ``evaluated`` set to the full candidate count (local pruning already
+    discarded dominated points, but they were still evaluated).
+    """
+    from repro.partition.pareto import ParetoFront
+
+    pairs: List[Tuple[int, object]] = []
+    for result in results:
+        pairs.extend(result.front_points)
+    pairs.sort(key=lambda pair: pair[0])
+    front = ParetoFront()
+    for _, point in pairs:
+        front.add(point)
+    discards = len(pairs) - len(front.points)
+    if OBS.enabled:
+        OBS.inc("explore.merge.discards", discards)
+        OBS.inc(
+            "explore.local.discards",
+            sum(r.local_discards for r in results),
+        )
+    front.evaluated = evaluated
+    return front
+
+
+def merge_restarts(results: List[ChunkResult]) -> Tuple[
+    RestartOutcome, Dict[str, str], List[float], List[RestartOutcome]
+]:
+    """Pick the best multi-start outcome across chunks.
+
+    Ties break toward the lowest candidate index, matching the strict
+    ``<`` comparison of the sequential loops (first seen wins).  Returns
+    ``(best outcome, its mapping, its history, all outcomes by index)``.
+    """
+    outcomes: List[RestartOutcome] = []
+    best: Optional[RestartOutcome] = None
+    best_mapping: Optional[Dict[str, str]] = None
+    best_history: Optional[List[float]] = None
+    for result in results:
+        outcomes.extend(result.outcomes)
+        if result.best_index is None:
+            continue
+        chunk_best = next(
+            o for o in result.outcomes if o.index == result.best_index
+        )
+        if best is None or (chunk_best.cost, chunk_best.index) < (
+            best.cost,
+            best.index,
+        ):
+            best = chunk_best
+            best_mapping = result.best_mapping
+            best_history = result.best_history
+    if best is None:
+        raise ValueError("cannot merge an empty set of restart results")
+    outcomes.sort(key=lambda o: o.index)
+    if OBS.enabled:
+        OBS.inc("explore.merge.discards", len(outcomes) - 1)
+    return best, best_mapping or {}, best_history or [], outcomes
+
+
+def improvement_history(outcomes: List[RestartOutcome]) -> List[float]:
+    """The best-so-far cost trace over candidates in index order.
+
+    Reconstructs exactly the ``history`` the sequential multi-start
+    loops accumulate: the first candidate's cost, then every strictly
+    better cost as it is encountered.
+    """
+    history: List[float] = []
+    best = float("inf")
+    for outcome in outcomes:
+        if not history:
+            best = outcome.cost
+            history.append(best)
+        elif outcome.cost < best:
+            best = outcome.cost
+            history.append(best)
+    return history
+
+
+# ----------------------------------------------------------------------
+# the shared multi-start driver
+
+
+def run_multistart(
+    slif,
+    partition,
+    specs: List[CandidateSpec],
+    *,
+    algorithm: str,
+    result_name: str,
+    weights=None,
+    time_constraint: Optional[float] = None,
+    jobs: int = 1,
+    chunk_size: int = 4,
+    history_mode: str = "improvements",
+):
+    """Run a multi-start candidate list and fold it into one result.
+
+    The engine behind ``random_restart(jobs=...)``,
+    ``greedy_multistart`` and restart-based annealing: serialize the
+    graph and base partition once, evaluate all candidate specs (in
+    parallel when ``jobs > 1``), and return a
+    :class:`~repro.partition.result.PartitionResult` whose partition is
+    rebuilt against the *caller's* graph.  ``history_mode`` selects the
+    ``history`` semantics: ``"improvements"`` replays the sequential
+    best-so-far trace over candidate costs; ``"best_chain"`` keeps the
+    winning candidate's own internal history (annealing chains).
+    """
+    from repro.core.serialize import partition_to_dict, slif_to_dict
+    from repro.explore.plan import restart_plan
+    from repro.partition.result import PartitionResult
+
+    payload = PlanPayload(
+        task="restart",
+        slif_data=slif_to_dict(slif),
+        partition_data=partition_to_dict(partition),
+        weights=weights,
+        time_constraint=time_constraint,
+    )
+    plan = restart_plan(specs, chunk_size=chunk_size)
+    results = run_plan(payload, plan, jobs=jobs)
+    best, mapping, best_history, outcomes = merge_restarts(results)
+
+    merged = partition.copy(name=result_name)
+    for obj, comp in mapping.items():
+        merged.assign(obj, comp)
+    if history_mode == "best_chain":
+        history = list(best_history)
+    else:
+        history = improvement_history(outcomes)
+    return PartitionResult(
+        partition=merged,
+        cost=best.cost,
+        algorithm=algorithm,
+        iterations=sum(o.iterations for o in outcomes),
+        evaluations=sum(o.evaluations for o in outcomes),
+        history=history,
+    )

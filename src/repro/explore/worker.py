@@ -1,0 +1,267 @@
+"""Chunk evaluation: the per-process side of parallel exploration.
+
+A :class:`ChunkRunner` is what one worker process holds: its own copy of
+the annotated graph (rebuilt from the plain-dict serialization, so
+nothing is shared across process boundaries), its own base partition,
+and its own estimator instances — the memoized
+:class:`~repro.estimate.exectime.ExecTimeEstimator` and
+:class:`~repro.estimate.incremental.IncrementalEstimator` each descent
+constructs live and die inside the worker.  The same class *is* the
+batched sequential fallback: ``--jobs 1`` runs every chunk through one
+in-process runner, so the single-core path shares one graph rebuild and
+the same lean design-point evaluation instead of a full per-candidate
+``Estimator.report()``.
+
+Every candidate is evaluated as a pure function of ``(graph, spec)``;
+see :mod:`repro.explore.plan` for why that makes results independent of
+the worker count.
+
+Errors crossing the process boundary are re-raised as
+:class:`~repro.errors.WorkerError` — a message-only
+:class:`~repro.errors.PartitionError` subclass that survives pickling —
+carrying the original exception type, message and the candidate context
+(label, index, chunk).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SlifError, WorkerError
+from repro.explore.plan import CandidateSpec, Chunk
+
+
+@dataclass
+class PlanPayload:
+    """Everything a worker needs, in picklable plain-data form.
+
+    ``task`` selects the evaluation mode: ``"pareto"`` produces
+    time/area design points, ``"restart"`` produces cost-function
+    outcomes for multi-start partitioning.
+    """
+
+    task: str
+    slif_data: Dict[str, Any]
+    partition_data: Dict[str, Any]
+    hardware: Tuple[str, ...] = ()
+    weights: Optional[Any] = None            # CostWeights, picklable
+    time_constraint: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RestartOutcome:
+    """One multi-start candidate's result, without the heavy mapping."""
+
+    index: int
+    cost: float
+    iterations: int
+    evaluations: int
+    label: str
+
+
+@dataclass
+class ChunkResult:
+    """What one chunk evaluation sends back to the coordinator.
+
+    For Pareto tasks ``front_points`` holds the chunk-local
+    non-dominated set as ``(candidate index, DesignPoint)`` pairs — any
+    point on the global front is necessarily non-dominated within its
+    own chunk, so shipping only local fronts loses nothing.  For restart
+    tasks ``outcomes`` lists every candidate's cost and
+    ``best_mapping``/``best_history`` belong to the chunk's best
+    candidate (ties break toward the lowest index, exactly like the
+    sequential loops).
+    """
+
+    chunk_index: int
+    candidates: int
+    seconds: float
+    front_points: List[Tuple[int, Any]] = field(default_factory=list)
+    local_discards: int = 0
+    outcomes: List[RestartOutcome] = field(default_factory=list)
+    best_index: Optional[int] = None
+    best_mapping: Optional[Dict[str, str]] = None
+    best_history: Optional[List[float]] = None
+
+
+def prune_local_front(pairs: List[Tuple[int, Any]]) -> List[Tuple[int, Any]]:
+    """Keep the non-dominated subset, preserving candidate-index order.
+
+    Replays :meth:`repro.partition.pareto.ParetoFront.add` semantics
+    (duplicates rejected, dominated points dropped) over indexed pairs.
+    """
+    kept: List[Tuple[int, Any]] = []
+    for index, point in pairs:
+        dominated = any(
+            existing.dominates(point)
+            or (
+                existing.system_time == point.system_time
+                and existing.hardware_size == point.hardware_size
+            )
+            for _, existing in kept
+        )
+        if dominated:
+            continue
+        kept = [(i, p) for i, p in kept if not point.dominates(p)]
+        kept.append((index, point))
+    kept.sort(key=lambda pair: pair[0])
+    return kept
+
+
+class ChunkRunner:
+    """Evaluates chunks of candidates against a private graph copy."""
+
+    def __init__(self, payload: PlanPayload) -> None:
+        from repro.core.serialize import partition_from_dict, slif_from_dict
+
+        self.payload = payload
+        self.slif = slif_from_dict(payload.slif_data)
+        self.base = partition_from_dict(payload.partition_data, self.slif)
+        self.candidates_evaluated = 0
+
+    # ------------------------------------------------------------------
+    # candidate plumbing
+
+    def _apply_constraints(
+        self, constraints: Tuple[Tuple[str, Optional[float]], ...]
+    ) -> List[Tuple[str, Optional[float]]]:
+        saved = []
+        for name, value in constraints:
+            component = self.slif.get_component(name)
+            saved.append((name, component.size_constraint))
+            component.size_constraint = value
+        return saved
+
+    def _restore_constraints(
+        self, saved: List[Tuple[str, Optional[float]]]
+    ) -> None:
+        for name, value in saved:
+            self.slif.get_component(name).size_constraint = value
+
+    def _start_partition(self, spec: CandidateSpec):
+        from repro.partition.random_part import random_partition
+
+        if spec.kind == "random":
+            return random_partition(self.slif, seed=spec.seed)
+        return self.base
+
+    def _run_descent(self, spec: CandidateSpec, start):
+        from repro.partition.annealing import simulated_annealing
+        from repro.partition.greedy import greedy_improve
+
+        kwargs = dict(
+            weights=self.payload.weights,
+            time_constraint=self.payload.time_constraint,
+        )
+        kwargs.update(spec.params)
+        if spec.algorithm == "greedy":
+            return greedy_improve(self.slif, start, **kwargs)
+        if spec.algorithm == "annealing":
+            return simulated_annealing(
+                self.slif, start, seed=spec.seed, **kwargs
+            )
+        raise WorkerError(f"unknown candidate algorithm {spec.algorithm!r}")
+
+    # ------------------------------------------------------------------
+    # the two evaluation modes
+
+    def _pareto_candidate(self, spec: CandidateSpec):
+        from repro.partition.pareto import evaluate_design_point
+
+        if spec.algorithm == "none":
+            partition = self.base
+        else:
+            partition = self._run_descent(spec, self._start_partition(spec)).partition
+        return evaluate_design_point(
+            self.slif, partition, list(self.payload.hardware), spec.label
+        )
+
+    def _restart_candidate(self, spec: CandidateSpec):
+        from repro.partition.cost import PartitionCost
+
+        if spec.algorithm == "none":
+            partition = self._start_partition(spec)
+            cost = PartitionCost(
+                self.slif,
+                partition,
+                self.payload.weights,
+                self.payload.time_constraint,
+            ).cost()
+            return (
+                RestartOutcome(spec.index, cost, 0, 1, spec.label),
+                partition,
+                [cost],
+            )
+        result = self._run_descent(spec, self._start_partition(spec))
+        return (
+            RestartOutcome(
+                spec.index,
+                result.cost,
+                result.iterations,
+                result.evaluations,
+                spec.label,
+            ),
+            result.partition,
+            result.history,
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_chunk(self, chunk: Chunk) -> ChunkResult:
+        """Evaluate every candidate in ``chunk`` and summarize locally."""
+        started = time.perf_counter()
+        result = ChunkResult(
+            chunk_index=chunk.index, candidates=len(chunk), seconds=0.0
+        )
+        pareto_pairs: List[Tuple[int, Any]] = []
+        best_key = None
+        for spec in chunk.candidates:
+            saved = self._apply_constraints(spec.constraints)
+            try:
+                if self.payload.task == "pareto":
+                    pareto_pairs.append((spec.index, self._pareto_candidate(spec)))
+                else:
+                    outcome, partition, history = self._restart_candidate(spec)
+                    result.outcomes.append(outcome)
+                    key = (outcome.cost, outcome.index)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        result.best_index = outcome.index
+                        result.best_mapping = partition.object_mapping()
+                        result.best_history = list(history)
+            except WorkerError:
+                raise
+            except SlifError as exc:
+                raise WorkerError(
+                    f"candidate {spec.label!r} (index {spec.index}, chunk "
+                    f"{chunk.index}) failed: {type(exc).__name__}: {exc}"
+                ) from None
+            finally:
+                self._restore_constraints(saved)
+            self.candidates_evaluated += 1
+        if self.payload.task == "pareto":
+            result.front_points = prune_local_front(pareto_pairs)
+            result.local_discards = len(pareto_pairs) - len(result.front_points)
+        result.seconds = time.perf_counter() - started
+        return result
+
+
+# ----------------------------------------------------------------------
+# multiprocessing entry points (must be importable, not closures)
+
+_RUNNER: Optional[ChunkRunner] = None
+
+
+def init_worker(payload: PlanPayload) -> None:
+    """Pool initializer: build this process's private runner once."""
+    global _RUNNER
+    _RUNNER = ChunkRunner(payload)
+
+
+def run_worker_chunk(chunk: Chunk) -> ChunkResult:
+    """Pool map target: evaluate one chunk on the process-local runner."""
+    if _RUNNER is None:  # pragma: no cover - initializer always runs first
+        raise WorkerError("worker process was not initialized with a payload")
+    return _RUNNER.run_chunk(chunk)

@@ -26,14 +26,20 @@ from repro.partition.clustering import (
     cluster_partition,
 )
 from repro.partition.cost import CostWeights, PartitionCost
-from repro.partition.greedy import greedy_improve
-from repro.partition.pareto import DesignPoint, ParetoFront, explore_pareto
+from repro.partition.greedy import greedy_improve, greedy_multistart
+from repro.partition.pareto import (
+    DesignPoint,
+    ParetoFront,
+    evaluate_design_point,
+    explore_pareto,
+)
 from repro.partition.group_migration import group_migration
 from repro.partition.random_part import random_partition, random_restart
 from repro.partition.result import PartitionResult
 
 ALGORITHMS = {
     "greedy": greedy_improve,
+    "greedy_multistart": greedy_multistart,
     "group_migration": group_migration,
     "annealing": simulated_annealing,
     "clustering": cluster_partition,
@@ -82,8 +88,10 @@ __all__ = [
     "closeness_matrix",
     "cluster_partition",
     "enumerate_allocations",
+    "evaluate_design_point",
     "explore_pareto",
     "greedy_improve",
+    "greedy_multistart",
     "group_migration",
     "instantiate_allocation",
     "random_partition",

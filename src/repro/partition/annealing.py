@@ -31,9 +31,57 @@ def simulated_annealing(
     cooling: float = 0.95,
     moves_per_temperature: int = 60,
     min_temperature: float = 1e-3,
+    restarts: int = 1,
+    jobs: int = 1,
     **_ignored,
 ) -> PartitionResult:
-    """Anneal from ``partition`` (copied, not mutated)."""
+    """Anneal from ``partition`` (copied, not mutated).
+
+    ``restarts > 1`` runs that many independent chains (seeds ``seed``
+    through ``seed + restarts - 1``) and keeps the best; with
+    ``jobs > 1`` the chains run across worker processes via the
+    :mod:`repro.explore` engine.  The winning chain is the same for any
+    ``jobs`` value (ties break toward the lower seed); the returned
+    ``history`` is the winning chain's own improvement trace and
+    ``iterations``/``evaluations`` sum over all chains.
+    """
+    if restarts > 1 or jobs != 1:
+        from repro.explore.engine import run_multistart
+        from repro.explore.plan import HEAVY_CHUNK, CandidateSpec
+
+        params = {
+            "initial_temperature": initial_temperature,
+            "cooling": cooling,
+            "moves_per_temperature": moves_per_temperature,
+            "min_temperature": min_temperature,
+        }
+        specs = [
+            CandidateSpec(
+                index=i,
+                kind="start",
+                label=f"chain.{i}",
+                algorithm="annealing",
+                seed=seed + i,
+                params=dict(params),
+            )
+            for i in range(max(1, restarts))
+        ]
+        if OBS.enabled:
+            OBS.inc("partition.annealing.chains", len(specs))
+        result = run_multistart(
+            slif,
+            partition,
+            specs,
+            algorithm="annealing",
+            result_name="annealing-best",
+            weights=weights,
+            time_constraint=time_constraint,
+            jobs=jobs,
+            chunk_size=HEAVY_CHUNK,
+            history_mode="best_chain",
+        )
+        return result
+
     rng = random.Random(seed)
     working = partition.copy(name="annealing")
     evaluator = PartitionCost(slif, working, weights, time_constraint)

@@ -16,6 +16,12 @@ hardware buy?  This module sweeps that trade-off:
 The result is the classic time/area Pareto front, computed from
 nothing but SLIF annotations — a few thousand estimate calls, which is
 exactly the workload the paper's preprocessing makes cheap.
+
+The sweep itself runs on the :mod:`repro.explore` engine: candidates
+are sharded into deterministic chunks and fanned across worker
+processes (``jobs > 1``) or batched through one in-process runner
+(``jobs=1``); chunk-local fronts are merged in candidate order, so the
+front is byte-identical for any ``jobs`` value given the same seed.
 """
 
 from __future__ import annotations
@@ -26,10 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.graph import Slif
 from repro.core.partition import Partition
 from repro.errors import PartitionError
-from repro.estimate.engine import Estimator
 from repro.obs import add_event, span
-from repro.partition.greedy import greedy_improve
-from repro.partition.random_part import random_partition
 
 
 @dataclass(frozen=True)
@@ -90,17 +93,27 @@ class ParetoFront:
         return "\n".join(lines)
 
 
-def _evaluate(
+def evaluate_design_point(
     slif: Slif,
     partition: Partition,
     hardware: List[str],
-    label: str,
+    label: str = "",
 ) -> DesignPoint:
-    report = Estimator(slif, partition).report()
-    hw_size = sum(report.component_sizes.get(name, 0.0) for name in hardware)
+    """Measure one candidate partition on the time/area plane.
+
+    The lean inner-loop evaluation of the exploration engine: component
+    sizes (Eqs. 4–5) plus the memoized execution-time pass (Eq. 1) —
+    exactly the two metrics a :class:`DesignPoint` carries, skipping the
+    I/O and bitrate work a full :meth:`Estimator.report` would also do.
+    """
+    from repro.estimate.exectime import ExecTimeEstimator
+    from repro.estimate.size import all_component_sizes
+
+    sizes = all_component_sizes(slif, partition)
+    times = ExecTimeEstimator(slif, partition).process_times()
     return DesignPoint(
-        system_time=report.system_time,
-        hardware_size=hw_size,
+        system_time=max(times.values()) if times else 0.0,
+        hardware_size=sum(sizes.get(name, 0.0) for name in hardware),
         mapping=tuple(sorted(partition.object_mapping().items())),
         label=label,
     )
@@ -113,15 +126,42 @@ def explore_pareto(
     constraint_steps: int = 8,
     random_starts: int = 5,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ParetoFront:
     """Sweep the time/area trade-off and return the Pareto front.
 
     ``hardware_components`` names the custom processors whose summed
     size is the area axis; by default every custom processor counts.
-    The sweep temporarily installs synthetic CPU size constraints to
-    force different offload levels; the graph's real constraints are
-    restored before returning.
+    The sweep installs synthetic CPU size constraints on private graph
+    copies to force different offload levels; the caller's graph is
+    never mutated.
+
+    ``jobs`` controls parallelism: 1 evaluates the whole plan through
+    one in-process runner, N > 1 fans chunks across N worker processes,
+    0 uses every core.  The front is byte-identical for any ``jobs``
+    value given the same ``seed``.
+
+    Example (5 candidates: the start point plus two constraint steps of
+    one greedy descent and one refined random start each):
+
+    >>> from repro.system import build_system
+    >>> system = build_system("fuzzy")
+    >>> front = explore_pareto(system.slif, system.partition,
+    ...                        constraint_steps=2, random_starts=1, seed=0)
+    >>> front.evaluated
+    5
+    >>> len(front.points) >= 2   # at least all-software and some offload
+    True
+    >>> all(not a.dominates(b)   # fronts are mutually non-dominated
+    ...     for a in front.points for b in front.points if a is not b)
+    True
     """
+    from repro.core.serialize import partition_to_dict, slif_to_dict
+    from repro.estimate.size import all_component_sizes
+    from repro.explore.engine import merge_fronts, run_plan
+    from repro.explore.plan import pareto_plan
+    from repro.explore.worker import PlanPayload
+
     if hardware_components is None:
         hardware_components = [
             name for name, proc in slif.processors.items() if proc.is_custom
@@ -136,55 +176,28 @@ def explore_pareto(
     if not software:
         raise PartitionError("no software processor to trade against")
 
-    front = ParetoFront()
-    with span("partition.explore", graph=slif.name) as sp:
-        front.add(_evaluate(slif, start, hardware_components, "start"))
-
-        saved = {
-            name: slif.processors[name].size_constraint for name in software
-        }
-        try:
-            baseline = Estimator(slif, start).report()
-            base_sizes = {
-                name: baseline.component_sizes[name] for name in software
-            }
-            for step in range(constraint_steps):
-                fraction = 1.0 - step / constraint_steps
-                for name in software:
-                    slif.processors[name].size_constraint = max(
-                        base_sizes[name] * fraction, 1.0
-                    )
-                result = greedy_improve(slif, start)
-                front.add(
-                    _evaluate(
-                        slif,
-                        result.partition,
-                        hardware_components,
-                        f"greedy@{fraction:.2f}",
-                    )
-                )
-                for idx in range(random_starts):
-                    candidate = random_partition(
-                        slif, seed=seed + step * random_starts + idx
-                    )
-                    refined = greedy_improve(slif, candidate)
-                    front.add(
-                        _evaluate(
-                            slif,
-                            refined.partition,
-                            hardware_components,
-                            f"random@{fraction:.2f}.{idx}",
-                        )
-                    )
-                add_event(
-                    "explore.step",
-                    fraction=fraction,
-                    front_size=len(front.points),
-                    evaluated=front.evaluated,
-                )
-        finally:
-            for name, constraint in saved.items():
-                slif.processors[name].size_constraint = constraint
+    with span("partition.explore", graph=slif.name, jobs=jobs) as sp:
+        baseline_sizes = all_component_sizes(slif, start)
+        plan = pareto_plan(
+            {name: baseline_sizes[name] for name in software},
+            constraint_steps=constraint_steps,
+            random_starts=random_starts,
+            seed=seed,
+        )
+        payload = PlanPayload(
+            task="pareto",
+            slif_data=slif_to_dict(slif),
+            partition_data=partition_to_dict(start),
+            hardware=tuple(hardware_components),
+        )
+        results = run_plan(payload, plan, jobs=jobs)
+        front = merge_fronts(results, evaluated=len(plan))
+        add_event(
+            "explore.merge",
+            front_size=len(front.points),
+            evaluated=front.evaluated,
+            chunks=len(results),
+        )
         sp.set_attribute("points", len(front.points))
         sp.set_attribute("evaluated", front.evaluated)
     return front

@@ -57,9 +57,47 @@ def random_restart(
     seed: int = 0,
     weights: Optional[CostWeights] = None,
     time_constraint: Optional[float] = None,
+    jobs: int = 1,
     **_ignored,
 ) -> PartitionResult:
-    """Best of ``restarts`` random partitions (plus the starting one)."""
+    """Best of ``restarts`` random partitions (plus the starting one).
+
+    ``jobs > 1`` evaluates the restarts across worker processes through
+    the :mod:`repro.explore` engine; the result (best partition, cost,
+    improvement history) is identical to the sequential sweep for any
+    ``jobs`` value.
+    """
+    if jobs != 1:
+        from repro.explore.engine import run_multistart
+        from repro.explore.plan import CandidateSpec
+
+        specs = [
+            CandidateSpec(index=0, kind="start", label="start", algorithm="none")
+        ] + [
+            CandidateSpec(
+                index=i + 1,
+                kind="random",
+                label=f"restart.{i}",
+                algorithm="none",
+                seed=seed + i,
+            )
+            for i in range(restarts)
+        ]
+        result = run_multistart(
+            slif,
+            partition,
+            specs,
+            algorithm="random",
+            result_name="random-best",
+            weights=weights,
+            time_constraint=time_constraint,
+            jobs=jobs,
+        )
+        result.iterations = restarts
+        if OBS.enabled:
+            OBS.inc("partition.random.restarts", restarts)
+        return result
+
     best = partition.copy(name="random-best")
     best_cost = PartitionCost(slif, best, weights, time_constraint).cost()
     evaluations = 1

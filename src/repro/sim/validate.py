@@ -178,6 +178,19 @@ def validate(
     ``iterations`` repeats every process back-to-back in one simulation
     so the Bernoulli rounding of fractional access frequencies averages
     toward the AVG-mode expectation the estimator computes.
+
+    >>> from repro.system import build_system
+    >>> from repro.sim.validate import validate
+    >>> system = build_system("vol")
+    >>> report = validate(system.slif, system.partition, seed=0, iterations=10)
+    >>> report.sim_events
+    1227
+    >>> row = [r for r in report.rows
+    ...        if r.metric == "exectime" and r.name == "<system>"][0]
+    >>> round(row.estimated, 3)
+    13.304
+    >>> row.rel_error < 0.2
+    True
     """
     if config is None:
         config = SimConfig(

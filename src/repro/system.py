@@ -57,8 +57,14 @@ class DesignSystem:
         constraint_steps: int = 8,
         random_starts: int = 5,
         seed: int = 0,
+        jobs: int = 1,
     ):
-        """Sweep the time/area trade-off (Pareto front) from here."""
+        """Sweep the time/area trade-off (Pareto front) from here.
+
+        ``jobs`` fans candidate evaluation across worker processes (0 =
+        all cores); the front is identical for any value given the same
+        seed.
+        """
         from repro.partition.pareto import explore_pareto
 
         return explore_pareto(
@@ -67,6 +73,7 @@ class DesignSystem:
             constraint_steps=constraint_steps,
             random_starts=random_starts,
             seed=seed,
+            jobs=jobs,
         )
 
     def to_dot(self, annotate: bool = True) -> str:

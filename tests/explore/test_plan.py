@@ -1,0 +1,108 @@
+"""Unit tests for work plans: the determinism contract starts here."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.explore import (
+    CandidateSpec,
+    WorkPlan,
+    pareto_plan,
+    resolve_jobs,
+    restart_plan,
+)
+
+
+def specs(count):
+    return [
+        CandidateSpec(index=i, kind="start", label=f"c{i}", algorithm="none")
+        for i in range(count)
+    ]
+
+
+class TestWorkPlan:
+    def test_chunks_cover_every_candidate_once_in_order(self):
+        plan = WorkPlan(specs(10), chunk_size=3)
+        flattened = [c for chunk in plan.chunks() for c in chunk.candidates]
+        assert flattened == plan.candidates
+
+    def test_chunk_boundaries_are_contiguous_slices(self):
+        plan = WorkPlan(specs(10), chunk_size=3)
+        sizes = [len(chunk) for chunk in plan.chunks()]
+        assert sizes == [3, 3, 3, 1]
+        assert [chunk.index for chunk in plan.chunks()] == [0, 1, 2, 3]
+
+    def test_num_chunks_matches_chunks(self):
+        for count in (0, 1, 7, 8, 9):
+            plan = WorkPlan(specs(count), chunk_size=4)
+            assert plan.num_chunks() == len(plan.chunks())
+
+    def test_chunking_is_independent_of_anything_but_the_plan(self):
+        # the same plan always shards identically — there is no worker
+        # count anywhere in the chunking code path
+        a = WorkPlan(specs(9), chunk_size=2).chunks()
+        b = WorkPlan(specs(9), chunk_size=2).chunks()
+        assert a == b
+
+    def test_zero_chunk_size_degrades_to_one(self):
+        plan = WorkPlan(specs(3), chunk_size=0)
+        assert [len(c) for c in plan.chunks()] == [1, 1, 1]
+
+
+class TestResolveJobs:
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0, chunks=1000) >= 1
+
+    def test_capped_by_chunk_count(self):
+        assert resolve_jobs(16, chunks=3) == 3
+
+    def test_negative_jobs_is_a_slif_error(self):
+        # must reach the CLI's `error: ...` handler, not a raw traceback
+        with pytest.raises(PartitionError, match="jobs must be >= 0"):
+            resolve_jobs(-3, chunks=4)
+
+
+class TestParetoPlan:
+    def test_candidate_count(self):
+        plan = pareto_plan({"CPU": 500.0}, constraint_steps=3, random_starts=2)
+        # start + per step: one greedy + random_starts randoms
+        assert len(plan) == 1 + 3 * (1 + 2)
+
+    def test_indices_are_contiguous(self):
+        plan = pareto_plan({"CPU": 500.0}, constraint_steps=4, random_starts=3)
+        assert [c.index for c in plan.candidates] == list(range(len(plan)))
+
+    def test_same_inputs_same_plan(self):
+        a = pareto_plan({"CPU": 500.0}, constraint_steps=3, random_starts=2, seed=7)
+        b = pareto_plan({"CPU": 500.0}, constraint_steps=3, random_starts=2, seed=7)
+        assert a.candidates == b.candidates
+        assert a.chunk_size == b.chunk_size
+
+    def test_seeds_are_unique_per_random_candidate(self):
+        plan = pareto_plan({"CPU": 500.0}, constraint_steps=4, random_starts=5)
+        seeds = [c.seed for c in plan.candidates if c.kind == "random"]
+        assert len(seeds) == len(set(seeds)) == 4 * 5
+
+    def test_constraints_tighten_monotonically(self):
+        plan = pareto_plan({"CPU": 800.0}, constraint_steps=4, random_starts=0)
+        limits = [
+            dict(c.constraints)["CPU"]
+            for c in plan.candidates
+            if c.constraints
+        ]
+        assert limits == sorted(limits, reverse=True)
+        assert all(limit >= 1.0 for limit in limits)
+
+    def test_start_point_is_unconstrained(self):
+        plan = pareto_plan({"CPU": 500.0})
+        start = plan.candidates[0]
+        assert start.kind == "start"
+        assert start.algorithm == "none"
+        assert start.constraints == ()
+
+
+class TestRestartPlan:
+    def test_preserves_order_and_pins_chunking(self):
+        candidates = specs(5)
+        plan = restart_plan(candidates, chunk_size=2)
+        assert plan.candidates == candidates
+        assert [len(c) for c in plan.chunks()] == [2, 2, 1]

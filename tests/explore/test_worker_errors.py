@@ -1,0 +1,81 @@
+"""Failures inside worker processes must surface, intact, to the caller.
+
+``multiprocessing`` rebuilds exceptions on the parent side from
+``exc.args`` — an exception with a multi-argument constructor (or one
+that stores context outside ``args``) arrives as a confusing
+``RuntimeError`` or loses its message entirely.  :class:`WorkerError`
+is therefore message-only, and the chunk runner folds the original
+exception type, message and the candidate context (label, index,
+chunk) into that one string before it crosses the process boundary.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.partition import single_bus_partition
+from repro.core.serialize import partition_to_dict, slif_to_dict
+from repro.errors import PartitionError, SlifError, WorkerError
+from repro.explore import CandidateSpec, PlanPayload, WorkPlan, run_plan
+
+from _helpers import build_demo_graph
+
+
+def broken_payload() -> PlanPayload:
+    """A restart payload whose base partition is missing one object."""
+    g = build_demo_graph()
+    mapping = {"Main": "CPU", "Sub": "CPU", "buf": "RAM"}  # 'flag' unmapped
+    part = single_bus_partition(g, mapping, name="broken")
+    return PlanPayload(
+        task="restart",
+        slif_data=slif_to_dict(g),
+        partition_data=partition_to_dict(part),
+    )
+
+
+def greedy_specs(count: int):
+    return [
+        CandidateSpec(
+            index=i, kind="start", label=f"greedy.{i}", algorithm="greedy"
+        )
+        for i in range(count)
+    ]
+
+
+class TestPickleSafety:
+    def test_roundtrip_preserves_message(self):
+        error = WorkerError("candidate 'x' (index 3, chunk 1) failed: boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert type(clone) is WorkerError
+        assert str(clone) == str(error)
+
+    def test_is_a_partition_error(self):
+        # callers catching the library's usual hierarchy keep working
+        error = WorkerError("boom")
+        assert isinstance(error, PartitionError)
+        assert isinstance(error, SlifError)
+
+    def test_single_args_slot(self):
+        # the property multiprocessing's rebuild relies on
+        assert WorkerError("boom").args == ("boom",)
+
+
+class TestSurfacing:
+    def test_in_process_failure_carries_candidate_context(self):
+        plan = WorkPlan(greedy_specs(1), chunk_size=1)
+        with pytest.raises(WorkerError) as excinfo:
+            run_plan(broken_payload(), plan, jobs=1)
+        message = str(excinfo.value)
+        assert "candidate 'greedy.0' (index 0, chunk 0)" in message
+        assert "PartitionError" in message
+        assert "'flag'" in message  # the original message survives
+
+    def test_pool_failure_carries_candidate_context(self):
+        # two single-candidate chunks so the pool genuinely fans out
+        plan = WorkPlan(greedy_specs(2), chunk_size=1)
+        with pytest.raises(PartitionError) as excinfo:
+            run_plan(broken_payload(), plan, jobs=2)
+        message = str(excinfo.value)
+        assert "failed: PartitionError" in message
+        assert "'flag'" in message
+        assert "chunk" in message and "index" in message

@@ -138,6 +138,7 @@ class TestDispatcher:
     def test_all_algorithms_registered(self):
         assert set(ALGORITHMS) == {
             "greedy",
+            "greedy_multistart",
             "group_migration",
             "annealing",
             "clustering",

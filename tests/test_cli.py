@@ -185,7 +185,7 @@ def test_explore_prints_pareto_front(capsys):
     ) == 0
     captured = capsys.readouterr()
     assert "Pareto front" in captured.out
-    assert "-- explore seed=0:" in captured.err
+    assert "-- explore seed=0 jobs=1:" in captured.err
 
 
 def test_breakdown_all_processes(capsys):

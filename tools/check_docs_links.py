@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate the documentation site's internal links (stdlib only).
+
+Scans the markdown files under ``docs/`` plus the repo-root documents
+that link into them, and checks every relative markdown link:
+
+* the target file exists (relative to the linking file);
+* if the link carries a ``#fragment``, the target file contains a
+  heading whose GitHub-style slug matches it;
+* bare ``#fragment`` links resolve within the same file.
+
+External links (``http://``, ``https://``, ``mailto:``) are skipped —
+CI must not depend on the network.  Exit status is the number of broken
+links, so a clean tree exits 0.
+
+Usage::
+
+    python tools/check_docs_links.py [FILE ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Set
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_FILES = sorted(
+    p for p in (ROOT / "docs").glob("*.md")
+) + [ROOT / "README.md", ROOT / "DESIGN.md"]
+
+# [text](target) — but not images ![..](..) and not reference defs.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug for a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"[\s]+", "-", text).strip("-")
+
+
+def heading_slugs(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
+    if path not in cache:
+        slugs: Set[str] = set()
+        counts: Dict[str, int] = {}
+        in_fence = False
+        for line in path.read_text().splitlines():
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = HEADING_RE.match(line)
+            if match:
+                slug = slugify(match.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                slugs.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = slugs
+    return cache[path]
+
+
+def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
+    errors: List[str] = []
+    in_fence = False
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            base, _, fragment = target.partition("#")
+            dest = path if not base else (path.parent / base).resolve()
+            where = f"{path.relative_to(ROOT)}:{lineno}"
+            if base and not dest.exists():
+                errors.append(f"{where}: broken link -> {target}")
+                continue
+            if fragment and dest.suffix == ".md":
+                if fragment not in heading_slugs(dest, cache):
+                    errors.append(f"{where}: missing anchor -> {target}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    files = [Path(a).resolve() for a in argv] or DEFAULT_FILES
+    cache: Dict[Path, Set[str]] = {}
+    errors: List[str] = []
+    for path in files:
+        errors.extend(check_file(path, cache))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken links")
+    return min(len(errors), 1)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
