@@ -31,7 +31,12 @@ subcommand live in ``docs/cli.md``.
 Parallelism: ``partition`` and ``explore`` accept ``--jobs N`` to fan
 candidate evaluation across worker processes (0 = all cores) via
 ``repro.explore``; output is byte-identical to ``--jobs 1`` for the
-same seed.
+same seed.  The pool path is fault-tolerant: ``--timeout`` /
+``--retries`` tune the per-chunk recovery loop, ``--checkpoint PATH``
+journals completed chunks as JSONL, and ``--resume PATH`` replays such
+a journal so an interrupted sweep only re-evaluates missing chunks.
+Deterministic fault injection for the recovery paths is enabled via
+the ``SLIF_FAULTS`` environment variable (see ``repro.faults``).
 
 Observability: instrumentation (``repro.obs``) is enabled for the
 duration of every command, so all subcommands report phase timing from
@@ -144,7 +149,7 @@ def cmd_partition(args: argparse.Namespace) -> int:
         "cli.partition", spec=args.spec, algorithm=args.algorithm, seed=args.seed
     ) as sp:
         result = system.repartition(
-            args.algorithm, seed=args.seed, jobs=args.jobs
+            args.algorithm, seed=args.seed, jobs=args.jobs, **_exec_options(args)
         )
     print(result)
     print(system.report().render())
@@ -165,6 +170,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
             random_starts=args.random_starts,
             seed=args.seed,
             jobs=args.jobs,
+            **_exec_options(args),
         )
     print(front.render())
     print(
@@ -300,6 +306,56 @@ def _add_jobs_arg(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_tolerance_args(p: argparse.ArgumentParser) -> None:
+    """Recovery flags shared by the exploration-capable subcommands."""
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-chunk timeout in seconds for --jobs > 1 (default: none); "
+        "timed-out chunks are retried, then run in-process",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retry budget per chunk for failures and timeouts (default 2); "
+        "exhausted chunks degrade to the in-process runner",
+    )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal completed chunks to PATH (JSONL) as they finish, so "
+        "an interrupted run can be resumed with --resume PATH",
+    )
+    p.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from the journal at PATH: skip chunks it already "
+        "holds and keep appending to it (implies --checkpoint PATH)",
+    )
+
+
+def _exec_options(args: argparse.Namespace) -> dict:
+    """Fold the fault-tolerance flags into run_plan keyword arguments."""
+    from repro.explore.engine import RetryPolicy
+
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        raise SlifError(
+            "--resume and --checkpoint name different files; --resume "
+            "already appends to the journal it reads"
+        )
+    return dict(
+        policy=RetryPolicy(
+            timeout=args.timeout, retries=args.retries, seed=args.seed
+        ),
+        checkpoint=args.resume or args.checkpoint,
+        resume=bool(args.resume),
+    )
+
+
 def _add_obs_args(p: argparse.ArgumentParser) -> None:
     """Observability flags shared by build/estimate/partition/explore."""
     p.add_argument(
@@ -365,6 +421,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(p)
+    _add_fault_tolerance_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_partition)
 
@@ -380,6 +437,7 @@ def make_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=0)
     _add_jobs_arg(p)
+    _add_fault_tolerance_args(p)
     _add_obs_args(p)
     p.set_defaults(func=cmd_explore)
 
@@ -481,6 +539,11 @@ def main(argv: Optional[list] = None) -> int:
     except SlifError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # run_plan has already terminated its pool and flushed any
+        # checkpoint journal by the time the interrupt reaches here
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
         obs.disable()
 

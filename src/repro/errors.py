@@ -46,6 +46,39 @@ class WorkerError(PartitionError):
     """
 
 
+class ChunkTimeoutError(PartitionError):
+    """An exploration chunk exceeded its per-chunk timeout budget.
+
+    Raised by the fault-tolerant dispatch loop in
+    :mod:`repro.explore.engine` when a chunk's worker did not report a
+    result within ``RetryPolicy.timeout`` seconds and the retry budget
+    is exhausted (with graceful fallback disabled).  Message-only for
+    the same pickle-safety reasons as :class:`WorkerError`.
+    """
+
+
+class PoolCrashError(PartitionError):
+    """The exploration worker pool died and could not be revived.
+
+    Raised when worker processes keep disappearing (a
+    ``BrokenProcessPool``-style failure: OOM kills, segfaults, explicit
+    ``os._exit``) faster than the engine's respawn budget allows.
+    Individual crashes are recovered transparently — the pool is
+    respawned and in-flight chunks are re-queued — so seeing this error
+    means the environment, not a single candidate, is unhealthy.
+    """
+
+
+class FaultInjectedError(SlifError):
+    """A deliberately injected transient fault (``SLIF_FAULTS``).
+
+    Raised by :mod:`repro.faults` inside a worker to exercise the
+    retry path; the engine treats it (like any non-:class:`WorkerError`
+    failure) as transient and retries the chunk.  Never raised unless
+    fault injection was explicitly enabled.
+    """
+
+
 class EstimationError(SlifError):
     """A design-metric estimate could not be computed.
 

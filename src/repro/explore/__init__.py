@@ -12,6 +12,16 @@ step unions chunk-local Pareto fronts / multi-start outcomes in
 candidate order — so the same seed produces byte-identical results at
 any ``--jobs`` value.
 
+The pool path is fault-tolerant: per-chunk timeouts, seeded
+exponential-backoff retries, pool respawn after worker crashes, and
+graceful in-process degradation are governed by
+:class:`~repro.explore.engine.RetryPolicy`, while
+:mod:`repro.explore.checkpoint` journals completed chunks to a JSONL
+file so an interrupted sweep resumes (``--checkpoint`` / ``--resume``)
+re-evaluating only what is missing.  :mod:`repro.faults` injects
+deterministic worker crashes, hangs and transient errors so every one
+of those recovery paths is exercised in tests and CI.
+
 Users normally reach this machinery through
 :func:`repro.partition.pareto.explore_pareto`,
 :func:`repro.partition.random_part.random_restart`,
@@ -22,7 +32,16 @@ arguments — or via ``slif explore --jobs N`` / ``slif partition
 --jobs N`` on the command line.
 """
 
+from repro.explore.checkpoint import (
+    JournalWriter,
+    chunk_result_from_dict,
+    chunk_result_to_dict,
+    load_journal,
+    plan_fingerprint,
+)
 from repro.explore.engine import (
+    RecoveryStats,
+    RetryPolicy,
     improvement_history,
     merge_fronts,
     merge_restarts,
@@ -56,10 +75,17 @@ __all__ = [
     "Chunk",
     "ChunkResult",
     "ChunkRunner",
+    "JournalWriter",
     "PlanPayload",
+    "RecoveryStats",
     "RestartOutcome",
+    "RetryPolicy",
     "WorkPlan",
+    "chunk_result_from_dict",
+    "chunk_result_to_dict",
     "improvement_history",
+    "load_journal",
+    "plan_fingerprint",
     "init_worker",
     "merge_fronts",
     "merge_restarts",

@@ -10,22 +10,49 @@ candidate-index order, which replays the sequential insertion order
 exactly — the reason ``--jobs N`` output is byte-identical to
 ``--jobs 1`` for the same seed.
 
+The pool path is fault-tolerant.  Chunks are dispatched asynchronously
+(``apply_async`` plus a bounded polling loop) under a
+:class:`RetryPolicy`: a per-chunk timeout, retries with seeded
+exponential backoff and jitter, pool-death detection with respawn and
+re-queueing, and — once a chunk exhausts its retry budget — graceful
+degradation to the in-process runner.  Because every candidate is a
+pure function of ``(graph, spec)`` and completed chunks are de-duplicated
+by index, none of this machinery can change the merged answer: a sweep
+either completes with ``jobs=1``-identical results or surfaces the
+candidate's own :class:`~repro.errors.WorkerError`.  Chunk-level
+checkpointing (see :mod:`repro.explore.checkpoint`) journals completed
+chunks so an interrupted sweep resumes where it stopped.
+
 Observability: the coordinator records per-worker chunk telemetry into
 the existing :mod:`repro.obs` registry — ``explore.chunks`` /
 ``explore.candidates`` counters, an ``explore.chunk_seconds`` histogram
 of per-chunk wall time, ``explore.merge.discards`` for candidates that
-fell off the merged front, and an ``explore.jobs`` gauge.
+fell off the merged front, an ``explore.jobs`` gauge — plus the
+recovery counters ``explore.retries``, ``explore.timeouts``,
+``explore.fallbacks``, ``explore.pool_respawns`` and
+``explore.checkpoint.chunks_skipped``, and an
+``explore.retry_delay_seconds`` histogram of backoff delays.
 """
 
 from __future__ import annotations
 
+import math
 import multiprocessing
 import os
+import random
+import sys
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.errors import PartitionError
+from repro.errors import (
+    ChunkTimeoutError,
+    PartitionError,
+    PoolCrashError,
+    WorkerError,
+)
 from repro.obs import OBS, add_event
-from repro.explore.plan import CandidateSpec, WorkPlan
+from repro.explore.plan import CandidateSpec, Chunk, WorkPlan
 from repro.explore.worker import (
     ChunkResult,
     PlanPayload,
@@ -50,35 +77,471 @@ def resolve_jobs(jobs: Optional[int], chunks: int) -> int:
     return max(1, min(jobs, chunks))
 
 
+# ----------------------------------------------------------------------
+# fault-tolerant dispatch
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool path survives slow, failing and dying workers.
+
+    ``timeout`` is the per-chunk wall-clock budget in seconds (``None``
+    disables timeouts).  A failed or timed-out chunk is retried up to
+    ``retries`` more times, waiting ``backoff * backoff_factor**(n-1)``
+    seconds (capped at ``max_delay``) before retry ``n``, with a
+    deterministic ±``jitter`` fraction derived from ``seed`` and the
+    chunk coordinates — two runs with the same seed back off
+    identically.  A chunk that exhausts its budget degrades to the
+    in-process runner when ``fallback`` is true (the default), so the
+    sweep still completes with identical results; with ``fallback``
+    false it raises :class:`ChunkTimeoutError` /
+    :class:`PoolCrashError` instead.  ``max_pool_respawns`` bounds how
+    many times a dying pool is rebuilt before the engine abandons it.
+
+    >>> policy = RetryPolicy(backoff=1.0, jitter=0.0)
+    >>> [policy.delay(0, n) for n in (1, 2, 3)]
+    [1.0, 2.0, 4.0]
+    >>> RetryPolicy(seed=7).delay(3, 1) == RetryPolicy(seed=7).delay(3, 1)
+    True
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.25
+    seed: int = 0
+    fallback: bool = True
+    max_pool_respawns: int = 3
+    poll_interval: float = 0.02
+
+    def delay(self, chunk_index: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based) of ``chunk_index``."""
+        base = min(
+            self.backoff * self.backoff_factor ** max(0, attempt - 1),
+            self.max_delay,
+        )
+        if not self.jitter:
+            return base
+        rng = random.Random(f"{self.seed}:{chunk_index}:{attempt}")
+        return base * (1.0 + self.jitter * rng.uniform(-1.0, 1.0))
+
+
+@dataclass
+class RecoveryStats:
+    """What the fault-tolerant loop had to do to finish a sweep."""
+
+    retries: int = 0
+    timeouts: int = 0
+    fallbacks: int = 0
+    pool_respawns: int = 0
+    chunks_skipped: int = 0
+    corrupt_journal_lines: int = 0
+
+    def any(self) -> bool:
+        return any(
+            (
+                self.retries,
+                self.timeouts,
+                self.fallbacks,
+                self.pool_respawns,
+                self.chunks_skipped,
+                self.corrupt_journal_lines,
+            )
+        )
+
+    def render(self) -> str:
+        parts = [
+            f"retries={self.retries}",
+            f"timeouts={self.timeouts}",
+            f"fallbacks={self.fallbacks}",
+            f"pool_respawns={self.pool_respawns}",
+        ]
+        if self.chunks_skipped or self.corrupt_journal_lines:
+            parts.append(f"chunks_skipped={self.chunks_skipped}")
+        if self.corrupt_journal_lines:
+            parts.append(f"corrupt_journal_lines={self.corrupt_journal_lines}")
+        return " ".join(parts)
+
+
+@dataclass
+class _Pending:
+    """One in-flight pool task."""
+
+    chunk: Chunk
+    attempt: int
+    result: object                      # multiprocessing AsyncResult
+    deadline: Optional[float]
+
+
+class _PoolDispatcher:
+    """The async dispatch loop: submit, poll, retry, respawn, degrade.
+
+    Correctness invariants:
+
+    - a chunk's result is recorded at most once (first completion wins),
+      so a late success racing its own retry cannot double-merge;
+    - a :class:`WorkerError` (the candidate itself is invalid) is never
+      retried — evaluation is deterministic, so the retry would fail
+      identically — and the error for the *lowest* failing chunk index
+      is the one raised, matching what a sequential run surfaces first;
+    - every other failure (timeout, worker crash, result-transport
+      error, injected transient) is treated as an environment fault:
+      retried with backoff, then degraded to the in-process runner.
+    """
+
+    def __init__(
+        self,
+        payload: PlanPayload,
+        todo: List[Chunk],
+        workers: int,
+        policy: RetryPolicy,
+        stats: RecoveryStats,
+        on_complete,
+    ) -> None:
+        self.payload = payload
+        self.workers = workers
+        self.policy = policy
+        self.stats = stats
+        self.on_complete = on_complete
+        self.done: Dict[int, ChunkResult] = {}
+        # (ready_time, chunk, attempt); ready_time in time.monotonic() terms
+        self.waiting: List[Tuple[float, Chunk, int]] = [
+            (0.0, chunk, 0) for chunk in todo
+        ]
+        self.pending: Dict[int, _Pending] = {}
+        self.fallback: Dict[int, Chunk] = {}
+        self.errors: Dict[int, WorkerError] = {}
+        self.respawns = 0
+        self.pool = None
+        self.ctx = multiprocessing.get_context()
+        self.pids: set = set()
+
+    # -- pool lifecycle ------------------------------------------------
+
+    def _spawn_pool(self) -> None:
+        self.pool = self.ctx.Pool(
+            processes=self.workers,
+            initializer=init_worker,
+            initargs=(self.payload,),
+        )
+        self.pids = {proc.pid for proc in list(self.pool._pool)}
+
+    def _terminate_pool(self) -> None:
+        if self.pool is not None:
+            self.pool.terminate()
+            self.pool.join()
+            self.pool = None
+
+    def _pool_is_sick(self) -> bool:
+        """Did a worker process die since we last looked?
+
+        ``multiprocessing.Pool`` quietly replaces dead workers but the
+        task they were running is lost forever — its ``AsyncResult``
+        never completes.  Watching the worker pid set (plus liveness,
+        to catch a death the maintenance thread has not reaped yet)
+        turns that silent loss into a detectable event.
+        """
+        if self.pool is None:
+            return False
+        procs = list(self.pool._pool)
+        current = {proc.pid for proc in procs}
+        return current != self.pids or any(
+            not proc.is_alive() for proc in procs
+        )
+
+    def _handle_pool_crash(self) -> None:
+        self.stats.pool_respawns += 1
+        self.respawns += 1
+        if OBS.enabled:
+            OBS.inc("explore.pool_respawns")
+        self._terminate_pool()
+        crashed = list(self.pending.items())
+        self.pending = {}
+        if self.respawns > self.policy.max_pool_respawns:
+            # the environment keeps killing workers; stop feeding it
+            cause = PoolCrashError(
+                f"worker pool died {self.respawns} times "
+                f"(budget {self.policy.max_pool_respawns}); abandoning the "
+                f"pool"
+            )
+            if not self.policy.fallback:
+                raise cause
+            for index, entry in crashed:
+                self.fallback[index] = entry.chunk
+            for _, chunk, _ in self.waiting:
+                self.fallback[chunk.index] = chunk
+            self.waiting = []
+            return
+        self._spawn_pool()
+        for index, entry in crashed:
+            self._failed(
+                entry.chunk,
+                entry.attempt,
+                PoolCrashError(
+                    f"chunk {index} was in flight when a worker process "
+                    f"died (attempt {entry.attempt})"
+                ),
+            )
+
+    # -- per-chunk bookkeeping -----------------------------------------
+
+    def _submit(self, chunk: Chunk, attempt: int, now: float) -> None:
+        result = self.pool.apply_async(run_worker_chunk, (chunk, attempt))
+        deadline = (
+            now + self.policy.timeout
+            if self.policy.timeout is not None
+            else None
+        )
+        self.pending[chunk.index] = _Pending(chunk, attempt, result, deadline)
+
+    def _complete(self, index: int, value: ChunkResult) -> None:
+        if index in self.done:
+            return                      # late duplicate from a raced retry
+        self.done[index] = value
+        self.on_complete(value)
+
+    def _failed(self, chunk: Chunk, attempt: int, cause: Exception) -> None:
+        next_attempt = attempt + 1
+        if next_attempt > self.policy.retries:
+            if self.policy.fallback:
+                self.fallback[chunk.index] = chunk
+                return
+            if isinstance(cause, PartitionError):
+                raise cause
+            raise PartitionError(
+                f"chunk {chunk.index} failed after {next_attempt} attempts: "
+                f"{type(cause).__name__}: {cause}"
+            ) from cause
+        delay = self.policy.delay(chunk.index, next_attempt)
+        self.stats.retries += 1
+        if OBS.enabled:
+            OBS.inc("explore.retries")
+            OBS.observe("explore.retry_delay_seconds", delay)
+        self.waiting.append((time.monotonic() + delay, chunk, next_attempt))
+
+    def _record_error(self, index: int, error: WorkerError) -> None:
+        self.errors.setdefault(index, error)
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> Dict[int, ChunkResult]:
+        self._spawn_pool()
+        try:
+            self._loop()
+        finally:
+            self._terminate_pool()
+        self._run_fallbacks()
+        if self.errors:
+            raise self.errors[min(self.errors)]
+        return self.done
+
+    def _loop(self) -> None:
+        policy = self.policy
+        while True:
+            now = time.monotonic()
+            min_err = min(self.errors) if self.errors else math.inf
+            # an error means the sweep will raise: retrying chunks past
+            # the failing index cannot change the surfaced message
+            self.waiting = [
+                entry for entry in self.waiting if entry[1].index < min_err
+            ]
+            progressed = self._submit_ready(now)
+            progressed |= self._poll_pending(now)
+            if self._pool_is_sick():
+                self._handle_pool_crash()
+                progressed = True
+            if not self.waiting and not self.pending:
+                return
+            if not progressed:
+                time.sleep(policy.poll_interval)
+
+    def _submit_ready(self, now: float) -> bool:
+        if self.pool is None:
+            return False
+        progressed = False
+        deferred: List[Tuple[float, Chunk, int]] = []
+        for ready, chunk, attempt in self.waiting:
+            if ready <= now and chunk.index not in self.done:
+                self._submit(chunk, attempt, now)
+                progressed = True
+            elif chunk.index not in self.done:
+                deferred.append((ready, chunk, attempt))
+        self.waiting = deferred
+        return progressed
+
+    def _poll_pending(self, now: float) -> bool:
+        progressed = False
+        for index in list(self.pending):
+            entry = self.pending[index]
+            if entry.result.ready():
+                del self.pending[index]
+                progressed = True
+                try:
+                    value = entry.result.get()
+                except WorkerError as exc:
+                    self._record_error(index, exc)
+                    continue
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    # transient: injected fault, transport/pickle error,
+                    # interpreter-level failure inside the worker
+                    self._failed(entry.chunk, entry.attempt, exc)
+                    continue
+                if isinstance(value, ChunkResult):
+                    self._complete(index, value)
+                else:  # pragma: no cover - defensive: poisoned result
+                    self._failed(
+                        entry.chunk,
+                        entry.attempt,
+                        PartitionError(
+                            f"chunk {index} returned "
+                            f"{type(value).__name__!r}, not a ChunkResult"
+                        ),
+                    )
+            elif entry.deadline is not None and now >= entry.deadline:
+                del self.pending[index]
+                progressed = True
+                self.stats.timeouts += 1
+                if OBS.enabled:
+                    OBS.inc("explore.timeouts")
+                self._failed(
+                    entry.chunk,
+                    entry.attempt,
+                    ChunkTimeoutError(
+                        f"chunk {index} exceeded its {self.policy.timeout}s "
+                        f"timeout (attempt {entry.attempt})"
+                    ),
+                )
+        return progressed
+
+    def _run_fallbacks(self) -> None:
+        """Evaluate retry-exhausted chunks in-process, sequentially.
+
+        Runs after the pool is gone: whatever kept workers from
+        finishing these chunks (crashes, hangs, transport failures)
+        cannot reach the in-process runner, and fault injection only
+        fires inside pool workers — so this path completes unless the
+        candidate itself is invalid, which raises the same
+        :class:`WorkerError` a ``jobs=1`` run would.
+        """
+        if not self.fallback:
+            return
+        from repro.explore.worker import ChunkRunner
+
+        min_err = min(self.errors) if self.errors else math.inf
+        chunks = sorted(
+            (
+                chunk
+                for index, chunk in self.fallback.items()
+                if index not in self.done and index < min_err
+            ),
+            key=lambda chunk: chunk.index,
+        )
+        if not chunks:
+            return
+        runner = ChunkRunner(self.payload)
+        for chunk in chunks:
+            self.stats.fallbacks += 1
+            if OBS.enabled:
+                OBS.inc("explore.fallbacks")
+            try:
+                self._complete(chunk.index, runner.run_chunk(chunk))
+            except WorkerError as exc:
+                self._record_error(chunk.index, exc)
+                min_err = min(self.errors)
+
+
+# ----------------------------------------------------------------------
+# the public entry point
+
+
 def run_plan(
-    payload: PlanPayload, plan: WorkPlan, jobs: int = 1
+    payload: PlanPayload,
+    plan: WorkPlan,
+    jobs: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> List[ChunkResult]:
     """Evaluate every chunk of ``plan`` and return results in chunk order.
 
     ``jobs=1`` shares one in-process :class:`ChunkRunner` across all
     chunks; ``jobs>1`` spawns a worker pool whose processes each build a
-    private runner from the payload.  Either way the same chunks are
-    evaluated with the same per-candidate code, so the merged result is
-    independent of ``jobs``.
+    private runner from the payload, dispatched through the
+    fault-tolerant loop governed by ``policy`` (default
+    :class:`RetryPolicy`).  Either way the same chunks are evaluated
+    with the same per-candidate code, so the merged result is
+    independent of ``jobs`` — and of any retries, respawns or fallbacks
+    the loop performed along the way.
+
+    ``checkpoint`` names a JSONL journal written as chunks complete;
+    with ``resume`` true an existing journal (for the *same* payload and
+    plan — fingerprints are checked) is loaded first and only the
+    missing chunks are evaluated.  On :class:`KeyboardInterrupt` the
+    pool is terminated and the journal flushed before re-raising, so an
+    interrupted sweep loses at most its in-flight chunks.
     """
     chunks = plan.chunks()
     workers = resolve_jobs(jobs, len(chunks))
+    policy = policy if policy is not None else RetryPolicy()
+    stats = RecoveryStats()
     if OBS.enabled:
         OBS.set_gauge("explore.jobs", workers)
-    if workers <= 1:
-        from repro.explore.worker import ChunkRunner
 
-        runner = ChunkRunner(payload)
-        results = [runner.run_chunk(chunk) for chunk in chunks]
-    else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(
-            processes=workers, initializer=init_worker, initargs=(payload,)
-        ) as pool:
-            results = pool.map(run_worker_chunk, chunks, chunksize=1)
-    results.sort(key=lambda r: r.chunk_index)
+    journal = None
+    done: Dict[int, ChunkResult] = {}
+    if checkpoint:
+        from repro.explore.checkpoint import JournalWriter, plan_fingerprint
+
+        fingerprint = plan_fingerprint(payload, plan)
+        if resume:
+            journal = JournalWriter.for_resume(
+                checkpoint, fingerprint, payload.task
+            )
+            done = dict(journal.completed)
+            stats.chunks_skipped = len(done)
+            stats.corrupt_journal_lines = journal.corrupt_lines
+            if OBS.enabled and done:
+                OBS.inc("explore.checkpoint.chunks_skipped", len(done))
+        else:
+            journal = JournalWriter.fresh(checkpoint, fingerprint, payload.task)
+
+    fresh: List[ChunkResult] = []
+
+    def on_complete(result: ChunkResult) -> None:
+        fresh.append(result)
+        if journal is not None:
+            journal.record(result)
+
+    todo = [chunk for chunk in chunks if chunk.index not in done]
+    try:
+        if workers <= 1 or not todo:
+            from repro.explore.worker import ChunkRunner
+
+            if todo:
+                runner = ChunkRunner(payload)
+                for chunk in todo:
+                    result = runner.run_chunk(chunk)
+                    done[chunk.index] = result
+                    on_complete(result)
+        else:
+            dispatcher = _PoolDispatcher(
+                payload, todo, workers, policy, stats, on_complete
+            )
+            done.update(dispatcher.run())
+    finally:
+        # KeyboardInterrupt included: the dispatcher's own ``finally``
+        # has already terminated the pool; flushing the journal here is
+        # what lets ``--resume`` pick up every chunk that finished
+        if journal is not None:
+            journal.close()
+
+    results = [done[chunk.index] for chunk in chunks]
     if OBS.enabled:
-        for result in results:
+        for result in fresh:
             OBS.inc("explore.chunks")
             OBS.inc("explore.candidates", result.candidates)
             OBS.observe("explore.chunk_seconds", result.seconds)
@@ -88,6 +551,8 @@ def run_plan(
             jobs=workers,
             candidates=sum(r.candidates for r in results),
         )
+    if stats.any():
+        print(f"-- explore recovery: {stats.render()}", file=sys.stderr)
     return results
 
 
@@ -153,7 +618,10 @@ def merge_restarts(results: List[ChunkResult]) -> Tuple[
             best_mapping = result.best_mapping
             best_history = result.best_history
     if best is None:
-        raise ValueError("cannot merge an empty set of restart results")
+        raise PartitionError(
+            "cannot merge an empty set of restart results: no chunk "
+            "produced an outcome"
+        )
     outcomes.sort(key=lambda o: o.index)
     if OBS.enabled:
         OBS.inc("explore.merge.discards", len(outcomes) - 1)
@@ -195,6 +663,9 @@ def run_multistart(
     jobs: int = 1,
     chunk_size: int = 4,
     history_mode: str = "improvements",
+    policy: Optional[RetryPolicy] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ):
     """Run a multi-start candidate list and fold it into one result.
 
@@ -207,6 +678,8 @@ def run_multistart(
     ``history`` semantics: ``"improvements"`` replays the sequential
     best-so-far trace over candidate costs; ``"best_chain"`` keeps the
     winning candidate's own internal history (annealing chains).
+    ``policy``/``checkpoint``/``resume`` pass straight to
+    :func:`run_plan`.
     """
     from repro.core.serialize import partition_to_dict, slif_to_dict
     from repro.explore.plan import restart_plan
@@ -220,7 +693,14 @@ def run_multistart(
         time_constraint=time_constraint,
     )
     plan = restart_plan(specs, chunk_size=chunk_size)
-    results = run_plan(payload, plan, jobs=jobs)
+    results = run_plan(
+        payload,
+        plan,
+        jobs=jobs,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
+    )
     best, mapping, best_history, outcomes = merge_restarts(results)
 
     merged = partition.copy(name=result_name)

@@ -260,8 +260,20 @@ def init_worker(payload: PlanPayload) -> None:
     _RUNNER = ChunkRunner(payload)
 
 
-def run_worker_chunk(chunk: Chunk) -> ChunkResult:
-    """Pool map target: evaluate one chunk on the process-local runner."""
+def run_worker_chunk(chunk: Chunk, attempt: int = 0) -> ChunkResult:
+    """Pool task target: evaluate one chunk on the process-local runner.
+
+    ``attempt`` is the dispatch loop's 0-based retry counter for this
+    chunk; it does not affect evaluation (candidates are pure functions
+    of the spec) but keys deterministic fault injection — a configured
+    ``SLIF_FAULTS`` fault for this ``(chunk, attempt)`` fires here,
+    before any real work, and only ever inside pool workers.
+    """
+    from repro.faults import maybe_inject
+
+    poison = maybe_inject(chunk.index, attempt)
+    if poison is not None:
+        return poison
     if _RUNNER is None:  # pragma: no cover - initializer always runs first
         raise WorkerError("worker process was not initialized with a payload")
     return _RUNNER.run_chunk(chunk)

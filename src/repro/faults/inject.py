@@ -1,0 +1,208 @@
+"""Deterministic, seeded fault injection for the exploration runtime.
+
+A fault plan is a comma/semicolon-separated list of ``kind:chunk`` or
+``kind:chunk:times`` tokens — e.g. ``crash:2``, ``hang:0:2,transient:3``
+— normally supplied through the ``SLIF_FAULTS`` environment variable.
+``kind`` picks the failure mode, ``chunk`` the chunk index it fires on,
+and ``times`` how many *attempts* of that chunk are sabotaged (default
+1: the first attempt fails, the retry succeeds).  Because firing is
+keyed on ``(chunk index, attempt)`` — both fixed by the work plan and
+the dispatch loop, never by timing — a fault plan is exactly as
+deterministic as the sweep it perturbs.
+
+Supported kinds (see :data:`FAULT_KINDS`):
+
+``crash``
+    ``os._exit(CRASH_EXIT_CODE)`` — the worker process dies mid-chunk,
+    exercising pool-death detection, respawn and re-queueing.
+``hang``
+    Sleep for ``SLIF_FAULT_HANG_SECONDS`` (default 3600) — the chunk
+    never returns, exercising the per-chunk timeout path.
+``transient``
+    Raise :class:`~repro.errors.FaultInjectedError` — a retryable
+    failure, exercising backoff and retry accounting.
+``pickle``
+    Return an unpicklable result — the worker itself is healthy but the
+    result cannot cross the process boundary, exercising the
+    result-transport failure path.
+
+Faults only ever fire inside pool worker processes (the engine's
+in-process ``jobs=1`` path and the graceful-degradation fallback call
+the chunk runner directly, bypassing injection) — a ``crash`` fault can
+therefore never take down the coordinating process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import FaultInjectedError, SlifError
+
+#: Environment variable holding the fault plan.
+FAULTS_ENV = "SLIF_FAULTS"
+#: Environment variable overriding how long a ``hang`` fault sleeps.
+HANG_SECONDS_ENV = "SLIF_FAULT_HANG_SECONDS"
+#: Exit status used by the ``crash`` fault (distinctive in worker logs).
+CRASH_EXIT_CODE = 87
+
+FAULT_KINDS = ("crash", "hang", "transient", "pickle")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One parsed fault: fire ``kind`` on ``chunk`` for ``times`` attempts."""
+
+    kind: str
+    chunk: int
+    times: int = 1
+
+
+class FaultPlan:
+    """An immutable set of :class:`FaultSpec`\\ s indexed by chunk."""
+
+    def __init__(self, specs: List[FaultSpec]) -> None:
+        self.specs = tuple(specs)
+        self._by_chunk: Dict[int, List[FaultSpec]] = {}
+        for spec in specs:
+            self._by_chunk.setdefault(spec.chunk, []).append(spec)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def fault_for(self, chunk_index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault that fires on this ``(chunk, attempt)``, if any.
+
+        ``attempt`` is 0-based; a spec with ``times=t`` fires on
+        attempts ``0 .. t-1`` of its chunk.  The first matching spec in
+        plan order wins, so the plan author controls precedence.
+        """
+        for spec in self._by_chunk.get(chunk_index, ()):
+            if attempt < spec.times:
+                return spec
+        return None
+
+
+EMPTY_PLAN = FaultPlan([])
+
+
+def parse_faults(text: Optional[str]) -> FaultPlan:
+    """Parse a ``SLIF_FAULTS`` value into a :class:`FaultPlan`.
+
+    >>> plan = parse_faults("crash:2, hang:0:2; transient:3")
+    >>> [(s.kind, s.chunk, s.times) for s in plan.specs]
+    [('crash', 2, 1), ('hang', 0, 2), ('transient', 3, 1)]
+    >>> parse_faults(None).specs
+    ()
+    """
+    if not text or not text.strip():
+        return EMPTY_PLAN
+    specs: List[FaultSpec] = []
+    for token in text.replace(";", ",").split(","):
+        token = token.strip()
+        if not token:
+            continue
+        parts = token.split(":")
+        if len(parts) not in (2, 3):
+            raise SlifError(
+                f"malformed fault token {token!r}: expected kind:chunk or "
+                f"kind:chunk:times"
+            )
+        kind = parts[0].strip().lower()
+        if kind not in FAULT_KINDS:
+            raise SlifError(
+                f"unknown fault kind {kind!r}; available: {FAULT_KINDS}"
+            )
+        try:
+            chunk = int(parts[1])
+            times = int(parts[2]) if len(parts) == 3 else 1
+        except ValueError:
+            raise SlifError(
+                f"malformed fault token {token!r}: chunk and times must be "
+                f"integers"
+            ) from None
+        if chunk < 0 or times < 1:
+            raise SlifError(
+                f"malformed fault token {token!r}: chunk must be >= 0 and "
+                f"times >= 1"
+            )
+        specs.append(FaultSpec(kind=kind, chunk=chunk, times=times))
+    return FaultPlan(specs)
+
+
+_PLAN_CACHE: Tuple[Optional[str], FaultPlan] = (None, EMPTY_PLAN)
+
+
+def plan_from_env() -> FaultPlan:
+    """The fault plan configured via ``SLIF_FAULTS`` (cached per value).
+
+    Worker processes inherit the coordinator's environment under both
+    the ``fork`` and ``spawn`` start methods, so exporting the variable
+    before a sweep reaches every worker.
+    """
+    global _PLAN_CACHE
+    text = os.environ.get(FAULTS_ENV)
+    cached_text, cached_plan = _PLAN_CACHE
+    if text == cached_text:
+        return cached_plan
+    plan = parse_faults(text)
+    _PLAN_CACHE = (text, plan)
+    return plan
+
+
+def hang_seconds() -> float:
+    """How long a ``hang`` fault sleeps (test hooks shrink this)."""
+    try:
+        return float(os.environ.get(HANG_SECONDS_ENV, "3600"))
+    except ValueError:
+        return 3600.0
+
+
+class Unpicklable:
+    """A result that raises when multiprocessing tries to serialize it."""
+
+    def __reduce__(self):
+        raise TypeError("injected pickle fault: this result cannot be pickled")
+
+
+def fire(spec: FaultSpec, chunk_index: int, attempt: int):
+    """Execute one fault.  Returns a poison result for ``pickle`` faults.
+
+    ``crash`` does not return; ``hang`` returns after sleeping (by which
+    time the coordinator has moved on); ``transient`` raises.
+    """
+    context = (
+        f"injected {spec.kind} fault on chunk {chunk_index} "
+        f"(attempt {attempt}, fires {spec.times}x)"
+    )
+    if spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "hang":
+        time.sleep(hang_seconds())
+        return None
+    if spec.kind == "transient":
+        raise FaultInjectedError(context)
+    if spec.kind == "pickle":
+        return Unpicklable()
+    raise SlifError(f"unhandled fault kind {spec.kind!r}")  # pragma: no cover
+
+
+def maybe_inject(chunk_index: int, attempt: int):
+    """Worker-side hook: fire the configured fault for this attempt, if any.
+
+    Returns ``None`` when no fault matches (the overwhelmingly common
+    case: one env read and a dict probe), otherwise whatever
+    :func:`fire` produces for a non-raising fault kind.
+    """
+    plan = plan_from_env()
+    if not plan:
+        return None
+    spec = plan.fault_for(chunk_index, attempt)
+    if spec is None:
+        return None
+    return fire(spec, chunk_index, attempt)

@@ -33,6 +33,9 @@ def simulated_annealing(
     min_temperature: float = 1e-3,
     restarts: int = 1,
     jobs: int = 1,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
     **_ignored,
 ) -> PartitionResult:
     """Anneal from ``partition`` (copied, not mutated).
@@ -45,7 +48,7 @@ def simulated_annealing(
     ``history`` is the winning chain's own improvement trace and
     ``iterations``/``evaluations`` sum over all chains.
     """
-    if restarts > 1 or jobs != 1:
+    if restarts > 1 or jobs != 1 or checkpoint or resume:
         from repro.explore.engine import run_multistart
         from repro.explore.plan import HEAVY_CHUNK, CandidateSpec
 
@@ -79,6 +82,9 @@ def simulated_annealing(
             jobs=jobs,
             chunk_size=HEAVY_CHUNK,
             history_mode="best_chain",
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         return result
 

@@ -77,6 +77,9 @@ def greedy_multistart(
     time_constraint: Optional[float] = None,
     jobs: int = 1,
     max_passes: int = 50,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
     **_ignored,
 ) -> PartitionResult:
     """Best of ``starts + 1`` greedy descents: the given partition plus
@@ -127,4 +130,7 @@ def greedy_multistart(
         weights=weights,
         time_constraint=time_constraint,
         jobs=jobs,
+        policy=policy,
+        checkpoint=checkpoint,
+        resume=resume,
     )

@@ -127,6 +127,9 @@ def explore_pareto(
     random_starts: int = 5,
     seed: int = 0,
     jobs: int = 1,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
 ) -> ParetoFront:
     """Sweep the time/area trade-off and return the Pareto front.
 
@@ -139,7 +142,12 @@ def explore_pareto(
     ``jobs`` controls parallelism: 1 evaluates the whole plan through
     one in-process runner, N > 1 fans chunks across N worker processes,
     0 uses every core.  The front is byte-identical for any ``jobs``
-    value given the same ``seed``.
+    value given the same ``seed`` — including when the fault-tolerant
+    dispatch loop had to retry, respawn or degrade along the way.
+    ``policy`` (a :class:`~repro.explore.engine.RetryPolicy`) tunes the
+    per-chunk timeout and retry budget; ``checkpoint`` journals
+    completed chunks to a JSONL file and ``resume`` replays such a
+    journal so only missing chunks are re-evaluated.
 
     Example (5 candidates: the start point plus two constraint steps of
     one greedy descent and one refined random start each):
@@ -190,7 +198,14 @@ def explore_pareto(
             partition_data=partition_to_dict(start),
             hardware=tuple(hardware_components),
         )
-        results = run_plan(payload, plan, jobs=jobs)
+        results = run_plan(
+            payload,
+            plan,
+            jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
         front = merge_fronts(results, evaluated=len(plan))
         add_event(
             "explore.merge",

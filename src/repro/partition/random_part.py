@@ -58,6 +58,9 @@ def random_restart(
     weights: Optional[CostWeights] = None,
     time_constraint: Optional[float] = None,
     jobs: int = 1,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
     **_ignored,
 ) -> PartitionResult:
     """Best of ``restarts`` random partitions (plus the starting one).
@@ -67,7 +70,7 @@ def random_restart(
     improvement history) is identical to the sequential sweep for any
     ``jobs`` value.
     """
-    if jobs != 1:
+    if jobs != 1 or checkpoint or resume:
         from repro.explore.engine import run_multistart
         from repro.explore.plan import CandidateSpec
 
@@ -92,6 +95,9 @@ def random_restart(
             weights=weights,
             time_constraint=time_constraint,
             jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
         )
         result.iterations = restarts
         if OBS.enabled:

@@ -58,12 +58,18 @@ class DesignSystem:
         random_starts: int = 5,
         seed: int = 0,
         jobs: int = 1,
+        policy=None,
+        checkpoint=None,
+        resume: bool = False,
     ):
         """Sweep the time/area trade-off (Pareto front) from here.
 
         ``jobs`` fans candidate evaluation across worker processes (0 =
         all cores); the front is identical for any value given the same
-        seed.
+        seed.  ``policy`` tunes the fault-tolerant dispatch loop
+        (per-chunk timeout, retries, backoff); ``checkpoint`` journals
+        completed chunks and ``resume`` replays such a journal so an
+        interrupted sweep only re-evaluates what is missing.
         """
         from repro.partition.pareto import explore_pareto
 
@@ -74,6 +80,9 @@ class DesignSystem:
             random_starts=random_starts,
             seed=seed,
             jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
         )
 
     def to_dot(self, annotate: bool = True) -> str:

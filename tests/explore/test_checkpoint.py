@@ -1,0 +1,213 @@
+"""Chunk-level checkpointing: journal format, resume, and safety rails."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.serialize import partition_to_dict, slif_to_dict
+from repro.errors import PartitionError, SlifError
+from repro.explore import (
+    CandidateSpec,
+    PlanPayload,
+    WorkPlan,
+    chunk_result_from_dict,
+    chunk_result_to_dict,
+    load_journal,
+    merge_restarts,
+    plan_fingerprint,
+    run_plan,
+)
+from repro.explore.checkpoint import JournalWriter
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+def restart_payload(task: str = "restart") -> PlanPayload:
+    graph = build_demo_graph()
+    partition = build_demo_partition(graph)
+    return PlanPayload(
+        task=task,
+        slif_data=slif_to_dict(graph),
+        partition_data=partition_to_dict(partition),
+    )
+
+
+def restart_plan_of(chunks: int, seed: int = 0) -> WorkPlan:
+    specs = [
+        CandidateSpec(
+            index=i,
+            kind="random",
+            label=f"restart.{i}",
+            algorithm="none",
+            seed=seed + i,
+        )
+        for i in range(chunks)
+    ]
+    return WorkPlan(specs, chunk_size=1)
+
+
+def merged(results):
+    best, mapping, history, outcomes = merge_restarts(results)
+    return (best, mapping, history, [o.cost for o in outcomes])
+
+
+class TestSerialization:
+    def test_restart_result_roundtrip(self):
+        payload, plan = restart_payload(), restart_plan_of(2)
+        results = run_plan(payload, plan, jobs=1)
+        for result in results:
+            clone = chunk_result_from_dict(
+                json.loads(json.dumps(chunk_result_to_dict(result)))
+            )
+            assert clone == result
+
+    def test_pareto_result_roundtrip(self):
+        from repro.system import build_system
+
+        system = build_system("fuzzy")
+        from repro.core.serialize import partition_to_dict, slif_to_dict
+        from repro.estimate.size import all_component_sizes
+        from repro.explore.plan import pareto_plan
+
+        sizes = all_component_sizes(system.slif, system.partition)
+        plan = pareto_plan({"CPU": sizes["CPU"]}, constraint_steps=1,
+                           random_starts=1, seed=0)
+        payload = PlanPayload(
+            task="pareto",
+            slif_data=slif_to_dict(system.slif),
+            partition_data=partition_to_dict(system.partition),
+            hardware=("HW",),
+        )
+        results = run_plan(payload, plan, jobs=1)
+        for result in results:
+            clone = chunk_result_from_dict(
+                json.loads(json.dumps(chunk_result_to_dict(result)))
+            )
+            assert clone == result
+
+
+class TestFingerprint:
+    def test_same_inputs_same_fingerprint(self):
+        assert plan_fingerprint(
+            restart_payload(), restart_plan_of(3)
+        ) == plan_fingerprint(restart_payload(), restart_plan_of(3))
+
+    def test_different_plan_different_fingerprint(self):
+        payload = restart_payload()
+        assert plan_fingerprint(payload, restart_plan_of(3)) != plan_fingerprint(
+            payload, restart_plan_of(4)
+        )
+        assert plan_fingerprint(payload, restart_plan_of(3)) != plan_fingerprint(
+            payload, restart_plan_of(3, seed=9)
+        )
+
+
+class TestJournal:
+    def test_checkpoint_writes_header_and_chunks(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(3)
+        run_plan(payload, plan, jobs=1, checkpoint=path)
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0]["kind"] == "slif-explore-journal"
+        assert lines[0]["fingerprint"] == plan_fingerprint(payload, plan)
+        assert sorted(line["chunk_index"] for line in lines[1:]) == [0, 1, 2]
+
+    def test_resume_skips_completed_chunks(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+
+        # simulate an interrupted run: journal only chunks 0 and 2
+        fingerprint = plan_fingerprint(payload, plan)
+        full = run_plan(payload, plan, jobs=1)
+        with JournalWriter.fresh(path, fingerprint, payload.task) as writer:
+            writer.record(full[0])
+            writer.record(full[2])
+
+        obs.reset()
+        obs.enable()
+        try:
+            results = run_plan(payload, plan, jobs=1, checkpoint=path,
+                               resume=True)
+            snap = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert merged(results) == baseline
+        assert snap["explore.checkpoint.chunks_skipped"] == 2
+        # the two fresh chunks were appended to the same journal
+        indices = [json.loads(l)["chunk_index"] for l in open(path)
+                   if "chunk_index" in l]
+        assert sorted(indices) == [0, 1, 2, 3]
+
+    def test_resume_with_complete_journal_runs_nothing(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(3)
+        baseline = merged(run_plan(payload, plan, jobs=1, checkpoint=path))
+        obs.reset()
+        obs.enable()
+        try:
+            results = run_plan(payload, plan, jobs=4, checkpoint=path,
+                               resume=True)
+            snap = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert merged(results) == baseline
+        assert snap["explore.checkpoint.chunks_skipped"] == 3
+        assert "explore.chunks" not in snap   # nothing re-evaluated
+
+    def test_resume_missing_file_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "missing.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(2)
+        results = run_plan(payload, plan, jobs=1, checkpoint=path, resume=True)
+        assert len(results) == 2
+        assert len(open(path).readlines()) == 3  # header + 2 chunks
+
+    def test_fingerprint_mismatch_is_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        payload = restart_payload()
+        run_plan(payload, restart_plan_of(3), jobs=1, checkpoint=path)
+        with pytest.raises(SlifError) as excinfo:
+            run_plan(payload, restart_plan_of(4), jobs=1, checkpoint=path,
+                     resume=True)
+        assert "different sweep" in str(excinfo.value)
+
+    def test_non_journal_file_is_rejected(self, tmp_path):
+        path = str(tmp_path / "not-a-journal.jsonl")
+        path_obj = tmp_path / "not-a-journal.jsonl"
+        path_obj.write_text('{"some": "other json"}\n')
+        with pytest.raises(PartitionError):
+            load_journal(path, "whatever")
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        """A line truncated by a mid-write kill is re-evaluated, not fatal."""
+        path = str(tmp_path / "journal.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(3)
+        baseline = merged(run_plan(payload, plan, jobs=1, checkpoint=path))
+        lines = open(path).read().splitlines()
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # tear the final line
+        open(path, "w").write("\n".join(lines))
+        completed, corrupt = load_journal(
+            path, plan_fingerprint(payload, plan)
+        )
+        assert corrupt == 1
+        assert len(completed) == 2
+        results = run_plan(payload, plan, jobs=1, checkpoint=path, resume=True)
+        assert merged(results) == baseline
+
+
+class TestJobsParityWithCheckpoint:
+    def test_interleaved_resume_matches_jobs1(self, tmp_path):
+        """Chunks from journal + chunks from the pool merge identically."""
+        path = str(tmp_path / "journal.jsonl")
+        payload, plan = restart_payload(), restart_plan_of(6)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        fingerprint = plan_fingerprint(payload, plan)
+        full = run_plan(payload, plan, jobs=1)
+        with JournalWriter.fresh(path, fingerprint, payload.task) as writer:
+            writer.record(full[1])
+            writer.record(full[4])
+        results = run_plan(payload, plan, jobs=3, checkpoint=path, resume=True)
+        assert merged(results) == baseline

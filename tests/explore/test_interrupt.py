@@ -1,0 +1,104 @@
+"""Ctrl-C mid-sweep must not lose completed chunks or leak workers.
+
+Regression for the pre-fault-tolerance behavior, where a
+``KeyboardInterrupt`` during the blocking ``pool.map`` discarded every
+finished chunk.  The scenario: a ``--jobs 2 --checkpoint`` sweep whose
+last chunk hangs (via the fault injector), interrupted once the journal
+shows real progress.  The process must exit promptly (pool terminated,
+not waited on), the journal must hold every completed chunk, and
+``--resume`` must finish the sweep with the same front a clean run
+produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+CLI = [sys.executable, "-m", "repro.cli"]
+SWEEP = ["explore", "fuzzy", "--steps", "2", "--random-starts", "2"]
+
+
+def cli_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("SLIF_FAULTS", None)
+    env.update(extra)
+    return env
+
+
+def journal_lines(path):
+    if not path.exists():
+        return []
+    return [line for line in path.read_text().splitlines() if line.strip()]
+
+
+def test_interrupt_flushes_journal_and_resume_completes(tmp_path):
+    journal = tmp_path / "sweep.jsonl"
+
+    # the reference: an untouched sequential run
+    clean = subprocess.run(
+        CLI + SWEEP + ["--jobs", "1"],
+        env=cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=str(REPO),
+    )
+    assert clean.returncode == 0, clean.stderr
+
+    # chunk 2 (the last of three) hangs; chunks 0 and 1 complete and land
+    # in the journal, then we interrupt the stuck sweep
+    proc = subprocess.Popen(
+        CLI + SWEEP + ["--jobs", "2", "--checkpoint", str(journal)],
+        env=cli_env(SLIF_FAULTS="hang:2", SLIF_FAULT_HANG_SECONDS="300"),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+    )
+    try:
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if len(journal_lines(journal)) >= 3:  # header + 2 chunks
+                break
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"sweep exited early: {proc.communicate()[1]}"
+                )
+            time.sleep(0.05)
+        else:
+            raise AssertionError("journal never reached 2 completed chunks")
+        time.sleep(0.2)                 # let the fsync of chunk 1 settle
+        proc.send_signal(signal.SIGINT)
+        stdout, stderr = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    # the interrupt path: clean exit code, pool not waited on forever
+    assert proc.returncode == 130, (stdout, stderr)
+    assert "interrupted" in stderr
+
+    # completed chunks survived the interrupt
+    lines = [json.loads(line) for line in journal_lines(journal)]
+    done = sorted(line["chunk_index"] for line in lines[1:])
+    assert done == [0, 1]
+
+    # resume replays only the missing chunk and matches the clean front
+    resumed = subprocess.run(
+        CLI + SWEEP + ["--jobs", "2", "--resume", str(journal), "--stats"],
+        env=cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=str(REPO),
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == clean.stdout
+    assert "explore.checkpoint.chunks_skipped" in resumed.stderr

@@ -1,0 +1,159 @@
+"""RetryPolicy arithmetic, error taxonomy, and jobs=1/jobs=N parity."""
+
+import pytest
+
+from repro.core.partition import single_bus_partition
+from repro.core.serialize import partition_to_dict, slif_to_dict
+from repro.errors import (
+    ChunkTimeoutError,
+    PartitionError,
+    PoolCrashError,
+    SlifError,
+    WorkerError,
+)
+from repro.explore import (
+    CandidateSpec,
+    PlanPayload,
+    RetryPolicy,
+    WorkPlan,
+    merge_restarts,
+    run_plan,
+)
+from repro.explore.engine import RecoveryStats
+
+from _helpers import build_demo_graph
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(backoff=0.5, backoff_factor=2.0, jitter=0.0)
+        assert [policy.delay(0, n) for n in (1, 2, 3, 4)] == [
+            0.5, 1.0, 2.0, 4.0,
+        ]
+
+    def test_delay_capped_at_max(self):
+        policy = RetryPolicy(backoff=1.0, max_delay=3.0, jitter=0.0)
+        assert policy.delay(0, 10) == 3.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        a = RetryPolicy(seed=7, jitter=0.25)
+        b = RetryPolicy(seed=7, jitter=0.25)
+        c = RetryPolicy(seed=8, jitter=0.25)
+        for chunk in range(4):
+            for attempt in (1, 2):
+                assert a.delay(chunk, attempt) == b.delay(chunk, attempt)
+        assert any(
+            a.delay(chunk, 1) != c.delay(chunk, 1) for chunk in range(4)
+        )
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff=1.0, backoff_factor=1.0, jitter=0.25)
+        for chunk in range(20):
+            delay = policy.delay(chunk, 1)
+            assert 0.75 <= delay <= 1.25
+
+    def test_jitter_varies_by_chunk(self):
+        policy = RetryPolicy(backoff=1.0, backoff_factor=1.0, jitter=0.25)
+        delays = {policy.delay(chunk, 1) for chunk in range(8)}
+        assert len(delays) > 1
+
+
+class TestErrorTaxonomy:
+    def test_new_errors_sit_under_partition_error(self):
+        for cls in (ChunkTimeoutError, PoolCrashError):
+            error = cls("boom")
+            assert isinstance(error, PartitionError)
+            assert isinstance(error, SlifError)
+
+    def test_new_errors_are_pickle_safe(self):
+        import pickle
+
+        for cls in (ChunkTimeoutError, PoolCrashError):
+            clone = pickle.loads(pickle.dumps(cls("chunk 3 died")))
+            assert type(clone) is cls
+            assert str(clone) == "chunk 3 died"
+
+    def test_merge_restarts_empty_raises_partition_error(self):
+        # regression: this used to be a bare ValueError outside the
+        # package taxonomy — callers catching SlifError missed it
+        with pytest.raises(PartitionError):
+            merge_restarts([])
+        with pytest.raises(SlifError):
+            merge_restarts([])
+
+
+class TestRecoveryStats:
+    def test_render_and_any(self):
+        stats = RecoveryStats()
+        assert not stats.any()
+        stats.retries = 2
+        stats.chunks_skipped = 3
+        assert stats.any()
+        text = stats.render()
+        assert "retries=2" in text
+        assert "chunks_skipped=3" in text
+
+
+# ----------------------------------------------------------------------
+# jobs=1 vs jobs=N error-surfacing parity
+
+
+def broken_payload() -> PlanPayload:
+    """A restart payload whose base partition is missing one object."""
+    graph = build_demo_graph()
+    mapping = {"Main": "CPU", "Sub": "CPU", "buf": "RAM"}  # 'flag' unmapped
+    partition = single_bus_partition(graph, mapping, name="broken")
+    return PlanPayload(
+        task="restart",
+        slif_data=slif_to_dict(graph),
+        partition_data=partition_to_dict(partition),
+    )
+
+
+def greedy_specs(count: int):
+    return [
+        CandidateSpec(
+            index=i, kind="start", label=f"greedy.{i}", algorithm="greedy"
+        )
+        for i in range(count)
+    ]
+
+
+class TestErrorParity:
+    def test_same_worker_error_message_for_any_jobs(self):
+        """The failing candidate surfaces with identical label, candidate
+        index and chunk index whether it ran in-process or in a pool."""
+        plan = WorkPlan(greedy_specs(4), chunk_size=1)
+        messages = {}
+        for jobs in (1, 2, 4):
+            with pytest.raises(WorkerError) as excinfo:
+                run_plan(
+                    broken_payload(),
+                    plan,
+                    jobs=jobs,
+                    policy=RetryPolicy(backoff=0.01),
+                )
+            messages[jobs] = str(excinfo.value)
+        assert messages[1] == messages[2] == messages[4]
+        assert "candidate 'greedy.0' (index 0, chunk 0)" in messages[1]
+
+    def test_candidate_errors_are_not_retried(self, monkeypatch):
+        """Deterministic candidate failures must not burn the retry
+        budget — the pool surfaces them directly."""
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            with pytest.raises(WorkerError):
+                run_plan(
+                    broken_payload(),
+                    WorkPlan(greedy_specs(2), chunk_size=1),
+                    jobs=2,
+                    policy=RetryPolicy(retries=5, backoff=0.01),
+                )
+            snap = obs.snapshot()["counters"]
+        finally:
+            obs.disable()
+            obs.reset()
+        assert "explore.retries" not in snap

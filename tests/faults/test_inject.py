@@ -1,0 +1,107 @@
+"""The fault-injection grammar and deterministic firing rules."""
+
+import pytest
+
+from repro.errors import FaultInjectedError, SlifError
+from repro.faults import (
+    EMPTY_PLAN,
+    FaultSpec,
+    Unpicklable,
+    fire,
+    hang_seconds,
+    maybe_inject,
+    parse_faults,
+    plan_from_env,
+)
+
+
+class TestParse:
+    def test_empty_and_none_give_empty_plan(self):
+        assert not parse_faults(None)
+        assert not parse_faults("")
+        assert not parse_faults("  ")
+        assert parse_faults(None) is EMPTY_PLAN
+
+    def test_single_token(self):
+        plan = parse_faults("crash:2")
+        assert plan.specs == (FaultSpec(kind="crash", chunk=2, times=1),)
+
+    def test_multiple_tokens_comma_and_semicolon(self):
+        plan = parse_faults("crash:2, hang:0:2; transient:3")
+        assert [(s.kind, s.chunk, s.times) for s in plan.specs] == [
+            ("crash", 2, 1),
+            ("hang", 0, 2),
+            ("transient", 3, 1),
+        ]
+
+    def test_case_insensitive_kind(self):
+        assert parse_faults("CRASH:1").specs[0].kind == "crash"
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["crash", "crash:x", "crash:1:y", "explode:1", "crash:1:2:3",
+         "crash:-1", "crash:1:0"],
+    )
+    def test_malformed_tokens_raise(self, bad):
+        with pytest.raises(SlifError):
+            parse_faults(bad)
+
+
+class TestFiring:
+    def test_fires_only_on_matching_chunk(self):
+        plan = parse_faults("transient:2")
+        assert plan.fault_for(0, 0) is None
+        assert plan.fault_for(2, 0) is not None
+
+    def test_fires_only_on_first_n_attempts(self):
+        plan = parse_faults("transient:1:2")
+        assert plan.fault_for(1, 0) is not None
+        assert plan.fault_for(1, 1) is not None
+        assert plan.fault_for(1, 2) is None   # the retry after the budget
+
+    def test_first_matching_spec_wins(self):
+        plan = parse_faults("transient:1,crash:1")
+        assert plan.fault_for(1, 0).kind == "transient"
+
+    def test_transient_raises_fault_injected_error(self):
+        spec = FaultSpec(kind="transient", chunk=0)
+        with pytest.raises(FaultInjectedError) as excinfo:
+            fire(spec, 0, 0)
+        assert "injected transient fault on chunk 0" in str(excinfo.value)
+        assert isinstance(excinfo.value, SlifError)
+
+    def test_pickle_fault_returns_unpicklable(self):
+        import pickle
+
+        poison = fire(FaultSpec(kind="pickle", chunk=0), 0, 0)
+        assert isinstance(poison, Unpicklable)
+        with pytest.raises(TypeError):
+            pickle.dumps(poison)
+
+
+class TestEnvActivation:
+    def test_no_env_is_noop(self, monkeypatch):
+        monkeypatch.delenv("SLIF_FAULTS", raising=False)
+        assert maybe_inject(0, 0) is None
+
+    def test_env_plan_is_parsed_and_cached_per_value(self, monkeypatch):
+        monkeypatch.setenv("SLIF_FAULTS", "transient:5")
+        first = plan_from_env()
+        assert plan_from_env() is first
+        monkeypatch.setenv("SLIF_FAULTS", "transient:6")
+        second = plan_from_env()
+        assert second is not first
+        assert second.specs[0].chunk == 6
+
+    def test_env_fault_fires_through_maybe_inject(self, monkeypatch):
+        monkeypatch.setenv("SLIF_FAULTS", "transient:4")
+        with pytest.raises(FaultInjectedError):
+            maybe_inject(4, 0)
+        assert maybe_inject(4, 1) is None     # retry attempt is clean
+        assert maybe_inject(3, 0) is None     # other chunks untouched
+
+    def test_hang_seconds_override(self, monkeypatch):
+        monkeypatch.setenv("SLIF_FAULT_HANG_SECONDS", "0.25")
+        assert hang_seconds() == 0.25
+        monkeypatch.setenv("SLIF_FAULT_HANG_SECONDS", "not-a-number")
+        assert hang_seconds() == 3600.0

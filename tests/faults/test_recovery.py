@@ -1,0 +1,171 @@
+"""Every recovery path of the dispatch loop, exercised by injection.
+
+The contract under test: with ``SLIF_FAULTS`` sabotaging a ``jobs > 1``
+sweep — a worker crash, a hang past the timeout, a transient error, an
+unpicklable result — the sweep still completes and its merged outcome
+is identical to a fault-free ``jobs=1`` run.  Faults fire keyed on
+``(chunk, attempt)``, so each test states exactly which recovery
+machinery it expects to see in the obs counters.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.partition import single_bus_partition
+from repro.core.serialize import partition_to_dict, slif_to_dict
+from repro.errors import PartitionError
+from repro.explore import (
+    CandidateSpec,
+    PlanPayload,
+    RetryPolicy,
+    WorkPlan,
+    merge_restarts,
+    run_plan,
+)
+
+from _helpers import build_demo_graph, build_demo_partition
+
+
+def restart_payload() -> PlanPayload:
+    graph = build_demo_graph()
+    partition = build_demo_partition(graph)
+    return PlanPayload(
+        task="restart",
+        slif_data=slif_to_dict(graph),
+        partition_data=partition_to_dict(partition),
+    )
+
+
+def restart_plan_of(chunks: int) -> WorkPlan:
+    specs = [
+        CandidateSpec(
+            index=i,
+            kind="random",
+            label=f"restart.{i}",
+            algorithm="none",
+            seed=i,
+        )
+        for i in range(chunks)
+    ]
+    return WorkPlan(specs, chunk_size=1)
+
+
+FAST = dict(backoff=0.01, max_delay=0.05, seed=0)
+
+
+def merged(results):
+    best, mapping, history, outcomes = merge_restarts(results)
+    return (best, mapping, history, [o.cost for o in outcomes])
+
+
+@pytest.fixture
+def counters(monkeypatch):
+    """Fresh obs collection per test; yields a snapshot getter."""
+    monkeypatch.delenv("SLIF_FAULTS", raising=False)
+    obs.reset()
+    obs.enable()
+    yield lambda: obs.snapshot()["counters"]
+    obs.disable()
+    obs.reset()
+
+
+class TestRecoveryPaths:
+    def test_crash_respawns_pool_and_requeues(self, counters, monkeypatch):
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "crash:1")
+        results = run_plan(
+            payload, plan, jobs=2, policy=RetryPolicy(retries=2, **FAST)
+        )
+        assert merged(results) == baseline
+        snap = counters()
+        assert snap["explore.pool_respawns"] >= 1
+        assert snap["explore.retries"] >= 1
+
+    def test_hang_times_out_and_retries(self, counters, monkeypatch):
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "hang:2")
+        monkeypatch.setenv("SLIF_FAULT_HANG_SECONDS", "30")
+        results = run_plan(
+            payload,
+            plan,
+            jobs=2,
+            policy=RetryPolicy(timeout=1.0, retries=2, **FAST),
+        )
+        assert merged(results) == baseline
+        snap = counters()
+        assert snap["explore.timeouts"] >= 1
+        assert snap["explore.retries"] >= 1
+
+    def test_transient_error_is_retried(self, counters, monkeypatch):
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "transient:0")
+        results = run_plan(
+            payload, plan, jobs=2, policy=RetryPolicy(retries=2, **FAST)
+        )
+        assert merged(results) == baseline
+        assert counters()["explore.retries"] == 1
+
+    def test_unpicklable_result_is_retried(self, counters, monkeypatch):
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "pickle:3")
+        results = run_plan(
+            payload, plan, jobs=2, policy=RetryPolicy(retries=2, **FAST)
+        )
+        assert merged(results) == baseline
+        assert counters()["explore.retries"] == 1
+
+    def test_combined_faults_still_identical(self, counters, monkeypatch):
+        """The acceptance scenario: crash + hang + transient at once."""
+        payload, plan = restart_payload(), restart_plan_of(6)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "crash:4,hang:2,transient:0")
+        monkeypatch.setenv("SLIF_FAULT_HANG_SECONDS", "30")
+        results = run_plan(
+            payload,
+            plan,
+            jobs=4,
+            policy=RetryPolicy(timeout=1.0, retries=3, **FAST),
+        )
+        assert merged(results) == baseline
+        assert counters()["explore.retries"] >= 2
+
+
+class TestGracefulDegradation:
+    def test_exhausted_chunk_falls_back_in_process(self, counters, monkeypatch):
+        """A chunk the pool can never finish still completes the sweep."""
+        payload, plan = restart_payload(), restart_plan_of(4)
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        monkeypatch.setenv("SLIF_FAULTS", "transient:2:99")  # every attempt
+        results = run_plan(
+            payload, plan, jobs=2, policy=RetryPolicy(retries=1, **FAST)
+        )
+        assert merged(results) == baseline
+        snap = counters()
+        assert snap["explore.fallbacks"] == 1
+        assert snap["explore.retries"] == 1
+
+    def test_fallback_disabled_raises_partition_error(
+        self, counters, monkeypatch
+    ):
+        payload, plan = restart_payload(), restart_plan_of(4)
+        monkeypatch.setenv("SLIF_FAULTS", "transient:2:99")
+        with pytest.raises(PartitionError) as excinfo:
+            run_plan(
+                payload,
+                plan,
+                jobs=2,
+                policy=RetryPolicy(retries=1, fallback=False, **FAST),
+            )
+        assert "chunk 2" in str(excinfo.value)
+
+    def test_faults_never_fire_on_the_inprocess_path(self, counters, monkeypatch):
+        """jobs=1 bypasses injection entirely — crash faults are safe."""
+        payload, plan = restart_payload(), restart_plan_of(4)
+        monkeypatch.setenv("SLIF_FAULTS", "crash:0:99,crash:1:99")
+        baseline = merged(run_plan(payload, plan, jobs=1))
+        assert baseline is not None
+        assert "explore.pool_respawns" not in counters()
