@@ -21,7 +21,7 @@ import pytest
 
 from conftest import report
 from repro.partition.pareto import explore_pareto
-from repro.system import build_system
+from repro.api import build_system
 
 #: Sweep sized so per-chunk work dominates pool setup on real hardware:
 #: 1 + 16*(1+12) = 209 candidate descents over the ether graph.

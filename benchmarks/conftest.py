@@ -43,7 +43,7 @@ def spec_sources():
 @pytest.fixture(scope="session")
 def built_systems():
     """Fully-built DesignSystems for all four benchmarks."""
-    from repro.system import build_system
+    from repro.api import build_system
 
     return {name: build_system(name) for name in ("ans", "ether", "fuzzy", "vol")}
 

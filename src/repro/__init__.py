@@ -43,12 +43,21 @@ The package is organised as:
     tracing, JSONL export and summary reporting — off by default,
     enabled by ``repro.obs.enable()`` or the CLI's ``--stats`` /
     ``--trace-out`` flags.
+``repro.api``
+    The public facade: typed request/response dataclasses, reusable
+    parsed+annotated sessions, and the five top-level functions
+    (``load``/``estimate``/``partition``/``simulate``/``explore``)
+    that the CLI, the HTTP server and library users all share.
+``repro.serve``
+    The HTTP serving layer: a stdlib-only threaded JSON server over
+    the facade, with an LRU graph cache, request micro-batching and
+    bounded-in-flight backpressure (``slif serve``).
 
 Quickstart::
 
-    from repro import build_system
-    system = build_system("fuzzy")          # parse + annotate + partition
-    print(system.report().render())
+    from repro import api
+    result = api.estimate("fuzzy")          # parse + annotate + estimate
+    print(result.render())
 """
 
 from repro.errors import (
@@ -74,12 +83,14 @@ from repro.core import (
     Variable,
 )
 from repro import obs
-from repro.system import DesignSystem, build_system
+from repro import api
+from repro.api.session import DesignSystem, build_system
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AccessKind",
+    "api",
     "Behavior",
     "Bus",
     "Channel",

@@ -1,0 +1,83 @@
+"""repro.api — the one public facade over the SLIF toolkit.
+
+Historically the entry points were scattered: the CLI imported
+``repro.system``, scripts imported ``repro.estimate.engine`` or
+``repro.partition.pareto`` directly, and there was no stable contract
+a network service could expose.  This package is the redesign: typed
+request/response dataclasses (:mod:`repro.api.types`) plus five
+top-level functions —
+
+``api.load(spec)``
+    Parse + annotate once, get a reusable :class:`Session` (the unit
+    the serving layer caches).
+``api.estimate(request)``
+    The full Section 3 metric report.
+``api.partition(request)``
+    One partitioning-algorithm run plus its estimate.
+``api.simulate(request)``
+    Discrete-event simulation, optionally with estimator validation.
+``api.explore(request)``
+    The time/area Pareto sweep on the fault-tolerant engine.
+
+CLI, HTTP server and library users all call these same five functions,
+so a result is identical however it was requested::
+
+    from repro import api
+
+    result = api.estimate("fuzzy")
+    result.system_time
+    result.to_dict()                 # JSON-ready plain data
+
+``DesignSystem`` and ``build_system`` live here too (moved from
+``repro.system``, which now re-exports them with a
+``DeprecationWarning``).
+"""
+
+from repro.api.facade import estimate, explore, partition, simulate
+from repro.api.session import (
+    DesignSystem,
+    Session,
+    build_system,
+    load,
+    resolve_spec,
+    session_key,
+)
+from repro.api.types import (
+    FREQ_MODES,
+    SCHEMA_VERSION,
+    EstimateRequest,
+    EstimateResult,
+    ExploreRequest,
+    ExploreResult,
+    PartitionRequest,
+    PartitionResult,
+    RequestError,
+    SimulateRequest,
+    SimulateResult,
+    canonical_json,
+)
+
+__all__ = [
+    "DesignSystem",
+    "EstimateRequest",
+    "EstimateResult",
+    "ExploreRequest",
+    "ExploreResult",
+    "FREQ_MODES",
+    "PartitionRequest",
+    "PartitionResult",
+    "RequestError",
+    "SCHEMA_VERSION",
+    "Session",
+    "SimulateRequest",
+    "SimulateResult",
+    "build_system",
+    "canonical_json",
+    "estimate",
+    "explore",
+    "load",
+    "partition",
+    "resolve_spec",
+    "session_key",
+    "simulate",
+]

@@ -1,0 +1,266 @@
+"""The five facade functions: load, estimate, partition, simulate, explore.
+
+One stable entry point per workflow, shared by the CLI, the HTTP
+serving layer and library users — all three speak the typed
+request/response contract of :mod:`repro.api.types`, so a response is
+identical however it was produced.
+
+Each function accepts its ``*Request`` dataclass, an equivalent plain
+dict (as decoded from JSON), or a bare spec string for the common
+"defaults are fine" case::
+
+    from repro import api
+
+    api.estimate("fuzzy").system_time
+    api.partition(api.PartitionRequest(spec="vol", algorithm="greedy"))
+    api.explore({"spec": "ether", "constraint_steps": 4})
+
+Passing ``session=`` (from :func:`~repro.api.session.load`) reuses an
+already-built graph and its memoized estimators — this is what the
+server's LRU cache does for every request; without it each call builds
+a fresh session.  Facade calls never mutate a session: partitioning
+and exploration evaluate candidate mappings on copies, so one session
+can serve concurrent requests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.api.session import Session, load
+from repro.api.types import (
+    EstimateRequest,
+    EstimateResult,
+    ExploreRequest,
+    ExploreResult,
+    PartitionRequest,
+    PartitionResult,
+    RequestError,
+    SimulateRequest,
+    SimulateResult,
+)
+from repro.core.channels import FreqMode
+from repro.obs import span
+
+
+def _coerce(request, cls):
+    """Accept a request dataclass, a plain dict, or a bare spec string."""
+    if isinstance(request, cls):
+        return request
+    if isinstance(request, str):
+        return cls(spec=request)
+    if isinstance(request, dict):
+        return cls.from_dict(request)
+    raise RequestError(
+        f"expected {cls.__name__}, dict or spec string, "
+        f"got {type(request).__name__}"
+    )
+
+
+def _session_for(request, session: Optional[Session]) -> Session:
+    return session if session is not None else load(request.spec)
+
+
+def estimate(
+    request: Union[EstimateRequest, dict, str],
+    *,
+    session: Optional[Session] = None,
+) -> EstimateResult:
+    """Full Section 3 metric report for a spec's current partition.
+
+    >>> from repro import api
+    >>> result = api.estimate("vol")
+    >>> round(result.system_time, 3)
+    38.402
+    >>> result.feasible
+    True
+    >>> result == api.EstimateResult.from_dict(result.to_dict())
+    True
+    """
+    req = _coerce(request, EstimateRequest)
+    req.validate()
+    sess = _session_for(req, session)
+    with span("api.estimate", spec=sess.spec_name, mode=req.mode):
+        with sess.lock:
+            est = sess.estimator(FreqMode(req.mode), req.concurrent)
+            report = est.report()
+    return EstimateResult.from_report(report, graph_key=sess.key)
+
+
+def partition(
+    request: Union[PartitionRequest, dict, str],
+    *,
+    session: Optional[Session] = None,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> PartitionResult:
+    """Run one partitioning algorithm and estimate its outcome.
+
+    The run starts from a copy of the session's partition; the session
+    itself is never mutated, so cached sessions can serve concurrent
+    partitioning requests.  ``policy``/``checkpoint``/``resume`` pass
+    through to the fault-tolerant exploration engine for the
+    pool-backed algorithms.
+    """
+    from repro.estimate.engine import Estimator
+    from repro.partition import run_algorithm
+
+    req = _coerce(request, PartitionRequest)
+    req.validate()
+    sess = _session_for(req, session)
+    jobs = 1 if req.jobs is None else req.jobs
+    if policy is None and (req.timeout is not None or req.retries != 2):
+        from repro.explore.engine import RetryPolicy
+
+        policy = RetryPolicy(
+            timeout=req.timeout, retries=req.retries, seed=req.seed
+        )
+    with sess.lock:
+        start = sess.partition.copy()
+    with span(
+        "api.partition", spec=sess.spec_name, algorithm=req.algorithm
+    ):
+        result = run_algorithm(
+            req.algorithm,
+            sess.slif,
+            start,
+            seed=req.seed,
+            jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+        report = Estimator(sess.slif, result.partition).report()
+    return PartitionResult(
+        algorithm=req.algorithm,
+        cost=result.cost,
+        iterations=result.iterations,
+        evaluations=result.evaluations,
+        seed=req.seed,
+        partition_name=result.partition.name,
+        mapping=result.partition.object_mapping(),
+        channel_mapping=result.partition.channel_mapping(),
+        estimate=EstimateResult.from_report(report, graph_key=sess.key),
+    )
+
+
+def simulate(
+    request: Union[SimulateRequest, dict, str],
+    *,
+    session: Optional[Session] = None,
+) -> SimulateResult:
+    """Discrete-event simulation; with ``validate=True``, fidelity too."""
+    from repro.sim import SimConfig
+    from repro.sim import simulate as sim_run
+    from repro.sim import validate as sim_validate
+
+    req = _coerce(request, SimulateRequest)
+    req.validate_fields()
+    sess = _session_for(req, session)
+    config = SimConfig(
+        seed=req.seed,
+        iterations=req.iterations,
+        mode=FreqMode(req.mode),
+        concurrent=req.concurrent,
+        time_limit=req.time_limit,
+    )
+    if req.validate:
+        with span("api.simulate", spec=sess.spec_name, validate=True):
+            report = sim_validate(sess.slif, sess.partition, config=config)
+        return SimulateResult(
+            spec=sess.spec_name,
+            seed=req.seed,
+            iterations=req.iterations,
+            mode=req.mode,
+            concurrent=req.concurrent,
+            events=report.sim_events,
+            text=report.render(),
+            validation={
+                "est_seconds": report.est_seconds,
+                "sim_seconds": report.sim_seconds,
+                "speedup": report.speedup,
+                "not_exercised": list(report.not_exercised),
+                "rows": [
+                    {
+                        "metric": row.metric,
+                        "name": row.name,
+                        "estimated": row.estimated,
+                        "simulated": row.simulated,
+                        "rel_error": row.rel_error,
+                    }
+                    for row in report.rows
+                ],
+            },
+        )
+    with span("api.simulate", spec=sess.spec_name, validate=False):
+        result = sim_run(sess.slif, sess.partition, config=config)
+    return SimulateResult(
+        spec=sess.spec_name,
+        seed=req.seed,
+        iterations=req.iterations,
+        mode=req.mode,
+        concurrent=req.concurrent,
+        events=result.events,
+        end_time=result.end_time,
+        per_iteration_time=result.per_iteration_time,
+        truncated=result.truncated,
+        process_times=dict(result.process_times),
+        text=result.render(),
+    )
+
+
+def explore(
+    request: Union[ExploreRequest, dict, str],
+    *,
+    session: Optional[Session] = None,
+    policy=None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+) -> ExploreResult:
+    """Sweep the time/area trade-off; returns the Pareto front as data.
+
+    Dispatches onto the fault-tolerant :mod:`repro.explore` engine;
+    ``jobs`` fans candidate evaluation across worker processes and the
+    front is byte-identical for any value given the same seed.
+    """
+    from repro.partition.pareto import explore_pareto
+
+    req = _coerce(request, ExploreRequest)
+    req.validate()
+    sess = _session_for(req, session)
+    jobs = 1 if req.jobs is None else req.jobs
+    if policy is None and (req.timeout is not None or req.retries != 2):
+        from repro.explore.engine import RetryPolicy
+
+        policy = RetryPolicy(
+            timeout=req.timeout, retries=req.retries, seed=req.seed
+        )
+    with span("api.explore", spec=sess.spec_name, jobs=jobs):
+        front = explore_pareto(
+            sess.slif,
+            sess.partition,
+            constraint_steps=req.constraint_steps,
+            random_starts=req.random_starts,
+            seed=req.seed,
+            jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+    return ExploreResult(
+        spec=sess.spec_name,
+        seed=req.seed,
+        jobs=jobs,
+        evaluated=front.evaluated,
+        points=[
+            {
+                "hardware_size": p.hardware_size,
+                "system_time": p.system_time,
+                "label": p.label,
+                "mapping": dict(p.mapping),
+            }
+            for p in front.points
+        ],
+        text=front.render(),
+    )

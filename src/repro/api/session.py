@@ -1,0 +1,304 @@
+"""High-level system construction and reusable estimation sessions.
+
+This module is the canonical home of :class:`DesignSystem` and
+:func:`build_system` (moved here from ``repro.system``, which remains
+as a deprecation shim), plus the pieces the facade and the serving
+layer add on top:
+
+* :func:`resolve_spec` — one resolution rule for every entry point: a
+  spec argument is a bundled benchmark name, VHDL-subset source text,
+  or a filesystem path.
+* :func:`session_key` — a stable content hash over the resolved source
+  and architecture parameters; two calls that would build the same
+  annotated graph get the same key.  This is what the server's graph
+  cache and the micro-batcher key on.
+* :class:`Session` — one built system plus memoized estimators and a
+  lock, safe to share across threads and requests.  Building a session
+  is the expensive part (parse + annotate, ~100 ms); everything the
+  facade does with one afterwards is O(graph).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.channels import FreqMode
+from repro.core.graph import Slif
+from repro.core.partition import Partition, single_bus_partition
+from repro.errors import SlifError
+
+
+@dataclass
+class DesignSystem:
+    """A ready-to-explore system: annotated graph plus a partition."""
+
+    slif: Slif
+    partition: Partition
+
+    def report(self, mode: FreqMode = FreqMode.AVG, concurrent: bool = False):
+        """Full estimate of the current partition (Section 3 metrics)."""
+        from repro.estimate.engine import Estimator
+
+        return Estimator(self.slif, self.partition, mode, concurrent).report()
+
+    def execution_time(self, behavior: str) -> float:
+        """Eq. 1 for one behavior under the current partition."""
+        from repro.estimate.exectime import execution_time
+
+        return execution_time(self.slif, self.partition, behavior)
+
+    def repartition(self, algorithm: str = "greedy", seed: int = 0, **kwargs):
+        """Run a partitioning algorithm; updates and returns the partition.
+
+        ``algorithm`` is one of ``greedy``, ``annealing``,
+        ``group_migration``, ``clustering`` or ``random``.
+        """
+        from repro.partition import run_algorithm
+
+        result = run_algorithm(
+            algorithm, self.slif, self.partition, seed=seed, **kwargs
+        )
+        self.partition = result.partition
+        return result
+
+    def explore(
+        self,
+        constraint_steps: int = 8,
+        random_starts: int = 5,
+        seed: int = 0,
+        jobs: int = 1,
+        policy=None,
+        checkpoint=None,
+        resume: bool = False,
+    ):
+        """Sweep the time/area trade-off (Pareto front) from here.
+
+        ``jobs`` fans candidate evaluation across worker processes (0 =
+        all cores); the front is identical for any value given the same
+        seed.  ``policy`` tunes the fault-tolerant dispatch loop
+        (per-chunk timeout, retries, backoff); ``checkpoint`` journals
+        completed chunks and ``resume`` replays such a journal so an
+        interrupted sweep only re-evaluates what is missing.
+        """
+        from repro.partition.pareto import explore_pareto
+
+        return explore_pareto(
+            self.slif,
+            self.partition,
+            constraint_steps=constraint_steps,
+            random_starts=random_starts,
+            seed=seed,
+            jobs=jobs,
+            policy=policy,
+            checkpoint=checkpoint,
+            resume=resume,
+        )
+
+    def to_dot(self, annotate: bool = True) -> str:
+        """DOT rendering of the access graph, clustered by component."""
+        from repro.core.dot import to_dot
+
+        return to_dot(self.slif, self.partition, annotate=annotate)
+
+
+def resolve_spec(spec: str) -> Tuple[str, str, Optional[object]]:
+    """Resolve a spec argument to ``(source text, name, profile)``.
+
+    The one resolution rule shared by the facade, the CLI and the
+    server: a bundled benchmark name wins, then anything that looks
+    like VHDL source text (contains ``entity`` and a newline), then a
+    filesystem path.  Anything else is a :class:`SlifError`.
+    """
+    from pathlib import Path
+
+    from repro.specs import SPEC_NAMES, spec_profile, spec_source
+
+    if spec in SPEC_NAMES:
+        return spec_source(spec), spec, spec_profile(spec)
+    if "entity" in spec.lower() and "\n" in spec:
+        return spec, "user", None
+    path = Path(spec)
+    if path.exists():
+        return path.read_text(), path.stem, None
+    raise SlifError(
+        f"{spec!r} is neither a bundled benchmark ({SPEC_NAMES}), VHDL "
+        "source text, nor an existing file"
+    )
+
+
+def session_key(
+    spec: str,
+    *,
+    processor_name: str = "CPU",
+    asic_name: str = "HW",
+    bus_bitwidth: int = 16,
+) -> str:
+    """Content hash identifying the session :func:`load` would build.
+
+    Stable across processes: two specs that resolve to the same source
+    text and architecture parameters share a key, so a graph cache can
+    serve both from one parsed+annotated session.
+    """
+    source, name, _ = resolve_spec(spec)
+    blob = "\x00".join(
+        [source, name, processor_name, asic_name, str(bus_bitwidth)]
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
+
+
+def _build_from_resolved(
+    source: str,
+    name: str,
+    profile,
+    *,
+    processor_name: str = "CPU",
+    asic_name: str = "HW",
+    bus_bitwidth: int = 16,
+) -> DesignSystem:
+    """Parse, annotate, allocate and initial-partition one resolved spec."""
+    from repro.core.components import Bus, Processor
+    from repro.obs import span
+    from repro.synth.annotate import annotate_slif
+    from repro.synth.techlib import default_library
+    from repro.vhdl.slif_builder import build_slif_from_source
+
+    with span("system.build", spec=name):
+        slif = build_slif_from_source(source, name=name, profile=profile)
+        library = default_library()
+        with span("synth.annotate"):
+            annotate_slif(slif, library)
+
+        proc_tech = library.processors["proc"].technology()
+        asic_tech = library.asics["asic"].technology()
+        slif.add_processor(Processor(processor_name, proc_tech))
+        slif.add_processor(Processor(asic_name, asic_tech))
+        slif.add_bus(Bus("sysbus", bitwidth=bus_bitwidth, ts=0.1, td=1.0))
+
+        object_map = {obj: processor_name for obj in slif.bv_names()}
+        partition = single_bus_partition(slif, object_map, name=f"{name}-initial")
+    return DesignSystem(slif=slif, partition=partition)
+
+
+def build_system(
+    spec: str,
+    *,
+    processor_name: str = "CPU",
+    asic_name: str = "HW",
+    bus_bitwidth: int = 16,
+    seed: int = 0,
+) -> DesignSystem:
+    """Build a :class:`DesignSystem` for a bundled spec or VHDL text.
+
+    ``spec`` is either one of the bundled benchmark names (``ans``,
+    ``ether``, ``fuzzy``, ``vol``) or a full VHDL-subset source text
+    (anything containing the word ``entity``).  The architecture is the
+    paper's evaluation target: one standard processor, one ASIC, and a
+    single system bus; all behaviors start on the processor and are then
+    free to be repartitioned.
+    """
+    from repro.specs import spec_profile, spec_source
+
+    if "entity" in spec.lower() and "\n" in spec:
+        source = spec
+        name = "user"
+        profile = None
+    else:
+        source = spec_source(spec)
+        profile = spec_profile(spec)
+        name = spec
+    return _build_from_resolved(
+        source,
+        name,
+        profile,
+        processor_name=processor_name,
+        asic_name=asic_name,
+        bus_bitwidth=bus_bitwidth,
+    )
+
+
+@dataclass
+class Session:
+    """One built system, shareable across threads and requests.
+
+    ``key`` is the :func:`session_key` content hash.  ``lock``
+    serializes work that touches the session's memoized estimators
+    (their memo tables are plain dicts); the facade takes it around
+    every estimate.  Heavy operations (partitioning, exploration,
+    simulation) read the graph without mutating it and evaluate
+    candidate partitions on copies, so they run outside the lock.
+    """
+
+    system: DesignSystem
+    key: str
+    spec_name: str
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    _estimators: Dict[Tuple[str, bool], object] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def slif(self) -> Slif:
+        return self.system.slif
+
+    @property
+    def partition(self) -> Partition:
+        return self.system.partition
+
+    def estimator(self, mode: FreqMode = FreqMode.AVG, concurrent: bool = False):
+        """Memoized :class:`~repro.estimate.engine.Estimator` per mode.
+
+        The estimator's memoized execution-time evaluator is what makes
+        a warm session's estimates hundreds of times cheaper than a
+        cold build — reusing it across requests is the whole point of
+        caching sessions.
+        """
+        from repro.estimate.engine import Estimator
+
+        key = (mode.value, bool(concurrent))
+        with self.lock:
+            est = self._estimators.get(key)
+            if est is None:
+                est = Estimator(self.slif, self.partition, mode, concurrent)
+                self._estimators[key] = est
+            return est
+
+
+def load(
+    spec: str,
+    *,
+    processor_name: str = "CPU",
+    asic_name: str = "HW",
+    bus_bitwidth: int = 16,
+) -> Session:
+    """Parse, annotate and wrap one spec as a reusable :class:`Session`.
+
+    The facade's entry point for everything: resolve the spec (bundled
+    name, VHDL text, or path), build the annotated system once, and
+    hand back a session whose estimators are memoized across calls.
+
+    >>> from repro import api
+    >>> session = api.load("vol")
+    >>> session.spec_name
+    'vol'
+    >>> len(session.key)
+    24
+    """
+    source, name, profile = resolve_spec(spec)
+    key = session_key(
+        spec,
+        processor_name=processor_name,
+        asic_name=asic_name,
+        bus_bitwidth=bus_bitwidth,
+    )
+    system = _build_from_resolved(
+        source,
+        name,
+        profile,
+        processor_name=processor_name,
+        asic_name=asic_name,
+        bus_bitwidth=bus_bitwidth,
+    )
+    return Session(system=system, key=key, spec_name=name)

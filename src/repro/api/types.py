@@ -1,0 +1,380 @@
+"""Typed request/response contract of the :mod:`repro.api` facade.
+
+Every entry point of the facade (and hence every endpoint of the
+serving layer) speaks in the dataclasses defined here: a ``*Request``
+carries what the caller wants evaluated, a ``*Result`` carries plain
+data — no live graph objects — so it can cross a process or network
+boundary unchanged.  Each class has
+
+* a ``schema_version`` field (bumped when the wire shape changes, so
+  old clients fail loudly instead of silently misreading responses),
+* ``to_dict()`` returning JSON-ready plain data, and
+* ``from_dict()`` rejecting unknown keys and unsupported versions with
+  :class:`RequestError`.
+
+:func:`canonical_json` is the one JSON encoding used on the wire:
+sorted keys and compact separators, so a response is byte-identical
+however it was produced (direct library call, CLI, or HTTP server).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
+
+from repro.errors import SlifError
+
+#: Version of the request/response wire shape defined in this module.
+SCHEMA_VERSION = 1
+
+#: Access-frequency modes accepted by the ``mode`` request fields.
+FREQ_MODES = ("avg", "min", "max")
+
+
+class RequestError(SlifError):
+    """A malformed facade request (bad field, unknown key, bad version).
+
+    The serving layer maps this (like any :class:`SlifError`) to HTTP
+    400; the CLI maps it to exit code 2.
+    """
+
+
+def canonical_json(payload: Dict[str, Any]) -> str:
+    """The one wire encoding: sorted keys, compact separators."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _from_dict(cls, data: Any):
+    """Build ``cls`` from plain data, rejecting junk loudly."""
+    if not isinstance(data, dict):
+        raise RequestError(
+            f"{cls.__name__} payload must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise RequestError(
+            f"{cls.__name__} does not accept field(s) {unknown}; "
+            f"known fields: {sorted(known)}"
+        )
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise RequestError(
+            f"{cls.__name__} schema_version {version!r} is not supported "
+            f"(this build speaks version {SCHEMA_VERSION})"
+        )
+    return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EstimateRequest:
+    """Ask for the full Section 3 metric report of a spec's partition.
+
+    ``spec`` is a bundled benchmark name (``ans``/``ether``/``fuzzy``/
+    ``vol``), a filesystem path, or VHDL-subset source text.
+    """
+
+    spec: str = ""
+    mode: str = "avg"
+    concurrent: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> None:
+        if not isinstance(self.spec, str) or not self.spec:
+            raise RequestError("EstimateRequest.spec must be a non-empty string")
+        if self.mode not in FREQ_MODES:
+            raise RequestError(
+                f"EstimateRequest.mode must be one of {FREQ_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "EstimateRequest":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class PartitionRequest:
+    """Ask for one partitioning-algorithm run plus its estimate.
+
+    ``jobs=None`` means "the caller's default" (1 for direct library
+    use; the server substitutes its ``--jobs`` setting).
+    """
+
+    spec: str = ""
+    algorithm: str = "greedy"
+    seed: int = 0
+    jobs: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 2
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> None:
+        from repro.partition import ALGORITHMS
+
+        if not isinstance(self.spec, str) or not self.spec:
+            raise RequestError("PartitionRequest.spec must be a non-empty string")
+        if self.algorithm not in ALGORITHMS:
+            raise RequestError(
+                f"PartitionRequest.algorithm must be one of "
+                f"{sorted(ALGORITHMS)}, got {self.algorithm!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PartitionRequest":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class SimulateRequest:
+    """Ask for a discrete-event simulation (optionally with validation).
+
+    With ``validate=True`` the estimators run too and the result carries
+    the per-metric relative-error report instead of the plain run.
+    """
+
+    spec: str = ""
+    seed: int = 0
+    iterations: int = 10
+    mode: str = "avg"
+    concurrent: bool = True
+    time_limit: Optional[float] = None
+    validate: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    def validate_fields(self) -> None:
+        if not isinstance(self.spec, str) or not self.spec:
+            raise RequestError("SimulateRequest.spec must be a non-empty string")
+        if self.mode not in FREQ_MODES:
+            raise RequestError(
+                f"SimulateRequest.mode must be one of {FREQ_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.iterations < 1:
+            raise RequestError("SimulateRequest.iterations must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SimulateRequest":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class ExploreRequest:
+    """Ask for the time/area Pareto sweep of a spec."""
+
+    spec: str = ""
+    constraint_steps: int = 8
+    random_starts: int = 5
+    seed: int = 0
+    jobs: Optional[int] = None
+    timeout: Optional[float] = None
+    retries: int = 2
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> None:
+        if not isinstance(self.spec, str) or not self.spec:
+            raise RequestError("ExploreRequest.spec must be a non-empty string")
+        if self.constraint_steps < 0 or self.random_starts < 0:
+            raise RequestError(
+                "ExploreRequest.constraint_steps and random_starts must be >= 0"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExploreRequest":
+        return _from_dict(cls, data)
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EstimateResult:
+    """Plain-data form of one :class:`~repro.estimate.engine.EstimateReport`.
+
+    ``graph_key`` is the content hash of the session the estimate came
+    from — the key the serving layer's graph cache uses, surfaced so
+    clients can correlate responses with cache behaviour.
+    """
+
+    partition_name: str = ""
+    system_time: float = 0.0
+    feasible: bool = True
+    component_sizes: Dict[str, float] = field(default_factory=dict)
+    component_ios: Dict[str, int] = field(default_factory=dict)
+    process_times: Dict[str, float] = field(default_factory=dict)
+    bus_loads: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    violations: List[Dict[str, Any]] = field(default_factory=list)
+    graph_key: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def from_report(cls, report, graph_key: str = "") -> "EstimateResult":
+        """Flatten a live :class:`EstimateReport` into plain data."""
+        return cls(
+            partition_name=report.partition_name,
+            system_time=report.system_time,
+            feasible=report.feasible,
+            component_sizes=dict(report.component_sizes),
+            component_ios=dict(report.component_ios),
+            process_times=dict(report.process_times),
+            bus_loads={
+                name: {"demand": load.demand, "capacity": load.capacity}
+                for name, load in report.bus_loads.items()
+            },
+            violations=[
+                {
+                    "component": v.component,
+                    "metric": v.metric,
+                    "used": v.used,
+                    "limit": v.limit,
+                }
+                for v in report.violations
+            ],
+            graph_key=graph_key,
+        )
+
+    def to_report(self):
+        """Rebuild the live report (for rendering with the one true code)."""
+        from repro.estimate.bitrate import BusLoad
+        from repro.estimate.engine import EstimateReport, Violation
+
+        return EstimateReport(
+            partition_name=self.partition_name,
+            component_sizes=dict(self.component_sizes),
+            component_ios=dict(self.component_ios),
+            process_times=dict(self.process_times),
+            system_time=self.system_time,
+            bus_loads={
+                name: BusLoad(
+                    bus=name, demand=data["demand"], capacity=data["capacity"]
+                )
+                for name, data in self.bus_loads.items()
+            },
+            violations=[
+                Violation(v["component"], v["metric"], v["used"], v["limit"])
+                for v in self.violations
+            ],
+        )
+
+    def render(self) -> str:
+        """The human-readable report, identical to the CLI's output."""
+        return self.to_report().render()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "EstimateResult":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class PartitionResult:
+    """Plain-data outcome of one partitioning run.
+
+    Not to be confused with the in-memory
+    :class:`repro.partition.result.PartitionResult`, which carries a
+    live :class:`~repro.core.partition.Partition`; this one carries the
+    mapping as plain dicts plus the post-run estimate.
+    """
+
+    algorithm: str = ""
+    cost: float = 0.0
+    iterations: int = 0
+    evaluations: int = 0
+    seed: int = 0
+    partition_name: str = ""
+    mapping: Dict[str, str] = field(default_factory=dict)
+    channel_mapping: Dict[str, str] = field(default_factory=dict)
+    estimate: Optional[EstimateResult] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def summary(self) -> str:
+        """One-line outcome, format-identical to the in-memory result."""
+        return (
+            f"{self.algorithm}: cost={self.cost:g} after "
+            f"{self.iterations} iterations / {self.evaluations} evaluations"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PartitionResult":
+        if isinstance(data, dict) and isinstance(data.get("estimate"), dict):
+            data = dict(data)
+            data["estimate"] = EstimateResult.from_dict(data["estimate"])
+        return _from_dict(cls, data)
+
+
+@dataclass
+class SimulateResult:
+    """Plain-data outcome of one simulation (or validation) run.
+
+    ``text`` is the rendered human report — the simulation summary, or
+    the estimator-vs-simulation fidelity table when the request asked
+    for validation (in which case ``validation`` also carries the
+    per-metric rows as data).
+    """
+
+    spec: str = ""
+    seed: int = 0
+    iterations: int = 0
+    mode: str = "avg"
+    concurrent: bool = True
+    events: int = 0
+    end_time: float = 0.0
+    per_iteration_time: float = 0.0
+    truncated: bool = False
+    process_times: Dict[str, float] = field(default_factory=dict)
+    text: str = ""
+    validation: Optional[Dict[str, Any]] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SimulateResult":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class ExploreResult:
+    """Plain-data Pareto front from one exploration sweep."""
+
+    spec: str = ""
+    seed: int = 0
+    jobs: int = 1
+    evaluated: int = 0
+    points: List[Dict[str, Any]] = field(default_factory=list)
+    text: str = ""
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ExploreResult":
+        return _from_dict(cls, data)

@@ -24,9 +24,23 @@ Subcommands mirror the system-design workflow:
     Execute the annotated graph in the discrete-event simulator; with
     ``--validate``, also run the estimators and report the per-metric
     relative error against the simulated ground truth.
+``slif serve [--port N]``
+    Run the long-running HTTP estimation service (``repro.serve``):
+    JSON endpoints for estimate/partition/simulate/explore backed by
+    an LRU graph cache and request micro-batching.
 
 ``breakdown``, ``transform`` and the flag-by-flag reference for every
 subcommand live in ``docs/cli.md``.
+
+The workflow subcommands (``estimate``/``partition``/``explore``/
+``simulate``) are thin wrappers over the :mod:`repro.api` facade — the
+same typed request/response contract the server speaks — so a CLI run,
+a library call and an HTTP response always agree.
+
+Exit codes are normalized (table in ``docs/cli.md``): 0 success, 2 for
+any expected failure (bad input, validation, estimation or partition
+errors), 3 when the fault-tolerant runtime exhausted its recovery
+budget (chunk timeouts, pool crashes, injected faults), 130 on SIGINT.
 
 Parallelism: ``partition`` and ``explore`` accept ``--jobs N`` to fan
 candidate evaluation across worker processes (0 = all cores) via
@@ -102,12 +116,9 @@ def _build_graph(
 
 
 def _build_system(spec: str):
-    from repro.system import build_system
+    from repro import api
 
-    source, name, profile = _load_source(spec)
-    if name in ("ans", "ether", "fuzzy", "vol"):
-        return build_system(name)
-    return build_system(source)
+    return api.load(spec).system
 
 
 def cmd_build(args: argparse.Namespace) -> int:
@@ -135,24 +146,34 @@ def cmd_build(args: argparse.Namespace) -> int:
 
 
 def cmd_estimate(args: argparse.Namespace) -> int:
-    system = _build_system(args.spec)
+    from repro import api
+
+    session = api.load(args.spec)
     with obs.span("cli.estimate", spec=args.spec) as sp:
-        report = system.report()
-    print(report.render())
+        result = api.estimate(
+            api.EstimateRequest(spec=args.spec), session=session
+        )
+    print(result.render())
     print(f"-- estimated in {sp.duration * 1000:.2f} ms", file=sys.stderr)
     return 0
 
 
 def cmd_partition(args: argparse.Namespace) -> int:
-    system = _build_system(args.spec)
+    from repro import api
+
+    session = api.load(args.spec)
+    request = api.PartitionRequest(
+        spec=args.spec,
+        algorithm=args.algorithm,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
     with obs.span(
         "cli.partition", spec=args.spec, algorithm=args.algorithm, seed=args.seed
     ) as sp:
-        result = system.repartition(
-            args.algorithm, seed=args.seed, jobs=args.jobs, **_exec_options(args)
-        )
-    print(result)
-    print(system.report().render())
+        result = api.partition(request, session=session, **_exec_options(args))
+    print(result.summary())
+    print(result.estimate.render())
     print(
         f"-- partition {args.algorithm} seed={args.seed}: "
         f"{result.iterations} iterations, {result.evaluations} cost "
@@ -163,56 +184,75 @@ def cmd_partition(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
-    system = _build_system(args.spec)
+    from repro import api
+
+    session = api.load(args.spec)
+    request = api.ExploreRequest(
+        spec=args.spec,
+        constraint_steps=args.steps,
+        random_starts=args.random_starts,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
     with obs.span("cli.explore", spec=args.spec, seed=args.seed) as sp:
-        front = system.explore(
-            constraint_steps=args.steps,
-            random_starts=args.random_starts,
-            seed=args.seed,
-            jobs=args.jobs,
-            **_exec_options(args),
-        )
-    print(front.render())
+        result = api.explore(request, session=session, **_exec_options(args))
+    print(result.text)
     print(
         f"-- explore seed={args.seed} jobs={args.jobs}: "
-        f"{front.evaluated} designs evaluated, "
-        f"{len(front.points)} on the front in {sp.duration:.3f}s",
+        f"{result.evaluated} designs evaluated, "
+        f"{len(result.points)} on the front in {sp.duration:.3f}s",
         file=sys.stderr,
     )
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.core.channels import FreqMode
-    from repro.sim import SimConfig, simulate, validate
+    from repro import api
 
-    system = _build_system(args.spec)
-    config = SimConfig(
+    session = api.load(args.spec)
+    request = api.SimulateRequest(
+        spec=args.spec,
         seed=args.seed,
         iterations=args.iterations,
-        mode=FreqMode(args.mode),
+        mode=args.mode,
         concurrent=not args.sequential,
         time_limit=args.time_limit,
+        validate=args.validate,
     )
+    with obs.span("cli.simulate", spec=args.spec, seed=args.seed) as sp:
+        result = api.simulate(request, session=session)
+    print(result.text)
     if args.validate:
-        with obs.span("cli.simulate", spec=args.spec, seed=args.seed) as sp:
-            report = validate(system.slif, system.partition, config=config)
-        print(report.render())
+        fidelity = result.validation
         print(
             f"-- validated in {sp.duration:.3f}s: estimate "
-            f"{report.est_seconds * 1000:.2f} ms vs simulation "
-            f"{report.sim_seconds * 1000:.2f} ms ({report.speedup:.0f}x)",
+            f"{fidelity['est_seconds'] * 1000:.2f} ms vs simulation "
+            f"{fidelity['sim_seconds'] * 1000:.2f} ms "
+            f"({fidelity['speedup']:.0f}x)",
             file=sys.stderr,
         )
         return 0
-    with obs.span("cli.simulate", spec=args.spec, seed=args.seed) as sp:
-        result = simulate(system.slif, system.partition, config=config)
-    print(result.render())
     print(
         f"-- simulated {result.events} events in {sp.duration:.3f}s",
         file=sys.stderr,
     )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServerConfig, run_server
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        batch_window=args.batch_window,
+        drain_timeout=args.drain_timeout,
+        quiet=not args.verbose,
+    )
+    return run_server(config)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -370,10 +410,25 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        from repro import __version__
+
+        return __version__
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="slif",
         description="SLIF: specification-level intermediate format tools",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"slif {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -478,6 +533,64 @@ def make_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
 
+    p = sub.add_parser(
+        "serve", help="run the long-running HTTP estimation service"
+    )
+    p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port (default 8080; 0 picks an ephemeral port)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="default worker processes for heavy requests that do not "
+        "set their own jobs field (0 = all cores)",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=32,
+        metavar="N",
+        help="parsed+annotated sessions kept in the LRU graph cache "
+        "(0 disables caching: every request parses from scratch)",
+    )
+    p.add_argument(
+        "--max-inflight",
+        type=int,
+        default=4,
+        metavar="N",
+        help="concurrent heavy requests (partition/simulate/explore) "
+        "before the server answers 429 with Retry-After",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        metavar="S",
+        help="seconds identical estimate requests are coalesced into "
+        "one evaluation (0 disables micro-batching)",
+    )
+    p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="seconds to wait for in-flight requests after SIGTERM",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log one line per request to stderr",
+    )
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("stats", help="structural counts + format comparison")
     p.add_argument("spec")
     p.add_argument("--granularity", **granularity_kwargs)
@@ -524,7 +637,23 @@ def _emit_obs(args: argparse.Namespace) -> None:
         print(f"-- wrote {lines} trace lines to {trace_out}", file=sys.stderr)
 
 
+#: Exit-code contract (documented in ``docs/cli.md``): expected
+#: failures — bad input, validation, estimation, partition errors —
+#: exit 2; exhaustion of the fault-tolerant runtime's recovery budget
+#: exits 3; SIGINT exits 130.  Unexpected exceptions stay loud
+#: (traceback, exit 1): those are bugs, not user errors.
+EXIT_ERROR = 2
+EXIT_EXHAUSTED = 3
+EXIT_INTERRUPTED = 130
+
+
 def main(argv: Optional[list] = None) -> int:
+    from repro.errors import (
+        ChunkTimeoutError,
+        FaultInjectedError,
+        PoolCrashError,
+    )
+
     parser = make_parser()
     args = parser.parse_args(argv)
     # One command = one instrumentation session: collection is on for
@@ -536,14 +665,22 @@ def main(argv: Optional[list] = None) -> int:
         code = args.func(args)
         _emit_obs(args)
         return code
+    except (ChunkTimeoutError, PoolCrashError, FaultInjectedError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_EXHAUSTED
     except SlifError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
+    except OSError as exc:
+        # e.g. an unreadable spec file or unwritable output path: an
+        # expected failure, not a bug — no raw traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
     except KeyboardInterrupt:
         # run_plan has already terminated its pool and flushed any
         # checkpoint journal by the time the interrupt reaches here
         print("interrupted", file=sys.stderr)
-        return 130
+        return EXIT_INTERRUPTED
     finally:
         obs.disable()
 

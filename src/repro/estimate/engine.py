@@ -198,7 +198,7 @@ class Estimator:
     def report(self) -> EstimateReport:
         """Compute everything at once (the partitioning inner-loop call).
 
-        >>> from repro.system import build_system
+        >>> from repro.api import build_system
         >>> from repro.estimate.engine import Estimator
         >>> system = build_system("vol")
         >>> report = Estimator(system.slif, system.partition).report()

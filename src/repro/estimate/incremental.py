@@ -159,7 +159,7 @@ class IncrementalEstimator:
         Returns an undo token.  Moving an object to its current
         component is a no-op move (still returns a valid token).
 
-        >>> from repro.system import build_system
+        >>> from repro.api import build_system
         >>> from repro.estimate.incremental import IncrementalEstimator
         >>> system = build_system("vol")
         >>> inc = IncrementalEstimator(system.slif, system.partition)
@@ -189,7 +189,7 @@ class IncrementalEstimator:
     def undo(self, record: MoveRecord) -> None:
         """Exactly reverse a move made by :meth:`apply_move`.
 
-        >>> from repro.system import build_system
+        >>> from repro.api import build_system
         >>> from repro.estimate.incremental import IncrementalEstimator
         >>> system = build_system("vol")
         >>> inc = IncrementalEstimator(system.slif, system.partition)

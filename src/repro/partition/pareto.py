@@ -152,7 +152,7 @@ def explore_pareto(
     Example (5 candidates: the start point plus two constraint steps of
     one greedy descent and one refined random start each):
 
-    >>> from repro.system import build_system
+    >>> from repro.api import build_system
     >>> system = build_system("fuzzy")
     >>> front = explore_pareto(system.slif, system.partition,
     ...                        constraint_steps=2, random_starts=1, seed=0)

@@ -1,0 +1,32 @@
+"""repro.serve — the HTTP serving layer over the :mod:`repro.api` facade.
+
+A stdlib-only threaded JSON daemon (``slif serve``) that turns the
+estimation toolkit into a long-running service: an LRU graph/session
+cache makes warm estimates two orders of magnitude cheaper than cold
+parses, a micro-batcher coalesces identical concurrent estimate
+requests into one evaluation, and heavy partition/simulate/explore
+requests run on the fault-tolerant exploration engine behind a bounded
+in-flight limit with 429 backpressure.  See ``docs/serving.md`` for
+endpoints, schemas and tuning.
+
+In-process use (tests, embedding)::
+
+    from repro.serve import ServerConfig, SlifServer
+
+    server = SlifServer(ServerConfig(port=0))     # ephemeral port
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    ... requests against http://127.0.0.1:{server.port} ...
+    server.shutdown()
+"""
+
+from repro.serve.app import ServerConfig, SlifServer, run_server
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import GraphCache
+
+__all__ = [
+    "GraphCache",
+    "MicroBatcher",
+    "ServerConfig",
+    "SlifServer",
+    "run_server",
+]

@@ -1,0 +1,378 @@
+"""The HTTP serving layer: ``slif serve``.
+
+A stdlib-only long-running daemon (``http.server.ThreadingHTTPServer``
++ ``json``) exposing the :mod:`repro.api` facade over five JSON
+endpoints:
+
+========================  ==================================================
+``GET  /v1/healthz``      liveness (200 ok / 503 while draining)
+``GET  /v1/stats``        cache, batching, in-flight and request counters
+``POST /v1/estimate``     :class:`~repro.api.EstimateRequest` body
+``POST /v1/partition``    :class:`~repro.api.PartitionRequest` body
+``POST /v1/simulate``     :class:`~repro.api.SimulateRequest` body
+``POST /v1/explore``      :class:`~repro.api.ExploreRequest` body
+========================  ==================================================
+
+Design:
+
+* **Hot path.**  ``/v1/estimate`` goes through the LRU
+  :class:`~repro.serve.cache.GraphCache` (parse + annotate once per
+  content hash) and the :class:`~repro.serve.batching.MicroBatcher`
+  (identical concurrent requests evaluate once).
+* **Heavy path.**  ``/v1/partition``, ``/v1/simulate`` and
+  ``/v1/explore`` dispatch onto the fault-tolerant exploration engine
+  under a bounded in-flight counter; when ``--max-inflight`` requests
+  are already running the server answers ``429`` with a
+  ``Retry-After`` header instead of queueing unboundedly.
+* **Drain.**  SIGTERM (and SIGINT) stop accepting work — new requests
+  get ``503`` — while in-flight requests finish, bounded by
+  ``--drain-timeout``.
+* **Tracing.**  Every request runs inside a ``serve.request`` span and
+  bumps ``serve.requests`` / ``serve.responses.<code>`` counters.
+
+Responses are canonical JSON (sorted keys, compact separators), so a
+body is byte-identical to ``canonical_json(api.<fn>(request).to_dict())``
+computed in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro import api, obs
+from repro.api.types import RequestError, canonical_json
+from repro.errors import SlifError
+from repro.obs import OBS
+from repro.serve.batching import MicroBatcher
+from repro.serve.cache import GraphCache
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs of one server instance (the ``slif serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    jobs: int = 1                 # default --jobs for heavy requests
+    cache_size: int = 32          # LRU sessions kept (0 = no caching)
+    max_inflight: int = 4         # concurrent heavy requests before 429
+    batch_window: float = 0.002   # estimate coalescing window (0 = off)
+    drain_timeout: float = 10.0   # seconds to wait for in-flight on drain
+    quiet: bool = True            # suppress per-request access log lines
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for burst traffic.
+
+    The stdlib default listen backlog of 5 drops connections when a
+    client fleet connects at once; 128 rides out the burst.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+class SlifServer:
+    """The estimation service: routing, cache, batching, backpressure."""
+
+    #: Heavy endpoints: bounded in-flight, 429 + Retry-After beyond it.
+    HEAVY = ("partition", "simulate", "explore")
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.cache = GraphCache(config.cache_size)
+        self.batcher = MicroBatcher(config.batch_window)
+        self.draining = False
+        self.started = time.time()
+        self._heavy_slots = threading.BoundedSemaphore(config.max_inflight)
+        self._state_lock = threading.Lock()
+        self._inflight = 0
+        self._heavy_inflight = 0
+        self.requests = 0
+        self.responses: Dict[str, int] = {}
+        self.httpd = _HTTPServer((config.host, config.port), _Handler)
+        self.httpd.app = self  # type: ignore[attr-defined]
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        return self.httpd.server_address[1]
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever(poll_interval=0.1)
+
+    def initiate_drain(self) -> None:
+        """Stop accepting work; unblock :meth:`serve_forever`."""
+        self.draining = True
+        threading.Thread(target=self.httpd.shutdown, daemon=True).start()
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight (or ``timeout`` elapses)."""
+        deadline = None if timeout is None else time.time() + timeout
+        while True:
+            with self._state_lock:
+                if self._inflight == 0:
+                    return True
+            if deadline is not None and time.time() >= deadline:
+                return False
+            time.sleep(0.02)
+
+    def close(self) -> None:
+        self.httpd.server_close()
+
+    def shutdown(self) -> None:
+        """Immediate stop (tests); production drains via signals."""
+        self.initiate_drain()
+        self.wait_drained(self.config.drain_timeout)
+        self.close()
+
+    # -- bookkeeping ---------------------------------------------------
+
+    def _enter_request(self) -> None:
+        with self._state_lock:
+            self._inflight += 1
+            self.requests += 1
+        if OBS.enabled:
+            OBS.inc("serve.requests")
+
+    def _exit_request(self, status: int) -> None:
+        with self._state_lock:
+            self._inflight -= 1
+            key = str(status)
+            self.responses[key] = self.responses.get(key, 0) + 1
+        if OBS.enabled:
+            OBS.inc(f"serve.responses.{status}")
+
+    def stats(self) -> Dict[str, Any]:
+        with self._state_lock:
+            inflight = self._inflight
+            heavy = self._heavy_inflight
+            requests = self.requests
+            responses = dict(self.responses)
+        return {
+            "uptime_seconds": time.time() - self.started,
+            "draining": self.draining,
+            "requests": requests,
+            "responses": responses,
+            "inflight": inflight,
+            "heavy_inflight": heavy,
+            "max_inflight": self.config.max_inflight,
+            "jobs": self.config.jobs,
+            "cache": self.cache.stats(),
+            "batch": self.batcher.stats(),
+        }
+
+    # -- routing -------------------------------------------------------
+
+    def handle_request(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Route one request; returns ``(status, payload, headers)``.
+
+        Pure in-process logic (no sockets), so tests can drive it
+        directly as well as over HTTP.
+        """
+        if self.draining and path != "/v1/stats":
+            return 503, {"error": "server is draining"}, {"Retry-After": "1"}
+        if method == "GET" and path == "/v1/healthz":
+            return 200, {
+                "status": "ok",
+                "version": _version(),
+                "uptime_seconds": time.time() - self.started,
+            }, {}
+        if method == "GET" and path == "/v1/stats":
+            return 200, self.stats(), {}
+        if method == "POST" and path.startswith("/v1/"):
+            kind = path[len("/v1/"):]
+            if kind == "estimate":
+                return self._handle_estimate(body)
+            if kind in self.HEAVY:
+                return self._handle_heavy(kind, body)
+        if path.startswith("/v1/"):
+            return 405, {
+                "error": f"{method} not supported on {path}"
+            }, {"Allow": "GET, POST"}
+        return 404, {"error": f"unknown path {path!r}"}, {}
+
+    def _parse(self, body: bytes, cls):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"request body is not valid JSON: {exc}")
+        return cls.from_dict(payload)
+
+    def _handle_estimate(
+        self, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        try:
+            request = self._parse(body, api.EstimateRequest)
+            request.validate()
+            batch_key = (
+                self.cache.key_for(request.spec),
+                request.mode,
+                request.concurrent,
+            )
+
+            def compute() -> Dict[str, Any]:
+                session, _ = self.cache.get(request.spec)
+                return api.estimate(request, session=session).to_dict()
+
+            return 200, self.batcher.run(batch_key, compute), {}
+        except SlifError as exc:
+            return 400, {"error": str(exc)}, {}
+
+    def _handle_heavy(
+        self, kind: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        if not self._heavy_slots.acquire(blocking=False):
+            if OBS.enabled:
+                OBS.inc("serve.backpressure.rejected")
+            return 429, {
+                "error": (
+                    f"{self.config.max_inflight} heavy requests already "
+                    "in flight; retry shortly"
+                ),
+            }, {"Retry-After": "1"}
+        with self._state_lock:
+            self._heavy_inflight += 1
+        try:
+            request_cls = {
+                "partition": api.PartitionRequest,
+                "simulate": api.SimulateRequest,
+                "explore": api.ExploreRequest,
+            }[kind]
+            request = self._parse(body, request_cls)
+            if kind == "simulate":
+                request.validate_fields()
+            else:
+                request.validate()
+                if request.jobs is None:
+                    request.jobs = self.config.jobs
+            session, _ = self.cache.get(request.spec)
+            fn = getattr(api, kind)
+            return 200, fn(request, session=session).to_dict(), {}
+        except SlifError as exc:
+            return 400, {"error": str(exc)}, {}
+        finally:
+            with self._state_lock:
+                self._heavy_inflight -= 1
+            self._heavy_slots.release()
+
+
+def _version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP shim over :meth:`SlifServer.handle_request`."""
+
+    server_version = "slif-serve"
+    protocol_version = "HTTP/1.1"
+    # Headers and body are separate writes; without these, Nagle plus
+    # delayed ACK stalls every keep-alive response ~40 ms on Linux.
+    disable_nagle_algorithm = True
+    wbufsize = 64 * 1024  # coalesce status+headers+body into one packet
+
+    @property
+    def app(self) -> SlifServer:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        if not self.app.config.quiet:
+            sys.stderr.write(
+                "slif serve: %s %s\n" % (self.address_string(), format % args)
+            )
+
+    def _respond(self, method: str) -> None:
+        app = self.app
+        app._enter_request()
+        status = 500
+        try:
+            with obs.span("serve.request", method=method, path=self.path) as sp:
+                try:
+                    length = int(self.headers.get("Content-Length") or 0)
+                    body = self.rfile.read(length) if length else b""
+                    status, payload, headers = app.handle_request(
+                        method, self.path, body
+                    )
+                except SlifError as exc:
+                    status, payload, headers = 400, {"error": str(exc)}, {}
+                except Exception as exc:  # noqa: BLE001 - daemon must survive
+                    status = 500
+                    payload = {"error": f"internal error: {exc}"}
+                    headers = {}
+                sp.set_attribute("status", status)
+            encoded = canonical_json(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            for key, value in headers.items():
+                self.send_header(key, value)
+            self.end_headers()
+            self.wfile.write(encoded)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            app._exit_request(status)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._respond("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._respond("POST")
+
+
+def run_server(config: ServerConfig) -> int:
+    """Run the daemon until SIGTERM/SIGINT, then drain and exit.
+
+    Returns 0 after a clean SIGTERM drain, 130 for SIGINT — matching
+    the CLI's exit-code contract.
+    """
+    server = SlifServer(config)
+    received = {"signum": signal.SIGTERM}
+
+    def _on_signal(signum, frame) -> None:
+        received["signum"] = signum
+        server.initiate_drain()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
+        signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
+    }
+    print(
+        f"slif serve: listening on http://{server.host}:{server.port} "
+        f"(jobs={config.jobs} cache-size={config.cache_size} "
+        f"max-inflight={config.max_inflight} "
+        f"batch-window={config.batch_window:g}s)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+        drained = server.wait_drained(config.drain_timeout)
+        server.close()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    if drained:
+        print("slif serve: drained cleanly, exiting", file=sys.stderr)
+    else:
+        print(
+            f"slif serve: drain timed out after {config.drain_timeout:g}s",
+            file=sys.stderr,
+        )
+    return 130 if received["signum"] == signal.SIGINT else 0

@@ -179,7 +179,7 @@ def validate(
     so the Bernoulli rounding of fractional access frequencies averages
     toward the AVG-mode expectation the estimator computes.
 
-    >>> from repro.system import build_system
+    >>> from repro.api import build_system
     >>> from repro.sim.validate import validate
     >>> system = build_system("vol")
     >>> report = validate(system.slif, system.partition, seed=0, iterations=10)

@@ -1,142 +1,40 @@
-"""High-level convenience API: one call from spec name to estimates.
+"""Deprecated module: the high-level API moved to :mod:`repro.api`.
 
-:func:`build_system` wires the whole pipeline together for the four
-bundled benchmark specifications (and for arbitrary VHDL text): parse,
-build the SLIF access graph, run the preprocessing annotators, allocate
-the paper's processor+ASIC architecture, produce an initial partition,
-and hand back a :class:`DesignSystem` from which estimates, partitioning
-runs and exports are one method call away.
+``repro.system`` was the original home of :class:`DesignSystem` and
+:func:`build_system`.  The api redesign made :mod:`repro.api` the one
+public facade (same objects, plus sessions, typed requests and the
+five facade functions), so this module is now a thin shim: the old
+names keep working, but importing them emits a
+:class:`DeprecationWarning` pointing at the new location.
+
+Migrate with a one-line change::
+
+    from repro.system import build_system      # old, warns
+    from repro.api import build_system         # new
+    from repro import build_system             # also fine (re-export)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+import warnings
 
-from repro.core.channels import FreqMode
-from repro.core.graph import Slif
-from repro.core.partition import Partition, single_bus_partition
-from repro.errors import SlifError
+#: Names this shim forwards to :mod:`repro.api.session`.
+_MOVED = ("DesignSystem", "build_system")
 
 
-@dataclass
-class DesignSystem:
-    """A ready-to-explore system: annotated graph plus a partition."""
-
-    slif: Slif
-    partition: Partition
-
-    def report(self, mode: FreqMode = FreqMode.AVG, concurrent: bool = False):
-        """Full estimate of the current partition (Section 3 metrics)."""
-        from repro.estimate.engine import Estimator
-
-        return Estimator(self.slif, self.partition, mode, concurrent).report()
-
-    def execution_time(self, behavior: str) -> float:
-        """Eq. 1 for one behavior under the current partition."""
-        from repro.estimate.exectime import execution_time
-
-        return execution_time(self.slif, self.partition, behavior)
-
-    def repartition(self, algorithm: str = "greedy", seed: int = 0, **kwargs):
-        """Run a partitioning algorithm; updates and returns the partition.
-
-        ``algorithm`` is one of ``greedy``, ``annealing``,
-        ``group_migration``, ``clustering`` or ``random``.
-        """
-        from repro.partition import run_algorithm
-
-        result = run_algorithm(
-            algorithm, self.slif, self.partition, seed=seed, **kwargs
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.system.{name} is deprecated; import it from repro.api "
+            "(or the repro top level) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        self.partition = result.partition
-        return result
+        from repro.api import session as _session
 
-    def explore(
-        self,
-        constraint_steps: int = 8,
-        random_starts: int = 5,
-        seed: int = 0,
-        jobs: int = 1,
-        policy=None,
-        checkpoint=None,
-        resume: bool = False,
-    ):
-        """Sweep the time/area trade-off (Pareto front) from here.
-
-        ``jobs`` fans candidate evaluation across worker processes (0 =
-        all cores); the front is identical for any value given the same
-        seed.  ``policy`` tunes the fault-tolerant dispatch loop
-        (per-chunk timeout, retries, backoff); ``checkpoint`` journals
-        completed chunks and ``resume`` replays such a journal so an
-        interrupted sweep only re-evaluates what is missing.
-        """
-        from repro.partition.pareto import explore_pareto
-
-        return explore_pareto(
-            self.slif,
-            self.partition,
-            constraint_steps=constraint_steps,
-            random_starts=random_starts,
-            seed=seed,
-            jobs=jobs,
-            policy=policy,
-            checkpoint=checkpoint,
-            resume=resume,
-        )
-
-    def to_dot(self, annotate: bool = True) -> str:
-        """DOT rendering of the access graph, clustered by component."""
-        from repro.core.dot import to_dot
-
-        return to_dot(self.slif, self.partition, annotate=annotate)
+        return getattr(_session, name)
+    raise AttributeError(f"module 'repro.system' has no attribute {name!r}")
 
 
-def build_system(
-    spec: str,
-    *,
-    processor_name: str = "CPU",
-    asic_name: str = "HW",
-    bus_bitwidth: int = 16,
-    seed: int = 0,
-) -> DesignSystem:
-    """Build a :class:`DesignSystem` for a bundled spec or VHDL text.
-
-    ``spec`` is either one of the bundled benchmark names (``ans``,
-    ``ether``, ``fuzzy``, ``vol``) or a full VHDL-subset source text
-    (anything containing the word ``entity``).  The architecture is the
-    paper's evaluation target: one standard processor, one ASIC, and a
-    single system bus; all behaviors start on the processor and are then
-    free to be repartitioned.
-    """
-    from repro.core.components import Bus, Processor
-    from repro.obs import span
-    from repro.specs import spec_profile, spec_source
-    from repro.synth.annotate import annotate_slif
-    from repro.synth.techlib import default_library
-    from repro.vhdl.slif_builder import build_slif_from_source
-
-    if "entity" in spec.lower() and "\n" in spec:
-        source = spec
-        name = "user"
-        profile = None
-    else:
-        source = spec_source(spec)
-        profile = spec_profile(spec)
-        name = spec
-
-    with span("system.build", spec=name):
-        slif = build_slif_from_source(source, name=name, profile=profile)
-        library = default_library()
-        with span("synth.annotate"):
-            annotate_slif(slif, library)
-
-        proc_tech = library.processors["proc"].technology()
-        asic_tech = library.asics["asic"].technology()
-        slif.add_processor(Processor(processor_name, proc_tech))
-        slif.add_processor(Processor(asic_name, asic_tech))
-        slif.add_bus(Bus("sysbus", bitwidth=bus_bitwidth, ts=0.1, td=1.0))
-
-        object_map = {obj: processor_name for obj in slif.bv_names()}
-        partition = single_bus_partition(slif, object_map, name=f"{name}-initial")
-    return DesignSystem(slif=slif, partition=partition)
+def __dir__():
+    return sorted(set(globals()) | set(_MOVED))

@@ -1,0 +1,46 @@
+"""The old ``repro.system`` import path: warns, but still works."""
+
+import warnings
+
+import pytest
+
+
+def test_old_import_path_emits_deprecation_warning():
+    import repro.system as system_module
+
+    with pytest.warns(DeprecationWarning, match="repro.system.build_system"):
+        system_module.build_system
+    with pytest.warns(DeprecationWarning, match="repro.system.DesignSystem"):
+        system_module.DesignSystem
+
+
+def test_from_import_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        from repro.system import build_system  # noqa: F401
+
+
+def test_old_path_is_behaviorally_equivalent():
+    from repro import api
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        from repro.system import DesignSystem, build_system
+
+    assert build_system is api.build_system
+    assert DesignSystem is api.DesignSystem
+    system = build_system("vol")
+    assert isinstance(system, api.DesignSystem)
+    assert system.report().render() == api.estimate("vol").render()
+
+
+def test_unmoved_attribute_raises_attribute_error():
+    import repro.system as system_module
+
+    with pytest.raises(AttributeError, match="no attribute"):
+        system_module.not_a_thing
+
+
+def test_top_level_reexport_does_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        from repro import DesignSystem, build_system  # noqa: F401

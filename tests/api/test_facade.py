@@ -1,0 +1,180 @@
+"""Behavior of the five facade functions against the underlying modules."""
+
+import pytest
+
+from repro import api
+from repro.errors import SlifError
+
+
+@pytest.fixture(scope="module")
+def vol_session():
+    return api.load("vol")
+
+
+class TestLoad:
+    def test_load_bundled(self, vol_session):
+        assert vol_session.spec_name == "vol"
+        assert vol_session.slif.name == "vol"
+        assert vol_session.partition.is_complete()
+
+    def test_load_unknown_spec(self):
+        with pytest.raises(SlifError, match="neither a bundled benchmark"):
+            api.load("definitely-not-a-spec")
+
+    def test_load_path(self, tmp_path):
+        source = tmp_path / "tiny.vhd"
+        source.write_text(
+            """entity T is port ( a : in integer ); end;
+            Main: process
+                variable v : integer;
+            begin
+                v := a;
+                wait;
+            end process;"""
+        )
+        session = api.load(str(source))
+        assert session.spec_name == "tiny"
+        assert session.slif.num_bv > 0
+
+    def test_session_key_is_content_addressed(self, vol_session):
+        assert vol_session.key == api.session_key("vol")
+        assert api.session_key("vol") != api.session_key("fuzzy")
+        # same content hash across separately-built sessions
+        assert api.load("vol").key == vol_session.key
+
+    def test_estimators_are_memoized_per_mode(self, vol_session):
+        from repro.core.channels import FreqMode
+
+        a = vol_session.estimator(FreqMode.AVG, False)
+        b = vol_session.estimator(FreqMode.AVG, False)
+        c = vol_session.estimator(FreqMode.MAX, False)
+        assert a is b
+        assert a is not c
+
+
+class TestEstimate:
+    def test_matches_direct_estimator(self, vol_session):
+        from repro.estimate.engine import Estimator
+
+        result = api.estimate("vol", session=vol_session)
+        report = Estimator(vol_session.slif, vol_session.partition).report()
+        assert result.render() == report.render()
+        assert result.system_time == report.system_time
+        assert result.component_sizes == report.component_sizes
+        assert result.graph_key == vol_session.key
+
+    def test_accepts_request_dict_and_string(self, vol_session):
+        by_str = api.estimate("vol", session=vol_session)
+        by_req = api.estimate(api.EstimateRequest(spec="vol"), session=vol_session)
+        by_dict = api.estimate({"spec": "vol"}, session=vol_session)
+        assert by_str == by_req == by_dict
+
+    def test_mode_changes_result(self, vol_session):
+        avg = api.estimate({"spec": "vol", "mode": "avg"}, session=vol_session)
+        max_ = api.estimate({"spec": "vol", "mode": "max"}, session=vol_session)
+        assert max_.system_time >= avg.system_time
+
+    def test_bad_request_type(self):
+        with pytest.raises(api.RequestError, match="expected EstimateRequest"):
+            api.estimate(42)
+
+    def test_session_not_mutated(self, vol_session):
+        before = vol_session.partition.object_mapping()
+        api.estimate("vol", session=vol_session)
+        assert vol_session.partition.object_mapping() == before
+
+
+class TestPartition:
+    def test_matches_run_algorithm(self, vol_session):
+        from repro.partition import run_algorithm
+
+        result = api.partition(
+            api.PartitionRequest(spec="vol", algorithm="greedy", seed=0),
+            session=vol_session,
+        )
+        direct = run_algorithm(
+            "greedy", vol_session.slif, vol_session.partition.copy(), seed=0
+        )
+        assert result.cost == direct.cost
+        assert result.evaluations == direct.evaluations
+        assert result.mapping == direct.partition.object_mapping()
+        assert result.summary() == str(direct)
+
+    def test_session_partition_untouched(self, vol_session):
+        before = vol_session.partition.object_mapping()
+        api.partition(
+            api.PartitionRequest(spec="vol", algorithm="random", seed=1),
+            session=vol_session,
+        )
+        assert vol_session.partition.object_mapping() == before
+
+    def test_estimate_attached(self, vol_session):
+        result = api.partition(
+            api.PartitionRequest(spec="vol", algorithm="greedy"),
+            session=vol_session,
+        )
+        assert result.estimate is not None
+        assert result.estimate.system_time > 0
+        assert result.estimate.partition_name == result.partition_name
+
+
+class TestSimulate:
+    def test_matches_direct_simulation(self, vol_session):
+        from repro.sim import SimConfig, simulate
+
+        result = api.simulate(
+            api.SimulateRequest(spec="vol", seed=0, iterations=2),
+            session=vol_session,
+        )
+        direct = simulate(
+            vol_session.slif,
+            vol_session.partition,
+            config=SimConfig(seed=0, iterations=2),
+        )
+        assert result.events == direct.events
+        assert result.end_time == direct.end_time
+        assert result.text == direct.render()
+
+    def test_validation_mode(self, vol_session):
+        result = api.simulate(
+            api.SimulateRequest(spec="vol", seed=0, iterations=2, validate=True),
+            session=vol_session,
+        )
+        assert result.validation is not None
+        assert result.validation["speedup"] > 0
+        assert any(
+            row["metric"] == "exectime" and row["name"] == "<system>"
+            for row in result.validation["rows"]
+        )
+
+
+class TestExplore:
+    def test_matches_explore_pareto(self, vol_session):
+        from repro.partition.pareto import explore_pareto
+
+        result = api.explore(
+            api.ExploreRequest(
+                spec="vol", constraint_steps=2, random_starts=1, seed=0
+            ),
+            session=vol_session,
+        )
+        direct = explore_pareto(
+            vol_session.slif,
+            vol_session.partition,
+            constraint_steps=2,
+            random_starts=1,
+            seed=0,
+        )
+        assert result.evaluated == direct.evaluated
+        assert result.text == direct.render()
+        assert len(result.points) == len(direct.points)
+        for got, expected in zip(result.points, direct.points):
+            assert got["hardware_size"] == expected.hardware_size
+            assert got["system_time"] == expected.system_time
+            assert got["mapping"] == dict(expected.mapping)
+
+    def test_fresh_session_equals_shared_session(self):
+        request = api.ExploreRequest(
+            spec="vol", constraint_steps=2, random_starts=1, seed=0
+        )
+        assert api.explore(request) == api.explore(request, session=api.load("vol"))

@@ -1,0 +1,108 @@
+"""Round-trip and validation tests for the api request/response types."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_VERSION,
+    EstimateRequest,
+    EstimateResult,
+    ExploreRequest,
+    ExploreResult,
+    PartitionRequest,
+    PartitionResult,
+    RequestError,
+    SimulateRequest,
+    SimulateResult,
+    canonical_json,
+)
+
+REQUESTS = [
+    EstimateRequest(spec="vol", mode="max", concurrent=True),
+    PartitionRequest(spec="fuzzy", algorithm="annealing", seed=3, jobs=2),
+    SimulateRequest(spec="ether", seed=1, iterations=5, validate=True),
+    ExploreRequest(spec="ans", constraint_steps=4, random_starts=2, seed=7),
+]
+
+
+@pytest.mark.parametrize("request_obj", REQUESTS, ids=lambda r: type(r).__name__)
+def test_request_round_trip(request_obj):
+    data = request_obj.to_dict()
+    assert data["schema_version"] == SCHEMA_VERSION
+    rebuilt = type(request_obj).from_dict(data)
+    assert rebuilt == request_obj
+
+
+@pytest.mark.parametrize("request_obj", REQUESTS, ids=lambda r: type(r).__name__)
+def test_request_survives_json(request_obj):
+    wire = canonical_json(request_obj.to_dict())
+    rebuilt = type(request_obj).from_dict(json.loads(wire))
+    assert rebuilt == request_obj
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [EstimateRequest, PartitionRequest, SimulateRequest, ExploreRequest,
+     EstimateResult, PartitionResult, SimulateResult, ExploreResult],
+)
+def test_unknown_field_rejected(cls):
+    with pytest.raises(RequestError, match="does not accept"):
+        cls.from_dict({"spec": "vol", "definitely_not_a_field": 1})
+
+
+def test_wrong_schema_version_rejected():
+    with pytest.raises(RequestError, match="schema_version"):
+        EstimateRequest.from_dict({"spec": "vol", "schema_version": 999})
+
+
+def test_non_dict_payload_rejected():
+    with pytest.raises(RequestError, match="JSON object"):
+        EstimateRequest.from_dict(["vol"])
+
+
+def test_estimate_request_validation():
+    with pytest.raises(RequestError, match="non-empty"):
+        EstimateRequest(spec="").validate()
+    with pytest.raises(RequestError, match="mode"):
+        EstimateRequest(spec="vol", mode="typical").validate()
+
+
+def test_partition_request_validation():
+    with pytest.raises(RequestError, match="algorithm"):
+        PartitionRequest(spec="vol", algorithm="quantum").validate()
+
+
+def test_simulate_request_validation():
+    with pytest.raises(RequestError, match="iterations"):
+        SimulateRequest(spec="vol", iterations=0).validate_fields()
+
+
+def test_explore_request_validation():
+    with pytest.raises(RequestError, match=">= 0"):
+        ExploreRequest(spec="vol", constraint_steps=-1).validate()
+
+
+def test_canonical_json_is_stable():
+    a = canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+    b = canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+    assert a == b == '{"a":{"c":3,"d":2},"b":1}'
+
+
+def test_estimate_result_round_trip_preserves_render():
+    from repro import api
+
+    result = api.estimate("vol")
+    rebuilt = EstimateResult.from_dict(json.loads(canonical_json(result.to_dict())))
+    assert rebuilt == result
+    assert rebuilt.render() == result.render()
+
+
+def test_partition_result_nested_estimate_round_trip():
+    from repro import api
+
+    result = api.partition(PartitionRequest(spec="vol", algorithm="greedy"))
+    rebuilt = PartitionResult.from_dict(json.loads(canonical_json(result.to_dict())))
+    assert rebuilt == result
+    assert isinstance(rebuilt.estimate, EstimateResult)
+    assert rebuilt.summary() == result.summary()

@@ -32,7 +32,7 @@ def library():
 
 @pytest.fixture(scope="session")
 def fuzzy_system():
-    from repro.system import build_system
+    from repro.api import build_system
 
     return build_system("fuzzy")
 

@@ -63,7 +63,7 @@ class TestSerialization:
             assert clone == result
 
     def test_pareto_result_roundtrip(self):
-        from repro.system import build_system
+        from repro.api import build_system
 
         system = build_system("fuzzy")
         from repro.core.serialize import partition_to_dict, slif_to_dict

@@ -13,7 +13,7 @@ import pytest
 from repro.core.serialize import partition_to_dict, slif_to_dict
 from repro.explore import ChunkRunner, PlanPayload, WorkPlan, pareto_plan
 from repro.partition.pareto import ParetoFront, explore_pareto
-from repro.system import build_system
+from repro.api import build_system
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,121 @@
+"""Unit tests for the estimate micro-batcher."""
+
+import threading
+
+import pytest
+
+from repro.serve.batching import MicroBatcher
+
+
+def fan_out(batcher, key, compute, n):
+    """Submit ``compute`` for ``key`` from ``n`` threads at once."""
+    results = [None] * n
+    errors = [None] * n
+    barrier = threading.Barrier(n)
+
+    def worker(i):
+        barrier.wait()
+        try:
+            results[i] = batcher.run(key, compute)
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            errors[i] = exc
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results, errors
+
+
+class TestCoalescing:
+    def test_identical_requests_evaluate_once(self):
+        batcher = MicroBatcher(window=0.05)
+        calls = []
+
+        def compute():
+            calls.append(threading.get_ident())
+            return {"value": 42}
+
+        results, errors = fan_out(batcher, key=("k",), compute=compute, n=8)
+        assert errors == [None] * 8
+        assert len(calls) == 1  # one leader evaluated for everyone
+        assert all(r is results[0] for r in results)  # same object shared
+        assert batcher.leaders == 1
+        assert batcher.coalesced == 7
+        assert batcher.stats()["pending"] == 0
+
+    def test_different_keys_do_not_coalesce(self):
+        batcher = MicroBatcher(window=0.05)
+        calls = []
+
+        def make(key):
+            def compute():
+                calls.append(key)
+                return key
+            return compute
+
+        barrier = threading.Barrier(2)
+        out = []
+
+        def worker(key):
+            barrier.wait()
+            out.append(batcher.run(key, make(key)))
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(calls) == ["a", "b"]
+        assert batcher.coalesced == 0
+
+    def test_sequential_requests_each_lead(self):
+        batcher = MicroBatcher(window=0.001)
+        assert batcher.run("k", lambda: 1) == 1
+        assert batcher.run("k", lambda: 2) == 2  # window closed; fresh eval
+        assert batcher.leaders == 2
+        assert batcher.coalesced == 0
+
+
+class TestWindowZero:
+    def test_zero_window_disables_batching(self):
+        batcher = MicroBatcher(window=0)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return len(calls)
+
+        results, errors = fan_out(batcher, key="k", compute=compute, n=4)
+        assert errors == [None] * 4
+        assert len(calls) == 4  # every caller computed on its own
+        assert batcher.leaders == 0 and batcher.coalesced == 0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            MicroBatcher(window=-0.1)
+
+
+class TestErrors:
+    def test_leader_error_propagates_to_followers(self):
+        batcher = MicroBatcher(window=0.05)
+
+        def compute():
+            raise RuntimeError("estimation blew up")
+
+        results, errors = fan_out(batcher, key="k", compute=compute, n=4)
+        assert results == [None] * 4
+        assert len(errors) == 4
+        assert all(isinstance(e, RuntimeError) for e in errors)
+        # every follower got the leader's exception, not a hang
+        assert all("estimation blew up" in str(e) for e in errors)
+        assert batcher.stats()["pending"] == 0
+
+    def test_group_cleared_after_error(self):
+        batcher = MicroBatcher(window=0.001)
+        with pytest.raises(RuntimeError):
+            batcher.run("k", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        assert batcher.run("k", lambda: "recovered") == "recovered"

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim import simulate, validate
 from repro.specs import HW_CANDIDATES, SPEC_NAMES, spec_hw_candidates
-from repro.system import build_system
+from repro.api import build_system
 
 SPECS = ("ans", "ether", "fuzzy", "vol")
 

@@ -198,3 +198,62 @@ def test_breakdown_single_behavior(capsys):
     assert main(["breakdown", "fuzzy", "Convolve"]) == 0
     out = capsys.readouterr().out
     assert "Convolve" in out and "%" in out
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.strip() == f"slif {repro.__version__}"
+
+
+class TestExitCodes:
+    """The normalized exit-code contract (docs/cli.md)."""
+
+    def test_expected_failure_exits_2(self, capsys):
+        assert main(["estimate", "no-such-spec"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_os_error_exits_2(self, tmp_path, capsys):
+        # an unwritable output path is an expected failure, not a bug
+        target = tmp_path / "not-a-dir" / "out.json"
+        assert main(["build", "vol", "-o", str(target)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_recovery_exhaustion_exits_3_not_2(self, capsys, monkeypatch):
+        """ChunkTimeoutError subclasses SlifError: the 3-branch must win."""
+        from repro import api
+        from repro.errors import ChunkTimeoutError
+
+        def exhausted(request, session=None, **kwargs):
+            raise ChunkTimeoutError("chunk 0 timed out after 2 retries")
+
+        monkeypatch.setattr(api, "explore", exhausted)
+        assert main(["explore", "vol", "--steps", "1"]) == 3
+        err = capsys.readouterr().err
+        assert "error: chunk 0 timed out" in err
+
+    def test_injected_fault_exits_3(self, capsys, monkeypatch):
+        from repro import api
+        from repro.errors import FaultInjectedError
+
+        def faulted(request, session=None, **kwargs):
+            raise FaultInjectedError("injected transient fault (budget spent)")
+
+        monkeypatch.setattr(api, "partition", faulted)
+        assert main(["partition", "vol", "--algorithm", "greedy"]) == 3
+
+    def test_sigint_exits_130(self, capsys, monkeypatch):
+        from repro import api
+
+        def interrupted(request, session=None, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(api, "estimate", interrupted)
+        assert main(["estimate", "vol"]) == 130
+        assert "interrupted" in capsys.readouterr().err

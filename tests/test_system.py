@@ -1,9 +1,14 @@
-"""Integration tests for the high-level build_system pipeline."""
+"""Integration tests for the high-level build_system pipeline.
+
+``build_system`` lives in :mod:`repro.api` since the facade redesign;
+the old ``repro.system`` import path is covered by
+``tests/api/test_deprecations.py``.
+"""
 
 import pytest
 
+from repro.api import build_system
 from repro.specs import PAPER_FIGURE4
-from repro.system import build_system
 
 
 class TestBuildSystem:
