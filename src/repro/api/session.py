@@ -286,6 +286,8 @@ def load(
     >>> len(session.key)
     24
     """
+    from repro.obs import OBS, span
+
     source, name, profile = resolve_spec(spec)
     key = session_key(
         spec,
@@ -293,12 +295,16 @@ def load(
         asic_name=asic_name,
         bus_bitwidth=bus_bitwidth,
     )
-    system = _build_from_resolved(
-        source,
-        name,
-        profile,
-        processor_name=processor_name,
-        asic_name=asic_name,
-        bus_bitwidth=bus_bitwidth,
-    )
+    with span("api.load", spec=name, session_key=key) as sp:
+        system = _build_from_resolved(
+            source,
+            name,
+            profile,
+            processor_name=processor_name,
+            asic_name=asic_name,
+            bus_bitwidth=bus_bitwidth,
+        )
+    if OBS.enabled:
+        OBS.inc("api.session.builds")
+        OBS.observe("api.session.build_seconds", sp.duration)
     return Session(system=system, key=key, spec_name=name)

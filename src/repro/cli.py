@@ -27,7 +27,11 @@ Subcommands mirror the system-design workflow:
 ``slif serve [--port N]``
     Run the long-running HTTP estimation service (``repro.serve``):
     JSON endpoints for estimate/partition/simulate/explore backed by
-    an LRU graph cache and request micro-batching.
+    an LRU graph cache and request micro-batching, plus a Prometheus
+    ``/metrics`` scrape target.
+``slif obs waterfall|slow|diff <trace.jsonl>``
+    Analyze ``--trace-out`` exports offline: per-trace span
+    waterfalls, the top-N slowest spans, and run-to-run metric diffs.
 
 ``breakdown``, ``transform`` and the flag-by-flag reference for every
 subcommand live in ``docs/cli.md``.
@@ -57,12 +61,16 @@ duration of every command, so all subcommands report phase timing from
 the same span data.  ``--stats`` (on ``build``/``estimate``/
 ``partition``/``explore``/``simulate``) prints the full instrumentation
 summary to stderr; ``--trace-out FILE`` writes the span/metric JSONL
-export.
+export (readable back with ``slif obs``).  With ``--jobs N`` the
+summary and export include telemetry merged back from every worker
+process — worker-side ``explore.chunk`` spans carry the command's
+trace id and a ``worker_pid`` attribute.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import Optional
@@ -331,6 +339,51 @@ def cmd_dot(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
+
+
+def _read_trace(path: str) -> list:
+    from repro.obs.export import read_jsonl
+
+    if not Path(path).exists():
+        raise SlifError(f"trace file {path!r} does not exist")
+    try:
+        return read_jsonl(path)
+    except ValueError as exc:
+        raise SlifError(f"{path!r} is not a JSONL trace export: {exc}")
+
+
+def cmd_obs_waterfall(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_waterfall
+
+    print(
+        render_waterfall(
+            _read_trace(args.trace),
+            trace_id=args.trace_id,
+            width=args.width,
+        )
+    )
+    return 0
+
+
+def cmd_obs_slow(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_slowest
+
+    print(render_slowest(_read_trace(args.trace), top=args.top))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_diff
+
+    print(
+        render_diff(
+            _read_trace(args.trace_a),
+            _read_trace(args.trace_b),
+            label_a=args.trace_a,
+            label_b=args.trace_b,
+        )
+    )
     return 0
 
 
@@ -621,6 +674,47 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--granularity", **granularity_kwargs)
     p.set_defaults(func=cmd_dot)
 
+    p = sub.add_parser(
+        "obs", help="analyze --trace-out JSONL exports offline"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    q = obs_sub.add_parser(
+        "waterfall", help="per-trace span trees with timeline bars"
+    )
+    q.add_argument("trace", help="a --trace-out JSONL file")
+    q.add_argument(
+        "--trace-id",
+        metavar="ID",
+        help="show only this trace (a unique prefix is enough)",
+    )
+    q.add_argument(
+        "--width",
+        type=int,
+        default=32,
+        metavar="N",
+        help="timeline bar width in characters (default 32)",
+    )
+    q.set_defaults(func=cmd_obs_waterfall)
+
+    q = obs_sub.add_parser("slow", help="the top-N slowest spans")
+    q.add_argument("trace", help="a --trace-out JSONL file")
+    q.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="N",
+        help="how many spans to show (default 10)",
+    )
+    q.set_defaults(func=cmd_obs_slow)
+
+    q = obs_sub.add_parser(
+        "diff", help="counter/histogram deltas between two exports"
+    )
+    q.add_argument("trace_a", help="the baseline --trace-out JSONL file")
+    q.add_argument("trace_b", help="the comparison --trace-out JSONL file")
+    q.set_defaults(func=cmd_obs_diff)
+
     return parser
 
 
@@ -671,6 +765,12 @@ def main(argv: Optional[list] = None) -> int:
     except SlifError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+    except BrokenPipeError:
+        # the stdout consumer (e.g. `slif obs ... | head`) went away;
+        # silence the interpreter's shutdown flush and exit cleanly
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except OSError as exc:
         # e.g. an unreadable spec file or unwritable output path: an
         # expected failure, not a bug — no raw traceback.

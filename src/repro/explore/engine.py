@@ -32,6 +32,16 @@ recovery counters ``explore.retries``, ``explore.timeouts``,
 ``explore.fallbacks``, ``explore.pool_respawns`` and
 ``explore.checkpoint.chunks_skipped``, and an
 ``explore.retry_delay_seconds`` histogram of backoff delays.
+
+When collection is on, the coordinator also ships an
+:class:`~repro.explore.worker.ObsContext` (its trace id plus the
+collect flag) with every dispatched chunk; workers record their own
+counters, histograms and an ``explore.chunk`` span under that trace id
+and return a telemetry snapshot on the result, which :func:`run_plan`
+merges back (counters sum, histogram buckets add, spans graft under the
+coordinator's current span with a ``worker_pid`` attribute) — so
+``--stats`` after ``--jobs 8`` reflects work done in all nine
+processes.
 """
 
 from __future__ import annotations
@@ -51,10 +61,12 @@ from repro.errors import (
     PoolCrashError,
     WorkerError,
 )
+from repro import obs
 from repro.obs import OBS, add_event
 from repro.explore.plan import CandidateSpec, Chunk, WorkPlan
 from repro.explore.worker import (
     ChunkResult,
+    ObsContext,
     PlanPayload,
     RestartOutcome,
     init_worker,
@@ -199,12 +211,14 @@ class _PoolDispatcher:
         policy: RetryPolicy,
         stats: RecoveryStats,
         on_complete,
+        obs_ctx: Optional[ObsContext] = None,
     ) -> None:
         self.payload = payload
         self.workers = workers
         self.policy = policy
         self.stats = stats
         self.on_complete = on_complete
+        self.obs_ctx = obs_ctx
         self.done: Dict[int, ChunkResult] = {}
         # (ready_time, chunk, attempt); ready_time in time.monotonic() terms
         self.waiting: List[Tuple[float, Chunk, int]] = [
@@ -288,7 +302,9 @@ class _PoolDispatcher:
     # -- per-chunk bookkeeping -----------------------------------------
 
     def _submit(self, chunk: Chunk, attempt: int, now: float) -> None:
-        result = self.pool.apply_async(run_worker_chunk, (chunk, attempt))
+        result = self.pool.apply_async(
+            run_worker_chunk, (chunk, attempt, self.obs_ctx)
+        )
         deadline = (
             now + self.policy.timeout
             if self.policy.timeout is not None
@@ -448,7 +464,17 @@ class _PoolDispatcher:
             if OBS.enabled:
                 OBS.inc("explore.fallbacks")
             try:
-                self._complete(chunk.index, runner.run_chunk(chunk))
+                # record straight into the coordinator's telemetry (no
+                # capture/absorb round trip — same process)
+                with obs.span(
+                    "explore.chunk",
+                    chunk=chunk.index,
+                    candidates=len(chunk),
+                    worker_pid=os.getpid(),
+                    fallback=True,
+                ):
+                    result = runner.run_chunk(chunk)
+                self._complete(chunk.index, result)
             except WorkerError as exc:
                 self._record_error(chunk.index, exc)
                 min_err = min(self.errors)
@@ -517,6 +543,11 @@ def run_plan(
             journal.record(result)
 
     todo = [chunk for chunk in chunks if chunk.index not in done]
+    obs_ctx = (
+        ObsContext(trace_id=obs.trace_id(), collect=True)
+        if OBS.enabled
+        else None
+    )
     try:
         if workers <= 1 or not todo:
             from repro.explore.worker import ChunkRunner
@@ -524,12 +555,22 @@ def run_plan(
             if todo:
                 runner = ChunkRunner(payload)
                 for chunk in todo:
-                    result = runner.run_chunk(chunk)
+                    # same span shape the pool workers emit, so traces
+                    # look alike regardless of --jobs
+                    with obs.span(
+                        "explore.chunk",
+                        chunk=chunk.index,
+                        attempt=0,
+                        candidates=len(chunk),
+                        worker_pid=os.getpid(),
+                    ):
+                        result = runner.run_chunk(chunk)
                     done[chunk.index] = result
                     on_complete(result)
         else:
             dispatcher = _PoolDispatcher(
-                payload, todo, workers, policy, stats, on_complete
+                payload, todo, workers, policy, stats, on_complete,
+                obs_ctx=obs_ctx,
             )
             done.update(dispatcher.run())
     finally:
@@ -541,6 +582,16 @@ def run_plan(
 
     results = [done[chunk.index] for chunk in chunks]
     if OBS.enabled:
+        anchor = obs.TRACER.current()
+        # chunk-index order: gauge merges are last-write-wins, so a
+        # deterministic order keeps --jobs N snapshots reproducible
+        for result in sorted(fresh, key=lambda r: r.chunk_index):
+            if result.obs is not None:
+                obs.absorb(
+                    result.obs,
+                    parent_span_id=anchor.span_id if anchor else None,
+                    attributes={"worker_pid": result.worker_pid},
+                )
         for result in fresh:
             OBS.inc("explore.chunks")
             OBS.inc("explore.candidates", result.candidates)

@@ -33,6 +33,20 @@ from repro.errors import SlifError, WorkerError
 from repro.explore.plan import CandidateSpec, Chunk
 
 
+@dataclass(frozen=True)
+class ObsContext:
+    """Trace context shipped with every chunk dispatch.
+
+    Carries the coordinator's trace id across the process boundary so
+    worker-side spans group under the originating CLI command or HTTP
+    request, and the ``collect`` flag so workers only pay for telemetry
+    when the coordinator asked for it (``--stats`` / ``--trace-out``).
+    """
+
+    trace_id: Optional[str] = None
+    collect: bool = False
+
+
 @dataclass
 class PlanPayload:
     """Everything a worker needs, in picklable plain-data form.
@@ -84,6 +98,12 @@ class ChunkResult:
     best_index: Optional[int] = None
     best_mapping: Optional[Dict[str, str]] = None
     best_history: Optional[List[float]] = None
+    #: Pid of the evaluating process and its captured telemetry
+    #: (:func:`repro.obs.capture` payload).  Neither is journalled: a
+    #: chunk replayed from a checkpoint has ``obs=None`` and is never
+    #: merged twice.
+    worker_pid: Optional[int] = None
+    obs: Optional[Dict[str, Any]] = None
 
 
 def prune_local_front(pairs: List[Tuple[int, Any]]) -> List[Tuple[int, Any]]:
@@ -260,7 +280,9 @@ def init_worker(payload: PlanPayload) -> None:
     _RUNNER = ChunkRunner(payload)
 
 
-def run_worker_chunk(chunk: Chunk, attempt: int = 0) -> ChunkResult:
+def run_worker_chunk(
+    chunk: Chunk, attempt: int = 0, obs_ctx: Optional[ObsContext] = None
+) -> ChunkResult:
     """Pool task target: evaluate one chunk on the process-local runner.
 
     ``attempt`` is the dispatch loop's 0-based retry counter for this
@@ -268,7 +290,15 @@ def run_worker_chunk(chunk: Chunk, attempt: int = 0) -> ChunkResult:
     of the spec) but keys deterministic fault injection — a configured
     ``SLIF_FAULTS`` fault for this ``(chunk, attempt)`` fires here,
     before any real work, and only ever inside pool workers.
+
+    When ``obs_ctx.collect`` is set, the worker resets its (possibly
+    fork-inherited) telemetry, records the evaluation under an
+    ``explore.chunk`` span carrying the coordinator's trace id, and
+    ships the captured snapshot back on ``result.obs`` for the
+    coordinator to :func:`~repro.obs.absorb`.
     """
+    import os
+
     from repro.faults import maybe_inject
 
     poison = maybe_inject(chunk.index, attempt)
@@ -276,4 +306,27 @@ def run_worker_chunk(chunk: Chunk, attempt: int = 0) -> ChunkResult:
         return poison
     if _RUNNER is None:  # pragma: no cover - initializer always runs first
         raise WorkerError("worker process was not initialized with a payload")
-    return _RUNNER.run_chunk(chunk)
+    if obs_ctx is None or not obs_ctx.collect:
+        return _RUNNER.run_chunk(chunk)
+
+    from repro import obs
+
+    obs.reset()   # drop anything inherited from the coordinator via fork
+    obs.enable()
+    obs.set_trace_id(obs_ctx.trace_id)
+    try:
+        with obs.span(
+            "explore.chunk",
+            chunk=chunk.index,
+            attempt=attempt,
+            candidates=len(chunk),
+            worker_pid=os.getpid(),
+        ):
+            result = _RUNNER.run_chunk(chunk)
+        result.worker_pid = os.getpid()
+        result.obs = obs.capture()
+        return result
+    finally:
+        obs.set_trace_id(None)
+        obs.reset()
+        obs.disable()

@@ -39,9 +39,10 @@ Typical library use::
 from __future__ import annotations
 
 from repro.obs.export import dumps_jsonl, jsonl_lines, read_jsonl, write_jsonl
+from repro.obs.exposition import prometheus_labeled_text, prometheus_text
 from repro.obs.metrics import Counter, Gauge, Histogram, Registry
 from repro.obs.report import render_summary
-from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, Tracer
+from repro.obs.tracing import NOOP_SPAN, NoopSpan, Span, Tracer, new_trace_id
 
 #: The process-global registry all built-in instrumentation reports to.
 REGISTRY = Registry(enabled=False)
@@ -101,6 +102,53 @@ def snapshot() -> dict:
     return REGISTRY.snapshot()
 
 
+# -- trace context ------------------------------------------------------
+
+
+def trace_id() -> str:
+    """The calling thread's current trace id (minted lazily)."""
+    return TRACER.trace_id()
+
+
+def set_trace_id(tid) -> None:
+    """Install (or with ``None`` clear) this thread's trace id."""
+    TRACER.set_trace_id(tid)
+
+
+# -- cross-process capture/merge ---------------------------------------
+
+
+def capture() -> dict:
+    """Serialize this process's collected telemetry for another process.
+
+    Pool workers call this after evaluating a chunk; the coordinator
+    feeds the result to :func:`absorb`.  The payload is plain JSON-able
+    data: a raw registry dump (exact histogram buckets, not quantile
+    summaries) plus every finished span as a dict.
+    """
+    return {
+        "registry": REGISTRY.dump(),
+        "spans": TRACER.export_spans(),
+        "dropped": TRACER.dropped,
+    }
+
+
+def absorb(payload: dict, parent_span_id=None, attributes=None) -> None:
+    """Merge a :func:`capture` payload into this process's telemetry.
+
+    Counters sum, gauges last-write-wins, histogram buckets add; spans
+    are grafted in with remapped ids, orphan roots attached under
+    ``parent_span_id``, and ``attributes`` stamped on each.
+    """
+    REGISTRY.merge(payload.get("registry", {}))
+    TRACER.absorb_spans(
+        payload.get("spans", []),
+        parent_id=parent_span_id,
+        attributes=attributes,
+    )
+    TRACER.dropped += int(payload.get("dropped", 0))
+
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -113,7 +161,9 @@ __all__ = [
     "Span",
     "TRACER",
     "Tracer",
+    "absorb",
     "add_event",
+    "capture",
     "counter",
     "disable",
     "dumps_jsonl",
@@ -122,10 +172,15 @@ __all__ = [
     "gauge",
     "histogram",
     "jsonl_lines",
+    "new_trace_id",
+    "prometheus_labeled_text",
+    "prometheus_text",
     "read_jsonl",
     "render_summary",
     "reset",
+    "set_trace_id",
     "snapshot",
     "span",
+    "trace_id",
     "write_jsonl",
 ]

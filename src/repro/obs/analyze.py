@@ -1,0 +1,217 @@
+"""Offline analysis of JSONL trace exports: the ``slif obs`` backend.
+
+Three pure-text renderers over the documents
+:func:`~repro.obs.export.read_jsonl` parses back from a
+``--trace-out`` file:
+
+:func:`render_waterfall`
+    Per-trace span trees with proportional offset bars — where the
+    wall time of one command or request went, including worker-side
+    ``explore.chunk`` spans merged across processes.
+:func:`render_slowest`
+    The top-N spans by duration across all traces.
+:func:`render_diff`
+    Counter, gauge and histogram deltas between two exports — what a
+    flag, a fix or a regression changed between two runs.
+
+All three take plain dict lists, so they also work on documents
+assembled by hand or filtered through ``jq``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def _spans(docs: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [d for d in docs if d.get("type") == "span"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _span_label(span: Dict[str, Any]) -> str:
+    label = span.get("name", "?")
+    attributes = span.get("attributes") or {}
+    if "chunk" in attributes:
+        label += f" chunk={attributes['chunk']}"
+    if "endpoint" in attributes:
+        label += f" endpoint={attributes['endpoint']}"
+    if "worker_pid" in attributes:
+        label += f" [pid {attributes['worker_pid']}]"
+    return label
+
+
+def _bar(offset: float, duration: float, span_total: float, width: int) -> str:
+    """A proportional ``[  ###   ]`` timeline cell."""
+    if span_total <= 0:
+        return "[" + "#" * width + "]"
+    lead = int(round(offset / span_total * width))
+    lead = min(lead, width - 1)
+    fill = int(round(duration / span_total * width))
+    fill = max(1, min(fill, width - lead))
+    return "[" + " " * lead + "#" * fill + " " * (width - lead - fill) + "]"
+
+
+def render_waterfall(
+    docs: Iterable[Dict[str, Any]],
+    trace_id: Optional[str] = None,
+    width: int = 32,
+) -> str:
+    """Per-trace waterfalls: span trees with offset/duration bars.
+
+    ``trace_id`` restricts the output to one trace; a unique prefix is
+    enough.  Spans whose parent was dropped (buffer cap) or never
+    exported render as additional roots.
+    """
+    spans = _spans(docs)
+    if not spans:
+        return "(no spans in this export)"
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    for span in spans:
+        by_trace.setdefault(span.get("trace_id") or "(none)", []).append(span)
+    traces = sorted(by_trace)
+    if trace_id is not None:
+        traces = [t for t in traces if t.startswith(trace_id)]
+        if not traces:
+            return f"(no trace matching {trace_id!r}; have: {sorted(by_trace)})"
+
+    lines: List[str] = []
+    for tid in traces:
+        members = by_trace[tid]
+        ids = {s.get("span_id") for s in members}
+        children: Dict[Any, List[Dict[str, Any]]] = {}
+        roots: List[Dict[str, Any]] = []
+        for span in members:
+            parent = span.get("parent_id")
+            if parent in ids:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        starts = [s.get("start", 0.0) for s in members]
+        ends = [
+            s.get("start", 0.0) + s.get("duration", 0.0) for s in members
+        ]
+        t0, total = min(starts), max(ends) - min(starts)
+        label_w = max(len(_span_label(s)) for s in members) + 2
+        lines.append(
+            f"trace {tid}  ({len(members)} spans, {_fmt_seconds(total)})"
+        )
+
+        def emit(span: Dict[str, Any], depth: int) -> None:
+            label = "  " * depth + _span_label(span)
+            offset = span.get("start", 0.0) - t0
+            duration = span.get("duration", 0.0)
+            lines.append(
+                f"  {label:<{label_w}} {_fmt_seconds(duration):>9}  "
+                f"{_bar(offset, duration, total, width)}"
+            )
+            for child in sorted(
+                children.get(span.get("span_id"), []),
+                key=lambda s: (s.get("start", 0.0), s.get("span_id", 0)),
+            ):
+                emit(child, depth + 1)
+
+        for root in sorted(
+            roots, key=lambda s: (s.get("start", 0.0), s.get("span_id", 0))
+        ):
+            emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_slowest(docs: Iterable[Dict[str, Any]], top: int = 10) -> str:
+    """The ``top`` longest spans across every trace in the export."""
+    spans = _spans(docs)
+    if not spans:
+        return "(no spans in this export)"
+    ranked = sorted(
+        spans, key=lambda s: s.get("duration", 0.0), reverse=True
+    )[: max(1, top)]
+    label_w = max(len(_span_label(s)) for s in ranked)
+    lines = [f"top {len(ranked)} slowest spans:"]
+    for rank, span in enumerate(ranked, 1):
+        trace = (span.get("trace_id") or "")[:16]
+        lines.append(
+            f"  {rank:>2}. {_span_label(span):<{label_w}}  "
+            f"{_fmt_seconds(span.get('duration', 0.0)):>9}  trace={trace}"
+        )
+    return "\n".join(lines)
+
+
+def _metric_maps(
+    docs: Iterable[Dict[str, Any]]
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, Dict[str, Any]]]:
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, Dict[str, Any]] = {}
+    for doc in docs:
+        kind = doc.get("type")
+        if kind == "counter":
+            counters[doc["name"]] = doc.get("value", 0)
+        elif kind == "gauge":
+            gauges[doc["name"]] = doc.get("value", 0.0)
+        elif kind == "histogram":
+            histograms[doc["name"]] = doc
+    return counters, gauges, histograms
+
+
+def _fmt_num(value: float) -> str:
+    return f"{value:g}"
+
+
+def render_diff(
+    docs_a: Iterable[Dict[str, Any]],
+    docs_b: Iterable[Dict[str, Any]],
+    label_a: str = "a",
+    label_b: str = "b",
+) -> str:
+    """Metric-by-metric comparison of two exports (``b`` minus ``a``)."""
+    counters_a, gauges_a, hists_a = _metric_maps(docs_a)
+    counters_b, gauges_b, hists_b = _metric_maps(docs_b)
+    lines: List[str] = [f"== metric diff ({label_a} -> {label_b}) =="]
+
+    names = sorted(set(counters_a) | set(counters_b))
+    if names:
+        name_w = max(len(n) for n in names)
+        lines.append("counters:")
+        for name in names:
+            a = counters_a.get(name, 0)
+            b = counters_b.get(name, 0)
+            delta = b - a
+            lines.append(
+                f"  {name:<{name_w}}  {_fmt_num(a):>10}  {_fmt_num(b):>10}"
+                f"  {delta:+g}"
+            )
+    names = sorted(set(gauges_a) | set(gauges_b))
+    if names:
+        name_w = max(len(n) for n in names)
+        lines.append("gauges:")
+        for name in names:
+            a = gauges_a.get(name, 0.0)
+            b = gauges_b.get(name, 0.0)
+            lines.append(
+                f"  {name:<{name_w}}  {_fmt_num(a):>10}  {_fmt_num(b):>10}"
+                f"  {b - a:+g}"
+            )
+    names = sorted(set(hists_a) | set(hists_b))
+    if names:
+        lines.append("histograms:")
+        for name in names:
+            a = hists_a.get(name, {})
+            b = hists_b.get(name, {})
+            lines.append(f"  {name}:")
+            for field in ("count", "mean", "p50", "p95", "p99", "max"):
+                va = a.get(field, 0)
+                vb = b.get(field, 0)
+                lines.append(
+                    f"    {field:<6} {_fmt_num(va):>10} -> {_fmt_num(vb):>10}"
+                    f"  ({vb - va:+g})"
+                )
+    if len(lines) == 1:
+        lines.append("  (no metrics in either export)")
+    return "\n".join(lines)

@@ -3,18 +3,28 @@
 One JSON document per line, each tagged with a ``type`` field:
 
 ``{"type": "meta", ...}``
-    First line: export timestamp, span/drop counts.
+    First line: export timestamp, span/drop counts, and the set of
+    ``trace_ids`` present in the export.
 ``{"type": "span", "name": ..., "span_id": ..., "parent_id": ...,
-  "start": ..., "duration": ..., "attributes": {...}, "events": [...]}``
+  "trace_id": ..., "start": ..., "duration": ...,
+  "attributes": {...}, "events": [...]}``
     One per finished span, in completion order.  ``parent_id`` is null
-    for roots; ``start`` is a Unix wall-clock timestamp and
-    ``duration`` is in seconds.
+    for roots; ``trace_id`` groups spans belonging to one logical
+    operation across threads and processes (spans merged back from pool
+    workers carry a ``worker_pid`` attribute); ``start`` is a Unix
+    wall-clock timestamp and ``duration`` is in seconds.
 ``{"type": "counter"|"gauge", "name": ..., "value": ...}``
 ``{"type": "histogram", "name": ..., "count": ..., "sum": ...,
-  "mean": ..., "min": ..., "p50": ..., "p95": ..., "max": ...}``
+  "mean": ..., "min": ..., "p50": ..., "p95": ..., "p99": ...,
+  "max": ..., "buckets": {"<le>": <cumulative count>, ...}}``
+    ``buckets`` maps each occupied log-scale bucket's inclusive upper
+    bound (as a ``%.6g`` string) to the cumulative observation count at
+    that bound — the Prometheus histogram shape, minus the implicit
+    ``+Inf`` bucket (whose cumulative count is ``count``).
 
-The format is trivially consumed by ``jq``, pandas, or a ten-line
-Python loop — see the README's worked example.
+The format is trivially consumed by ``jq``, pandas, the ``slif obs``
+analysis subcommand (waterfalls, slowest spans, run-to-run diffs), or a
+ten-line Python loop — see the README's worked example.
 """
 
 from __future__ import annotations
@@ -33,12 +43,14 @@ def jsonl_lines(registry=None, tracer=None) -> Iterator[str]:
     tracer = tracer if tracer is not None else obs.TRACER
 
     spans = tracer.spans()
+    trace_ids = sorted({s.trace_id for s in spans if s.trace_id})
     yield json.dumps(
         {
             "type": "meta",
             "exported_at": time.time(),
             "spans": len(spans),
             "spans_dropped": tracer.dropped,
+            "trace_ids": trace_ids,
         }
     )
     for span in spans:

@@ -1,0 +1,167 @@
+"""Prometheus text exposition (version 0.0.4) of a metrics Registry.
+
+Stdlib-only rendering of :class:`~repro.obs.metrics.Registry` contents
+in the format every Prometheus-compatible scraper understands::
+
+    # TYPE slif_estimate_exectime_memo_hit_total counter
+    slif_estimate_exectime_memo_hit_total 931
+    # TYPE slif_explore_chunk_seconds histogram
+    slif_explore_chunk_seconds_bucket{le="0.0421697"} 8
+    slif_explore_chunk_seconds_bucket{le="+Inf"} 9
+    slif_explore_chunk_seconds_sum 0.246
+    slif_explore_chunk_seconds_count 9
+
+Metric names are sanitized (dots become underscores, anything outside
+``[a-zA-Z0-9_:]`` is dropped to ``_``) and prefixed with a namespace.
+Counters get the conventional ``_total`` suffix; histograms render
+their cumulative log-scale buckets (see
+:func:`repro.obs.metrics.bucket_upper`) plus the implicit ``+Inf``
+bucket, ``_sum`` and ``_count`` series.
+
+Two renderers:
+
+:func:`prometheus_text`
+    One family per metric name — for the process-global registry.
+:func:`prometheus_labeled_text`
+    For registries whose metric names follow the
+    ``<family>.<label value>`` convention (the serving layer's
+    per-endpoint RED registry): series within a family share one
+    ``# TYPE`` header and differ by a label, e.g.
+    ``slif_http_requests_total{endpoint="estimate"}``.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: The Content-Type a /metrics response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, namespace: str = "slif") -> str:
+    """Sanitize a dotted metric name into a Prometheus family name."""
+    base = _INVALID.sub("_", name)
+    return f"{namespace}_{base}" if namespace else base
+
+
+def _num(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _histogram_lines(
+    family: str, summary: Dict, labels: Optional[Dict[str, str]] = None
+) -> Iterator[str]:
+    base = dict(labels) if labels else {}
+    for le, cumulative in summary["buckets"].items():
+        bucket_labels = dict(base)
+        bucket_labels["le"] = _num(float(le))
+        yield f"{family}_bucket{_labels(bucket_labels)} {cumulative}"
+    inf_labels = dict(base)
+    inf_labels["le"] = "+Inf"
+    yield f"{family}_bucket{_labels(inf_labels)} {summary['count']}"
+    yield f"{family}_sum{_labels(base)} {_num(summary['sum'])}"
+    yield f"{family}_count{_labels(base)} {summary['count']}"
+
+
+def prometheus_lines(
+    registry=None, namespace: str = "slif"
+) -> Iterator[str]:
+    """Render every metric in ``registry`` as exposition lines."""
+    from repro import obs
+
+    registry = registry if registry is not None else obs.REGISTRY
+    snapshot = registry.snapshot()
+    for name in sorted(snapshot["counters"]):
+        family = metric_name(name, namespace) + "_total"
+        yield f"# TYPE {family} counter"
+        yield f"{family} {snapshot['counters'][name]}"
+    for name in sorted(snapshot["gauges"]):
+        family = metric_name(name, namespace)
+        yield f"# TYPE {family} gauge"
+        yield f"{family} {_num(snapshot['gauges'][name])}"
+    for name in sorted(snapshot["histograms"]):
+        family = metric_name(name, namespace)
+        yield f"# TYPE {family} histogram"
+        yield from _histogram_lines(family, snapshot["histograms"][name])
+
+
+def prometheus_text(registry=None, namespace: str = "slif") -> str:
+    """The full exposition document (trailing newline included)."""
+    return "".join(
+        line + "\n" for line in prometheus_lines(registry, namespace)
+    )
+
+
+def _grouped(
+    names, label_key: str
+) -> Dict[str, List[Tuple[Dict[str, str], str]]]:
+    """Group ``<family>.<label>`` names: family -> [(labels, name)]."""
+    groups: Dict[str, List[Tuple[Dict[str, str], str]]] = {}
+    for name in sorted(names):
+        family, _, label_value = name.partition(".")
+        labels = {label_key: label_value} if label_value else {}
+        groups.setdefault(family, []).append((labels, name))
+    return groups
+
+
+def prometheus_labeled_lines(
+    registry, label_key: str, namespace: str = "slif"
+) -> Iterator[str]:
+    """Render a ``<family>.<label value>``-named registry with labels."""
+    snapshot = registry.snapshot()
+    for family, members in _grouped(snapshot["counters"], label_key).items():
+        full = metric_name(family, namespace) + "_total"
+        yield f"# TYPE {full} counter"
+        for labels, name in members:
+            yield f"{full}{_labels(labels)} {snapshot['counters'][name]}"
+    for family, members in _grouped(snapshot["gauges"], label_key).items():
+        full = metric_name(family, namespace)
+        yield f"# TYPE {full} gauge"
+        for labels, name in members:
+            yield f"{full}{_labels(labels)} {_num(snapshot['gauges'][name])}"
+    for family, members in _grouped(
+        snapshot["histograms"], label_key
+    ).items():
+        full = metric_name(family, namespace)
+        yield f"# TYPE {full} histogram"
+        for labels, name in members:
+            yield from _histogram_lines(
+                full, snapshot["histograms"][name], labels
+            )
+
+
+def prometheus_labeled_text(
+    registry, label_key: str, namespace: str = "slif"
+) -> str:
+    """Labeled exposition document (trailing newline included)."""
+    return "".join(
+        line + "\n"
+        for line in prometheus_labeled_lines(registry, label_key, namespace)
+    )

@@ -106,7 +106,8 @@ def render_summary(registry=None, tracer=None) -> str:
         for name, s in histograms.items():
             lines.append(
                 f"  {name}  n={s['count']} mean={s['mean']:g} "
-                f"p50={s['p50']:g} p95={s['p95']:g} max={s['max']:g}"
+                f"p50={s['p50']:g} p95={s['p95']:g} p99={s['p99']:g} "
+                f"max={s['max']:g} buckets={len(s['buckets'])}"
             )
 
     derived = _derived_lines(counters)

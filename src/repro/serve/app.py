@@ -1,12 +1,15 @@
 """The HTTP serving layer: ``slif serve``.
 
 A stdlib-only long-running daemon (``http.server.ThreadingHTTPServer``
-+ ``json``) exposing the :mod:`repro.api` facade over five JSON
-endpoints:
++ ``json``) exposing the :mod:`repro.api` facade over JSON endpoints
+plus a Prometheus scrape target:
 
 ========================  ==================================================
-``GET  /v1/healthz``      liveness (200 ok / 503 while draining)
-``GET  /v1/stats``        cache, batching, in-flight and request counters
+``GET  /v1/healthz``      liveness (200 ok / 503 while draining);
+                          reports version, uptime and pid
+``GET  /v1/stats``        cache, batching, in-flight, per-endpoint RED
+                          and (when enabled) obs registry counters
+``GET  /metrics``         Prometheus text exposition of the same data
 ``POST /v1/estimate``     :class:`~repro.api.EstimateRequest` body
 ``POST /v1/partition``    :class:`~repro.api.PartitionRequest` body
 ``POST /v1/simulate``     :class:`~repro.api.SimulateRequest` body
@@ -26,9 +29,18 @@ Design:
   ``Retry-After`` header instead of queueing unboundedly.
 * **Drain.**  SIGTERM (and SIGINT) stop accepting work — new requests
   get ``503`` — while in-flight requests finish, bounded by
-  ``--drain-timeout``.
-* **Tracing.**  Every request runs inside a ``serve.request`` span and
-  bumps ``serve.requests`` / ``serve.responses.<code>`` counters.
+  ``--drain-timeout``.  ``/v1/stats`` and ``/metrics`` keep answering
+  so the drain itself is observable.
+* **Telemetry.**  Every request runs under its own trace id — taken
+  from an ``X-Slif-Trace-Id`` request header when the client sent one,
+  minted otherwise, always echoed back in the response header — inside
+  a ``serve.request`` span, so worker-side spans of a ``/v1/explore``
+  dispatch carry the originating request's trace id across process
+  boundaries.  A per-endpoint RED registry (request and error counters,
+  latency histograms) is always on; it feeds both the ``endpoints``
+  section of ``/v1/stats`` and the ``slif_http_*`` families of
+  ``/metrics``.  With ``quiet=False`` each request also emits one JSONL
+  access-log line on stderr.
 
 Responses are canonical JSON (sorted keys, compact separators), so a
 body is byte-identical to ``canonical_json(api.<fn>(request).to_dict())``
@@ -38,18 +50,24 @@ computed in-process.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import sys
 import threading
 import time
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro import api, obs
 from repro.api.types import RequestError, canonical_json
 from repro.errors import SlifError
-from repro.obs import OBS
+from repro.obs import OBS, Registry
+from repro.obs.exposition import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    prometheus_labeled_text,
+    prometheus_text,
+)
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import GraphCache
 
@@ -85,10 +103,25 @@ class SlifServer:
     #: Heavy endpoints: bounded in-flight, 429 + Retry-After beyond it.
     HEAVY = ("partition", "simulate", "explore")
 
+    #: Known endpoints for RED-metric labels (anything else is "other").
+    ENDPOINTS = {
+        "/v1/healthz": "healthz",
+        "/v1/stats": "stats",
+        "/metrics": "metrics",
+        "/v1/estimate": "estimate",
+        "/v1/partition": "partition",
+        "/v1/simulate": "simulate",
+        "/v1/explore": "explore",
+    }
+
     def __init__(self, config: ServerConfig) -> None:
         self.config = config
         self.cache = GraphCache(config.cache_size)
         self.batcher = MicroBatcher(config.batch_window)
+        # per-endpoint RED metrics, named "<family>.<endpoint>"; always
+        # on (independent of the global obs switch) and rendered by
+        # both /v1/stats and /metrics
+        self.red = Registry(enabled=True)
         self.draining = False
         self.started = time.time()
         self._heavy_slots = threading.BoundedSemaphore(config.max_inflight)
@@ -156,15 +189,33 @@ class SlifServer:
         if OBS.enabled:
             OBS.inc(f"serve.responses.{status}")
 
+    def endpoint_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-endpoint RED summary: requests, errors, latency quantiles."""
+        snapshot = self.red.snapshot()
+        endpoints: Dict[str, Dict[str, Any]] = {}
+        for name, value in snapshot["counters"].items():
+            family, _, endpoint = name.partition(".")
+            if family in ("requests", "errors") and endpoint:
+                endpoints.setdefault(endpoint, {})[family] = value
+        for name, summary in snapshot["histograms"].items():
+            family, _, endpoint = name.partition(".")
+            if family == "latency_seconds" and endpoint:
+                endpoints.setdefault(endpoint, {})["latency_seconds"] = summary
+        for entry in endpoints.values():
+            entry.setdefault("requests", 0)
+            entry.setdefault("errors", 0)
+        return endpoints
+
     def stats(self) -> Dict[str, Any]:
         with self._state_lock:
             inflight = self._inflight
             heavy = self._heavy_inflight
             requests = self.requests
             responses = dict(self.responses)
-        return {
+        stats: Dict[str, Any] = {
             "uptime_seconds": time.time() - self.started,
             "draining": self.draining,
+            "pid": os.getpid(),
             "requests": requests,
             "responses": responses,
             "inflight": inflight,
@@ -173,35 +224,114 @@ class SlifServer:
             "jobs": self.config.jobs,
             "cache": self.cache.stats(),
             "batch": self.batcher.stats(),
+            "endpoints": self.endpoint_stats(),
         }
+        if OBS.enabled:
+            stats["obs"] = obs.snapshot()
+        return stats
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` Prometheus exposition document."""
+        process = Registry(enabled=True)
+        process.set_gauge("uptime_seconds", time.time() - self.started)
+        with self._state_lock:
+            process.set_gauge("inflight", self._inflight)
+            process.set_gauge("heavy_inflight", self._heavy_inflight)
+        process.set_gauge("draining", 1.0 if self.draining else 0.0)
+        parts = [
+            prometheus_text(process, namespace="slif"),
+            prometheus_labeled_text(
+                self.red, "endpoint", namespace="slif_http"
+            ),
+        ]
+        if OBS.enabled:
+            parts.append(prometheus_text(obs.REGISTRY, namespace="slif"))
+        return "".join(parts)
 
     # -- routing -------------------------------------------------------
 
+    def handle_timed(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        trace_id: Optional[str] = None,
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str], str]:
+        """Route one request with full telemetry; the HTTP handler's core.
+
+        Installs the request's trace id (the client's
+        ``X-Slif-Trace-Id`` if given, a fresh one otherwise) as the
+        handling thread's trace context — every span opened while
+        handling, including worker-side spans of an explore dispatch,
+        carries it — wraps routing in a ``serve.request`` span, records
+        the per-endpoint RED metrics, and echoes the trace id in the
+        returned headers.  Returns ``(status, payload, headers,
+        trace_id)``; in-process tests drive this directly and observe
+        exactly what the HTTP path observes.
+        """
+        tid = trace_id or obs.new_trace_id()
+        endpoint = self.ENDPOINTS.get(path, "other")
+        started = time.perf_counter()
+        status = 500
+        obs.set_trace_id(tid)
+        try:
+            with obs.span(
+                "serve.request", method=method, path=path, endpoint=endpoint
+            ) as sp:
+                try:
+                    status, payload, headers = self.handle_request(
+                        method, path, body
+                    )
+                except SlifError as exc:
+                    status, payload, headers = 400, {"error": str(exc)}, {}
+                except Exception as exc:  # noqa: BLE001 - daemon must survive
+                    status = 500
+                    payload = {"error": f"internal error: {exc}"}
+                    headers = {}
+                sp.set_attribute("status", status)
+        finally:
+            obs.set_trace_id(None)
+            duration = time.perf_counter() - started
+            self.red.inc(f"requests.{endpoint}")
+            if status >= 400:
+                self.red.inc(f"errors.{endpoint}")
+            self.red.observe(f"latency_seconds.{endpoint}", duration)
+        headers = dict(headers)
+        headers.setdefault("X-Slif-Trace-Id", tid)
+        return status, payload, headers, tid
+
     def handle_request(
         self, method: str, path: str, body: bytes
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         """Route one request; returns ``(status, payload, headers)``.
 
         Pure in-process logic (no sockets), so tests can drive it
-        directly as well as over HTTP.
+        directly as well as over HTTP.  A ``str`` payload (only
+        ``/metrics``) is sent verbatim; dict payloads are canonical
+        JSON.
         """
-        if self.draining and path != "/v1/stats":
+        if self.draining and path not in ("/v1/stats", "/metrics"):
             return 503, {"error": "server is draining"}, {"Retry-After": "1"}
         if method == "GET" and path == "/v1/healthz":
             return 200, {
                 "status": "ok",
                 "version": _version(),
                 "uptime_seconds": time.time() - self.started,
+                "pid": os.getpid(),
             }, {}
         if method == "GET" and path == "/v1/stats":
             return 200, self.stats(), {}
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics_text(), {
+                "Content-Type": PROMETHEUS_CONTENT_TYPE
+            }
         if method == "POST" and path.startswith("/v1/"):
             kind = path[len("/v1/"):]
             if kind == "estimate":
                 return self._handle_estimate(body)
             if kind in self.HEAVY:
                 return self._handle_heavy(kind, body)
-        if path.startswith("/v1/"):
+        if path.startswith("/v1/") or path == "/metrics":
             return 405, {
                 "error": f"{method} not supported on {path}"
             }, {"Allow": "GET, POST"}
@@ -292,34 +422,61 @@ class _Handler(BaseHTTPRequestHandler):
     def app(self) -> SlifServer:
         return self.server.app  # type: ignore[attr-defined]
 
+    def log_request(self, code: str = "-", size: str = "-") -> None:
+        pass  # replaced by the structured access log in _respond
+
     def log_message(self, format: str, *args) -> None:
         if not self.app.config.quiet:
             sys.stderr.write(
                 "slif serve: %s %s\n" % (self.address_string(), format % args)
             )
 
+    def _access_log(
+        self, method: str, status: int, duration: float, trace_id: str
+    ) -> None:
+        if self.app.config.quiet:
+            return
+        line = json.dumps(
+            {
+                "ts": time.time(),
+                "client": self.address_string(),
+                "method": method,
+                "path": self.path,
+                "status": status,
+                "duration_ms": round(duration * 1e3, 3),
+                "trace_id": trace_id,
+            },
+            sort_keys=True,
+        )
+        sys.stderr.write(line + "\n")
+
     def _respond(self, method: str) -> None:
         app = self.app
         app._enter_request()
         status = 500
+        started = time.perf_counter()
+        trace_id = ""
         try:
-            with obs.span("serve.request", method=method, path=self.path) as sp:
-                try:
-                    length = int(self.headers.get("Content-Length") or 0)
-                    body = self.rfile.read(length) if length else b""
-                    status, payload, headers = app.handle_request(
-                        method, self.path, body
-                    )
-                except SlifError as exc:
-                    status, payload, headers = 400, {"error": str(exc)}, {}
-                except Exception as exc:  # noqa: BLE001 - daemon must survive
-                    status = 500
-                    payload = {"error": f"internal error: {exc}"}
-                    headers = {}
-                sp.set_attribute("status", status)
-            encoded = canonical_json(payload).encode("utf-8")
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, payload, headers, trace_id = app.handle_timed(
+                method,
+                self.path,
+                body,
+                trace_id=self.headers.get("X-Slif-Trace-Id"),
+            )
+            if isinstance(payload, str):
+                encoded = payload.encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "text/plain; charset=utf-8"
+                )
+            else:
+                encoded = canonical_json(payload).encode("utf-8")
+                content_type = headers.pop(
+                    "Content-Type", "application/json"
+                )
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(encoded)))
             for key, value in headers.items():
                 self.send_header(key, value)
@@ -329,6 +486,9 @@ class _Handler(BaseHTTPRequestHandler):
             pass  # client went away mid-response; nothing to salvage
         finally:
             app._exit_request(status)
+            self._access_log(
+                method, status, time.perf_counter() - started, trace_id
+            )
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._respond("GET")

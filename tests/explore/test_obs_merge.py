@@ -1,0 +1,145 @@
+"""Cross-process telemetry merging: ``--jobs N`` vs ``--jobs 1``.
+
+The coordinator ships its trace id with every dispatched chunk; workers
+capture their own counters, histograms and ``explore.chunk`` spans and
+the engine merges them back.  These tests pin the contract: merged
+worker counters equal the sequential run's, worker spans carry the
+originating trace id and worker pids, and the merged front stays
+byte-identical.
+"""
+
+import os
+
+import pytest
+
+from repro import api, obs
+
+#: Counters that describe *scheduling*, not *work* — retries, pool
+#: management, checkpointing.  Work counters must match across job
+#: counts; scheduling counters legitimately may not.
+SCHEDULING_COUNTERS = (
+    "explore.retries",
+    "explore.timeouts",
+    "explore.fallbacks",
+    "explore.pool_respawns",
+    "explore.checkpoint.chunks_skipped",
+)
+
+
+def run_explore(jobs):
+    """One instrumented explore run; returns (result, snapshot, spans)."""
+    obs.reset()
+    obs.enable()
+    try:
+        session = api.load("fuzzy")
+        result = api.explore(
+            api.ExploreRequest(
+                spec="fuzzy",
+                constraint_steps=3,
+                random_starts=2,
+                seed=0,
+                jobs=jobs,
+            ),
+            session=session,
+        )
+        snapshot = obs.snapshot()
+        spans = list(obs.TRACER.spans())
+        trace_id = obs.trace_id()
+        return result, snapshot, spans, trace_id
+    finally:
+        obs.reset()
+        obs.disable()
+
+
+def work_counters(snapshot):
+    return {
+        name: value
+        for name, value in snapshot["counters"].items()
+        if name not in SCHEDULING_COUNTERS
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return run_explore(jobs=1)
+
+
+@pytest.fixture(scope="module")
+def parallel():
+    return run_explore(jobs=4)
+
+
+class TestMergeDeterminism:
+    def test_fronts_are_identical(self, sequential, parallel):
+        assert sequential[0].text == parallel[0].text
+        assert sequential[0].evaluated == parallel[0].evaluated
+
+    def test_merged_work_counters_match_sequential(
+        self, sequential, parallel
+    ):
+        assert work_counters(parallel[1]) == work_counters(sequential[1])
+
+    def test_merged_histograms_have_all_chunks(self, sequential, parallel):
+        seq_hist = sequential[1]["histograms"]["explore.chunk_seconds"]
+        par_hist = parallel[1]["histograms"]["explore.chunk_seconds"]
+        assert par_hist["count"] == seq_hist["count"]
+
+    def test_repeated_parallel_runs_merge_identically(self, parallel):
+        again = run_explore(jobs=4)
+        assert work_counters(again[1]) == work_counters(parallel[1])
+        assert again[0].text == parallel[0].text
+
+
+class TestWorkerSpans:
+    def chunk_spans(self, spans):
+        return [s for s in spans if s.name == "explore.chunk"]
+
+    def test_every_chunk_has_a_span(self, parallel):
+        result, _, spans, _ = parallel
+        chunk_spans = self.chunk_spans(spans)
+        assert chunk_spans
+        indices = sorted(s.attributes["chunk"] for s in chunk_spans)
+        assert indices == list(range(len(chunk_spans)))   # one per chunk
+
+    def test_worker_spans_carry_pids(self, parallel):
+        _, _, spans, _ = parallel
+        pids = {s.attributes.get("worker_pid") for s in self.chunk_spans(spans)}
+        assert all(isinstance(pid, int) for pid in pids)
+        assert os.getpid() not in pids        # evaluated in pool workers
+
+    def test_worker_spans_carry_the_coordinator_trace_id(self, parallel):
+        _, _, spans, trace_id = parallel
+        assert all(s.trace_id == trace_id for s in self.chunk_spans(spans))
+
+    def test_worker_spans_are_parented_into_the_trace(self, parallel):
+        _, _, spans, _ = parallel
+        span_ids = {s.span_id for s in spans}
+        for span in self.chunk_spans(spans):
+            assert span.parent_id in span_ids
+
+    def test_sequential_chunks_span_in_this_process(self, sequential):
+        _, _, spans, _ = sequential
+        pids = {s.attributes.get("worker_pid") for s in self.chunk_spans(spans)}
+        assert pids == {os.getpid()}
+
+
+class TestFaultInjectedMerge:
+    def test_transient_fault_does_not_skew_merged_telemetry(
+        self, sequential, parallel, monkeypatch
+    ):
+        """A retried chunk's telemetry is captured once (the successful
+        attempt), so fronts and work counters still match ``--jobs 1``."""
+        monkeypatch.setenv("SLIF_FAULTS", "transient:1")
+        result, snapshot, spans, trace_id = run_explore(jobs=4)
+        assert result.text == sequential[0].text
+        counters = work_counters(snapshot)
+        assert counters == work_counters(sequential[1])
+        assert snapshot["counters"]["explore.retries"] >= 1
+        chunk_spans = [s for s in spans if s.name == "explore.chunk"]
+        indices = sorted(s.attributes["chunk"] for s in chunk_spans)
+        assert indices == list(range(len(chunk_spans)))   # no duplicates
+        assert all(s.trace_id == trace_id for s in chunk_spans)
+        assert all(
+            isinstance(s.attributes.get("worker_pid"), int)
+            for s in chunk_spans
+        )

@@ -1,0 +1,149 @@
+"""Unit tests for the ``slif obs`` analysis renderers."""
+
+from repro.obs.analyze import render_diff, render_slowest, render_waterfall
+
+
+def span(
+    name,
+    span_id,
+    parent_id=None,
+    trace_id="t1",
+    start=0.0,
+    duration=1.0,
+    **attributes,
+):
+    return {
+        "type": "span",
+        "name": name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "trace_id": trace_id,
+        "start": start,
+        "duration": duration,
+        "attributes": attributes,
+        "events": [],
+    }
+
+
+DOCS = [
+    {"type": "meta", "spans": 3},
+    span("cli.explore", 1, start=0.0, duration=10.0),
+    span("api.explore", 2, parent_id=1, start=1.0, duration=8.0),
+    span(
+        "explore.chunk",
+        3,
+        parent_id=2,
+        start=2.0,
+        duration=3.0,
+        chunk=0,
+        worker_pid=4242,
+    ),
+]
+
+
+class TestWaterfall:
+    def test_tree_structure_and_indentation(self):
+        out = render_waterfall(DOCS)
+        lines = out.splitlines()
+        assert lines[0].startswith("trace t1")
+        assert "(3 spans" in lines[0]
+        cli = next(l for l in lines if "cli.explore" in l)
+        api = next(l for l in lines if "api.explore" in l)
+        chunk = next(l for l in lines if "explore.chunk" in l)
+        # children indent deeper than parents
+        assert len(api) - len(api.lstrip()) > len(cli) - len(cli.lstrip())
+        assert len(chunk) - len(chunk.lstrip()) > len(api) - len(api.lstrip())
+        assert "chunk=0" in chunk and "[pid 4242]" in chunk
+
+    def test_bars_are_proportional(self):
+        out = render_waterfall(DOCS, width=10)
+        cli = next(l for l in out.splitlines() if "cli.explore" in l)
+        chunk = next(l for l in out.splitlines() if "explore.chunk" in l)
+        assert cli.count("#") == 10        # the full-duration root
+        assert 1 <= chunk.count("#") <= 4  # 3/10ths of the window
+
+    def test_trace_filter_accepts_prefix(self):
+        docs = DOCS + [span("other", 9, trace_id="zz")]
+        out = render_waterfall(docs, trace_id="t")
+        assert "cli.explore" in out
+        assert "other" not in out
+
+    def test_unknown_trace_filter(self):
+        assert "no trace matching" in render_waterfall(DOCS, trace_id="nope")
+
+    def test_orphan_parent_renders_as_root(self):
+        docs = [span("orphan", 5, parent_id=999)]
+        out = render_waterfall(docs)
+        assert "orphan" in out
+
+    def test_no_spans(self):
+        assert "(no spans" in render_waterfall([{"type": "meta"}])
+
+
+class TestSlowest:
+    def test_ranked_by_duration(self):
+        out = render_slowest(DOCS, top=2)
+        lines = out.splitlines()
+        assert "top 2 slowest spans" in lines[0]
+        assert "cli.explore" in lines[1]
+        assert "api.explore" in lines[2]
+        assert "trace=t1" in lines[1]
+
+    def test_top_clamps_to_available(self):
+        assert len(render_slowest(DOCS, top=99).splitlines()) == 4
+
+
+class TestDiff:
+    A = [
+        {"type": "counter", "name": "evals", "value": 100},
+        {"type": "gauge", "name": "jobs", "value": 1},
+        {
+            "type": "histogram",
+            "name": "lat",
+            "count": 4,
+            "mean": 0.5,
+            "p50": 0.4,
+            "p95": 0.9,
+            "p99": 0.9,
+            "max": 1.0,
+        },
+    ]
+    B = [
+        {"type": "counter", "name": "evals", "value": 150},
+        {"type": "counter", "name": "retries", "value": 2},
+        {"type": "gauge", "name": "jobs", "value": 4},
+        {
+            "type": "histogram",
+            "name": "lat",
+            "count": 8,
+            "mean": 0.25,
+            "p50": 0.2,
+            "p95": 0.5,
+            "p99": 0.6,
+            "max": 0.7,
+        },
+    ]
+
+    def test_counter_deltas(self):
+        out = render_diff(self.A, self.B)
+        evals = next(l for l in out.splitlines() if "evals" in l)
+        assert "100" in evals and "150" in evals and "+50" in evals
+        retries = next(l for l in out.splitlines() if "retries" in l)
+        assert "+2" in retries   # present only in b: baseline is 0
+
+    def test_gauge_and_histogram_sections(self):
+        out = render_diff(self.A, self.B)
+        assert "gauges:" in out
+        assert "histograms:" in out
+        count = next(
+            l for l in out.splitlines() if l.strip().startswith("count ")
+        )
+        assert "4" in count and "8" in count and "+4" in count
+        assert any("p99" in l for l in out.splitlines())
+
+    def test_labels_in_header(self):
+        out = render_diff(self.A, self.B, label_a="before", label_b="after")
+        assert "before -> after" in out
+
+    def test_empty_exports(self):
+        assert "no metrics" in render_diff([], [])

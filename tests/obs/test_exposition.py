@@ -1,0 +1,87 @@
+"""Unit tests for the Prometheus text exposition renderer."""
+
+from repro.obs.exposition import (
+    metric_name,
+    prometheus_labeled_text,
+    prometheus_text,
+)
+from repro.obs.metrics import Registry
+
+
+def make_registry():
+    r = Registry(enabled=True)
+    r.inc("estimate.memo_hit", 3)
+    r.set_gauge("explore.jobs", 4.0)
+    r.observe("chunk_seconds", 0.5)
+    r.observe("chunk_seconds", 2.0)
+    return r
+
+
+def test_metric_name_sanitization():
+    assert metric_name("estimate.memo_hit") == "slif_estimate_memo_hit"
+    assert metric_name("a-b c", namespace="ns") == "ns_a_b_c"
+    assert metric_name("x", namespace="") == "x"
+
+
+def test_counter_family_gets_total_suffix():
+    text = prometheus_text(make_registry())
+    assert "# TYPE slif_estimate_memo_hit_total counter" in text
+    assert "slif_estimate_memo_hit_total 3" in text
+
+
+def test_gauge_family():
+    text = prometheus_text(make_registry())
+    assert "# TYPE slif_explore_jobs gauge" in text
+    assert "slif_explore_jobs 4" in text
+
+
+def test_histogram_family_is_cumulative_with_inf():
+    text = prometheus_text(make_registry())
+    lines = text.splitlines()
+    assert "# TYPE slif_chunk_seconds histogram" in lines
+    buckets = [l for l in lines if l.startswith("slif_chunk_seconds_bucket")]
+    # cumulative counts never decrease and end at +Inf == count
+    counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1].startswith('slif_chunk_seconds_bucket{le="+Inf"}')
+    assert counts[-1] == 2
+    assert "slif_chunk_seconds_count 2" in lines
+    assert any(l.startswith("slif_chunk_seconds_sum ") for l in lines)
+
+
+def test_every_line_is_comment_or_sample():
+    text = prometheus_text(make_registry())
+    for line in text.splitlines():
+        if line.startswith("#"):
+            assert line.startswith("# TYPE ")
+        else:
+            name, _, value = line.rpartition(" ")
+            assert name
+            float(value)
+
+
+def test_labeled_families_share_one_type_header():
+    r = Registry(enabled=True)
+    r.inc("requests.estimate", 5)
+    r.inc("requests.healthz", 2)
+    r.observe("latency_seconds.estimate", 0.1)
+    text = prometheus_labeled_text(r, "endpoint", namespace="slif_http")
+    assert text.count("# TYPE slif_http_requests_total counter") == 1
+    assert 'slif_http_requests_total{endpoint="estimate"} 5' in text
+    assert 'slif_http_requests_total{endpoint="healthz"} 2' in text
+    assert (
+        'slif_http_latency_seconds_bucket{endpoint="estimate",le="+Inf"} 1'
+        in text
+    )
+    assert 'slif_http_latency_seconds_count{endpoint="estimate"} 1' in text
+
+
+def test_label_values_are_escaped():
+    r = Registry(enabled=True)
+    r.inc('requests.we"ird')
+    text = prometheus_labeled_text(r, "endpoint")
+    assert 'endpoint="we\\"ird"' in text
+
+
+def test_empty_registry_renders_empty():
+    assert prometheus_text(Registry(enabled=True)) == ""

@@ -107,4 +107,88 @@ def test_to_dict_shape():
     assert doc["name"] == "work"
     assert doc["attributes"] == {"a": 1}
     assert doc["events"][0]["name"] == "e"
-    assert {"span_id", "parent_id", "start", "duration"} <= set(doc)
+    assert {"span_id", "parent_id", "trace_id", "start", "duration"} <= set(doc)
+
+
+def test_spans_carry_the_process_default_trace_id():
+    tracer = make_tracer()
+    with tracer.span("a"):
+        pass
+    with tracer.span("b"):
+        pass
+    spans = tracer.spans()
+    assert spans[0].trace_id
+    assert spans[0].trace_id == spans[1].trace_id == tracer.trace_id()
+
+
+def test_set_trace_id_overrides_per_thread():
+    tracer = make_tracer()
+    seen = {}
+
+    def worker(tag):
+        tracer.set_trace_id(f"trace-{tag}")
+        try:
+            with tracer.span(f"s{tag}") as s:
+                seen[tag] = s.trace_id
+        finally:
+            tracer.set_trace_id(None)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert seen == {0: "trace-0", 1: "trace-1", 2: "trace-2"}
+    # the main thread was never overridden
+    with tracer.span("main") as s:
+        pass
+    assert s.trace_id == tracer.trace_id()
+
+
+def test_reset_invalidates_open_span_stacks():
+    """Regression: a span opened before reset() must not reparent spans
+    opened after it, nor be recorded when it finally exits."""
+    tracer = make_tracer()
+    stale = tracer.span("stale")
+    stale.__enter__()
+    tracer.reset()
+    with tracer.span("fresh") as fresh:
+        assert fresh.parent_id is None          # not reparented under stale
+    stale.__exit__(None, None, None)            # exits after the reset
+    spans = tracer.spans()
+    assert [s.name for s in spans] == ["fresh"]  # stale was discarded
+    assert tracer.current() is None
+
+
+def test_reset_renews_the_default_trace_id():
+    tracer = make_tracer()
+    before = tracer.trace_id()
+    tracer.reset()
+    assert tracer.trace_id() != before
+
+
+def test_absorb_spans_remaps_ids_and_reparents_roots():
+    worker = make_tracer()
+    worker.set_trace_id("req-1")
+    with worker.span("chunk"):
+        with worker.span("inner"):
+            pass
+    docs = worker.export_spans()
+
+    parent = make_tracer()
+    with parent.span("explore") as anchor:
+        pass
+    count = parent.absorb_spans(
+        docs, parent_id=anchor.span_id, attributes={"worker_pid": 1234}
+    )
+    assert count == 2
+    by_name = {s.name: s for s in parent.spans()}
+    chunk, inner = by_name["chunk"], by_name["inner"]
+    # remapped into the parent tracer's id space, no collisions
+    ids = {s.span_id for s in parent.spans()}
+    assert len(ids) == 3
+    assert chunk.parent_id == anchor.span_id       # root re-anchored
+    assert inner.parent_id == chunk.span_id        # intra-batch link kept
+    assert chunk.trace_id == inner.trace_id == "req-1"
+    assert chunk.attributes["worker_pid"] == 1234
+    assert inner.attributes["worker_pid"] == 1234

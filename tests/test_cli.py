@@ -257,3 +257,51 @@ class TestExitCodes:
         monkeypatch.setattr(api, "estimate", interrupted)
         assert main(["estimate", "vol"]) == 130
         assert "interrupted" in capsys.readouterr().err
+
+
+class TestObsSubcommand:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["explore", "vol", "--steps", "2", "--random-starts", "1",
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()   # drop the explore output
+        return str(trace)
+
+    def test_waterfall(self, trace_file, capsys):
+        assert main(["obs", "waterfall", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace ")
+        assert "cli.explore" in out
+        assert "explore.chunk" in out and "[pid " in out
+        assert "[#" in out or "[ " in out   # timeline bars
+
+    def test_waterfall_trace_filter(self, trace_file, capsys):
+        assert main(
+            ["obs", "waterfall", trace_file, "--trace-id", "ffff"]
+        ) == 0
+        assert "no trace matching" in capsys.readouterr().out
+
+    def test_slow(self, trace_file, capsys):
+        assert main(["obs", "slow", trace_file, "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 slowest spans" in out
+        assert "trace=" in out
+
+    def test_diff(self, trace_file, capsys):
+        assert main(["obs", "diff", trace_file, trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "== metric diff" in out
+        assert "+0" in out   # identical runs diff to zero
+
+    def test_missing_file_is_a_clean_error(self, capsys):
+        assert main(["obs", "slow", "/nonexistent.jsonl"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_corrupt_file_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        assert main(["obs", "slow", str(bad)]) == 2
+        assert "not a JSONL trace export" in capsys.readouterr().err
