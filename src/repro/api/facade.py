@@ -217,12 +217,18 @@ def explore(
     policy=None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    fleet=None,
 ) -> ExploreResult:
     """Sweep the time/area trade-off; returns the Pareto front as data.
 
     Dispatches onto the fault-tolerant :mod:`repro.explore` engine;
     ``jobs`` fans candidate evaluation across worker processes and the
     front is byte-identical for any value given the same seed.
+    ``fleet`` (a coordinator ``host:port``/URL or a ready
+    :class:`~repro.fleet.protocol.FleetSpec`) distributes the sweep
+    across a worker fleet instead; the session's content-hash key
+    becomes the consistent-hash routing key so repeated sweeps of one
+    spec land on the same worker's warm caches.
     """
     from repro.partition.pareto import explore_pareto
 
@@ -236,6 +242,10 @@ def explore(
         policy = RetryPolicy(
             timeout=req.timeout, retries=req.retries, seed=req.seed
         )
+    if fleet is not None:
+        from repro.fleet.protocol import FleetSpec
+
+        fleet = FleetSpec.coerce(fleet, session_key=sess.key)
     with span("api.explore", spec=sess.spec_name, jobs=jobs):
         front = explore_pareto(
             sess.slif,
@@ -247,6 +257,7 @@ def explore(
             policy=policy,
             checkpoint=checkpoint,
             resume=resume,
+            fleet=fleet,
         )
     return ExploreResult(
         spec=sess.spec_name,

@@ -28,7 +28,15 @@ Subcommands mirror the system-design workflow:
     Run the long-running HTTP estimation service (``repro.serve``):
     JSON endpoints for estimate/partition/simulate/explore backed by
     an LRU graph cache and request micro-batching, plus a Prometheus
-    ``/metrics`` scrape target.
+    ``/metrics`` scrape target — and the fleet coordinator
+    (``/v1/fleet/*``) that ``slif work`` daemons register with.
+``slif work --coordinator host:port``
+    Run a fleet worker daemon: pulls exploration chunks from a
+    ``slif serve`` coordinator, evaluates them on a warm cached
+    runner, and ships results (telemetry included) back.  A sweep
+    started with ``slif explore <spec> --workers host:port`` fans
+    across every registered worker and still prints a front
+    byte-identical to ``--jobs 1``.
 ``slif obs waterfall|slow|diff <trace.jsonl>``
     Analyze ``--trace-out`` exports offline: per-trace span
     waterfalls, the top-N slowest spans, and run-to-run metric diffs.
@@ -203,10 +211,16 @@ def cmd_explore(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     with obs.span("cli.explore", spec=args.spec, seed=args.seed) as sp:
-        result = api.explore(request, session=session, **_exec_options(args))
+        result = api.explore(
+            request,
+            session=session,
+            fleet=args.workers,
+            **_exec_options(args),
+        )
     print(result.text)
+    mode = f"fleet={args.workers}" if args.workers else f"jobs={args.jobs}"
     print(
-        f"-- explore seed={args.seed} jobs={args.jobs}: "
+        f"-- explore seed={args.seed} {mode}: "
         f"{result.evaluated} designs evaluated, "
         f"{len(result.points)} on the front in {sp.duration:.3f}s",
         file=sys.stderr,
@@ -259,8 +273,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         drain_timeout=args.drain_timeout,
         quiet=not args.verbose,
+        fleet_heartbeat=args.fleet_heartbeat,
     )
     return run_server(config)
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    from repro.fleet import WorkerConfig, run_worker
+
+    config = WorkerConfig(
+        coordinator=args.coordinator,
+        host=args.host,
+        port=args.port,
+        poll_seconds=args.poll,
+        cache_size=args.cache_size,
+        worker_id=args.worker_id,
+        quiet=not args.verbose,
+    )
+    return run_worker(config)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -544,6 +574,13 @@ def make_parser() -> argparse.ArgumentParser:
         "--random-starts", type=int, default=5, help="random starts per step"
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--workers",
+        metavar="COORD",
+        default=None,
+        help="distribute the sweep across a fleet: the coordinator's "
+        "host:port (a running `slif serve`); overrides --jobs",
+    )
     _add_jobs_arg(p)
     _add_fault_tolerance_args(p)
     _add_obs_args(p)
@@ -638,11 +675,67 @@ def make_parser() -> argparse.ArgumentParser:
         help="seconds to wait for in-flight requests after SIGTERM",
     )
     p.add_argument(
+        "--fleet-heartbeat",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="fleet worker heartbeat interval in seconds; a worker "
+        "silent for 4x this is declared dead and its chunks requeued",
+    )
+    p.add_argument(
         "--verbose",
         action="store_true",
         help="log one line per request to stderr",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "work",
+        help="run a fleet worker daemon against a slif serve coordinator",
+    )
+    p.add_argument(
+        "--coordinator",
+        required=True,
+        metavar="COORD",
+        help="the coordinator's host:port or URL (a running `slif serve`)",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address of the worker's status listener",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="status-listener TCP port (default 0: pick an ephemeral "
+        "port and print it to stdout)",
+    )
+    p.add_argument(
+        "--poll",
+        type=float,
+        default=0.05,
+        metavar="S",
+        help="idle wait between empty work pulls",
+    )
+    p.add_argument(
+        "--cache-size",
+        type=int,
+        default=4,
+        metavar="N",
+        help="warm chunk runners kept, one per distinct sweep payload",
+    )
+    p.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name (default: coordinator-assigned)",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="log worker activity to stderr",
+    )
+    p.set_defaults(func=cmd_work)
 
     p = sub.add_parser("stats", help="structural counts + format comparison")
     p.add_argument("spec")

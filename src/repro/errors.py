@@ -69,6 +69,19 @@ class PoolCrashError(PartitionError):
     """
 
 
+class FleetError(SlifError):
+    """A distributed-fleet operation failed.
+
+    Raised by :mod:`repro.fleet` for protocol-level problems: a worker
+    or sweep id the coordinator does not know, a malformed fleet
+    request, or a coordinator that stays unreachable after the HTTP
+    transport's retry budget.  Chunk-evaluation failures are *not*
+    reported this way — they travel as transient errors (retried and
+    requeued by the coordinator) or as :class:`WorkerError` (determin-
+    istic candidate failures, surfaced identically to a local run).
+    """
+
+
 class FaultInjectedError(SlifError):
     """A deliberately injected transient fault (``SLIF_FAULTS``).
 

@@ -491,6 +491,7 @@ def run_plan(
     policy: Optional[RetryPolicy] = None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    fleet=None,
 ) -> List[ChunkResult]:
     """Evaluate every chunk of ``plan`` and return results in chunk order.
 
@@ -509,6 +510,13 @@ def run_plan(
     missing chunks are evaluated.  On :class:`KeyboardInterrupt` the
     pool is terminated and the journal flushed before re-raising, so an
     interrupted sweep loses at most its in-flight chunks.
+
+    ``fleet`` (a :class:`~repro.fleet.protocol.FleetSpec`) dispatches
+    the todo chunks to a coordinator/worker fleet instead of a local
+    pool; ``jobs`` is ignored in that case.  The merged result stays
+    byte-identical — fleet results come back keyed by the same chunk
+    indexes, requeues deduplicate first-wins, and anything the fleet
+    cannot finish falls back to an in-process runner.
     """
     chunks = plan.chunks()
     workers = resolve_jobs(jobs, len(chunks))
@@ -549,7 +557,21 @@ def run_plan(
         else None
     )
     try:
-        if workers <= 1 or not todo:
+        if fleet is not None and todo:
+            from repro.fleet.client import run_fleet_chunks
+
+            done.update(
+                run_fleet_chunks(
+                    payload,
+                    todo,
+                    fleet=fleet,
+                    policy=policy,
+                    stats=stats,
+                    on_complete=on_complete,
+                    obs_ctx=obs_ctx,
+                )
+            )
+        elif workers <= 1 or not todo:
             from repro.explore.worker import ChunkRunner
 
             if todo:

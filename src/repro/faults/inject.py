@@ -25,10 +25,17 @@ Supported kinds (see :data:`FAULT_KINDS`):
     Return an unpicklable result — the worker itself is healthy but the
     result cannot cross the process boundary, exercising the
     result-transport failure path.
+``worker-down``
+    ``os._exit(CRASH_EXIT_CODE)``, like ``crash`` — but named for the
+    fleet: set in a ``slif work`` daemon's environment it kills the
+    *whole daemon* mid-lease, exercising heartbeat-timeout reaping and
+    cross-worker requeue rather than same-pool respawn.  In a local
+    pool worker it behaves exactly like ``crash``.
 
-Faults only ever fire inside pool worker processes (the engine's
-in-process ``jobs=1`` path and the graceful-degradation fallback call
-the chunk runner directly, bypassing injection) — a ``crash`` fault can
+Faults only ever fire inside workers — pool worker processes and fleet
+worker daemons (the engine's in-process ``jobs=1`` path and the
+graceful-degradation fallback call the chunk runner directly,
+bypassing injection) — a ``crash`` or ``worker-down`` fault can
 therefore never take down the coordinating process.
 """
 
@@ -48,7 +55,7 @@ HANG_SECONDS_ENV = "SLIF_FAULT_HANG_SECONDS"
 #: Exit status used by the ``crash`` fault (distinctive in worker logs).
 CRASH_EXIT_CODE = 87
 
-FAULT_KINDS = ("crash", "hang", "transient", "pickle")
+FAULT_KINDS = ("crash", "hang", "transient", "pickle", "worker-down")
 
 
 @dataclass(frozen=True)
@@ -180,7 +187,7 @@ def fire(spec: FaultSpec, chunk_index: int, attempt: int):
         f"injected {spec.kind} fault on chunk {chunk_index} "
         f"(attempt {attempt}, fires {spec.times}x)"
     )
-    if spec.kind == "crash":
+    if spec.kind in ("crash", "worker-down"):
         os._exit(CRASH_EXIT_CODE)
     if spec.kind == "hang":
         time.sleep(hang_seconds())

@@ -1,0 +1,251 @@
+"""The sweep side of the fleet: transports and the dispatch client.
+
+:func:`run_fleet_chunks` is what :func:`repro.explore.engine.run_plan`
+calls when a sweep carries a :class:`~repro.fleet.protocol.FleetSpec`:
+it submits the payload, the todo chunks and the
+:class:`~repro.explore.engine.RetryPolicy` as one sweep, polls the
+coordinator for completed results (feeding each into the engine's
+``on_complete`` hook as it lands, so ``--checkpoint`` journaling works
+unchanged), and — mirroring the in-process pool's graceful degradation
+— evaluates any chunk the fleet could not finish through a local
+:class:`~repro.explore.worker.ChunkRunner`.  Deterministic candidate
+failures surface as the same lowest-index
+:class:`~repro.errors.WorkerError` a ``--jobs 1`` run raises.
+
+Transports carry ``(op, dict) -> dict`` calls: :class:`HttpTransport`
+speaks ``POST /v1/fleet/<op>`` to a ``slif serve`` coordinator with a
+small connection-retry budget; :class:`LocalTransport` calls a
+:class:`~repro.fleet.coordinator.FleetCoordinator` in-process but
+round-trips every message through JSON, so tests exercise exactly the
+bytes the HTTP path would.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.errors import FleetError, WorkerError
+from repro.explore.engine import RecoveryStats, RetryPolicy
+from repro.explore.plan import Chunk
+from repro.explore.worker import ChunkResult, ObsContext, PlanPayload
+from repro.fleet.protocol import (
+    FleetSpec,
+    chunk_to_wire,
+    payload_to_wire,
+    policy_to_wire,
+    result_from_wire,
+)
+from repro.obs import OBS
+
+
+class HttpTransport:
+    """``POST /v1/fleet/<op>`` against a ``slif serve`` coordinator."""
+
+    def __init__(
+        self, base_url: str, timeout: float = 30.0, retries: int = 3
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+
+    def call(self, op: str, data: Dict[str, Any]) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/fleet/{op}",
+            data=json.dumps(data).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        last: Optional[Exception] = None
+        for attempt in range(self.retries):
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # the coordinator answered: a protocol error, not an
+                # unreachable fleet — no point retrying the same bytes
+                try:
+                    message = json.loads(exc.read().decode("utf-8")).get(
+                        "error", ""
+                    )
+                except Exception:  # noqa: BLE001 - body is best-effort
+                    message = ""
+                raise FleetError(
+                    f"fleet {op} failed with HTTP {exc.code}"
+                    + (f": {message}" if message else "")
+                ) from None
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                last = exc
+                if attempt < self.retries - 1:
+                    time.sleep(0.1 * (attempt + 1))
+        raise FleetError(
+            f"fleet coordinator at {self.base_url} is unreachable "
+            f"after {self.retries} attempts: {last}"
+        ) from None
+
+
+class LocalTransport:
+    """In-process transport with wire-fidelity JSON round-trips."""
+
+    def __init__(self, coordinator) -> None:
+        self.coordinator = coordinator
+
+    def call(self, op: str, data: Dict[str, Any]) -> Dict[str, Any]:
+        request = json.loads(json.dumps(data))
+        response = self.coordinator.handle(op, request)
+        return json.loads(json.dumps(response))
+
+
+def _transport_for(fleet: FleetSpec):
+    if fleet.transport is not None:
+        return fleet.transport
+    if not fleet.url:
+        raise FleetError("FleetSpec has neither a transport nor a url")
+    return HttpTransport(fleet.url)
+
+
+def run_fleet_chunks(
+    payload: PlanPayload,
+    todo: List[Chunk],
+    *,
+    fleet: FleetSpec,
+    policy: RetryPolicy,
+    stats: RecoveryStats,
+    on_complete: Callable[[ChunkResult], None],
+    obs_ctx: Optional[ObsContext] = None,
+) -> Dict[int, ChunkResult]:
+    """Evaluate ``todo`` through a fleet; returns results by chunk index.
+
+    The contract matches the in-process dispatcher exactly: every todo
+    chunk either completes (fleet-side, or through the local fallback
+    runner once the coordinator reports it exhausted or the fleet has
+    no live workers for ``fleet.idle_timeout`` seconds) or the sweep
+    raises the lowest failing chunk's :class:`WorkerError`.  Requeues
+    and timeouts the coordinator performed on our behalf are folded
+    into ``stats`` so the recovery summary covers the whole fleet.
+    """
+    transport = _transport_for(fleet)
+    submitted = transport.call(
+        "sweep",
+        {
+            "payload": payload_to_wire(payload),
+            "chunks": [chunk_to_wire(chunk) for chunk in todo],
+            "policy": policy_to_wire(policy),
+            "session_key": fleet.session_key,
+            "collect": bool(obs_ctx is not None and obs_ctx.collect),
+            "trace_id": obs_ctx.trace_id if obs_ctx is not None else None,
+        },
+    )
+    sweep_id = submitted["sweep_id"]
+    done: Dict[int, ChunkResult] = {}
+    exhausted: set = set()
+    error: Optional[Dict[str, Any]] = None
+    take_over = False
+    idle_since: Optional[float] = None
+    sweep_stats = {"requeues": 0, "timeouts": 0, "workers_lost": 0}
+    try:
+        while True:
+            response = transport.call("collect", {"sweep_id": sweep_id})
+            for wire in response.get("results", ()):
+                result = result_from_wire(wire)
+                if result.chunk_index not in done:
+                    done[result.chunk_index] = result
+                    on_complete(result)
+            exhausted.update(response.get("exhausted", ()))
+            if response.get("error") is not None:
+                error = response["error"]
+            sweep_stats = response.get("stats", sweep_stats)
+            if response.get("complete"):
+                break
+            if response.get("workers_alive", 0) > 0 or not policy.fallback:
+                idle_since = None
+            else:
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None else now
+                if now - idle_since > fleet.idle_timeout:
+                    # the whole fleet is gone; finish the sweep locally
+                    take_over = True
+                    break
+            time.sleep(fleet.poll_seconds)
+    finally:
+        try:
+            transport.call("cancel", {"sweep_id": sweep_id})
+        except FleetError:  # pragma: no cover - cleanup is best-effort
+            pass
+    stats.retries += int(sweep_stats.get("requeues", 0))
+    stats.timeouts += int(sweep_stats.get("timeouts", 0))
+    error = _run_local_fallbacks(
+        payload, todo, done, exhausted, error, take_over, stats, on_complete
+    )
+    if error is not None:
+        raise WorkerError(str(error.get("message", "fleet worker error")))
+    return done
+
+
+def _run_local_fallbacks(
+    payload: PlanPayload,
+    todo: List[Chunk],
+    done: Dict[int, ChunkResult],
+    exhausted: set,
+    error: Optional[Dict[str, Any]],
+    take_over: bool,
+    stats: RecoveryStats,
+    on_complete: Callable[[ChunkResult], None],
+) -> Optional[Dict[str, Any]]:
+    """In-process completion of whatever the fleet left behind.
+
+    Mirrors the pool dispatcher's ``_run_fallbacks``: only chunks below
+    the lowest failing index run (the sweep will raise anyway, and a
+    sequential run would never have reached past the error), results
+    feed ``done`` directly, and a fallback's own :class:`WorkerError`
+    replaces the surfaced error when it has a lower chunk index.
+    Returns the (possibly updated) lowest-index error.
+    """
+    import math
+
+    min_err = error["chunk_index"] if error is not None else math.inf
+    chunks = sorted(
+        (
+            chunk
+            for chunk in todo
+            if chunk.index not in done
+            and chunk.index < min_err
+            and (take_over or chunk.index in exhausted)
+        ),
+        key=lambda chunk: chunk.index,
+    )
+    if not chunks:
+        return error
+    from repro.explore.worker import ChunkRunner
+
+    runner = ChunkRunner(payload)
+    for chunk in chunks:
+        if chunk.index >= min_err:
+            break
+        stats.fallbacks += 1
+        if OBS.enabled:
+            OBS.inc("explore.fallbacks")
+        try:
+            with obs.span(
+                "explore.chunk",
+                chunk=chunk.index,
+                candidates=len(chunk),
+                worker_pid=os.getpid(),
+                fallback=True,
+            ):
+                result = runner.run_chunk(chunk)
+        except WorkerError as exc:
+            # keep the lowest-index error, like the engine's errors dict
+            error = {"chunk_index": chunk.index, "message": str(exc)}
+            min_err = chunk.index
+            continue
+        done[chunk.index] = result
+        on_complete(result)
+    return error

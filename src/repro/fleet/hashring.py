@@ -1,0 +1,86 @@
+"""Consistent hashing: stable ``session_key`` → worker assignment.
+
+Each worker contributes ``vnodes`` virtual points on a sha256 ring; a
+key maps to the first point clockwise from its own hash.  Two
+properties matter for the fleet:
+
+1. **Stability** — the same key maps to the same worker as long as
+   that worker is alive, so all chunks of one sweep (which share a
+   ``session_key``) prefer one worker and its warm
+   :class:`~repro.explore.worker.ChunkRunner` cache.
+2. **Minimal disruption** — when a worker joins or leaves, only the
+   keys in its arc segments move; everything else keeps its
+   assignment.  (A modulo scheme would reshuffle nearly every key.)
+
+The ring is pure routing *preference*: the coordinator spills chunks
+to any idle worker rather than letting the preferred one become a
+bottleneck, so correctness never depends on the ring — only cache
+locality does.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Optional, Tuple
+
+
+def _point(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over string node names.
+
+    >>> ring = HashRing(vnodes=16)
+    >>> ring.add("w1"); ring.add("w2")
+    >>> ring.lookup("abc") == ring.lookup("abc")
+    True
+    >>> ring.lookup("abc") in ("w1", "w2")
+    True
+    >>> HashRing().lookup("anything") is None
+    True
+    """
+
+    def __init__(self, vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []   # sorted (hash, node)
+        self._nodes: set = set()
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def add(self, node: str) -> None:
+        """Insert ``node``'s virtual points (idempotent)."""
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for i in range(self.vnodes):
+            bisect.insort(self._points, (_point(f"{node}#{i}"), node))
+
+    def remove(self, node: str) -> None:
+        """Drop ``node``'s virtual points (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._points = [p for p in self._points if p[1] != node]
+
+    def lookup(self, key: str) -> Optional[str]:
+        """The node owning ``key``: first ring point clockwise of its hash."""
+        if not self._points:
+            return None
+        index = bisect.bisect_right(self._points, (_point(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]

@@ -130,6 +130,7 @@ def explore_pareto(
     policy=None,
     checkpoint: Optional[str] = None,
     resume: bool = False,
+    fleet=None,
 ) -> ParetoFront:
     """Sweep the time/area trade-off and return the Pareto front.
 
@@ -147,7 +148,10 @@ def explore_pareto(
     ``policy`` (a :class:`~repro.explore.engine.RetryPolicy`) tunes the
     per-chunk timeout and retry budget; ``checkpoint`` journals
     completed chunks to a JSONL file and ``resume`` replays such a
-    journal so only missing chunks are re-evaluated.
+    journal so only missing chunks are re-evaluated.  ``fleet`` (a
+    :class:`~repro.fleet.protocol.FleetSpec`) routes the chunks to a
+    coordinator/worker fleet instead of local processes — same front,
+    same bytes.
 
     Example (5 candidates: the start point plus two constraint steps of
     one greedy descent and one refined random start each):
@@ -205,6 +209,7 @@ def explore_pareto(
             policy=policy,
             checkpoint=checkpoint,
             resume=resume,
+            fleet=fleet,
         )
         front = merge_fronts(results, evaluated=len(plan))
         add_event(

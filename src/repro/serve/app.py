@@ -14,6 +14,9 @@ plus a Prometheus scrape target:
 ``POST /v1/partition``    :class:`~repro.api.PartitionRequest` body
 ``POST /v1/simulate``     :class:`~repro.api.SimulateRequest` body
 ``POST /v1/explore``      :class:`~repro.api.ExploreRequest` body
+``*    /v1/fleet/<op>``   fleet coordination (worker register/heartbeat/
+                          pull/result, sweep submit/collect; GET or POST
+                          for ``status``, POST for the rest)
 ========================  ==================================================
 
 Design:
@@ -27,10 +30,17 @@ Design:
   under a bounded in-flight counter; when ``--max-inflight`` requests
   are already running the server answers ``429`` with a
   ``Retry-After`` header instead of queueing unboundedly.
+* **Fleet.**  The server embeds a
+  :class:`~repro.fleet.coordinator.FleetCoordinator`; ``slif work``
+  daemons register and pull chunks through ``/v1/fleet/*`` and a
+  ``slif explore --workers host:port`` sweep submits there.  The
+  coordinator's ``slif_fleet_*`` counters join ``/metrics`` and a
+  ``fleet`` section joins ``/v1/stats``.
 * **Drain.**  SIGTERM (and SIGINT) stop accepting work — new requests
   get ``503`` — while in-flight requests finish, bounded by
-  ``--drain-timeout``.  ``/v1/stats`` and ``/metrics`` keep answering
-  so the drain itself is observable.
+  ``--drain-timeout``.  ``/v1/stats``, ``/metrics`` and
+  ``/v1/fleet/status`` keep answering so the drain itself is
+  observable.
 * **Telemetry.**  Every request runs under its own trace id — taken
   from an ``X-Slif-Trace-Id`` request header when the client sent one,
   minted otherwise, always echoed back in the response header — inside
@@ -84,6 +94,7 @@ class ServerConfig:
     batch_window: float = 0.002   # estimate coalescing window (0 = off)
     drain_timeout: float = 10.0   # seconds to wait for in-flight on drain
     quiet: bool = True            # suppress per-request access log lines
+    fleet_heartbeat: float = 1.0  # worker heartbeat interval (timeout 4x)
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -115,9 +126,17 @@ class SlifServer:
     }
 
     def __init__(self, config: ServerConfig) -> None:
+        from repro.fleet.coordinator import FleetConfig, FleetCoordinator
+
         self.config = config
         self.cache = GraphCache(config.cache_size)
         self.batcher = MicroBatcher(config.batch_window)
+        self.fleet = FleetCoordinator(
+            FleetConfig(
+                heartbeat_interval=config.fleet_heartbeat,
+                heartbeat_timeout=4 * config.fleet_heartbeat,
+            )
+        )
         # per-endpoint RED metrics, named "<family>.<endpoint>"; always
         # on (independent of the global obs switch) and rendered by
         # both /v1/stats and /metrics
@@ -225,6 +244,7 @@ class SlifServer:
             "cache": self.cache.stats(),
             "batch": self.batcher.stats(),
             "endpoints": self.endpoint_stats(),
+            "fleet": self.fleet.stats(),
         }
         if OBS.enabled:
             stats["obs"] = obs.snapshot()
@@ -243,6 +263,7 @@ class SlifServer:
             prometheus_labeled_text(
                 self.red, "endpoint", namespace="slif_http"
             ),
+            prometheus_text(self.fleet.registry, namespace="slif"),
         ]
         if OBS.enabled:
             parts.append(prometheus_text(obs.REGISTRY, namespace="slif"))
@@ -270,7 +291,9 @@ class SlifServer:
         exactly what the HTTP path observes.
         """
         tid = trace_id or obs.new_trace_id()
-        endpoint = self.ENDPOINTS.get(path, "other")
+        endpoint = self.ENDPOINTS.get(path) or (
+            "fleet" if path.startswith("/v1/fleet/") else "other"
+        )
         started = time.perf_counter()
         status = 500
         obs.set_trace_id(tid)
@@ -310,8 +333,12 @@ class SlifServer:
         ``/metrics``) is sent verbatim; dict payloads are canonical
         JSON.
         """
-        if self.draining and path not in ("/v1/stats", "/metrics"):
+        if self.draining and path not in (
+            "/v1/stats", "/metrics", "/v1/fleet/status"
+        ):
             return 503, {"error": "server is draining"}, {"Retry-After": "1"}
+        if path.startswith("/v1/fleet/"):
+            return self._handle_fleet(method, path, body)
         if method == "GET" and path == "/v1/healthz":
             return 200, {
                 "status": "ok",
@@ -336,6 +363,35 @@ class SlifServer:
                 "error": f"{method} not supported on {path}"
             }, {"Allow": "GET, POST"}
         return 404, {"error": f"unknown path {path!r}"}, {}
+
+    def _handle_fleet(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        """Dispatch ``/v1/fleet/<op>`` onto the embedded coordinator.
+
+        ``status`` answers GET as well (it is a read, and must stay
+        curl-able during a drain); every other op is a POST carrying a
+        JSON object.  Malformed messages surface as the coordinator's
+        :class:`~repro.errors.FleetError` — a 400 like any other
+        :class:`SlifError`.
+        """
+        op = path[len("/v1/fleet/"):]
+        if op not in self.fleet.OPS:
+            return 404, {"error": f"unknown fleet op {op!r}"}, {}
+        if method != "POST" and not (method == "GET" and op == "status"):
+            return 405, {
+                "error": f"{method} not supported on {path}"
+            }, {"Allow": "GET, POST" if op == "status" else "POST"}
+        try:
+            try:
+                data = json.loads(body.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise RequestError(f"request body is not valid JSON: {exc}")
+            if not isinstance(data, dict):
+                raise RequestError("fleet message must be a JSON object")
+            return 200, self.fleet.handle(op, data), {}
+        except SlifError as exc:
+            return 400, {"error": str(exc)}, {}
 
     def _parse(self, body: bytes, cls):
         try:
@@ -514,6 +570,13 @@ def run_server(config: ServerConfig) -> int:
         signal.SIGTERM: signal.signal(signal.SIGTERM, _on_signal),
         signal.SIGINT: signal.signal(signal.SIGINT, _on_signal),
     }
+    # the bound address goes to *stdout* (and is flushed) so callers
+    # that started us with --port 0 can read the ephemeral port back;
+    # the human-facing banner stays on stderr with the other logs
+    print(
+        f"slif serve: listening on http://{server.host}:{server.port}",
+        flush=True,
+    )
     print(
         f"slif serve: listening on http://{server.host}:{server.port} "
         f"(jobs={config.jobs} cache-size={config.cache_size} "

@@ -37,6 +37,15 @@ class TestParse:
     def test_case_insensitive_kind(self):
         assert parse_faults("CRASH:1").specs[0].kind == "crash"
 
+    def test_worker_down_kind(self):
+        plan = parse_faults("worker-down:2, worker-down:3:2")
+        assert [(s.kind, s.chunk, s.times) for s in plan.specs] == [
+            ("worker-down", 2, 1),
+            ("worker-down", 3, 2),
+        ]
+        assert plan.fault_for(2, 0).kind == "worker-down"
+        assert plan.fault_for(2, 1) is None   # the requeue survives
+
     @pytest.mark.parametrize(
         "bad",
         ["crash", "crash:x", "crash:1:y", "explode:1", "crash:1:2:3",

@@ -1,0 +1,316 @@
+"""Coordinator scheduling semantics, driven through ``handle()``.
+
+Every test runs the coordinator exactly the way the HTTP layer and the
+LocalTransport do — named operations with JSON-shaped dicts — under an
+injectable clock, so liveness behavior (heartbeat reaping, backoff
+``ready_at`` pacing, lease timeouts) is deterministic.
+"""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.explore.plan import CandidateSpec, Chunk
+from repro.fleet.coordinator import FleetConfig, FleetCoordinator
+from repro.fleet.protocol import chunk_to_wire
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_chunks(count=3):
+    return [
+        Chunk(
+            index=i,
+            candidates=(
+                CandidateSpec(index=i, kind="greedy", label=f"c{i}"),
+            ),
+        )
+        for i in range(count)
+    ]
+
+
+def sweep_request(count=3, session_key="spec-key", policy=None, **extra):
+    request = {
+        "payload": {"task": "pareto", "slif": {}, "partition": {},
+                    "hardware": [], "weights": None, "time_constraint": None},
+        "chunks": [chunk_to_wire(c) for c in make_chunks(count)],
+        "policy": policy,
+        "session_key": session_key,
+    }
+    request.update(extra)
+    return request
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def coord(clock):
+    return FleetCoordinator(
+        FleetConfig(heartbeat_interval=1.0, heartbeat_timeout=4.0),
+        clock=clock,
+    )
+
+
+def register(coord, worker_id=None):
+    return coord.handle(
+        "register", {"worker_id": worker_id, "pid": 1234, "host": "test"}
+    )["worker_id"]
+
+
+def counters(coord):
+    return coord.registry.snapshot()["counters"]
+
+
+class TestLifecycle:
+    def test_register_assigns_ids_and_reports_heartbeat(self, coord):
+        response = coord.handle("register", {"pid": 7, "host": "h"})
+        assert response["worker_id"] == "w0001-7"
+        assert response["heartbeat_interval"] == 1.0
+        assert response["heartbeat_timeout"] == 4.0
+        assert counters(coord)["fleet.workers.registered"] == 1
+
+    def test_unknown_worker_is_rejected(self, coord):
+        with pytest.raises(FleetError):
+            coord.handle("pull", {"worker_id": "ghost"})
+        with pytest.raises(FleetError):
+            coord.handle("heartbeat", {"worker_id": "ghost"})
+
+    def test_unknown_op_and_missing_field(self, coord):
+        with pytest.raises(FleetError):
+            coord.handle("destroy", {})
+        with pytest.raises(FleetError):
+            coord.handle("pull", {})   # no worker_id
+
+    def test_happy_path_pull_result_collect(self, coord):
+        worker = register(coord)
+        sid = coord.handle("sweep", sweep_request(2))["sweep_id"]
+        for expected_index in (0, 1):
+            lease = coord.handle("pull", {"worker_id": worker})["lease"]
+            assert lease["chunk"]["index"] == expected_index
+            coord.handle("result", {
+                "worker_id": worker,
+                "sweep_id": sid,
+                "chunk_index": expected_index,
+                "attempt": lease["attempt"],
+                "result": {"chunk_index": expected_index},
+            })
+        collected = coord.handle("collect", {"sweep_id": sid})
+        assert [r["chunk_index"] for r in collected["results"]] == [0, 1]
+        assert collected["complete"] is True
+        assert collected["error"] is None
+        # second collect delivers nothing new
+        again = coord.handle("collect", {"sweep_id": sid})
+        assert again["results"] == []
+        assert again["complete"] is True
+
+    def test_empty_pull_suggests_retry(self, coord):
+        worker = register(coord)
+        response = coord.handle("pull", {"worker_id": worker})
+        assert response["lease"] is None
+        assert response["retry_in"] > 0
+
+    def test_payload_fetch(self, coord):
+        sid = coord.handle("sweep", sweep_request())["sweep_id"]
+        response = coord.handle("payload", {"sweep_id": sid})
+        assert response["payload"]["task"] == "pareto"
+        assert response["fingerprint"]
+
+    def test_cancel_is_idempotent(self, coord):
+        sid = coord.handle("sweep", sweep_request())["sweep_id"]
+        assert coord.handle("cancel", {"sweep_id": sid})["ok"] is True
+        assert coord.handle("cancel", {"sweep_id": sid})["ok"] is False
+
+
+class TestRouting:
+    def test_affinity_keeps_a_sweep_on_its_preferred_worker(self, coord):
+        a = register(coord)
+        register(coord)
+        # find a session key whose ring owner is worker a: the routing
+        # target is then deterministic for the assertion below
+        key = next(
+            f"key-{i}"
+            for i in range(200)
+            if coord.ring.lookup(f"key-{i}") == a
+        )
+        coord.handle("sweep", sweep_request(3, session_key=key))
+        for _ in range(3):
+            lease = coord.handle("pull", {"worker_id": a})["lease"]
+            assert lease is not None
+        assert counters(coord)["fleet.route.affinity"] == 3
+        assert counters(coord).get("fleet.route.spill", 0) == 0
+
+    def test_idle_worker_spills(self, coord):
+        a = register(coord)
+        b = register(coord)
+        key = next(
+            f"key-{i}"
+            for i in range(200)
+            if coord.ring.lookup(f"key-{i}") == a
+        )
+        coord.handle("sweep", sweep_request(2, session_key=key))
+        # the non-preferred worker still gets work rather than idling
+        lease = coord.handle("pull", {"worker_id": b})["lease"]
+        assert lease is not None
+        assert counters(coord)["fleet.route.spill"] == 1
+
+
+class TestLiveness:
+    def test_dead_worker_chunks_are_requeued_elsewhere(self, coord, clock):
+        a = register(coord)
+        b = register(coord)
+        sid = coord.handle("sweep", sweep_request(1))["sweep_id"]
+        # a leases the chunk, then goes silent past the timeout while b
+        # keeps beating
+        first = coord.handle("pull", {"worker_id": a})["lease"]
+        assert first["attempt"] == 0
+        clock.advance(3.0)
+        coord.handle("heartbeat", {"worker_id": b})
+        clock.advance(3.0)   # a is now 6s silent; timeout is 4s
+        coord.handle("heartbeat", {"worker_id": b})
+        assert counters(coord)["fleet.workers.lost"] == 1
+        assert counters(coord)["fleet.chunks.requeued"] == 1
+        # the requeued lease lands on b once the (sub-second, seeded)
+        # backoff delay passes — without b itself going silent too long
+        clock.advance(1.0)
+        retry = coord.handle("pull", {"worker_id": b})["lease"]
+        assert retry["chunk"]["index"] == 0
+        assert retry["attempt"] == 1
+        coord.handle("result", {
+            "worker_id": b, "sweep_id": sid, "chunk_index": 0,
+            "attempt": 1, "result": {"chunk_index": 0, "by": "b"},
+        })
+        collected = coord.handle("collect", {"sweep_id": sid})
+        assert collected["complete"] is True
+        assert collected["stats"]["workers_lost"] == 1
+        assert collected["stats"]["requeues"] == 1
+
+    def test_late_result_from_dead_worker_is_dropped(self, coord, clock):
+        a = register(coord)
+        b = register(coord)
+        sid = coord.handle("sweep", sweep_request(1))["sweep_id"]
+        coord.handle("pull", {"worker_id": a})
+        clock.advance(3.0)
+        coord.handle("heartbeat", {"worker_id": b})
+        clock.advance(3.0)
+        coord.handle("heartbeat", {"worker_id": b})   # a now 6s silent: reaped
+        clock.advance(1.0)
+        coord.handle("pull", {"worker_id": b})
+        coord.handle("result", {
+            "worker_id": b, "sweep_id": sid, "chunk_index": 0,
+            "attempt": 1, "result": {"chunk_index": 0, "by": "b"},
+        })
+        # a's original submission arrives after all — first wins
+        coord.handle("register", {"worker_id": a, "pid": 1, "host": "t"})
+        response = coord.handle("result", {
+            "worker_id": a, "sweep_id": sid, "chunk_index": 0,
+            "attempt": 0, "result": {"chunk_index": 0, "by": "a"},
+        })
+        assert response.get("duplicate") is True
+        collected = coord.handle("collect", {"sweep_id": sid})
+        assert [r["by"] for r in collected["results"]] == ["b"]
+        assert counters(coord)["fleet.chunks.duplicates"] == 1
+
+    def test_lease_timeout_requeues(self, coord, clock):
+        worker = register(coord)
+        coord.handle(
+            "sweep",
+            sweep_request(1, policy={"timeout": 2.0, "retries": 2}),
+        )
+        coord.handle("pull", {"worker_id": worker})
+        clock.advance(3.0)   # past the 2s chunk budget, worker still beats
+        coord.handle("heartbeat", {"worker_id": worker})
+        snapshot = counters(coord)
+        assert snapshot["fleet.chunks.requeued"] == 1
+        assert snapshot.get("fleet.workers.lost", 0) == 0
+
+    def test_retry_exhaustion_is_reported_once(self, coord, clock):
+        worker = register(coord)
+        sid = coord.handle(
+            "sweep", sweep_request(1, policy={"retries": 1})
+        )["sweep_id"]
+        for attempt in (0, 1):
+            clock.advance(1.0)   # let the requeue backoff delay pass
+            lease = coord.handle("pull", {"worker_id": worker})["lease"]
+            assert lease["attempt"] == attempt
+            coord.handle("result", {
+                "worker_id": worker, "sweep_id": sid, "chunk_index": 0,
+                "attempt": attempt,
+                "error": {"message": "flaky", "worker_error": False},
+            })
+        collected = coord.handle("collect", {"sweep_id": sid})
+        assert collected["exhausted"] == [0]
+        assert collected["complete"] is True
+        assert coord.handle("collect", {"sweep_id": sid})["exhausted"] == []
+        assert counters(coord)["fleet.chunks.exhausted"] == 1
+
+
+class TestErrors:
+    def test_worker_error_prunes_later_chunks(self, coord):
+        worker = register(coord)
+        sid = coord.handle("sweep", sweep_request(3))["sweep_id"]
+        # finish chunk 0, then fail chunk 1 deterministically
+        coord.handle("pull", {"worker_id": worker})
+        coord.handle("result", {
+            "worker_id": worker, "sweep_id": sid, "chunk_index": 0,
+            "attempt": 0, "result": {"chunk_index": 0},
+        })
+        coord.handle("pull", {"worker_id": worker})
+        coord.handle("result", {
+            "worker_id": worker, "sweep_id": sid, "chunk_index": 1,
+            "attempt": 0,
+            "error": {"message": "candidate 9 is broken",
+                      "worker_error": True},
+        })
+        # chunk 2 is pruned: nothing left to lease, sweep complete
+        assert coord.handle("pull", {"worker_id": worker})["lease"] is None
+        collected = coord.handle("collect", {"sweep_id": sid})
+        assert collected["complete"] is True
+        assert collected["error"] == {
+            "chunk_index": 1, "message": "candidate 9 is broken",
+        }
+        assert [r["chunk_index"] for r in collected["results"]] == [0]
+
+    def test_result_for_unknown_sweep_is_acknowledged(self, coord):
+        worker = register(coord)
+        response = coord.handle("result", {
+            "worker_id": worker, "sweep_id": "s9999", "chunk_index": 0,
+            "attempt": 0, "result": {},
+        })
+        assert response == {"ok": False, "reason": "unknown-sweep"}
+
+    def test_empty_sweep_is_rejected(self, coord):
+        with pytest.raises(FleetError):
+            coord.handle("sweep", sweep_request(0))
+
+
+class TestStatus:
+    def test_status_reports_workers_and_sweeps(self, coord):
+        worker = register(coord)
+        coord.handle("sweep", sweep_request(2))
+        coord.handle("pull", {"worker_id": worker})
+        status = coord.handle("status", {})
+        assert status["workers_alive"] == 1
+        assert status["workers"][0]["worker_id"] == worker
+        assert status["workers"][0]["leases"] == 1
+        assert status["sweeps"][0]["by_status"] == {
+            "leased": 1, "pending": 1,
+        }
+        assert status["heartbeat_timeout"] == 4.0
+
+    def test_stats_section(self, coord):
+        register(coord)
+        stats = coord.stats()
+        assert stats["workers_alive"] == 1
+        assert stats["sweeps_active"] == 0
+        assert stats["counters"]["fleet.workers.registered"] == 1

@@ -1,0 +1,81 @@
+"""The consistent-hash ring: stability and minimal disruption."""
+
+from repro.fleet.hashring import HashRing
+
+
+def test_empty_ring_maps_nothing():
+    assert HashRing().lookup("anything") is None
+    assert len(HashRing()) == 0
+
+
+def test_lookup_is_deterministic():
+    a, b = HashRing(vnodes=32), HashRing(vnodes=32)
+    for ring in (a, b):
+        for node in ("w1", "w2", "w3"):
+            ring.add(node)
+    keys = [f"session-{i}" for i in range(200)]
+    assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing(vnodes=8)
+    ring.add("w1")
+    ring.add("w1")
+    assert len(ring) == 1
+    before = ring.lookup("key")
+    ring.remove("w2")          # never added: no-op
+    assert ring.lookup("key") == before
+    ring.remove("w1")
+    ring.remove("w1")
+    assert len(ring) == 0
+
+
+def test_all_nodes_receive_some_keys():
+    ring = HashRing(vnodes=64)
+    for node in ("w1", "w2", "w3", "w4"):
+        ring.add(node)
+    owners = {ring.lookup(f"session-{i}") for i in range(500)}
+    assert owners == {"w1", "w2", "w3", "w4"}
+
+
+def test_leave_only_moves_the_leavers_keys():
+    ring = HashRing(vnodes=64)
+    for node in ("w1", "w2", "w3"):
+        ring.add(node)
+    keys = [f"session-{i}" for i in range(300)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.remove("w2")
+    after = {k: ring.lookup(k) for k in keys}
+    for key in keys:
+        if before[key] == "w2":
+            assert after[key] in ("w1", "w3")
+        else:
+            # the defining consistent-hashing property: survivors keep
+            # every key they already owned
+            assert after[key] == before[key]
+
+
+def test_join_only_steals_keys():
+    ring = HashRing(vnodes=64)
+    ring.add("w1")
+    ring.add("w2")
+    keys = [f"session-{i}" for i in range(300)]
+    before = {k: ring.lookup(k) for k in keys}
+    ring.add("w3")
+    moved = 0
+    for key in keys:
+        owner = ring.lookup(key)
+        if owner != before[key]:
+            # a key only ever moves *to* the joiner, never between
+            # pre-existing nodes
+            assert owner == "w3"
+            moved += 1
+    assert 0 < moved < len(keys)
+
+
+def test_membership_protocol():
+    ring = HashRing(vnodes=4)
+    ring.add("w1")
+    assert "w1" in ring
+    assert "w2" not in ring
+    assert ring.nodes == ["w1"]

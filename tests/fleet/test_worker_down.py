@@ -1,0 +1,145 @@
+"""Fleet regression: killing a worker daemon mid-sweep changes nothing.
+
+The full stack, real processes: ``slif serve --port 0`` (coordinator),
+two ``slif work --port 0`` daemons — one booby-trapped with
+``SLIF_FAULTS=worker-down:<i>`` on every chunk index so it
+``os._exit``\\ s on the first chunk it leases, whichever that is — and
+a ``slif explore --workers`` sweep.  The surviving
+worker absorbs the requeued lease after the heartbeat timeout and the
+printed front must be byte-identical to a fault-free ``--jobs 1`` run.
+Also pins the ``--port 0`` satellite: both daemons print their actually
+bound address to stdout.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+CLI = [sys.executable, "-m", "repro.cli"]
+SWEEP = ["explore", "ether"]
+ADDRESS = re.compile(r"http://[\d.]+:(\d+)")
+
+
+def cli_env(**extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env.pop("SLIF_FAULTS", None)
+    env.update(extra)
+    return env
+
+
+def read_port(proc, deadline=15.0):
+    """Parse the bound port from a daemon's first stdout line."""
+    start = time.time()
+    line = ""
+    while time.time() - start < deadline:
+        line = proc.stdout.readline()
+        if line:
+            break
+    match = ADDRESS.search(line)
+    assert match, f"no bound address announced on stdout: {line!r}"
+    return int(match.group(1))
+
+
+def fleet_status(port):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/v1/fleet/status", timeout=2
+        ) as response:
+            return json.loads(response.read())
+    except OSError:
+        return {"workers_alive": 0}
+
+
+def wait_for_workers(port, count, deadline=20.0):
+    start = time.time()
+    while time.time() - start < deadline:
+        if fleet_status(port)["workers_alive"] >= count:
+            return
+        time.sleep(0.1)
+    pytest.fail(f"fleet never reached {count} live workers")
+
+
+def terminate(*procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+
+def spawn(args, **env_extra):
+    return subprocess.Popen(
+        CLI + args,
+        env=cli_env(**env_extra),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=str(REPO),
+    )
+
+
+def test_worker_down_mid_sweep_is_byte_identical():
+    reference = subprocess.run(
+        CLI + SWEEP + ["--jobs", "1"],
+        env=cli_env(),
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=str(REPO),
+    )
+    assert reference.returncode == 0, reference.stderr
+
+    serve = spawn(["serve", "--port", "0", "--fleet-heartbeat", "0.2"])
+    workers = []
+    try:
+        port = read_port(serve)
+        doomed = spawn(
+            ["work", "--coordinator", f"127.0.0.1:{port}", "--port", "0"],
+            # a worker-down trap on every possible chunk index: the
+            # daemon dies on its first lease regardless of which chunk
+            # the scheduler hands it (requeues run at attempt 1, past
+            # the traps' times=1 budget, so the retry always survives)
+            SLIF_FAULTS=",".join(f"worker-down:{i}" for i in range(16)),
+        )
+        healthy = spawn(
+            ["work", "--coordinator", f"127.0.0.1:{port}", "--port", "0"],
+        )
+        workers = [doomed, healthy]
+        # --port 0 satellite: both daemons announce their bound port
+        assert read_port(doomed) > 0
+        assert read_port(healthy) > 0
+        wait_for_workers(port, 2)
+
+        swept = subprocess.run(
+            CLI + SWEEP + ["--workers", f"127.0.0.1:{port}"],
+            env=cli_env(),
+            capture_output=True,
+            text=True,
+            timeout=120,
+            cwd=str(REPO),
+        )
+        assert swept.returncode == 0, swept.stderr
+        assert swept.stdout == reference.stdout
+
+        # the doomed worker really died with the crash exit code
+        from repro.faults import CRASH_EXIT_CODE
+
+        assert doomed.wait(timeout=10) == CRASH_EXIT_CODE
+        # and the coordinator accounted for the loss
+        status = fleet_status(port)
+        assert status["workers_alive"] == 1
+    finally:
+        terminate(serve, *workers)
