@@ -1,0 +1,154 @@
+"""Batch-kernel throughput: flat-array sweeps vs memoized walks.
+
+Exploration is estimation in a loop — Section 5's "thousands of
+possible designs" all pay one `evaluate_design_point` walk over the
+access graph.  The :class:`~repro.estimate.kernel.BatchKernel`
+compiles the graph once into flat arrays and scores a whole batch of
+candidates as array sweeps, so the per-candidate cost drops to a few
+table reads.  This bench measures both paths on the same >= 1k
+candidate batch per bundled spec and asserts the acceptance
+criterion's 10x on the numpy backend (the stdlib backend is reported
+but held to a softer floor — it wins by constant factors, not by
+vectorizing).
+
+Candidates are *explore-like*: copies of the spec's seed partition
+with objects randomly reassigned but the channel mapping untouched,
+exactly the shape `explore_pareto`'s movers generate.  That shape is
+what the kernel's grouped sweep is built for; fully random channel
+assignments would fragment the batch into singleton groups and measure
+the fallback path instead.
+
+Timing interleaves reference and kernel rounds and takes the min, so
+slow drift (thermal, cache pressure) hits both sides evenly — the two
+paths differ by ~10x, which is exactly the regime where non-interleaved
+timing is unreliable.  Correctness is re-checked in-bench: every kernel
+result must be repr-identical to the reference walk's.
+"""
+
+import gc
+import random
+import time
+
+import pytest
+
+from conftest import report
+from repro.estimate.kernel import BatchKernel
+from repro.partition.pareto import evaluate_design_point
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+SPECS = ("ans", "ether", "fuzzy", "vol")
+N_CANDIDATES = 1000
+ROUNDS = 5
+#: Acceptance criterion: kernel >= 10x the memoized walk (numpy backend).
+MIN_SPEEDUP = 10.0
+#: Floor for the pure-stdlib backend when numpy is not installed.
+MIN_SPEEDUP_STDLIB = 3.0
+
+
+def explore_like_candidates(slif, base, count):
+    """`count` copies of `base` with objects reassigned, channels kept."""
+    processors = list(slif.processors)
+    var_pool = processors + list(slif.memories)
+    behaviors = list(slif.behaviors)
+    variables = list(slif.variables)
+    out = []
+    for i in range(count):
+        rng = random.Random(i)
+        part = base.copy()
+        for b in behaviors:
+            part.assign(b, rng.choice(processors))
+        for v in variables:
+            part.assign(v, rng.choice(var_pool))
+        out.append((part, f"c{i}"))
+    return out
+
+
+def run_reference(slif, candidates):
+    return [
+        evaluate_design_point(slif, part, ["HW"], label)
+        for part, label in candidates
+    ]
+
+
+def timed_interleaved(slif, kernel, candidates):
+    """Min-of-ROUNDS for both paths, alternating so drift is shared."""
+    ref_s = kernel_s = float("inf")
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(ROUNDS):
+            started = time.perf_counter()
+            ref = run_reference(slif, candidates)
+            ref_s = min(ref_s, time.perf_counter() - started)
+            started = time.perf_counter()
+            got = kernel.evaluate(candidates, ["HW"])
+            kernel_s = min(kernel_s, time.perf_counter() - started)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return ref, got, ref_s, kernel_s
+
+
+@pytest.mark.parametrize("example", list(SPECS))
+def test_kernel_batch_speedup(benchmark, built_systems, example):
+    system = built_systems[example]
+    slif = system.slif
+    candidates = explore_like_candidates(slif, system.partition, N_CANDIDATES)
+
+    backend = "numpy" if HAVE_NUMPY else "stdlib"
+    kernel = BatchKernel.for_graph(slif, backend=backend)
+    ref, got, ref_s, kernel_s = timed_interleaved(slif, kernel, candidates)
+
+    # correctness before speed: byte-identical design points, no abstentions
+    assert len(got) == len(ref)
+    for point, expected in zip(got, ref):
+        assert point is not None
+        assert repr(point) == repr(expected)
+
+    stdlib_s = None
+    if backend == "numpy":
+        stdlib_kernel = BatchKernel.for_graph(slif, backend="stdlib")
+        _, stdlib_got, _, stdlib_s = timed_interleaved(
+            slif, stdlib_kernel, candidates
+        )
+        for point, expected in zip(stdlib_got, ref):
+            assert repr(point) == repr(expected)
+
+    benchmark.pedantic(
+        lambda: kernel.evaluate(candidates, ["HW"]),
+        rounds=3,
+        iterations=1,
+    )
+
+    speedup = ref_s / kernel_s if kernel_s > 0 else float("inf")
+    per_candidate_us = kernel_s / len(candidates) * 1e6
+    benchmark.extra_info["backend"] = kernel.backend
+    benchmark.extra_info["candidates"] = len(candidates)
+    benchmark.extra_info["reference_seconds"] = ref_s
+    benchmark.extra_info["kernel_seconds"] = kernel_s
+    benchmark.extra_info["speedup"] = speedup
+    lines = [
+        f"batch kernel / {example}: {len(candidates)} candidates, "
+        f"reference {ref_s * 1e3:.1f} ms vs kernel[{kernel.backend}] "
+        f"{kernel_s * 1e3:.1f} ms -> {speedup:.1f}x "
+        f"({per_candidate_us:.1f} us/candidate)",
+    ]
+    if stdlib_s is not None:
+        benchmark.extra_info["stdlib_seconds"] = stdlib_s
+        lines.append(
+            f"stdlib backend: {stdlib_s * 1e3:.1f} ms "
+            f"-> {ref_s / stdlib_s:.1f}x"
+        )
+    report(lines)
+
+    floor = MIN_SPEEDUP if backend == "numpy" else MIN_SPEEDUP_STDLIB
+    assert speedup >= floor, (
+        f"expected >= {floor}x kernel speedup on {example} "
+        f"({backend} backend), got {speedup:.2f}x"
+    )

@@ -92,3 +92,52 @@ def test_parallel_explore_speedup(benchmark, example):
                 f"needs >= 4 for a meaningful parallel measurement"
             ]
         )
+
+
+@pytest.mark.parametrize("example", ["ether"])
+def test_explore_kernel_path(benchmark, example):
+    """Same sweep with the batch kernel on vs off: identical front, less time.
+
+    The engine scores each chunk's candidates through one
+    ``BatchKernel.evaluate`` sweep when ``SLIF_KERNEL`` permits; with
+    the kernel disabled every candidate pays the memoized reference
+    walk.  The front must be byte-identical either way — the kernel can
+    only agree or abstain.
+    """
+    system = build_system(example)
+
+    previous = os.environ.get("SLIF_KERNEL")
+    try:
+        os.environ["SLIF_KERNEL"] = "off"
+        reference, ref_seconds = timed_explore(system, jobs=1)
+        os.environ.pop("SLIF_KERNEL")
+        kernel_front, kernel_seconds = timed_explore(system, jobs=1)
+    finally:
+        if previous is None:
+            os.environ.pop("SLIF_KERNEL", None)
+        else:
+            os.environ["SLIF_KERNEL"] = previous
+
+    assert front_signature(kernel_front) == front_signature(reference)
+    assert kernel_front.render() == reference.render()
+
+    benchmark.pedantic(
+        lambda: explore_pareto(
+            system.slif, system.partition, jobs=1, **SWEEP
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = (
+        ref_seconds / kernel_seconds if kernel_seconds > 0 else float("inf")
+    )
+    benchmark.extra_info["kernel_off_seconds"] = ref_seconds
+    benchmark.extra_info["kernel_on_seconds"] = kernel_seconds
+    benchmark.extra_info["speedup"] = speedup
+    report(
+        [
+            f"explore kernel path / {example}: {reference.evaluated} "
+            f"candidates, SLIF_KERNEL=off {ref_seconds:.3f}s vs kernel "
+            f"{kernel_seconds:.3f}s -> {speedup:.2f}x, fronts identical",
+        ]
+    )

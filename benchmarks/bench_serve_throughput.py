@@ -14,9 +14,16 @@ at least the acceptance criterion's 10x.
 Batching is disabled on both servers (``batch_window=0``) so the
 sequential measurement isolates the cache effect — the 2 ms default
 coalescing window would otherwise dominate warm-request latency.
+
+A second bench measures the kernel-backed micro-batching path: a burst
+of concurrent estimate requests with *different* frequency modes lands
+inside one batch window, and the server's grouped batcher hands the
+whole window to a single ``estimate_many`` kernel sweep instead of one
+estimator pass per request.
 """
 
 import http.client
+import json
 import threading
 import time
 
@@ -105,4 +112,113 @@ def test_warm_cache_at_least_10x_cold_throughput(benchmark):
     assert speedup >= MIN_SPEEDUP, (
         f"warm cache should serve >= {MIN_SPEEDUP:g}x the cold throughput, "
         f"got {speedup:.1f}x ({warm_rps:.0f} vs {cold_rps:.1f} req/s)"
+    )
+
+
+def test_grouped_batching_one_kernel_sweep(benchmark):
+    """A window of mixed-mode requests is scored by one kernel sweep.
+
+    Six concurrent clients ask for the same spec under every
+    (mode, concurrent) combination.  With a generous batch window they
+    all land in one grouped batch: a single leader calls
+    ``estimate_many`` — one ``BatchKernel.reports`` array sweep — and
+    the other five coalesce onto its results.  The bench reports the
+    burst latency and the leader/coalesced counters from ``/v1/stats``,
+    and checks each client got exactly its own mode's answer.
+    """
+    server = SlifServer(
+        ServerConfig(port=0, cache_size=32, batch_window=0.05)
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    combos = [
+        (mode, concurrent)
+        for mode in ("avg", "max", "min")
+        for concurrent in (False, True)
+    ]
+    try:
+        prime = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            one_request(prime)  # build + cache the graph, count a leader
+            prime.request("GET", "/v1/stats")
+            before = json.loads(prime.getresponse().read())["batch"]
+        finally:
+            prime.close()
+
+        results = {}
+
+        def client(mode, concurrent):
+            conn = http.client.HTTPConnection(
+                server.host, server.port, timeout=60
+            )
+            try:
+                body = json.dumps(
+                    {"spec": SPEC, "mode": mode, "concurrent": concurrent}
+                ).encode()
+                conn.request(
+                    "POST", "/v1/estimate", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = response.read()
+                assert response.status == 200, payload[:200]
+                results[(mode, concurrent)] = json.loads(payload)
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=client, args=combo) for combo in combos
+        ]
+        started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        burst_seconds = time.perf_counter() - started
+
+        stats = http.client.HTTPConnection(
+            server.host, server.port, timeout=60
+        )
+        try:
+            stats.request("GET", "/v1/stats")
+            after = json.loads(stats.getresponse().read())["batch"]
+        finally:
+            stats.close()
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+
+    # Each client must get exactly what a direct library call for its
+    # own (mode, concurrent) combination produces — batching and
+    # coalescing may share work but never answers across keys.
+    from repro import api
+
+    assert len(results) == len(combos)
+    for (mode, concurrent), payload in results.items():
+        expected = api.estimate(
+            {"spec": SPEC, "mode": mode, "concurrent": concurrent}
+        ).to_dict()
+        assert payload == expected, (mode, concurrent)
+    leaders = after["leaders"] - before["leaders"]
+    coalesced = after["coalesced"] - before["coalesced"]
+    assert leaders + coalesced == len(combos)
+    # The burst must coalesce: strictly fewer evaluation passes than
+    # requests (one pass when the whole burst lands in a single window).
+    assert leaders < len(combos), (
+        f"expected coalescing across the burst, got {leaders} leaders "
+        f"for {len(combos)} requests"
+    )
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["burst_seconds"] = burst_seconds
+    benchmark.extra_info["leaders"] = leaders
+    benchmark.extra_info["coalesced"] = coalesced
+    report(
+        [
+            f"grouped batching / {SPEC}: {len(combos)} concurrent "
+            f"mixed-mode requests in {burst_seconds * 1e3:.1f} ms, "
+            f"{leaders} kernel sweep(s) + {coalesced} coalesced",
+        ]
     )

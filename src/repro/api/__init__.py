@@ -33,7 +33,7 @@ so a result is identical however it was requested::
 ``DeprecationWarning``).
 """
 
-from repro.api.facade import estimate, explore, partition, simulate
+from repro.api.facade import estimate, estimate_many, explore, partition, simulate
 from repro.api.session import (
     DesignSystem,
     Session,
@@ -74,6 +74,7 @@ __all__ = [
     "build_system",
     "canonical_json",
     "estimate",
+    "estimate_many",
     "explore",
     "load",
     "partition",

@@ -87,6 +87,72 @@ def estimate(
     return EstimateResult.from_report(report, graph_key=sess.key)
 
 
+def estimate_many(
+    requests,
+    *,
+    session: Optional[Session] = None,
+) -> list:
+    """Batch of :func:`estimate` calls, scored in one kernel sweep each.
+
+    ``requests`` is a sequence of anything :func:`estimate` accepts.
+    Requests sharing one graph (same ``session``, or specs resolving to
+    the same build) are evaluated together through a single
+    :meth:`~repro.estimate.kernel.BatchKernel.reports` array sweep —
+    this is what the server's micro-batcher hands a whole window of
+    queued estimate requests to.  Any request the kernel abstains from
+    (and every request when the kernel is unavailable) falls back to a
+    plain :func:`estimate` call, so results are always exactly what N
+    individual calls would have produced, in order.
+
+    >>> from repro import api
+    >>> single = api.estimate("vol")
+    >>> many = api.estimate_many(["vol", {"spec": "vol", "mode": "max"}])
+    >>> many[0] == single
+    True
+    >>> many[1].system_time >= many[0].system_time   # max-mode frequencies
+    True
+    """
+    reqs = [_coerce(r, EstimateRequest) for r in requests]
+    for req in reqs:
+        req.validate()
+    results: list = [None] * len(reqs)
+    loaded: dict = {}
+    groups: dict = {}
+    for i, req in enumerate(reqs):
+        if session is not None:
+            sess = session
+        else:
+            sess = loaded.get(req.spec)
+            if sess is None:
+                sess = load(req.spec)
+                loaded[req.spec] = sess
+        groups.setdefault(id(sess), (sess, []))[1].append(i)
+    with span("api.estimate_many", requests=len(reqs), graphs=len(groups)):
+        for sess, indices in groups.values():
+            kernel = sess.kernel()
+            reports = [None] * len(indices)
+            if kernel is not None:
+                with sess.lock:
+                    reports = kernel.reports(
+                        [
+                            (
+                                sess.partition,
+                                FreqMode(reqs[i].mode),
+                                reqs[i].concurrent,
+                            )
+                            for i in indices
+                        ]
+                    )
+            for i, report in zip(indices, reports):
+                if report is None:
+                    results[i] = estimate(reqs[i], session=sess)
+                else:
+                    results[i] = EstimateResult.from_report(
+                        report, graph_key=sess.key
+                    )
+    return results
+
+
 def partition(
     request: Union[PartitionRequest, dict, str],
     *,

@@ -238,6 +238,7 @@ class Session:
     _estimators: Dict[Tuple[str, bool], object] = field(
         default_factory=dict, repr=False
     )
+    _kernel: object = field(default=None, repr=False)
 
     @property
     def slif(self) -> Slif:
@@ -264,6 +265,26 @@ class Session:
                 est = Estimator(self.slif, self.partition, mode, concurrent)
                 self._estimators[key] = est
             return est
+
+    def kernel(self):
+        """The session's :class:`~repro.estimate.kernel.BatchKernel`, or None.
+
+        Compiled lazily, once, under the session lock; ``None`` when the
+        kernel is unavailable (disabled via ``SLIF_KERNEL=off``, or the
+        graph has a call cycle), in which case callers stay on the
+        memoized estimators.  This is what lets the serving layer score
+        a whole micro-batch window of estimate requests in one flat-array
+        sweep.
+        """
+        from repro.estimate.kernel import BatchKernel, KernelUnavailable
+
+        with self.lock:
+            if self._kernel is None:
+                try:
+                    self._kernel = BatchKernel.for_graph(self.slif)
+                except KernelUnavailable:
+                    self._kernel = False
+            return self._kernel or None
 
 
 def load(

@@ -34,6 +34,8 @@ from repro.estimate.incremental import (
     IncrementalStats,
     MoveRecord,
 )
+from repro.estimate.kernel import BatchKernel, kernel_backend
+from repro.estimate.compile import CompiledGraph, KernelUnavailable, compile_graph
 from repro.estimate.io import (
     all_component_ios,
     component_io,
@@ -49,9 +51,11 @@ from repro.estimate.size import (
 )
 
 __all__ = [
+    "BatchKernel",
     "Breakdown",
     "BusLoad",
     "ChannelShare",
+    "CompiledGraph",
     "DeratedEstimate",
     "EstimateReport",
     "Estimator",
@@ -59,6 +63,7 @@ __all__ = [
     "ExecTimeStats",
     "IncrementalEstimator",
     "IncrementalStats",
+    "KernelUnavailable",
     "MoveRecord",
     "Violation",
     "all_bus_loads",
@@ -68,6 +73,7 @@ __all__ = [
     "bus_capacity",
     "bus_load",
     "channel_bitrate",
+    "compile_graph",
     "component_io",
     "component_size",
     "component_size_shared",
@@ -76,6 +82,7 @@ __all__ = [
     "estimate",
     "execution_time",
     "io_violation",
+    "kernel_backend",
     "object_size",
     "size_violation",
     "system_breakdowns",

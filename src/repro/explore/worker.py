@@ -140,6 +140,23 @@ class ChunkRunner:
         self.slif = slif_from_dict(payload.slif_data)
         self.base = partition_from_dict(payload.partition_data, self.slif)
         self.candidates_evaluated = 0
+        self._kernel: Any = None   # lazy: BatchKernel | False (unavailable)
+
+    def _get_kernel(self):
+        """The runner's batch kernel, compiled once, or None.
+
+        ``None`` (kernel disabled via ``SLIF_KERNEL=off``, or the graph
+        has a call cycle) keeps every candidate on the reference
+        estimators — same values, same diagnostics, just slower.
+        """
+        if self._kernel is None:
+            from repro.estimate.kernel import BatchKernel, KernelUnavailable
+
+            try:
+                self._kernel = BatchKernel.for_graph(self.slif)
+            except KernelUnavailable:
+                self._kernel = False
+        return self._kernel or None
 
     # ------------------------------------------------------------------
     # candidate plumbing
@@ -187,16 +204,18 @@ class ChunkRunner:
     # ------------------------------------------------------------------
     # the two evaluation modes
 
-    def _pareto_candidate(self, spec: CandidateSpec):
-        from repro.partition.pareto import evaluate_design_point
+    def _pareto_partition(self, spec: CandidateSpec):
+        """Produce (not score) one pareto candidate's partition.
 
+        Scoring is deferred so :meth:`run_chunk` can hand the whole
+        chunk's partitions to one :meth:`BatchKernel.evaluate` call
+        instead of N memoized graph walks.  Only this production step
+        needs the spec's synthetic size constraints (the descents read
+        them); the time/area scoring itself does not.
+        """
         if spec.algorithm == "none":
-            partition = self.base
-        else:
-            partition = self._run_descent(spec, self._start_partition(spec)).partition
-        return evaluate_design_point(
-            self.slif, partition, list(self.payload.hardware), spec.label
-        )
+            return self.base
+        return self._run_descent(spec, self._start_partition(spec)).partition
 
     def _restart_candidate(self, spec: CandidateSpec):
         from repro.partition.cost import PartitionCost
@@ -235,37 +254,88 @@ class ChunkRunner:
         result = ChunkResult(
             chunk_index=chunk.index, candidates=len(chunk), seconds=0.0
         )
-        pareto_pairs: List[Tuple[int, Any]] = []
+        if self.payload.task == "pareto":
+            result.front_points, result.local_discards = self._run_pareto(chunk)
+            result.seconds = time.perf_counter() - started
+            return result
         best_key = None
         for spec in chunk.candidates:
             saved = self._apply_constraints(spec.constraints)
             try:
-                if self.payload.task == "pareto":
-                    pareto_pairs.append((spec.index, self._pareto_candidate(spec)))
-                else:
-                    outcome, partition, history = self._restart_candidate(spec)
-                    result.outcomes.append(outcome)
-                    key = (outcome.cost, outcome.index)
-                    if best_key is None or key < best_key:
-                        best_key = key
-                        result.best_index = outcome.index
-                        result.best_mapping = partition.object_mapping()
-                        result.best_history = list(history)
+                outcome, partition, history = self._restart_candidate(spec)
+                result.outcomes.append(outcome)
+                key = (outcome.cost, outcome.index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    result.best_index = outcome.index
+                    result.best_mapping = partition.object_mapping()
+                    result.best_history = list(history)
             except WorkerError:
                 raise
             except SlifError as exc:
-                raise WorkerError(
-                    f"candidate {spec.label!r} (index {spec.index}, chunk "
-                    f"{chunk.index}) failed: {type(exc).__name__}: {exc}"
-                ) from None
+                raise self._wrap(spec, chunk, exc) from None
             finally:
                 self._restore_constraints(saved)
             self.candidates_evaluated += 1
-        if self.payload.task == "pareto":
-            result.front_points = prune_local_front(pareto_pairs)
-            result.local_discards = len(pareto_pairs) - len(result.front_points)
         result.seconds = time.perf_counter() - started
         return result
+
+    def _run_pareto(self, chunk: Chunk) -> Tuple[List[Tuple[int, Any]], int]:
+        """Produce the chunk's partitions, then score them in one batch.
+
+        The descents still run per candidate (each under its spec's
+        synthetic constraints), but the time/area scoring goes through a
+        single :meth:`~repro.estimate.kernel.BatchKernel.evaluate` array
+        sweep.  Candidates the kernel abstains from (``None``) are
+        re-scored on the reference ``evaluate_design_point`` — which
+        either agrees bit-for-bit or raises the precise user-facing
+        error, wrapped with the same candidate context as before.
+        ``--jobs 1`` and ``--jobs N`` share this code path, which is
+        what keeps fronts byte-identical across configurations.
+        """
+        from repro.partition.pareto import evaluate_design_point
+
+        staged: List[Tuple[CandidateSpec, Any]] = []
+        for spec in chunk.candidates:
+            saved = self._apply_constraints(spec.constraints)
+            try:
+                staged.append((spec, self._pareto_partition(spec)))
+            except WorkerError:
+                raise
+            except SlifError as exc:
+                raise self._wrap(spec, chunk, exc) from None
+            finally:
+                self._restore_constraints(saved)
+        kernel = self._get_kernel()
+        hardware = list(self.payload.hardware)
+        if kernel is not None:
+            points = kernel.evaluate(
+                [(partition, spec.label) for spec, partition in staged], hardware
+            )
+        else:
+            points = [None] * len(staged)
+        pairs: List[Tuple[int, Any]] = []
+        for (spec, partition), point in zip(staged, points):
+            if point is None:
+                try:
+                    point = evaluate_design_point(
+                        self.slif, partition, hardware, spec.label
+                    )
+                except WorkerError:
+                    raise
+                except SlifError as exc:
+                    raise self._wrap(spec, chunk, exc) from None
+            pairs.append((spec.index, point))
+            self.candidates_evaluated += 1
+        front = prune_local_front(pairs)
+        return front, len(pairs) - len(front)
+
+    @staticmethod
+    def _wrap(spec: CandidateSpec, chunk: Chunk, exc: Exception) -> WorkerError:
+        return WorkerError(
+            f"candidate {spec.label!r} (index {spec.index}, chunk "
+            f"{chunk.index}) failed: {type(exc).__name__}: {exc}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -406,17 +406,42 @@ class SlifServer:
         try:
             request = self._parse(body, api.EstimateRequest)
             request.validate()
-            batch_key = (
-                self.cache.key_for(request.spec),
-                request.mode,
-                request.concurrent,
-            )
+            graph_key = self.cache.key_for(request.spec)
+            batch_key = (request.mode, request.concurrent)
 
-            def compute() -> Dict[str, Any]:
+            def batch_compute(keys) -> Dict[Any, Any]:
+                # One kernel sweep scores the whole window of distinct
+                # (mode, concurrent) requests against the shared cached
+                # graph; identical requests coalesced on top of that.
                 session, _ = self.cache.get(request.spec)
-                return api.estimate(request, session=session).to_dict()
+                requests = [
+                    api.EstimateRequest(
+                        spec=request.spec, mode=mode, concurrent=concurrent
+                    )
+                    for mode, concurrent in keys
+                ]
+                try:
+                    results = api.estimate_many(requests, session=session)
+                except SlifError:
+                    results = None
+                if results is not None:
+                    return {
+                        key: result.to_dict()
+                        for key, result in zip(keys, results)
+                    }
+                # Per-key fallback: surface each request's own error
+                # instead of poisoning the whole window with one.
+                out: Dict[Any, Any] = {}
+                for key, req in zip(keys, requests):
+                    try:
+                        out[key] = api.estimate(req, session=session).to_dict()
+                    except SlifError as exc:
+                        out[key] = exc
+                return out
 
-            return 200, self.batcher.run(batch_key, compute), {}
+            return 200, self.batcher.run_grouped(
+                graph_key, batch_key, batch_compute
+            ), {}
         except SlifError as exc:
             return 400, {"error": str(exc)}, {}
 

@@ -47,6 +47,22 @@ class _Group:
         self.followers = 0
 
 
+class _GroupedBatch:
+    """One in-flight *grouped* batch: distinct keys, one evaluation."""
+
+    __slots__ = ("event", "results", "error", "keys", "waiters")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.results = None
+        self.error: BaseException = None
+        self.keys = []          # distinct keys, arrival order
+        self.waiters = 0
+
+
+_MISSING = object()
+
+
 class MicroBatcher:
     """Coalesce identical computations submitted within a time window."""
 
@@ -55,6 +71,7 @@ class MicroBatcher:
             raise ValueError(f"batch window must be >= 0, got {window}")
         self.window = window
         self._groups: Dict[Hashable, _Group] = {}
+        self._grouped: Dict[Hashable, _GroupedBatch] = {}
         self._lock = threading.Lock()
         self.leaders = 0
         self.coalesced = 0
@@ -104,6 +121,85 @@ class MicroBatcher:
             group.event.set()
         return group.result
 
+    def run_grouped(
+        self,
+        group: Hashable,
+        key: Hashable,
+        batch_compute: Callable[[list], Dict[Hashable, T]],
+    ) -> T:
+        """Batch *distinct* keys of one ``group`` into a single evaluation.
+
+        Where :meth:`run` only coalesces identical requests, this lets a
+        whole window of different-but-related requests (same ``group``,
+        e.g. the same cached graph; different ``key``, e.g. frequency
+        mode) be computed together: the group's leader waits the window,
+        snapshots every distinct key that queued up, and calls
+        ``batch_compute(keys)`` once — the hook the estimation kernel's
+        batched sweep plugs into.  ``batch_compute`` returns a dict with
+        one result per key; a value that is an exception instance is
+        raised to that key's waiters only, so one bad request cannot
+        poison the rest of its window.
+
+        Identical keys still coalesce exactly like :meth:`run`; results
+        for the same key must therefore be deterministic.
+        """
+        if self.window <= 0:
+            value = batch_compute([key])[key]
+            if isinstance(value, BaseException):
+                raise value
+            return value
+        with self._lock:
+            batch = self._grouped.get(group)
+            if batch is not None:
+                batch.waiters += 1
+                if key not in batch.keys:
+                    batch.keys.append(key)
+                follower = True
+            else:
+                batch = _GroupedBatch()
+                batch.keys.append(key)
+                self._grouped[group] = batch
+                follower = False
+        if follower:
+            if not batch.event.wait(FOLLOWER_TIMEOUT):
+                value = batch_compute([key])[key]  # leader wedged
+                if isinstance(value, BaseException):
+                    raise value
+                return value
+            with self._lock:
+                self.coalesced += 1
+            if OBS.enabled:
+                OBS.inc("serve.batch.coalesced")
+            if batch.error is not None:
+                raise batch.error
+            value = batch.results.get(key, _MISSING)
+        else:
+            # Leader: close the window, snapshot the queued keys, compute
+            # them all in one call.  Followers register their key under
+            # the lock before we pop the group, so the snapshot is
+            # complete for everyone who will read it.
+            time.sleep(self.window)
+            with self._lock:
+                self._grouped.pop(group, None)
+                self.leaders += 1
+                keys = list(batch.keys)
+            try:
+                batch.results = batch_compute(keys)
+            except BaseException as exc:
+                batch.error = exc
+                raise
+            finally:
+                if OBS.enabled:
+                    OBS.inc("serve.batch.leaders")
+                    OBS.observe("serve.batch.size", 1 + batch.waiters)
+                batch.event.set()
+            value = batch.results.get(key, _MISSING)
+        if value is _MISSING:  # pragma: no cover - defensive
+            value = batch_compute([key])[key]
+        if isinstance(value, BaseException):
+            raise value
+        return value
+
     def stats(self) -> Dict[str, object]:
         """Plain-data snapshot for ``GET /v1/stats``."""
         with self._lock:
@@ -111,5 +207,5 @@ class MicroBatcher:
                 "window_seconds": self.window,
                 "leaders": self.leaders,
                 "coalesced": self.coalesced,
-                "pending": len(self._groups),
+                "pending": len(self._groups) + len(self._grouped),
             }

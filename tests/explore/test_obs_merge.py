@@ -23,6 +23,7 @@ SCHEDULING_COUNTERS = (
     "explore.fallbacks",
     "explore.pool_respawns",
     "explore.checkpoint.chunks_skipped",
+    "kernel.compiles",   # one per runner *process*, so it scales with jobs
 )
 
 

@@ -9,6 +9,14 @@ that link into them, and checks every relative markdown link:
   heading whose GitHub-style slug matches it;
 * bare ``#fragment`` links resolve within the same file.
 
+It also checks every ``repro.*`` dotted reference (prose code spans
+and code blocks alike, including ``repro.explore.{plan,worker}`` brace
+shorthand) against the ``src/repro`` tree: each path component must
+resolve to a package or module, and a trailing attribute (a class or
+function named after a module path) must appear in that module's
+source — so renaming or deleting a module breaks the docs build, not
+just the reader.
+
 External links (``http://``, ``https://``, ``mailto:``) are skipped —
 CI must not depend on the network.  Exit status is the number of broken
 links, so a clean tree exits 0.
@@ -35,6 +43,9 @@ DEFAULT_FILES = sorted(
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 FENCE_RE = re.compile(r"^(```|~~~)")
+# repro.foo.bar / repro.foo.{bar,baz} dotted references, anywhere.
+MODULE_RE = re.compile(r"\brepro((?:\.(?:\{[\w,]+\}|\w+))+)")
+SRC_ROOT = ROOT / "src" / "repro"
 
 
 def slugify(heading: str) -> str:
@@ -65,10 +76,75 @@ def heading_slugs(path: Path, cache: Dict[Path, Set[str]]) -> Set[str]:
     return cache[path]
 
 
+def expand_braces(dotted: str) -> List[str]:
+    """``a.{b,c}.d`` -> ``[a.b.d, a.c.d]`` (one level per component)."""
+    refs = [[]]
+    for comp in dotted.split("."):
+        if comp.startswith("{") and comp.endswith("}"):
+            alts = comp[1:-1].split(",")
+            refs = [r + [a] for r in refs for a in alts if a]
+        else:
+            refs = [r + [comp] for r in refs]
+    return [".".join(r) for r in refs]
+
+
+def module_ref_error(parts: List[str]) -> str:
+    """Check ``repro.<parts>`` against src/repro; '' when it resolves.
+
+    Components must walk packages/modules; once a module file is
+    reached, the next component may be any name defined in its source
+    (class, function, constant).  A dangling lowercase name on a
+    package is accepted only if the package's ``__init__.py`` mentions
+    it (a re-export); CamelCase and dunder tails are assumed to be
+    attributes.
+    """
+    base = SRC_ROOT
+    for i, comp in enumerate(parts):
+        if (base / comp).is_dir():
+            base = base / comp
+            continue
+        module = base / f"{comp}.py"
+        if module.is_file():
+            rest = parts[i + 1:]
+            if rest and not re.search(
+                rf"\b{re.escape(rest[0])}\b", module.read_text()
+            ):
+                return (
+                    f"{'.'.join(['repro'] + parts)}: no '{rest[0]}' in "
+                    f"{module.relative_to(ROOT)}"
+                )
+            return ""
+        if comp[:1].isupper() or comp.startswith("__"):
+            return ""  # class/dunder attribute of the package
+        init = base / "__init__.py"
+        if init.is_file() and re.search(
+            rf"\b{re.escape(comp)}\b", init.read_text()
+        ):
+            return ""  # re-exported name
+        return (
+            f"{'.'.join(['repro'] + parts)}: no module "
+            f"'{comp}' under {base.relative_to(ROOT)}"
+        )
+    return ""
+
+
+def rel(path: Path) -> str:
+    try:
+        return str(path.relative_to(ROOT))
+    except ValueError:
+        return str(path)
+
+
 def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
     errors: List[str] = []
     in_fence = False
     for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        where = f"{rel(path)}:{lineno}"
+        for match in MODULE_RE.finditer(line):
+            for ref in expand_braces(match.group(1).lstrip(".")):
+                problem = module_ref_error(ref.split("."))
+                if problem:
+                    errors.append(f"{where}: stale module ref -> {problem}")
         if FENCE_RE.match(line):
             in_fence = not in_fence
             continue
@@ -80,7 +156,6 @@ def check_file(path: Path, cache: Dict[Path, Set[str]]) -> List[str]:
                 continue
             base, _, fragment = target.partition("#")
             dest = path if not base else (path.parent / base).resolve()
-            where = f"{path.relative_to(ROOT)}:{lineno}"
             if base and not dest.exists():
                 errors.append(f"{where}: broken link -> {target}")
                 continue
