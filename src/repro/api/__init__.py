@@ -33,7 +33,15 @@ so a result is identical however it was requested::
 ``DeprecationWarning``).
 """
 
-from repro.api.facade import estimate, estimate_many, explore, partition, simulate
+from repro.api.facade import (
+    estimate,
+    estimate_many,
+    explore,
+    partition,
+    poll,
+    simulate,
+    submit,
+)
 from repro.api.session import (
     DesignSystem,
     Session,
@@ -49,6 +57,8 @@ from repro.api.types import (
     EstimateResult,
     ExploreRequest,
     ExploreResult,
+    JobRequest,
+    JobStatus,
     PartitionRequest,
     PartitionResult,
     RequestError,
@@ -64,6 +74,8 @@ __all__ = [
     "ExploreRequest",
     "ExploreResult",
     "FREQ_MODES",
+    "JobRequest",
+    "JobStatus",
     "PartitionRequest",
     "PartitionResult",
     "RequestError",
@@ -78,7 +90,9 @@ __all__ = [
     "explore",
     "load",
     "partition",
+    "poll",
     "resolve_spec",
     "session_key",
     "simulate",
+    "submit",
 ]

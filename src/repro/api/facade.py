@@ -33,11 +33,14 @@ from repro.api.types import (
     EstimateResult,
     ExploreRequest,
     ExploreResult,
+    JobRequest,
+    JobStatus,
     PartitionRequest,
     PartitionResult,
     RequestError,
     SimulateRequest,
     SimulateResult,
+    canonical_json,
 )
 from repro.core.channels import FreqMode
 from repro.obs import span
@@ -284,6 +287,7 @@ def explore(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     fleet=None,
+    on_result=None,
 ) -> ExploreResult:
     """Sweep the time/area trade-off; returns the Pareto front as data.
 
@@ -294,7 +298,9 @@ def explore(
     :class:`~repro.fleet.protocol.FleetSpec`) distributes the sweep
     across a worker fleet instead; the session's content-hash key
     becomes the consistent-hash routing key so repeated sweeps of one
-    spec land on the same worker's warm caches.
+    spec land on the same worker's warm caches.  ``on_result`` observes
+    each completed chunk (journal-replayed ones first when resuming) —
+    the durable-jobs layer streams progressive front updates from it.
     """
     from repro.partition.pareto import explore_pareto
 
@@ -324,6 +330,7 @@ def explore(
             checkpoint=checkpoint,
             resume=resume,
             fleet=fleet,
+            on_result=on_result,
         )
     return ExploreResult(
         spec=sess.spec_name,
@@ -341,3 +348,100 @@ def explore(
         ],
         text=front.render(),
     )
+
+
+# ---------------------------------------------------------------------------
+# durable-job client helpers (the `slif jobs` CLI speaks through these)
+# ---------------------------------------------------------------------------
+
+
+def _server_url(server: str) -> str:
+    """Normalize a ``host:port`` or URL into a base URL, no trailing slash."""
+    server = server.strip().rstrip("/")
+    if not server:
+        raise RequestError("server address must be a host:port or URL")
+    if not server.startswith(("http://", "https://")):
+        server = f"http://{server}"
+    return server
+
+
+def _job_call(
+    url: str,
+    data: Optional[bytes] = None,
+    headers: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> dict:
+    import json as _json
+    import urllib.error
+    import urllib.request
+
+    from repro.errors import SlifError
+
+    request = urllib.request.Request(
+        url, data=data, headers=dict(headers or {}),
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            body = response.read()
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            detail = _json.loads(detail).get("error", detail)
+        except ValueError:
+            pass
+        raise SlifError(f"server answered {exc.code}: {detail}") from None
+    except urllib.error.URLError as exc:
+        raise SlifError(f"cannot reach {url}: {exc.reason}") from None
+    return _json.loads(body.decode("utf-8"))
+
+
+def submit(
+    server: str,
+    request: Union[JobRequest, dict],
+    *,
+    tenant: Optional[str] = None,
+    timeout: float = 30.0,
+) -> JobStatus:
+    """Submit a durable job to a running ``slif serve --state-dir`` daemon.
+
+    ``request`` is a :class:`JobRequest` (or its dict form) wrapping any
+    heavy request.  Submission is idempotent: the job id is derived from
+    the tenant, the wrapped request's canonical JSON and the spec's
+    content hash, so resubmitting returns the existing job's status
+    instead of starting a second sweep.
+    """
+    if isinstance(request, JobRequest):
+        req = request
+    elif isinstance(request, dict):
+        req = JobRequest.from_dict(request)
+    else:
+        raise RequestError(
+            f"expected JobRequest or dict, got {type(request).__name__}"
+        )
+    req.validate()
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Slif-Tenant"] = tenant
+    payload = _job_call(
+        f"{_server_url(server)}/v1/jobs",
+        data=canonical_json(req.to_dict()).encode("utf-8"),
+        headers=headers,
+        timeout=timeout,
+    )
+    return JobStatus.from_dict(payload)
+
+
+def poll(
+    server: str,
+    job_id: str,
+    *,
+    timeout: float = 30.0,
+) -> JobStatus:
+    """Fetch the current :class:`JobStatus` of one durable job."""
+    if not job_id:
+        raise RequestError("job id must be a non-empty string")
+    payload = _job_call(
+        f"{_server_url(server)}/v1/jobs/{job_id}", timeout=timeout
+    )
+    return JobStatus.from_dict(payload)

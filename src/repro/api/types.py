@@ -203,6 +203,95 @@ class ExploreRequest:
         return _from_dict(cls, data)
 
 
+#: Heavy request kinds a durable job can wrap.
+JOB_KINDS = ("partition", "simulate", "explore")
+
+#: Lifecycle states of a durable job.
+JOB_STATES = ("pending", "running", "done", "failed")
+
+
+@dataclass
+class JobRequest:
+    """Ask the serving layer to run a heavy request as a durable job.
+
+    ``kind`` picks the wrapped request type (one of :data:`JOB_KINDS`);
+    ``request`` is that request's plain-dict form, validated on
+    submission exactly as the synchronous endpoint would validate it.
+    The tenant is *not* part of the body — it travels in the
+    ``X-Slif-Tenant`` header, because admission control must read it
+    before parsing anything.
+    """
+
+    kind: str = "explore"
+    request: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def validate(self) -> "JobRequest":
+        if self.kind not in JOB_KINDS:
+            raise RequestError(
+                f"JobRequest.kind must be one of {JOB_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not isinstance(self.request, dict):
+            raise RequestError(
+                "JobRequest.request must be a JSON object (the wrapped "
+                f"{self.kind} request), got {type(self.request).__name__}"
+            )
+        return self
+
+    def wrapped(self):
+        """Parse and validate the wrapped request dataclass."""
+        cls = {
+            "partition": PartitionRequest,
+            "simulate": SimulateRequest,
+            "explore": ExploreRequest,
+        }[self.kind]
+        inner = cls.from_dict(self.request)
+        if self.kind == "simulate":
+            inner.validate_fields()
+        else:
+            inner.validate()
+        return inner
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobRequest":
+        return _from_dict(cls, data)
+
+
+@dataclass
+class JobStatus:
+    """Plain-data snapshot of one durable job, as polled over the wire.
+
+    ``state`` walks ``pending → running → done|failed``; ``result`` is
+    the wrapped request's result dict once ``done`` (byte-identical to
+    what the synchronous endpoint would have returned), ``error`` the
+    failure message once ``failed``.  ``chunks_done`` counts journaled
+    exploration chunks — after a daemon restart it resumes from the
+    journal's count, not from zero.
+    """
+
+    id: str = ""
+    kind: str = "explore"
+    tenant: str = "default"
+    state: str = "pending"
+    created: float = 0.0
+    updated: float = 0.0
+    chunks_done: int = 0
+    error: str = ""
+    result: Optional[Dict[str, Any]] = None
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobStatus":
+        return _from_dict(cls, data)
+
+
 # ---------------------------------------------------------------------------
 # Results
 # ---------------------------------------------------------------------------

@@ -37,6 +37,12 @@ Subcommands mirror the system-design workflow:
     started with ``slif explore <spec> --workers host:port`` fans
     across every registered worker and still prints a front
     byte-identical to ``--jobs 1``.
+``slif jobs submit|status|wait <server> ...``
+    Drive the server's durable async-job API (``slif serve
+    --state-dir``): ``submit`` posts a heavy request as a
+    crash-surviving job and prints its id, ``status`` polls one job's
+    JSON status, ``wait`` blocks until the job ends and prints the
+    result text — byte-identical to running the same request locally.
 ``slif obs waterfall|slow|diff <trace.jsonl>``
     Analyze ``--trace-out`` exports offline: per-trace span
     waterfalls, the top-N slowest spans, and run-to-run metric diffs.
@@ -80,6 +86,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -261,6 +268,24 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_tenant_weights(items) -> dict:
+    """``NAME=WEIGHT`` pairs from repeated ``--tenant-weight`` flags."""
+    weights = {}
+    for item in items or []:
+        name, sep, value = item.partition("=")
+        try:
+            weight = float(value)
+        except ValueError:
+            weight = 0.0
+        if not sep or not name or weight <= 0:
+            raise SlifError(
+                f"--tenant-weight wants NAME=WEIGHT with a positive "
+                f"weight, got {item!r}"
+            )
+        weights[name] = weight
+    return weights
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServerConfig, run_server
 
@@ -274,8 +299,98 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         quiet=not args.verbose,
         fleet_heartbeat=args.fleet_heartbeat,
+        state_dir=args.state_dir,
+        job_workers=args.job_workers,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_weights=_parse_tenant_weights(args.tenant_weight),
     )
     return run_server(config)
+
+
+def _job_request_dict(args: argparse.Namespace) -> dict:
+    """The wrapped heavy-request dict for one ``slif jobs submit``."""
+    if args.kind == "explore":
+        return dict(
+            spec=args.spec,
+            constraint_steps=args.steps,
+            random_starts=args.random_starts,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    if args.kind == "partition":
+        return dict(
+            spec=args.spec,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
+    return dict(
+        spec=args.spec,
+        seed=args.seed,
+        iterations=args.iterations,
+        mode=args.mode,
+    )
+
+
+def cmd_jobs_submit(args: argparse.Namespace) -> int:
+    from repro import api
+
+    status = api.submit(
+        args.server,
+        {"kind": args.kind, "request": _job_request_dict(args)},
+        tenant=args.tenant,
+    )
+    # the id alone on stdout so scripts can capture it; detail on stderr
+    print(status.id)
+    print(
+        f"-- job {status.id} ({status.kind}) is {status.state}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_jobs_status(args: argparse.Namespace) -> int:
+    from repro import api
+    from repro.api.types import canonical_json
+
+    status = api.poll(args.server, args.job_id)
+    print(canonical_json(status.to_dict()))
+    return 0
+
+
+def cmd_jobs_wait(args: argparse.Namespace) -> int:
+    from repro import api
+
+    deadline = (
+        None if args.timeout is None else time.monotonic() + args.timeout
+    )
+    last_state = None
+    while True:
+        status = api.poll(args.server, args.job_id)
+        if status.state != last_state:
+            print(
+                f"-- job {status.id} is {status.state} "
+                f"(chunks done: {status.chunks_done})",
+                file=sys.stderr,
+            )
+            last_state = status.state
+        if status.state == "done":
+            text = (status.result or {}).get("text", "")
+            if text:
+                print(text)
+            return 0
+        if status.state == "failed":
+            print(f"slif jobs: job failed: {status.error}", file=sys.stderr)
+            return EXIT_ERROR
+        if deadline is not None and time.monotonic() >= deadline:
+            print(
+                f"slif jobs: timed out after {args.timeout:g}s waiting "
+                f"for {args.job_id} (still {status.state})",
+                file=sys.stderr,
+            )
+            return EXIT_ERROR
+        time.sleep(args.poll)
 
 
 def cmd_work(args: argparse.Namespace) -> int:
@@ -683,11 +798,132 @@ def make_parser() -> argparse.ArgumentParser:
         "silent for 4x this is declared dead and its chunks requeued",
     )
     p.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="enable the durable async-job API, persisting jobs and "
+        "their chunk journals under DIR; a restarted server on the "
+        "same DIR recovers and resumes every unfinished job",
+    )
+    p.add_argument(
+        "--job-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="background job worker threads (default: --max-inflight); "
+        "workers share the heavy-request slots with synchronous traffic",
+    )
+    p.add_argument(
+        "--tenant-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="per-tenant token-bucket refill rate in heavy requests "
+        "per second (0 = unlimited, the default)",
+    )
+    p.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=8.0,
+        metavar="B",
+        help="per-tenant token-bucket capacity (burst size)",
+    )
+    p.add_argument(
+        "--tenant-weight",
+        action="append",
+        metavar="NAME=W",
+        help="weighted-fair scheduling weight for a tenant's jobs "
+        "(repeatable; unlisted tenants weigh 1)",
+    )
+    p.add_argument(
         "--verbose",
         action="store_true",
         help="log one line per request to stderr",
     )
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "jobs",
+        help="submit and track durable jobs on a slif serve --state-dir",
+    )
+    jobs_sub = p.add_subparsers(dest="jobs_command", required=True)
+
+    q = jobs_sub.add_parser(
+        "submit", help="submit a heavy request as a durable job"
+    )
+    q.add_argument(
+        "server", help="the server's host:port or URL (slif serve)"
+    )
+    q.add_argument("spec")
+    q.add_argument(
+        "--kind",
+        choices=["explore", "partition", "simulate"],
+        default="explore",
+        help="which heavy request the job wraps (default explore)",
+    )
+    q.add_argument(
+        "--tenant",
+        default=None,
+        help="tenant name sent as X-Slif-Tenant (default: the "
+        "server-side default tenant)",
+    )
+    q.add_argument(
+        "--steps", type=int, default=8, help="explore: constraint steps"
+    )
+    q.add_argument(
+        "--random-starts",
+        type=int,
+        default=5,
+        help="explore: random starts per step",
+    )
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes on the server (default: its --jobs)",
+    )
+    q.add_argument(
+        "--algorithm", default="greedy", help="partition: the algorithm"
+    )
+    q.add_argument(
+        "--iterations", type=int, default=10, help="simulate: iterations"
+    )
+    q.add_argument(
+        "--mode",
+        choices=["avg", "min", "max"],
+        default="avg",
+        help="simulate: frequency mode",
+    )
+    q.set_defaults(func=cmd_jobs_submit)
+
+    q = jobs_sub.add_parser("status", help="print one job's JSON status")
+    q.add_argument("server")
+    q.add_argument("job_id")
+    q.set_defaults(func=cmd_jobs_status)
+
+    q = jobs_sub.add_parser(
+        "wait",
+        help="poll until a job ends; print its result text on success",
+    )
+    q.add_argument("server")
+    q.add_argument("job_id")
+    q.add_argument(
+        "--poll",
+        type=float,
+        default=0.3,
+        metavar="S",
+        help="seconds between polls",
+    )
+    q.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="give up (exit 2) after this many seconds",
+    )
+    q.set_defaults(func=cmd_jobs_wait)
 
     p = sub.add_parser(
         "work",

@@ -221,6 +221,15 @@ class JournalWriter:
     to the same file).  Each :meth:`record` writes one line, flushes,
     and fsyncs — at chunk granularity the fsync cost is noise next to
     the candidate evaluations it protects.
+
+    Append failures (a full disk, a yanked volume, an injected
+    ``journal-io`` fault) are absorbed rather than raised: the sweep's
+    correctness never depended on the journal, only its durability
+    does, so :meth:`record` counts the error in :attr:`append_errors`
+    and carries on.  The un-journaled chunk is simply re-evaluated by
+    the next resume.  Only the data lines are tolerant this way — a
+    header that cannot be written is a hard error, because a resume
+    could not even identify the file.
     """
 
     def __init__(self, path: str, fingerprint: str, task: str) -> None:
@@ -229,6 +238,8 @@ class JournalWriter:
         self.task = task
         self.completed: Dict[int, ChunkResult] = {}
         self.corrupt_lines = 0
+        self.append_errors = 0
+        self._appends = 0
         self._handle = None
 
     @classmethod
@@ -268,11 +279,27 @@ class JournalWriter:
         os.fsync(self._handle.fileno())
 
     def record(self, result: ChunkResult) -> None:
-        """Durably journal one completed chunk."""
+        """Durably journal one completed chunk (best-effort on I/O errors)."""
+        from repro.faults.inject import maybe_inject_journal
+
         if self._handle is None or result.chunk_index in self.completed:
             return
+        append_index = self._appends
+        self._appends += 1
+        try:
+            maybe_inject_journal(append_index)
+            self._write_line(chunk_result_to_dict(result))
+        except OSError:
+            self.append_errors += 1
+            # terminate any torn partial line so the next append starts
+            # clean; if even this fails, load_journal skips the debris
+            try:
+                self._handle.write("\n")
+                self._handle.flush()
+            except OSError:
+                pass
+            return
         self.completed[result.chunk_index] = result
-        self._write_line(chunk_result_to_dict(result))
 
     def close(self) -> None:
         if self._handle is not None:

@@ -150,6 +150,7 @@ class RecoveryStats:
     pool_respawns: int = 0
     chunks_skipped: int = 0
     corrupt_journal_lines: int = 0
+    journal_errors: int = 0
 
     def any(self) -> bool:
         return any(
@@ -160,6 +161,7 @@ class RecoveryStats:
                 self.pool_respawns,
                 self.chunks_skipped,
                 self.corrupt_journal_lines,
+                self.journal_errors,
             )
         )
 
@@ -174,6 +176,8 @@ class RecoveryStats:
             parts.append(f"chunks_skipped={self.chunks_skipped}")
         if self.corrupt_journal_lines:
             parts.append(f"corrupt_journal_lines={self.corrupt_journal_lines}")
+        if self.journal_errors:
+            parts.append(f"journal_errors={self.journal_errors}")
         return " ".join(parts)
 
 
@@ -492,6 +496,7 @@ def run_plan(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     fleet=None,
+    on_result=None,
 ) -> List[ChunkResult]:
     """Evaluate every chunk of ``plan`` and return results in chunk order.
 
@@ -517,6 +522,11 @@ def run_plan(
     byte-identical — fleet results come back keyed by the same chunk
     indexes, requeues deduplicate first-wins, and anything the fleet
     cannot finish falls back to an in-process runner.
+
+    ``on_result`` is an observer called with each completed
+    :class:`ChunkResult` — journal-replayed chunks first (in index
+    order), then fresh ones as they land.  The serving layer's durable
+    jobs stream progressive front updates from it; it must not raise.
     """
     chunks = plan.chunks()
     workers = resolve_jobs(jobs, len(chunks))
@@ -549,6 +559,12 @@ def run_plan(
         fresh.append(result)
         if journal is not None:
             journal.record(result)
+        if on_result is not None:
+            on_result(result)
+
+    if on_result is not None:
+        for index in sorted(done):
+            on_result(done[index])
 
     todo = [chunk for chunk in chunks if chunk.index not in done]
     obs_ctx = (
@@ -600,6 +616,12 @@ def run_plan(
         # has already terminated the pool; flushing the journal here is
         # what lets ``--resume`` pick up every chunk that finished
         if journal is not None:
+            stats.journal_errors = journal.append_errors
+            if OBS.enabled and journal.append_errors:
+                OBS.inc(
+                    "explore.checkpoint.append_errors",
+                    journal.append_errors,
+                )
             journal.close()
 
     results = [done[chunk.index] for chunk in chunks]

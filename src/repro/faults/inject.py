@@ -31,12 +31,23 @@ Supported kinds (see :data:`FAULT_KINDS`):
     *whole daemon* mid-lease, exercising heartbeat-timeout reaping and
     cross-worker requeue rather than same-pool respawn.  In a local
     pool worker it behaves exactly like ``crash``.
+``journal-io``
+    Raise :class:`OSError` from the checkpoint journal's append path —
+    the *coordinator-side* durability fault.  Unlike every other kind,
+    its first number is an **append index**, not a chunk index: the
+    Nth data line written to the journal fails (``times`` extends the
+    failure to the following appends too).  The journal writer absorbs
+    the error and keeps the sweep running — the chunk simply is not
+    durable, so a later resume re-evaluates it.
 
-Faults only ever fire inside workers — pool worker processes and fleet
-worker daemons (the engine's in-process ``jobs=1`` path and the
-graceful-degradation fallback call the chunk runner directly,
+Worker faults only ever fire inside workers — pool worker processes
+and fleet worker daemons (the engine's in-process ``jobs=1`` path and
+the graceful-degradation fallback call the chunk runner directly,
 bypassing injection) — a ``crash`` or ``worker-down`` fault can
-therefore never take down the coordinating process.
+therefore never take down the coordinating process.  ``journal-io`` is
+the deliberate exception: it fires wherever the journal is written
+(the coordinator, or a ``slif serve`` job worker thread) and is
+ignored by the worker-side hook.
 """
 
 from __future__ import annotations
@@ -55,7 +66,9 @@ HANG_SECONDS_ENV = "SLIF_FAULT_HANG_SECONDS"
 #: Exit status used by the ``crash`` fault (distinctive in worker logs).
 CRASH_EXIT_CODE = 87
 
-FAULT_KINDS = ("crash", "hang", "transient", "pickle", "worker-down")
+FAULT_KINDS = (
+    "crash", "hang", "transient", "pickle", "worker-down", "journal-io"
+)
 
 
 @dataclass(frozen=True)
@@ -88,9 +101,27 @@ class FaultPlan:
         ``attempt`` is 0-based; a spec with ``times=t`` fires on
         attempts ``0 .. t-1`` of its chunk.  The first matching spec in
         plan order wins, so the plan author controls precedence.
+        ``journal-io`` specs never match here — their number is an
+        append index, served by :meth:`journal_fault_for` instead.
         """
         for spec in self._by_chunk.get(chunk_index, ()):
+            if spec.kind == "journal-io":
+                continue
             if attempt < spec.times:
+                return spec
+        return None
+
+    def journal_fault_for(self, append_index: int) -> Optional[FaultSpec]:
+        """The ``journal-io`` fault covering this append, if any.
+
+        A ``journal-io:N:t`` spec fails appends ``N .. N+t-1`` (appends
+        are not retried, so ``times`` extends the failure window rather
+        than sabotaging attempts).
+        """
+        for spec in self.specs:
+            if spec.kind != "journal-io":
+                continue
+            if spec.chunk <= append_index < spec.chunk + spec.times:
                 return spec
         return None
 
@@ -106,6 +137,11 @@ def parse_faults(text: Optional[str]) -> FaultPlan:
     [('crash', 2, 1), ('hang', 0, 2), ('transient', 3, 1)]
     >>> parse_faults(None).specs
     ()
+    >>> plan = parse_faults("journal-io:1:2")
+    >>> plan.fault_for(1, 0) is None   # not a worker fault
+    True
+    >>> [plan.journal_fault_for(i) is not None for i in (0, 1, 2, 3)]
+    [False, True, True, False]
     """
     if not text or not text.strip():
         return EMPTY_PLAN
@@ -213,3 +249,22 @@ def maybe_inject(chunk_index: int, attempt: int):
     if spec is None:
         return None
     return fire(spec, chunk_index, attempt)
+
+
+def maybe_inject_journal(append_index: int) -> None:
+    """Journal-side hook: raise :class:`OSError` if a fault covers this append.
+
+    Called by :class:`~repro.explore.checkpoint.JournalWriter` before
+    each data-line append; the writer treats the error like any real
+    I/O failure (counts it and carries on without durability for that
+    chunk).
+    """
+    plan = plan_from_env()
+    if not plan:
+        return
+    spec = plan.journal_fault_for(append_index)
+    if spec is not None:
+        raise OSError(
+            f"injected journal-io fault on append {append_index} "
+            f"(fails appends {spec.chunk}..{spec.chunk + spec.times - 1})"
+        )

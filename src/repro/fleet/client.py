@@ -103,6 +103,22 @@ class LocalTransport:
         return json.loads(json.dumps(response))
 
 
+def embedded_fleet_spec(
+    coordinator, session_key: str = ""
+) -> FleetSpec:
+    """A :class:`FleetSpec` targeting an in-process coordinator.
+
+    The serving layer's durable jobs use this to resume a recovered
+    sweep across the server's *own* embedded fleet: the journal stays
+    local while chunk evaluation fans across registered ``slif work``
+    daemons, and the session's content-hash key keeps routing sticky so
+    the resumed chunks land on the same workers' warm caches.
+    """
+    return FleetSpec(
+        session_key=session_key, transport=LocalTransport(coordinator)
+    )
+
+
 def _transport_for(fleet: FleetSpec):
     if fleet.transport is not None:
         return fleet.transport

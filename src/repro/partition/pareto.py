@@ -144,6 +144,7 @@ def explore_pareto(
     checkpoint: Optional[str] = None,
     resume: bool = False,
     fleet=None,
+    on_result=None,
 ) -> ParetoFront:
     """Sweep the time/area trade-off and return the Pareto front.
 
@@ -223,6 +224,7 @@ def explore_pareto(
             checkpoint=checkpoint,
             resume=resume,
             fleet=fleet,
+            on_result=on_result,
         )
         front = merge_fronts(results, evaluated=len(plan))
         add_event(

@@ -6,8 +6,12 @@ cache makes warm estimates two orders of magnitude cheaper than cold
 parses, a micro-batcher coalesces identical concurrent estimate
 requests into one evaluation, and heavy partition/simulate/explore
 requests run on the fault-tolerant exploration engine behind a bounded
-in-flight limit with 429 backpressure.  See ``docs/serving.md`` for
-endpoints, schemas and tuning.
+in-flight limit with 429 backpressure.  With ``--state-dir``, heavy
+requests can also be submitted as *durable jobs*: persisted before
+evaluation, chunk-journaled while running, and recovered + resumed
+after a daemon crash, with per-tenant token-bucket admission and
+weighted-fair scheduling (the ``X-Slif-Tenant`` header).  See
+``docs/serving.md`` for endpoints, schemas and tuning.
 
 In-process use (tests, embedding)::
 
@@ -22,11 +26,27 @@ In-process use (tests, embedding)::
 from repro.serve.app import ServerConfig, SlifServer, run_server
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import GraphCache
+from repro.serve.jobs import (
+    EventStream,
+    JobManager,
+    TenantShaper,
+    TokenBucket,
+    WeightedFairQueue,
+)
+from repro.serve.store import JobRecord, JobStore, job_id_for
 
 __all__ = [
+    "EventStream",
     "GraphCache",
+    "JobManager",
+    "JobRecord",
+    "JobStore",
     "MicroBatcher",
     "ServerConfig",
     "SlifServer",
+    "TenantShaper",
+    "TokenBucket",
+    "WeightedFairQueue",
+    "job_id_for",
     "run_server",
 ]

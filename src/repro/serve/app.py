@@ -17,6 +17,13 @@ plus a Prometheus scrape target:
 ``*    /v1/fleet/<op>``   fleet coordination (worker register/heartbeat/
                           pull/result, sweep submit/collect; GET or POST
                           for ``status``, POST for the rest)
+``POST /v1/jobs``         submit a durable :class:`~repro.api.JobRequest`
+                          (needs ``--state-dir``); idempotent, 202 on
+                          first submission
+``GET  /v1/jobs``         list every known job's status
+``GET  /v1/jobs/{id}``    poll one job's :class:`~repro.api.JobStatus`
+``GET  /v1/jobs/{id}/events``  chunked JSONL stream of progressive
+                          front updates until the job ends
 ========================  ==================================================
 
 Design:
@@ -28,8 +35,14 @@ Design:
 * **Heavy path.**  ``/v1/partition``, ``/v1/simulate`` and
   ``/v1/explore`` dispatch onto the fault-tolerant exploration engine
   under a bounded in-flight counter; when ``--max-inflight`` requests
-  are already running the server answers ``429`` with a
-  ``Retry-After`` header instead of queueing unboundedly.
+  are already running the server answers ``429`` with a ``Retry-After``
+  computed from the queue depth and the mean recent heavy-request
+  latency instead of queueing unboundedly.
+* **Durable jobs.**  With ``--state-dir``, heavy requests can be
+  submitted as jobs (:mod:`repro.serve.jobs`): persisted before
+  evaluation, journaled per chunk, recovered and resumed after a crash
+  of the daemon.  Tenants (the ``X-Slif-Tenant`` header) get token
+  bucket admission and weighted-fair scheduling.
 * **Fleet.**  The server embeds a
   :class:`~repro.fleet.coordinator.FleetCoordinator`; ``slif work``
   daemons register and pull chunks through ``/v1/fleet/*`` and a
@@ -60,12 +73,13 @@ computed in-process.
 from __future__ import annotations
 
 import json
+import math
 import os
 import signal
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple, Union
 
@@ -80,6 +94,13 @@ from repro.obs.exposition import (
 )
 from repro.serve.batching import MicroBatcher
 from repro.serve.cache import GraphCache
+from repro.serve.jobs import (
+    EventStream,
+    JobManager,
+    TenantShaper,
+    validate_tenant,
+)
+from repro.serve.store import JobStore
 
 
 @dataclass
@@ -95,6 +116,11 @@ class ServerConfig:
     drain_timeout: float = 10.0   # seconds to wait for in-flight on drain
     quiet: bool = True            # suppress per-request access log lines
     fleet_heartbeat: float = 1.0  # worker heartbeat interval (timeout 4x)
+    state_dir: Optional[str] = None   # durable-job storage (None = off)
+    job_workers: Optional[int] = None  # job worker threads (None = max_inflight)
+    tenant_rate: float = 0.0      # per-tenant tokens/second (0 = unlimited)
+    tenant_burst: float = 8.0     # per-tenant token-bucket capacity
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
 
 
 class _HTTPServer(ThreadingHTTPServer):
@@ -123,6 +149,7 @@ class SlifServer:
         "/v1/partition": "partition",
         "/v1/simulate": "simulate",
         "/v1/explore": "explore",
+        "/v1/jobs": "jobs",
     }
 
     def __init__(self, config: ServerConfig) -> None:
@@ -149,6 +176,24 @@ class SlifServer:
         self._heavy_inflight = 0
         self.requests = 0
         self.responses: Dict[str, int] = {}
+        # tenant shaping is always on (rate 0 just disables admission
+        # limits); the durable-job manager only with --state-dir
+        self.shaper = TenantShaper(
+            rate=config.tenant_rate,
+            burst=config.tenant_burst,
+            weights=config.tenant_weights,
+        )
+        self.jobs: Optional[JobManager] = None
+        if config.state_dir:
+            self.jobs = JobManager(
+                self, JobStore(config.state_dir), self.shaper
+            )
+            workers = (
+                config.job_workers
+                if config.job_workers is not None
+                else config.max_inflight
+            )
+            self.jobs.start(workers)
         self.httpd = _HTTPServer((config.host, config.port), _Handler)
         self.httpd.app = self  # type: ignore[attr-defined]
 
@@ -167,17 +212,28 @@ class SlifServer:
         self.httpd.serve_forever(poll_interval=0.1)
 
     def initiate_drain(self) -> None:
-        """Stop accepting work; unblock :meth:`serve_forever`."""
+        """Stop accepting work; unblock :meth:`serve_forever`.
+
+        The job manager stops dequeuing immediately — queued-but-
+        unstarted jobs stay ``pending`` on disk (picked up by the next
+        daemon on the same ``--state-dir``), so a drain completes
+        within ``--drain-timeout`` no matter how deep the queue is.
+        """
         self.draining = True
+        if self.jobs is not None:
+            self.jobs.drain()
         threading.Thread(target=self.httpd.shutdown, daemon=True).start()
 
     def wait_drained(self, timeout: Optional[float] = None) -> bool:
-        """Block until no request is in flight (or ``timeout`` elapses)."""
+        """Block until no request or job runs (or ``timeout`` elapses)."""
         deadline = None if timeout is None else time.time() + timeout
         while True:
             with self._state_lock:
-                if self._inflight == 0:
-                    return True
+                idle = self._inflight == 0
+            if idle and self.jobs is not None:
+                idle = self.jobs.running == 0
+            if idle:
+                return True
             if deadline is not None and time.time() >= deadline:
                 return False
             time.sleep(0.02)
@@ -245,7 +301,10 @@ class SlifServer:
             "batch": self.batcher.stats(),
             "endpoints": self.endpoint_stats(),
             "fleet": self.fleet.stats(),
+            "tenants": self.shaper.stats(),
         }
+        if self.jobs is not None:
+            stats["durable_jobs"] = self.jobs.stats()
         if OBS.enabled:
             stats["obs"] = obs.snapshot()
         return stats
@@ -258,12 +317,21 @@ class SlifServer:
             process.set_gauge("inflight", self._inflight)
             process.set_gauge("heavy_inflight", self._heavy_inflight)
         process.set_gauge("draining", 1.0 if self.draining else 0.0)
+        if self.jobs is not None:
+            job_stats = self.jobs.stats()
+            process.set_gauge("jobs_queued", job_stats["queued"])
+            process.set_gauge("jobs_running", job_stats["running"])
+            for state, count in job_stats["states"].items():
+                process.set_gauge(f"jobs_state_{state}", count)
         parts = [
             prometheus_text(process, namespace="slif"),
             prometheus_labeled_text(
                 self.red, "endpoint", namespace="slif_http"
             ),
             prometheus_text(self.fleet.registry, namespace="slif"),
+            prometheus_labeled_text(
+                self.shaper.registry, "tenant", namespace="slif_tenant"
+            ),
         ]
         if OBS.enabled:
             parts.append(prometheus_text(obs.REGISTRY, namespace="slif"))
@@ -277,6 +345,7 @@ class SlifServer:
         path: str,
         body: bytes,
         trace_id: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str], str]:
         """Route one request with full telemetry; the HTTP handler's core.
 
@@ -291,9 +360,12 @@ class SlifServer:
         exactly what the HTTP path observes.
         """
         tid = trace_id or obs.new_trace_id()
-        endpoint = self.ENDPOINTS.get(path) or (
-            "fleet" if path.startswith("/v1/fleet/") else "other"
-        )
+        if path.startswith("/v1/fleet/"):
+            endpoint = "fleet"
+        elif path.startswith("/v1/jobs"):
+            endpoint = "jobs"
+        else:
+            endpoint = self.ENDPOINTS.get(path, "other")
         started = time.perf_counter()
         status = 500
         obs.set_trace_id(tid)
@@ -303,7 +375,7 @@ class SlifServer:
             ) as sp:
                 try:
                     status, payload, headers = self.handle_request(
-                        method, path, body
+                        method, path, body, tenant=tenant
                     )
                 except SlifError as exc:
                     status, payload, headers = 400, {"error": str(exc)}, {}
@@ -324,21 +396,34 @@ class SlifServer:
         return status, payload, headers, tid
 
     def handle_request(
-        self, method: str, path: str, body: bytes
+        self, method: str, path: str, body: bytes,
+        tenant: Optional[str] = None,
     ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
         """Route one request; returns ``(status, payload, headers)``.
 
         Pure in-process logic (no sockets), so tests can drive it
         directly as well as over HTTP.  A ``str`` payload (only
-        ``/metrics``) is sent verbatim; dict payloads are canonical
-        JSON.
+        ``/metrics``) is sent verbatim; an :class:`EventStream` payload
+        is streamed chunked; dict payloads are canonical JSON.
+        ``tenant`` is the raw ``X-Slif-Tenant`` header value.
         """
-        if self.draining and path not in (
-            "/v1/stats", "/metrics", "/v1/fleet/status"
-        ):
-            return 503, {"error": "server is draining"}, {"Retry-After": "1"}
+        if self.draining:
+            # reads stay answerable during the drain: stats, metrics,
+            # fleet status, and job polling (so a client waiting on a
+            # job sees it park as pending instead of a dropped socket)
+            allowed = path in ("/v1/stats", "/metrics", "/v1/fleet/status")
+            if method == "GET" and path.startswith("/v1/jobs"):
+                allowed = not path.endswith("/events")
+            if not allowed:
+                return 503, {"error": "server is draining"}, {
+                    "Retry-After": self._retry_after()
+                }
         if path.startswith("/v1/fleet/"):
             return self._handle_fleet(method, path, body)
+        if path == "/v1/jobs" or path.startswith("/v1/jobs/"):
+            return self._handle_jobs(
+                method, path, body, validate_tenant(tenant)
+            )
         if method == "GET" and path == "/v1/healthz":
             return 200, {
                 "status": "ok",
@@ -357,7 +442,9 @@ class SlifServer:
             if kind == "estimate":
                 return self._handle_estimate(body)
             if kind in self.HEAVY:
-                return self._handle_heavy(kind, body)
+                return self._handle_heavy(
+                    kind, body, validate_tenant(tenant)
+                )
         if path.startswith("/v1/") or path == "/metrics":
             return 405, {
                 "error": f"{method} not supported on {path}"
@@ -445,9 +532,45 @@ class SlifServer:
         except SlifError as exc:
             return 400, {"error": str(exc)}, {}
 
+    def _retry_after(self, floor: float = 0.0) -> str:
+        """Compute the ``Retry-After`` value for 429/503 responses.
+
+        Estimates how long until capacity frees up: the mean observed
+        heavy-request latency (execution ``heavy_seconds`` plus the RED
+        ``latency_seconds`` of the heavy endpoints) times the work
+        queued ahead, divided by the slot count — clamped into
+        ``[1, 30]`` seconds, so an idle fresh server still answers "1".
+        ``floor`` raises the estimate (the token-bucket refill wait).
+        """
+        total = 0.0
+        count = 0
+        for name, hist in self.red.histograms.items():
+            family, _, endpoint = name.partition(".")
+            if family == "heavy_seconds" or (
+                family == "latency_seconds" and endpoint in self.HEAVY
+            ):
+                total += hist.sum
+                count += hist.count
+        mean = total / count if count else 0.0
+        with self._state_lock:
+            depth = self._heavy_inflight
+        if self.jobs is not None:
+            depth += self.jobs.queue_depth()
+        estimate = mean * max(1, depth) / max(1, self.config.max_inflight)
+        seconds = math.ceil(max(estimate, floor, 1.0) - 1e-9)
+        return str(min(30, seconds))
+
     def _handle_heavy(
-        self, kind: str, body: bytes
+        self, kind: str, body: bytes, tenant: str
     ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+        allowed, wait = self.shaper.admit(tenant)
+        if not allowed:
+            return 429, {
+                "error": (
+                    f"tenant {tenant!r} is over its request rate "
+                    f"({self.config.tenant_rate:g}/s); retry shortly"
+                ),
+            }, {"Retry-After": self._retry_after(floor=wait)}
         if not self._heavy_slots.acquire(blocking=False):
             if OBS.enabled:
                 OBS.inc("serve.backpressure.rejected")
@@ -456,9 +579,10 @@ class SlifServer:
                     f"{self.config.max_inflight} heavy requests already "
                     "in flight; retry shortly"
                 ),
-            }, {"Retry-After": "1"}
+            }, {"Retry-After": self._retry_after()}
         with self._state_lock:
             self._heavy_inflight += 1
+        started = time.perf_counter()
         try:
             request_cls = {
                 "partition": api.PartitionRequest,
@@ -474,13 +598,66 @@ class SlifServer:
                     request.jobs = self.config.jobs
             session, _ = self.cache.get(request.spec)
             fn = getattr(api, kind)
-            return 200, fn(request, session=session).to_dict(), {}
+            result = fn(request, session=session).to_dict()
+            self.red.observe(
+                f"heavy_seconds.{kind}", time.perf_counter() - started
+            )
+            return 200, result, {}
         except SlifError as exc:
             return 400, {"error": str(exc)}, {}
         finally:
             with self._state_lock:
                 self._heavy_inflight -= 1
             self._heavy_slots.release()
+
+    def _handle_jobs(
+        self, method: str, path: str, body: bytes, tenant: str
+    ) -> Tuple[int, Union[Dict[str, Any], EventStream], Dict[str, str]]:
+        """Route ``/v1/jobs`` — submit, list, poll, or stream events."""
+        if self.jobs is None:
+            return 400, {
+                "error": (
+                    "durable jobs are disabled: start the server with "
+                    "--state-dir to enable them"
+                ),
+            }, {}
+        rest = path[len("/v1/jobs"):]
+        if not rest:
+            if method == "POST":
+                allowed, wait = self.shaper.admit(tenant)
+                if not allowed:
+                    return 429, {
+                        "error": (
+                            f"tenant {tenant!r} is over its request rate "
+                            f"({self.config.tenant_rate:g}/s); retry "
+                            "shortly"
+                        ),
+                    }, {"Retry-After": self._retry_after(floor=wait)}
+                try:
+                    job_request = self._parse(body, api.JobRequest)
+                    record, created = self.jobs.submit(job_request, tenant)
+                except SlifError as exc:
+                    return 400, {"error": str(exc)}, {}
+                return (202 if created else 200), record.status_dict(), {}
+            if method == "GET":
+                return 200, {"jobs": self.jobs.list_jobs()}, {}
+            return 405, {
+                "error": f"{method} not supported on {path}"
+            }, {"Allow": "GET, POST"}
+        parts = rest[1:].split("/")
+        record = self.jobs.get(parts[0])
+        if record is None:
+            return 404, {"error": f"unknown job {parts[0]!r}"}, {}
+        if method != "GET":
+            return 405, {
+                "error": f"{method} not supported on {path}"
+            }, {"Allow": "GET"}
+        if len(parts) == 1:
+            return 200, record.status_dict(), {}
+        if len(parts) == 2 and parts[1] == "events":
+            stream = EventStream(self.jobs, record.id)
+            return 200, stream, {"Content-Type": stream.content_type}
+        return 404, {"error": f"unknown path {path!r}"}, {}
 
 
 def _version() -> str:
@@ -545,7 +722,11 @@ class _Handler(BaseHTTPRequestHandler):
                 self.path,
                 body,
                 trace_id=self.headers.get("X-Slif-Trace-Id"),
+                tenant=self.headers.get("X-Slif-Tenant"),
             )
+            if isinstance(payload, EventStream):
+                self._stream(status, payload, headers)
+                return
             if isinstance(payload, str):
                 encoded = payload.encode("utf-8")
                 content_type = headers.pop(
@@ -570,6 +751,29 @@ class _Handler(BaseHTTPRequestHandler):
             self._access_log(
                 method, status, time.perf_counter() - started, trace_id
             )
+
+    def _stream(
+        self, status: int, stream: EventStream, headers: Dict[str, str]
+    ) -> None:
+        """Write an :class:`EventStream` as a chunked HTTP/1.1 response.
+
+        Each JSONL event goes out as its own chunk, flushed
+        immediately, so clients see progressive front updates while the
+        sweep is still running; the zero-length chunk ends the response
+        when the job reaches a terminal state.
+        """
+        self.send_response(status)
+        content_type = headers.pop("Content-Type", stream.content_type)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Transfer-Encoding", "chunked")
+        for key, value in headers.items():
+            self.send_header(key, value)
+        self.end_headers()
+        for line in stream:
+            data = line.encode("utf-8")
+            self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+            self.wfile.flush()
+        self.wfile.write(b"0\r\n\r\n")
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._respond("GET")
@@ -609,6 +813,12 @@ def run_server(config: ServerConfig) -> int:
         f"batch-window={config.batch_window:g}s)",
         file=sys.stderr,
     )
+    if server.jobs is not None:
+        print(
+            f"slif serve: durable jobs in {config.state_dir} "
+            f"(recovered {server.jobs.recovered} unfinished)",
+            file=sys.stderr,
+        )
     try:
         server.serve_forever()
         drained = server.wait_drained(config.drain_timeout)

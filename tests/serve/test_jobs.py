@@ -1,0 +1,462 @@
+"""Durable async jobs: persistence, crash recovery, resume fidelity.
+
+Servers here run in-process (``job_workers=0`` where a test needs jobs
+to *stay* queued); the crash is simulated by constructing a second
+:class:`SlifServer` on the same ``--state-dir`` — exactly what a
+restarted daemon does — and every recovered front must be
+byte-identical to an uninterrupted ``jobs=1`` run of the same request.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.serve.app import ServerConfig, SlifServer
+from repro.serve.store import JobRecord, JobStore, job_id_for
+
+SPEC = "fuzzy"
+EXPLORE = {
+    "spec": SPEC, "constraint_steps": 2, "random_starts": 2, "seed": 7
+}
+JOB_BODY = json.dumps({"kind": "explore", "request": EXPLORE}).encode()
+
+
+def make_server(tmp_path, workers=1, **overrides):
+    config = ServerConfig(
+        port=0,
+        state_dir=str(tmp_path / "state"),
+        job_workers=workers,
+        **overrides,
+    )
+    return SlifServer(config)
+
+
+def wait_terminal(server, job_id, timeout=90.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, payload, _ = server.handle_request(
+            "GET", f"/v1/jobs/{job_id}", b""
+        )
+        assert status == 200
+        if payload["state"] in ("done", "failed"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+def direct_text(request=None):
+    result = api.explore(dict(request or EXPLORE), checkpoint=None)
+    return result.text
+
+
+class TestSubmission:
+    def test_disabled_without_state_dir(self):
+        server = SlifServer(ServerConfig(port=0))
+        try:
+            status, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            assert status == 400
+            assert "--state-dir" in payload["error"]
+        finally:
+            server.close()
+
+    def test_submit_poll_complete_and_events(self, tmp_path):
+        server = make_server(tmp_path)
+        try:
+            status, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            assert status == 202
+            assert payload["state"] == "pending"
+            job_id = payload["id"]
+            final = wait_terminal(server, job_id)
+            assert final["state"] == "done"
+            assert final["chunks_done"] > 0
+            assert final["result"]["text"] == direct_text()
+
+            status, stream, headers = server.handle_request(
+                "GET", f"/v1/jobs/{job_id}/events", b""
+            )
+            assert status == 200
+            assert headers["Content-Type"] == "application/x-ndjson"
+            events = [json.loads(line) for line in stream]
+            kinds = [e["event"] for e in events]
+            assert kinds[-1] == "end"
+            chunk_events = [e for e in events if e["event"] == "chunk"]
+            assert len(chunk_events) == final["chunks_done"]
+            # progressive fronts: the last chunk event's front matches
+            # the final result's points
+            last_front = chunk_events[-1]["front"]
+            final_points = [
+                {k: p[k] for k in ("hardware_size", "system_time", "label")}
+                for p in final["result"]["points"]
+            ]
+            assert last_front == final_points
+        finally:
+            server.shutdown()
+
+    def test_idempotent_resubmit(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            first, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            second, repeat, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            assert (first, second) == (202, 200)
+            assert repeat["id"] == payload["id"]
+            assert server.jobs.queue_depth() == 1
+        finally:
+            server.close()
+
+    def test_distinct_tenants_distinct_jobs(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            _, a, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY, tenant="alpha"
+            )
+            _, b, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY, tenant="beta"
+            )
+            assert a["id"] != b["id"]
+            assert {a["tenant"], b["tenant"]} == {"alpha", "beta"}
+        finally:
+            server.close()
+
+    def test_unknown_job_404(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            status, payload, _ = server.handle_request(
+                "GET", "/v1/jobs/deadbeef00000000", b""
+            )
+            assert status == 404
+            assert "unknown job" in payload["error"]
+        finally:
+            server.close()
+
+    def test_bad_kind_400(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            body = json.dumps(
+                {"kind": "estimate", "request": {"spec": SPEC}}
+            ).encode()
+            status, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", body
+            )
+            assert status == 400
+            assert "kind" in payload["error"]
+        finally:
+            server.close()
+
+    def test_job_listing(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            _, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            status, listing, _ = server.handle_request(
+                "GET", "/v1/jobs", b""
+            )
+            assert status == 200
+            assert [j["id"] for j in listing["jobs"]] == [payload["id"]]
+        finally:
+            server.close()
+
+
+class TestRecovery:
+    def test_pending_job_survives_restart(self, tmp_path):
+        first = make_server(tmp_path, workers=0)
+        _, payload, _ = first.handle_request("POST", "/v1/jobs", JOB_BODY)
+        job_id = payload["id"]
+        time.sleep(0.1)
+        assert payload["state"] == "pending"
+        first.close()  # simulated crash: no drain, workers never ran
+
+        second = make_server(tmp_path, workers=1)
+        try:
+            assert second.jobs.recovered == 1
+            final = wait_terminal(second, job_id)
+            assert final["state"] == "done"
+            assert final["result"]["text"] == direct_text()
+        finally:
+            second.shutdown()
+
+    def test_running_job_resumes_from_journal(self, tmp_path):
+        """A journal written before the crash skips those chunks on resume."""
+        first = make_server(tmp_path, workers=1)
+        _, payload, _ = first.handle_request("POST", "/v1/jobs", JOB_BODY)
+        job_id = payload["id"]
+        wait_terminal(first, job_id)
+        # capture the completed journal, then rewind the record to
+        # "running" with a journal truncated to its first data line —
+        # the on-disk state of a daemon killed one chunk in
+        journal_path = first.jobs.store.journal_path(job_id)
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) >= 3  # header + at least two chunks
+        first.close()
+
+        with open(journal_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:2])
+        store = JobStore(str(tmp_path / "state"))
+        record = store.load(job_id)
+        record.state = "running"
+        record.chunks_done = 1
+        record.result = None
+        store.save(record)
+
+        second = make_server(tmp_path, workers=1)
+        try:
+            assert second.jobs.recovered == 1
+            final = wait_terminal(second, job_id)
+            assert final["state"] == "done"
+            assert final["result"]["text"] == direct_text()
+        finally:
+            second.shutdown()
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        """A half-written final line (killed mid-append) is skipped."""
+        first = make_server(tmp_path, workers=1)
+        _, payload, _ = first.handle_request("POST", "/v1/jobs", JOB_BODY)
+        job_id = payload["id"]
+        wait_terminal(first, job_id)
+        journal_path = first.jobs.store.journal_path(job_id)
+        with open(journal_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        first.close()
+
+        torn = lines[:2] + [lines[2][: len(lines[2]) // 2]]
+        with open(journal_path, "w", encoding="utf-8") as handle:
+            handle.writelines(torn)
+        store = JobStore(str(tmp_path / "state"))
+        record = store.load(job_id)
+        record.state = "running"
+        record.result = None
+        store.save(record)
+
+        second = make_server(tmp_path, workers=1)
+        try:
+            final = wait_terminal(second, job_id)
+            assert final["state"] == "done"
+            assert final["result"]["text"] == direct_text()
+        finally:
+            second.shutdown()
+
+    def test_foreign_journal_fingerprint_fails_the_job(self, tmp_path):
+        """A journal from a *different* sweep must be refused, not merged."""
+        other = dict(EXPLORE, seed=EXPLORE["seed"] + 1)
+        scratch = tmp_path / "other.jsonl"
+        api.explore(other, checkpoint=str(scratch))
+
+        server = make_server(tmp_path, workers=0)
+        _, payload, _ = server.handle_request("POST", "/v1/jobs", JOB_BODY)
+        job_id = payload["id"]
+        server.close()
+
+        # plant the mismatched journal where the resume will look
+        store = JobStore(str(tmp_path / "state"))
+        journal_path = store.journal_path(job_id)
+        with open(scratch, "r", encoding="utf-8") as src:
+            data = src.read()
+        with open(journal_path, "w", encoding="utf-8") as dst:
+            dst.write(data)
+
+        second = make_server(tmp_path, workers=1)
+        try:
+            final = wait_terminal(second, job_id)
+            assert final["state"] == "failed"
+            assert "different sweep" in final["error"]
+        finally:
+            second.shutdown()
+
+    def test_journal_io_fault_does_not_corrupt_results(
+        self, tmp_path, monkeypatch
+    ):
+        """Injected append failures degrade durability, never the front."""
+        monkeypatch.setenv("SLIF_FAULTS", "journal-io:1:2")
+        server = make_server(tmp_path)
+        try:
+            _, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            final = wait_terminal(server, payload["id"])
+            assert final["state"] == "done"
+            assert final["result"]["text"] == direct_text()
+            # the journal lost appends 1..2 but stayed parseable: a
+            # resume re-evaluates exactly the missing chunks
+            from repro.explore.checkpoint import load_journal
+
+            journal_path = server.jobs.store.journal_path(payload["id"])
+            with open(journal_path, "r", encoding="utf-8") as handle:
+                header = json.loads(handle.readline())
+            completed, corrupt = load_journal(
+                journal_path, header["fingerprint"]
+            )
+            assert len(completed) == final["chunks_done"] - 2
+        finally:
+            server.shutdown()
+            monkeypatch.delenv("SLIF_FAULTS", raising=False)
+
+    def test_skipped_unreadable_record_is_counted(self, tmp_path):
+        state = tmp_path / "state"
+        broken = state / "jobs" / "0123456789abcdef"
+        broken.mkdir(parents=True)
+        (broken / "job.json").write_text("{torn")
+        server = make_server(tmp_path, workers=0)
+        try:
+            assert server.jobs.skipped_records == 1
+            assert server.jobs.records == {}
+        finally:
+            server.close()
+
+
+class TestDrainWithJobs:
+    def test_deep_queue_drains_within_timeout(self, tmp_path):
+        """Queued-but-unstarted jobs park as pending; drain is bounded."""
+        server = make_server(tmp_path, workers=0, drain_timeout=5.0)
+        job_ids = []
+        for seed in range(6):
+            body = json.dumps(
+                {"kind": "explore", "request": dict(EXPLORE, seed=seed)}
+            ).encode()
+            status, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", body
+            )
+            assert status == 202
+            job_ids.append(payload["id"])
+        started = time.time()
+        server.initiate_drain()
+        assert server.wait_drained(5.0)
+        assert time.time() - started < 5.0
+        server.close()
+
+        store = JobStore(str(tmp_path / "state"))
+        records, skipped = store.load_all()
+        assert skipped == 0
+        assert {r.state for r in records} == {"pending"}
+        assert sorted(r.id for r in records) == sorted(job_ids)
+
+    def test_drain_rejects_submission_allows_poll(self, tmp_path):
+        server = make_server(tmp_path, workers=0)
+        try:
+            _, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            server.draining = True  # no httpd.shutdown: in-process only
+            server.jobs.drain()
+            status, _, headers = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            assert status == 503
+            assert int(headers["Retry-After"]) >= 1
+            status, polled, _ = server.handle_request(
+                "GET", f"/v1/jobs/{payload['id']}", b""
+            )
+            assert status == 200
+            assert polled["state"] == "pending"
+        finally:
+            server.close()
+
+
+class TestStore:
+    def test_job_id_depends_on_tenant_and_request(self):
+        key = api.session_key(SPEC)
+        base = job_id_for("a", "explore", key, EXPLORE)
+        assert job_id_for("a", "explore", key, EXPLORE) == base
+        assert job_id_for("b", "explore", key, EXPLORE) != base
+        assert job_id_for("a", "partition", key, EXPLORE) != base
+        assert (
+            job_id_for("a", "explore", key, dict(EXPLORE, seed=8)) != base
+        )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        record = JobRecord(
+            id="abc123", kind="explore", tenant="t", request=EXPLORE,
+            state="pending", created=1.0,
+        )
+        store.save(record)
+        loaded = store.load("abc123")
+        assert loaded.request == EXPLORE
+        assert loaded.state == "pending"
+        assert loaded.updated >= record.created
+
+    def test_load_rejects_mismatched_id(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        record = JobRecord(id="abc123", request=EXPLORE, created=1.0)
+        store.save(record)
+        import os
+        import shutil
+
+        shutil.move(store.job_dir("abc123"), store.job_dir("def456"))
+        assert store.load("def456") is None
+        records, skipped = store.load_all()
+        assert (records, skipped) == ([], 1)
+
+
+class TestFleetExecution:
+    def test_job_runs_on_embedded_fleet(self, tmp_path):
+        """With live workers registered, the job's sweep fans out to them."""
+        from repro.fleet import FleetWorker, LocalTransport
+
+        server = make_server(tmp_path, workers=1)
+        stop = threading.Event()
+        worker = FleetWorker(
+            LocalTransport(server.fleet), cache_size=2, isolate_obs=False
+        )
+        worker.register()
+        thread = threading.Thread(
+            target=worker.run,
+            args=(stop,),
+            kwargs={"poll_seconds": 0.005},
+            daemon=True,
+        )
+        thread.start()
+        try:
+            _, payload, _ = server.handle_request(
+                "POST", "/v1/jobs", JOB_BODY
+            )
+            final = wait_terminal(server, payload["id"])
+            assert final["state"] == "done"
+            assert final["result"]["text"] == direct_text()
+            assert worker.stats["chunks_done"] > 0
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+            server.shutdown()
+
+
+class TestClientHelpers:
+    def test_submit_and_poll_over_http(self, tmp_path):
+        server = make_server(tmp_path, workers=1)
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            address = f"{server.host}:{server.port}"
+            status = api.submit(
+                address,
+                {"kind": "explore", "request": EXPLORE},
+                tenant="cli",
+            )
+            assert status.state in ("pending", "running", "done")
+            deadline = time.time() + 90
+            while status.state not in ("done", "failed"):
+                assert time.time() < deadline
+                time.sleep(0.1)
+                status = api.poll(address, status.id)
+            assert status.state == "done"
+            assert status.result["text"] == direct_text()
+        finally:
+            server.shutdown()
+            thread.join(timeout=10)
+
+    def test_submit_rejects_bad_type(self):
+        with pytest.raises(api.RequestError):
+            api.submit("127.0.0.1:1", ["not", "a", "request"])

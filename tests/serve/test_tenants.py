@@ -1,0 +1,240 @@
+"""Multi-tenant traffic shaping: token buckets, WFQ, computed Retry-After."""
+
+import json
+import time
+
+import pytest
+
+from repro.api.types import RequestError
+from repro.serve.app import ServerConfig, SlifServer
+from repro.serve.jobs import (
+    TenantShaper,
+    TokenBucket,
+    WeightedFairQueue,
+    validate_tenant,
+)
+
+SPEC = "fuzzy"
+EXPLORE = {
+    "spec": SPEC, "constraint_steps": 2, "random_starts": 2, "seed": 7
+}
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        outcomes = [bucket.take()[0] for _ in range(4)]
+        assert outcomes == [True, True, True, False]
+        _, wait = bucket.take()
+        assert 0 < wait <= 1.0
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=1000.0, burst=1)
+        assert bucket.take()[0]
+        assert not bucket.take()[0]
+        time.sleep(0.01)
+        assert bucket.take()[0]
+
+
+class TestValidateTenant:
+    def test_default_and_normalization(self):
+        assert validate_tenant(None) == "default"
+        assert validate_tenant("  ") == "default"
+        assert validate_tenant(" gold ") == "gold"
+
+    def test_rejects_junk(self):
+        with pytest.raises(RequestError):
+            validate_tenant("has spaces")
+        with pytest.raises(RequestError):
+            validate_tenant("x" * 65)
+
+
+class TestWeightedFairQueue:
+    def test_four_to_one_interleave(self):
+        """4:1 weights give >= 3:1 completions over any early window."""
+        queue = WeightedFairQueue()
+        for i in range(8):
+            queue.push("gold", 4.0, f"g{i}")
+            queue.push("bronze", 1.0, f"b{i}")
+        first_ten = [queue.pop(timeout=0) for _ in range(10)]
+        gold = sum(1 for item in first_ten if item.startswith("g"))
+        bronze = len(first_ten) - gold
+        assert gold >= 3 * bronze
+
+    def test_lone_tenant_never_throttled(self):
+        queue = WeightedFairQueue()
+        for i in range(4):
+            queue.push("solo", 1.0, i)
+        assert [queue.pop(timeout=0) for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_fifo_within_tenant(self):
+        queue = WeightedFairQueue()
+        queue.push("a", 2.0, "first")
+        queue.push("a", 2.0, "second")
+        queue.push("b", 1.0, "other")
+        popped = [queue.pop(timeout=0) for _ in range(3)]
+        assert popped.index("first") < popped.index("second")
+
+    def test_close_wakes_poppers(self):
+        queue = WeightedFairQueue()
+        queue.close()
+        assert queue.pop(timeout=5.0) is None
+
+    def test_pop_timeout(self):
+        queue = WeightedFairQueue()
+        started = time.monotonic()
+        assert queue.pop(timeout=0.05) is None
+        assert time.monotonic() - started < 1.0
+
+
+class TestTenantShaper:
+    def test_rate_zero_never_throttles(self):
+        shaper = TenantShaper(rate=0.0)
+        assert all(shaper.admit("t")[0] for _ in range(100))
+
+    def test_bucket_throttles_and_counts(self):
+        shaper = TenantShaper(rate=0.001, burst=2)
+        assert shaper.admit("t")[0]
+        assert shaper.admit("t")[0]
+        allowed, wait = shaper.admit("t")
+        assert not allowed and wait > 0
+        stats = shaper.stats()
+        assert stats["tenants"]["t"]["requests"] == 3
+        assert stats["tenants"]["t"]["throttled"] == 1
+
+    def test_buckets_are_per_tenant(self):
+        shaper = TenantShaper(rate=0.001, burst=1)
+        assert shaper.admit("a")[0]
+        assert not shaper.admit("a")[0]
+        assert shaper.admit("b")[0]
+
+
+class TestServerShaping:
+    def make(self, tmp_path=None, **overrides):
+        config = ServerConfig(
+            port=0,
+            state_dir=str(tmp_path / "state") if tmp_path else None,
+            job_workers=0,
+            **overrides,
+        )
+        return SlifServer(config)
+
+    def test_invalid_tenant_header_400(self, tmp_path):
+        server = self.make(tmp_path)
+        try:
+            status, payload, headers, _ = server.handle_timed(
+                "POST",
+                "/v1/jobs",
+                json.dumps(
+                    {"kind": "explore", "request": EXPLORE}
+                ).encode(),
+                tenant="not ok!",
+            )
+            assert status == 400
+            assert "invalid tenant" in payload["error"]
+        finally:
+            server.close()
+
+    def test_throttled_submission_gets_computed_retry_after(self, tmp_path):
+        server = self.make(tmp_path, tenant_rate=0.001, tenant_burst=2)
+        try:
+            body = json.dumps(
+                {"kind": "explore", "request": EXPLORE}
+            ).encode()
+            statuses = []
+            for _ in range(3):
+                status, payload, headers = server.handle_request(
+                    "POST", "/v1/jobs", body, tenant="busy"
+                )
+                statuses.append(status)
+            assert statuses == [202, 200, 429]
+            assert "over its request rate" in payload["error"]
+            # bucket refill at 0.001/s -> the floor dominates, clamped
+            # into [1, 30]
+            assert 1 <= int(headers["Retry-After"]) <= 30
+        finally:
+            server.close()
+
+    def test_sync_heavy_endpoint_is_shaped_too(self):
+        server = self.make(tenant_rate=0.001, tenant_burst=1)
+        try:
+            body = json.dumps(dict(EXPLORE)).encode()
+            first, _, _ = server.handle_request(
+                "POST", "/v1/explore", body, tenant="busy"
+            )
+            second, payload, headers = server.handle_request(
+                "POST", "/v1/explore", body, tenant="busy"
+            )
+            assert first == 200
+            assert second == 429
+            assert "busy" in payload["error"]
+            assert int(headers["Retry-After"]) >= 1
+            # an unrelated tenant is not throttled
+            third, _, _ = server.handle_request(
+                "POST", "/v1/explore", body, tenant="other"
+            )
+            assert third == 200
+        finally:
+            server.close()
+
+    def test_metrics_expose_per_tenant_counters(self, tmp_path):
+        server = self.make(tmp_path, tenant_rate=0.001, tenant_burst=1)
+        try:
+            body = json.dumps(
+                {"kind": "explore", "request": EXPLORE}
+            ).encode()
+            server.handle_request("POST", "/v1/jobs", body, tenant="gold")
+            server.handle_request("POST", "/v1/jobs", body, tenant="gold")
+            _, text, _ = server.handle_request("GET", "/metrics", b"")
+            assert (
+                'slif_tenant_requests_total{tenant="gold"} 2' in text
+            )
+            assert (
+                'slif_tenant_throttled_total{tenant="gold"} 1' in text
+            )
+            assert (
+                'slif_tenant_jobs_submitted_total{tenant="gold"} 1' in text
+            )
+            assert "slif_jobs_queued" in text
+        finally:
+            server.close()
+
+    def test_stats_expose_tenant_and_job_sections(self, tmp_path):
+        server = self.make(tmp_path, tenant_weights={"gold": 4.0})
+        try:
+            body = json.dumps(
+                {"kind": "explore", "request": EXPLORE}
+            ).encode()
+            server.handle_request("POST", "/v1/jobs", body, tenant="gold")
+            _, stats, _ = server.handle_request("GET", "/v1/stats", b"")
+            assert stats["tenants"]["tenants"]["gold"]["weight"] == 4.0
+            assert stats["durable_jobs"]["queued"] == 1
+            assert stats["durable_jobs"]["states"] == {"pending": 1}
+        finally:
+            server.close()
+
+    def test_weighted_jobs_scheduled_four_to_one(self, tmp_path):
+        """The acceptance ratio: 4:1 weights => >= 3:1 scheduling order."""
+        server = self.make(tmp_path, tenant_weights={"gold": 4.0})
+        try:
+            for tenant in ("gold", "bronze"):
+                for seed in range(8):
+                    body = json.dumps(
+                        {
+                            "kind": "explore",
+                            "request": dict(EXPLORE, seed=seed),
+                        }
+                    ).encode()
+                    status, _, _ = server.handle_request(
+                        "POST", "/v1/jobs", body, tenant=tenant
+                    )
+                    assert status == 202
+            order = [
+                server.jobs.records[server.jobs.queue.pop(timeout=0)].tenant
+                for _ in range(10)
+            ]
+            gold = order.count("gold")
+            bronze = order.count("bronze")
+            assert gold >= 3 * bronze
+        finally:
+            server.close()
