@@ -33,6 +33,12 @@ so a result is identical however it was requested::
 ``DeprecationWarning``).
 """
 
+from repro.api.frontends import (
+    FRONTENDS,
+    FrontEnd,
+    FrontEndRegistry,
+    ResolvedSpec,
+)
 from repro.api.facade import (
     estimate,
     estimate_many,
@@ -74,11 +80,15 @@ __all__ = [
     "ExploreRequest",
     "ExploreResult",
     "FREQ_MODES",
+    "FRONTENDS",
+    "FrontEnd",
+    "FrontEndRegistry",
     "JobRequest",
     "JobStatus",
     "PartitionRequest",
     "PartitionResult",
     "RequestError",
+    "ResolvedSpec",
     "SCHEMA_VERSION",
     "Session",
     "SimulateRequest",

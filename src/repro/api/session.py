@@ -5,9 +5,11 @@ This module is the canonical home of :class:`DesignSystem` and
 as a deprecation shim), plus the pieces the facade and the serving
 layer add on top:
 
-* :func:`resolve_spec` — one resolution rule for every entry point: a
-  spec argument is a bundled benchmark name, VHDL-subset source text,
-  or a filesystem path.
+* :func:`resolve_spec` — one resolution rule for every entry point,
+  delegated to the pluggable front-end registry
+  (:data:`repro.api.frontends.FRONTENDS`): a spec argument is a bundled
+  benchmark name, a ``slif-synth`` JSON document, VHDL-subset source
+  text, or a filesystem path holding any of those.
 * :func:`session_key` — a stable content hash over the resolved source
   and architecture parameters; two calls that would build the same
   annotated graph get the same key.  This is what the server's graph
@@ -107,26 +109,17 @@ class DesignSystem:
 def resolve_spec(spec: str) -> Tuple[str, str, Optional[object]]:
     """Resolve a spec argument to ``(source text, name, profile)``.
 
-    The one resolution rule shared by the facade, the CLI and the
-    server: a bundled benchmark name wins, then anything that looks
-    like VHDL source text (contains ``entity`` and a newline), then a
-    filesystem path.  Anything else is a :class:`SlifError`.
+    Back-compat wrapper over the front-end registry
+    (:data:`repro.api.frontends.FRONTENDS`), which owns the resolution
+    order: bundled benchmark names win, then inline spec text
+    (``slif-synth`` JSON, VHDL source), then a filesystem path holding
+    either.  Anything else is a :class:`SlifError` naming the
+    registered front ends.
     """
-    from pathlib import Path
+    from repro.api.frontends import FRONTENDS
 
-    from repro.specs import SPEC_NAMES, spec_profile, spec_source
-
-    if spec in SPEC_NAMES:
-        return spec_source(spec), spec, spec_profile(spec)
-    if "entity" in spec.lower() and "\n" in spec:
-        return spec, "user", None
-    path = Path(spec)
-    if path.exists():
-        return path.read_text(), path.stem, None
-    raise SlifError(
-        f"{spec!r} is neither a bundled benchmark ({SPEC_NAMES}), VHDL "
-        "source text, nor an existing file"
-    )
+    resolved = FRONTENDS.resolve(spec)
+    return resolved.source, resolved.name, resolved.profile
 
 
 def session_key(
@@ -138,38 +131,53 @@ def session_key(
 ) -> str:
     """Content hash identifying the session :func:`load` would build.
 
-    Stable across processes: two specs that resolve to the same source
-    text and architecture parameters share a key, so a graph cache can
-    serve both from one parsed+annotated session.
+    Stable across processes: two specs that resolve to the same
+    canonical source and architecture parameters share a key, so a
+    graph cache can serve both from one parsed+annotated session.  For
+    structured formats (``slif-synth``) the hashed source is the
+    canonical JSON encoding of the payload, so generated specs are
+    content-addressed regardless of whitespace or key order.
     """
-    source, name, _ = resolve_spec(spec)
+    from repro.api.frontends import FRONTENDS
+
+    return _key_from_resolved(
+        FRONTENDS.resolve(spec),
+        processor_name=processor_name,
+        asic_name=asic_name,
+        bus_bitwidth=bus_bitwidth,
+    )
+
+
+def _key_from_resolved(
+    resolved,
+    *,
+    processor_name: str = "CPU",
+    asic_name: str = "HW",
+    bus_bitwidth: int = 16,
+) -> str:
     blob = "\x00".join(
-        [source, name, processor_name, asic_name, str(bus_bitwidth)]
+        [resolved.source, resolved.name, processor_name, asic_name,
+         str(bus_bitwidth)]
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:24]
 
 
 def _build_from_resolved(
-    source: str,
-    name: str,
-    profile,
+    resolved,
     *,
     processor_name: str = "CPU",
     asic_name: str = "HW",
     bus_bitwidth: int = 16,
 ) -> DesignSystem:
     """Parse, annotate, allocate and initial-partition one resolved spec."""
+    from repro.api.frontends import FRONTENDS
     from repro.core.components import Bus, Processor
     from repro.obs import span
-    from repro.synth.annotate import annotate_slif
     from repro.synth.techlib import default_library
-    from repro.vhdl.slif_builder import build_slif_from_source
 
-    with span("system.build", spec=name):
-        slif = build_slif_from_source(source, name=name, profile=profile)
+    with span("system.build", spec=resolved.name):
         library = default_library()
-        with span("synth.annotate"):
-            annotate_slif(slif, library)
+        slif = FRONTENDS.parse(resolved, library)
 
         proc_tech = library.processors["proc"].technology()
         asic_tech = library.asics["asic"].technology()
@@ -178,7 +186,9 @@ def _build_from_resolved(
         slif.add_bus(Bus("sysbus", bitwidth=bus_bitwidth, ts=0.1, td=1.0))
 
         object_map = {obj: processor_name for obj in slif.bv_names()}
-        partition = single_bus_partition(slif, object_map, name=f"{name}-initial")
+        partition = single_bus_partition(
+            slif, object_map, name=f"{resolved.name}-initial"
+        )
     return DesignSystem(slif=slif, partition=partition)
 
 
@@ -190,29 +200,20 @@ def build_system(
     bus_bitwidth: int = 16,
     seed: int = 0,
 ) -> DesignSystem:
-    """Build a :class:`DesignSystem` for a bundled spec or VHDL text.
+    """Build a :class:`DesignSystem` for any registered spec form.
 
-    ``spec`` is either one of the bundled benchmark names (``ans``,
-    ``ether``, ``fuzzy``, ``vol``) or a full VHDL-subset source text
-    (anything containing the word ``entity``).  The architecture is the
-    paper's evaluation target: one standard processor, one ASIC, and a
-    single system bus; all behaviors start on the processor and are then
-    free to be repartitioned.
+    ``spec`` is anything the front-end registry accepts: a bundled
+    benchmark name (``ans``, ``ether``, ``fuzzy``, ``vol``), a full
+    VHDL-subset source text, a ``slif-synth`` JSON document, or a path
+    to a file holding either.  The architecture is the paper's
+    evaluation target: one standard processor, one ASIC, and a single
+    system bus; all behaviors start on the processor and are then free
+    to be repartitioned.
     """
-    from repro.specs import spec_profile, spec_source
+    from repro.api.frontends import FRONTENDS
 
-    if "entity" in spec.lower() and "\n" in spec:
-        source = spec
-        name = "user"
-        profile = None
-    else:
-        source = spec_source(spec)
-        profile = spec_profile(spec)
-        name = spec
     return _build_from_resolved(
-        source,
-        name,
-        profile,
+        FRONTENDS.resolve(spec),
         processor_name=processor_name,
         asic_name=asic_name,
         bus_bitwidth=bus_bitwidth,
@@ -296,9 +297,10 @@ def load(
 ) -> Session:
     """Parse, annotate and wrap one spec as a reusable :class:`Session`.
 
-    The facade's entry point for everything: resolve the spec (bundled
-    name, VHDL text, or path), build the annotated system once, and
-    hand back a session whose estimators are memoized across calls.
+    The facade's entry point for everything: resolve the spec through
+    the front-end registry (bundled name, VHDL text, ``slif-synth``
+    JSON, or a path), build the annotated system once, and hand back a
+    session whose estimators are memoized across calls.
 
     >>> from repro import api
     >>> session = api.load("vol")
@@ -307,20 +309,19 @@ def load(
     >>> len(session.key)
     24
     """
+    from repro.api.frontends import FRONTENDS
     from repro.obs import OBS, span
 
-    source, name, profile = resolve_spec(spec)
-    key = session_key(
-        spec,
+    resolved = FRONTENDS.resolve(spec)
+    key = _key_from_resolved(
+        resolved,
         processor_name=processor_name,
         asic_name=asic_name,
         bus_bitwidth=bus_bitwidth,
     )
-    with span("api.load", spec=name, session_key=key) as sp:
+    with span("api.load", spec=resolved.name, session_key=key) as sp:
         system = _build_from_resolved(
-            source,
-            name,
-            profile,
+            resolved,
             processor_name=processor_name,
             asic_name=asic_name,
             bus_bitwidth=bus_bitwidth,
@@ -328,4 +329,4 @@ def load(
     if OBS.enabled:
         OBS.inc("api.session.builds")
         OBS.observe("api.session.build_seconds", sp.duration)
-    return Session(system=system, key=key, spec_name=name)
+    return Session(system=system, key=key, spec_name=resolved.name)

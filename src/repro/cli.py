@@ -286,6 +286,85 @@ def _parse_tenant_weights(items) -> dict:
     return weights
 
 
+def cmd_gen(args: argparse.Namespace) -> int:
+    from repro.synth.gen import GenConfig, generate_text
+
+    config = GenConfig(
+        behaviors=args.behaviors,
+        seed=args.seed,
+        fanout=args.fanout,
+        concurrency=args.concurrency,
+        depth=args.depth,
+        variables=args.variables,
+        ports=args.ports,
+        name=args.name,
+    )
+    with obs.span(
+        "cli.gen", behaviors=args.behaviors, seed=args.seed
+    ) as sp:
+        text = generate_text(config)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(text)
+    print(
+        f"-- generated {config.spec_name}: {args.behaviors} behaviors, "
+        f"{len(text)} bytes in {sp.duration:.3f}s",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _parse_mix(items) -> Optional[dict]:
+    """``--mix estimate=0.8 --mix partition=0.2`` into a weight dict."""
+    if not items:
+        return None
+    mix = {}
+    for item in items:
+        name, sep, value = item.partition("=")
+        try:
+            weight = float(value)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise SlifError(
+                f"--mix entries must look like endpoint=weight, got {item!r}"
+            )
+        mix[name] = weight
+    return mix
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.synth.replay import DEFAULT_MIX, ReplayConfig, run_replay
+
+    config = ReplayConfig(
+        server=args.server,
+        duration=args.duration,
+        seed=args.seed,
+        workers=args.workers,
+        rate=args.rate,
+        mix=_parse_mix(args.mix) or dict(DEFAULT_MIX),
+        tenants=args.tenants,
+        specs=tuple(args.spec) if args.spec else ReplayConfig().specs,
+        timeout=args.timeout,
+    )
+    with obs.span("cli.replay", server=args.server, seed=args.seed) as sp:
+        report = run_replay(config)
+    if args.json:
+        print(json_module.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    print(
+        f"-- replayed {report.requests} requests in {sp.duration:.1f}s "
+        f"({report.throughput:.1f} req/s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ServerConfig, run_server
 
@@ -737,6 +816,128 @@ def make_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "gen",
+        help="generate a seeded synthetic spec (slif-synth JSON)",
+        description=(
+            "Emit a synthetic SLIF access graph as a slif-synth JSON "
+            "document. Fully deterministic: the same seed and knobs "
+            "produce byte-identical output on any platform. The output "
+            "is accepted anywhere a spec is (estimate, partition, "
+            "simulate, explore, serve)."
+        ),
+    )
+    p.add_argument(
+        "--behaviors",
+        type=int,
+        default=100,
+        help="total behavior count, 2..100000 (default 100)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="determinism root (default 0)"
+    )
+    p.add_argument(
+        "--fanout",
+        type=float,
+        default=2.0,
+        help="mean outgoing calls per non-leaf behavior (default 2.0)",
+    )
+    p.add_argument(
+        "--concurrency",
+        type=float,
+        default=0.3,
+        help="fraction of multi-channel behaviors given fork tags "
+        "(default 0.3)",
+    )
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=4,
+        help="call-hierarchy depth in behavior levels (default 4)",
+    )
+    p.add_argument(
+        "--variables",
+        type=int,
+        default=None,
+        help="shared-variable count (default: behaviors/4)",
+    )
+    p.add_argument(
+        "--ports",
+        type=int,
+        default=None,
+        help="external-port count (default: derived from behaviors)",
+    )
+    p.add_argument("--name", help="spec name (default synth-<seed>-<behaviors>)")
+    p.add_argument("-o", "--output", help="write the spec here instead of stdout")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_gen)
+
+    p = sub.add_parser(
+        "replay",
+        help="replay a seeded request mix against a running slif serve",
+        description=(
+            "Drive a live server with a seeded traffic mix and report "
+            "throughput, p50/p95/p99 latency (merged log-scale "
+            "histograms), and error/429 rates. Closed-loop by default; "
+            "--rate switches to a fixed-rate open-loop arrival process."
+        ),
+    )
+    p.add_argument(
+        "--server",
+        default="127.0.0.1:8080",
+        help="target host:port (default 127.0.0.1:8080)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=10.0,
+        help="replay length in seconds (default 10)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="request-mix seed (default 0)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="concurrent client connections (default 4)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in req/s (default: closed loop)",
+    )
+    p.add_argument(
+        "--mix",
+        action="append",
+        metavar="ENDPOINT=WEIGHT",
+        help="endpoint weight, repeatable (default estimate=0.85 "
+        "partition=0.07 simulate=0.04 explore=0.04)",
+    )
+    p.add_argument(
+        "--tenants",
+        type=int,
+        default=4,
+        help="distinct X-Slif-Tenant values to spread across (default 4)",
+    )
+    p.add_argument(
+        "--spec",
+        action="append",
+        help="spec to request, repeatable (default: the bundled benchmarks)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request timeout in seconds (default 30)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "serve", help="run the long-running HTTP estimation service"

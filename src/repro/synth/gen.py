@@ -1,0 +1,369 @@
+"""Seeded synthetic-spec generation: access graphs at any scale.
+
+The four bundled benchmarks top out at a few dozen behaviors; every
+scaling claim in this repository needs load far past that.  This module
+generates SLIF access graphs of *tunable* size and shape — behavior
+count, call fan-out, concurrency fraction, hierarchy depth — from a
+single integer seed, with a hard determinism contract:
+
+    same seed + same knobs  →  byte-identical output,
+    on any platform, in any process.
+
+That holds because generation draws only from :class:`random.Random`
+(whose Mersenne-Twister stream is specified and platform-independent)
+and serializes through :func:`repro.api.types.canonical_json` (sorted
+keys, fixed separators, round-trip float repr).
+
+The output is a ``slif-synth`` JSON document — the structured spec
+format registered with the front-end registry
+(:class:`repro.api.frontends.SynthFrontEnd`) — so a generated spec
+flows through ``estimate``/``partition``/``simulate``/``explore`` and
+the HTTP server exactly like a bundled benchmark.  Generated behaviors
+carry explicit per-technology ``ict``/``size`` weights (keyed by the
+default library's ``proc``/``asic`` technologies), exercising the
+paper's "the designer may simply specify an ict" path: no VHDL, no
+pre-synthesis pass.
+
+Shape of a generated graph:
+
+* behaviors are arranged in ``depth`` call levels; level 0 holds the
+  concurrent processes, deeper levels hold procedures;
+* call channels only go from level *L* to level *L+1*, so the call
+  graph is acyclic by construction (the estimators reject recursion);
+  every procedure has at least one caller, so nothing is dead code;
+* a pool of shared variables (scalars and arrays) receives
+  read/write/rw channels from behaviors across all levels — these are
+  the bus traffic the partitioners fight over;
+* a handful of external ports is accessed by the processes;
+* a ``concurrency`` fraction of multi-channel sources get fork tags
+  (Section 2.3), so concurrent-mode estimation has real work to do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SlifError
+
+#: Technology names of :func:`repro.synth.techlib.default_library` —
+#: generated weight maps are keyed by these.
+PROC_TECH = "proc"
+ASIC_TECH = "asic"
+
+_SCALAR_BITS = (1, 8, 16, 32)
+_ARRAY_ELEMENTS = (16, 64, 256)
+_PARAMETER_BITS = (0, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs of the synthetic-spec generator (all seeded, all bounded).
+
+    ``behaviors``
+        Total behavior count (processes + procedures), 2..100000.
+    ``seed``
+        The determinism root: every structural and numeric draw comes
+        from ``random.Random(seed)``.
+    ``fanout``
+        Mean outgoing *call* channels per non-leaf behavior (>= 1).
+    ``concurrency``
+        Fraction (0..1) of multi-channel behaviors whose channels get
+        shared concurrency (fork) tags.
+    ``depth``
+        Call-hierarchy depth: number of behavior levels (>= 1).  The
+        longest call chain has ``depth - 1`` edges.
+    ``variables``
+        Shared-variable count; ``None`` derives ``max(2, behaviors//4)``.
+    ``ports``
+        External-port count; ``None`` derives ``min(8, 2 + behaviors//50)``.
+    ``name``
+        Spec name; ``None`` derives ``synth-<seed>-<behaviors>``.
+    """
+
+    behaviors: int = 100
+    seed: int = 0
+    fanout: float = 2.0
+    concurrency: float = 0.3
+    depth: int = 4
+    variables: Optional[int] = None
+    ports: Optional[int] = None
+    name: Optional[str] = None
+
+    def validate(self) -> None:
+        if not 2 <= self.behaviors <= 100_000:
+            raise SlifError(
+                f"gen: behaviors must be in 2..100000, got {self.behaviors}"
+            )
+        if self.fanout < 1.0:
+            raise SlifError(f"gen: fanout must be >= 1, got {self.fanout:g}")
+        if not 0.0 <= self.concurrency <= 1.0:
+            raise SlifError(
+                f"gen: concurrency must be in 0..1, got {self.concurrency:g}"
+            )
+        if self.depth < 1:
+            raise SlifError(f"gen: depth must be >= 1, got {self.depth}")
+        if self.variables is not None and self.variables < 0:
+            raise SlifError(
+                f"gen: variables must be >= 0, got {self.variables}"
+            )
+        if self.ports is not None and self.ports < 0:
+            raise SlifError(f"gen: ports must be >= 0, got {self.ports}")
+
+    @property
+    def variable_count(self) -> int:
+        if self.variables is not None:
+            return self.variables
+        return max(2, self.behaviors // 4)
+
+    @property
+    def port_count(self) -> int:
+        if self.ports is not None:
+            return self.ports
+        return min(8, 2 + self.behaviors // 50)
+
+    @property
+    def spec_name(self) -> str:
+        return self.name or f"synth-{self.seed}-{self.behaviors}"
+
+
+def _levels(config: GenConfig) -> List[int]:
+    """Behavior count per call level; level 0 is the process layer.
+
+    Processes get roughly a sixth of the graph (at least one); the rest
+    spreads evenly over the procedure levels, remainder to the deepest
+    (leaves outnumber roots, like real call trees).
+    """
+    depth = min(config.depth, config.behaviors)
+    if depth == 1:
+        return [config.behaviors]
+    processes = max(1, config.behaviors // 6)
+    rest = config.behaviors - processes
+    per = rest // (depth - 1)
+    if per == 0:
+        # too deep for the behavior count: one per level, remainder up top
+        depth = rest + 1
+        per = 1
+    counts = [processes] + [per] * (depth - 1)
+    counts[-1] += config.behaviors - sum(counts)
+    return counts
+
+
+def _behavior_weights(rng: random.Random, is_process: bool) -> Dict[str, Dict[str, float]]:
+    """Per-technology ict/size draws for one behavior.
+
+    Software ict is in the default library's microsecond unit; hardware
+    runs 4-12x faster but costs gates instead of bytes — the spread that
+    gives the partitioners a real time/area trade-off.
+    """
+    ict_proc = round(rng.uniform(20.0, 400.0) if is_process
+                     else rng.uniform(2.0, 120.0), 3)
+    speedup = rng.uniform(4.0, 12.0)
+    ict_asic = round(max(ict_proc / speedup, 0.001), 3)
+    size_proc = float(rng.randrange(64, 4096))
+    size_asic = float(rng.randrange(128, 8192))
+    return {
+        "ict": {PROC_TECH: ict_proc, ASIC_TECH: ict_asic},
+        "size": {PROC_TECH: size_proc, ASIC_TECH: size_asic},
+    }
+
+
+def _variable_weights(
+    rng: random.Random, bits: int, elements: int
+) -> Dict[str, Dict[str, float]]:
+    total_bits = bits * elements
+    access = round(rng.uniform(0.05, 0.8), 3)
+    return {
+        "ict": {PROC_TECH: access, ASIC_TECH: round(access / 4.0, 3)},
+        "size": {
+            PROC_TECH: float(math.ceil(total_bits / 8)),
+            ASIC_TECH: float(total_bits),
+        },
+    }
+
+
+def _access_bits(bits: int, elements: int) -> int:
+    """Section 2.4.1: scalars transfer their width, arrays add an address."""
+    if elements > 1:
+        return bits + max(1, math.ceil(math.log2(elements)))
+    return bits
+
+
+def generate(config: GenConfig) -> dict:
+    """Generate one ``slif-synth`` payload (a plain JSON-ready dict).
+
+    Deterministic: the payload is a pure function of ``config``.
+    Serialize it with :func:`repro.api.types.canonical_json` (which is
+    what :func:`generate_text` does) for the byte-identity guarantee.
+    """
+    config.validate()
+    rng = random.Random(config.seed)
+    counts = _levels(config)
+
+    levels: List[List[str]] = []
+    behaviors: List[dict] = []
+    n = 0
+    for level, count in enumerate(counts):
+        names: List[str] = []
+        for _ in range(count):
+            name = f"b{n:05d}"
+            n += 1
+            names.append(name)
+            weights = _behavior_weights(rng, is_process=level == 0)
+            entry = {
+                "name": name,
+                "process": level == 0,
+                "ict": weights["ict"],
+                "size": weights["size"],
+            }
+            if level > 0:
+                entry["parameter_bits"] = rng.choice(_PARAMETER_BITS)
+            behaviors.append(entry)
+        levels.append(names)
+    param_bits = {b["name"]: b.get("parameter_bits", 0) for b in behaviors}
+
+    variables: List[dict] = []
+    for i in range(config.variable_count):
+        bits = rng.choice(_SCALAR_BITS)
+        elements = rng.choice(_ARRAY_ELEMENTS) if rng.random() < 0.25 else 1
+        weights = _variable_weights(rng, bits, elements)
+        variables.append({
+            "name": f"v{i:05d}",
+            "bits": bits,
+            "elements": elements,
+            "ict": weights["ict"],
+            "size": weights["size"],
+        })
+
+    ports: List[dict] = []
+    for i in range(config.port_count):
+        ports.append({
+            "name": f"p{i:03d}",
+            "direction": rng.choice(("in", "out", "inout")),
+            "bits": rng.choice(_SCALAR_BITS),
+        })
+
+    # -- call channels: level L -> L+1 only, every callee covered ------
+    channels: List[dict] = []
+    outgoing: Dict[str, List[dict]] = {b["name"]: [] for b in behaviors}
+
+    def add_channel(src: str, dst: str, kind: str, accfreq: float, bits: int) -> None:
+        ch = {
+            "src": src,
+            "dst": dst,
+            "kind": kind,
+            "accfreq": accfreq,
+            "bits": bits,
+        }
+        channels.append(ch)
+        outgoing[src].append(ch)
+
+    for level in range(len(levels) - 1):
+        callers, callees = levels[level], levels[level + 1]
+        called: Dict[str, set] = {src: set() for src in callers}
+        for src in callers:
+            # geometric-ish spread around the fanout knob
+            k = max(1, min(len(callees),
+                           int(rng.uniform(0.5, 1.5) * config.fanout + 0.5)))
+            for dst in rng.sample(callees, k):
+                if dst in called[src]:
+                    continue
+                called[src].add(dst)
+                # Call accfreqs multiply along the hierarchy (a callee
+                # runs caller_freq x its own freq x ... times), so they
+                # must stay small or dynamic execution count -- and
+                # simulation cost -- explodes as freq^depth.  Bus
+                # traffic lives on the data/port channels instead.
+                add_channel(
+                    src, dst, "call",
+                    accfreq=float(rng.randrange(1, 4)),
+                    bits=param_bits[dst],
+                )
+        # orphaned callees get a caller from the level above
+        covered = set()
+        for src in callers:
+            covered |= called[src]
+        for dst in callees:
+            if dst not in covered:
+                src = rng.choice(callers)
+                called[src].add(dst)
+                add_channel(
+                    src, dst, "call",
+                    accfreq=float(rng.randrange(1, 4)),
+                    bits=param_bits[dst],
+                )
+
+    # -- data channels: behaviors <-> shared variables and ports -------
+    all_names = [b["name"] for b in behaviors]
+    for v in variables:
+        bits = _access_bits(v["bits"], v["elements"])
+        readers = rng.randrange(1, 4)
+        for src in rng.sample(all_names, min(readers, len(all_names))):
+            kind = rng.choice(("read", "write", "rw"))
+            add_channel(
+                src, v["name"], kind,
+                accfreq=round(rng.uniform(1.0, 50.0), 3),
+                bits=bits,
+            )
+    for p in ports:
+        src = rng.choice(levels[0])
+        kind = "read" if p["direction"] == "in" else "write"
+        add_channel(
+            src, p["name"], kind,
+            accfreq=round(rng.uniform(1.0, 20.0), 3),
+            bits=p["bits"],
+        )
+
+    # -- concurrency tags: fork groups on multi-channel sources --------
+    if config.concurrency > 0.0:
+        for src in sorted(outgoing):
+            group = outgoing[src]
+            if len(group) >= 2 and rng.random() < config.concurrency:
+                k = rng.randrange(2, len(group) + 1)
+                tag = f"{src}.fork0"
+                for ch in rng.sample(group, k):
+                    ch["tag"] = tag
+
+    from repro.api.frontends import SYNTH_FORMAT, SYNTH_VERSION
+
+    return {
+        "format": SYNTH_FORMAT,
+        "version": SYNTH_VERSION,
+        "name": config.spec_name,
+        "generator": {
+            "behaviors": config.behaviors,
+            "seed": config.seed,
+            "fanout": config.fanout,
+            "concurrency": config.concurrency,
+            "depth": config.depth,
+            "variables": config.variable_count,
+            "ports": config.port_count,
+        },
+        "behaviors": behaviors,
+        "variables": variables,
+        "ports": ports,
+        "channels": channels,
+    }
+
+
+def generate_text(config: GenConfig) -> str:
+    """The canonical serialized form: one line of sorted-key JSON + newline.
+
+    This exact string is what ``slif gen`` writes, what the synth front
+    end hashes for the session key, and what the byte-identity
+    acceptance test compares.
+    """
+    from repro.api.types import canonical_json
+
+    return canonical_json(generate(config)) + "\n"
+
+
+def generate_slif(config: GenConfig):
+    """Convenience: generate and parse straight to an annotated graph."""
+    from repro.api.frontends import FRONTENDS
+    from repro.synth.techlib import default_library
+
+    resolved = FRONTENDS.resolve(generate_text(config))
+    return FRONTENDS.parse(resolved, default_library())

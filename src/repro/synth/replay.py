@@ -1,0 +1,404 @@
+"""Traffic replay: drive a running ``slif serve`` with a seeded mix.
+
+The serving layer's claims — micro-batching, 429 backpressure,
+tenant-fair shaping, warm-cache hit rates — have so far been measured
+by ad-hoc benchmark loops.  This module is the standing load source: a
+harness that opens N worker connections against a live server, replays
+a *seeded* request mix (endpoint weights, spec choice, tenant
+distribution), and reports what the paper's tooling cares about —
+throughput, p50/p95/p99 latency, and error/throttle rates.
+
+Two arrival processes (the classic load-testing dichotomy):
+
+closed loop (``rate=None``)
+    Each worker issues its next request the moment the previous one
+    returns.  Measures capacity: the throughput number *is* what the
+    server can sustain at this concurrency.
+open loop (``rate=R``)
+    A pacer thread emits arrivals at a fixed R req/s into a shared
+    queue regardless of how the server is doing; latency then includes
+    queueing delay, which is what users of an overloaded service
+    actually experience.  Arrivals that find the queue full are counted
+    as ``dropped_arrivals`` rather than silently skipped.
+
+Latency is recorded into the observability layer's fixed log-scale
+:class:`~repro.obs.metrics.Histogram` buckets — one histogram per
+endpoint per worker, merged exactly across workers at the end via the
+``dump``/``merge`` protocol (the same machinery the explore workers use
+to report spans), so the quantiles in the report are computed over the
+union of every worker's samples.
+
+Determinism caveat: the *request sequence* of each worker is a pure
+function of ``seed`` and the worker index; wall-clock interleaving and
+therefore the measured numbers are, of course, not.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SlifError
+from repro.obs.metrics import Histogram
+
+#: Default endpoint mix: mostly the hot path, a trickle of heavy work.
+DEFAULT_MIX: Dict[str, float] = {
+    "estimate": 0.85,
+    "partition": 0.07,
+    "simulate": 0.04,
+    "explore": 0.04,
+}
+
+#: Endpoints the harness knows how to build request bodies for.
+ENDPOINTS = ("estimate", "partition", "simulate", "explore")
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """One replay run: where to aim, for how long, with what mix."""
+
+    server: str = "127.0.0.1:8080"
+    duration: float = 10.0
+    seed: int = 0
+    workers: int = 4
+    rate: Optional[float] = None
+    mix: Dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    tenants: int = 4
+    specs: Tuple[str, ...] = ("ans", "ether", "fuzzy", "vol")
+    timeout: float = 30.0
+
+    def validate(self) -> None:
+        if self.duration <= 0:
+            raise SlifError(f"replay: duration must be > 0, got {self.duration:g}")
+        if self.workers < 1:
+            raise SlifError(f"replay: workers must be >= 1, got {self.workers}")
+        if self.rate is not None and self.rate <= 0:
+            raise SlifError(f"replay: rate must be > 0, got {self.rate:g}")
+        if self.tenants < 1:
+            raise SlifError(f"replay: tenants must be >= 1, got {self.tenants}")
+        if not self.specs:
+            raise SlifError("replay: at least one spec is required")
+        if not self.mix:
+            raise SlifError("replay: the endpoint mix must be non-empty")
+        for endpoint, weight in self.mix.items():
+            if endpoint not in ENDPOINTS:
+                raise SlifError(
+                    f"replay: unknown endpoint {endpoint!r} in mix "
+                    f"(known: {ENDPOINTS})"
+                )
+            if weight < 0:
+                raise SlifError(
+                    f"replay: mix weight for {endpoint!r} must be >= 0"
+                )
+        if sum(self.mix.values()) <= 0:
+            raise SlifError("replay: mix weights must sum to > 0")
+
+    def address(self) -> Tuple[str, int]:
+        """Parse ``server`` (``host:port`` or ``http://host:port``)."""
+        server = self.server
+        if server.startswith("http://"):
+            server = server[len("http://"):]
+        server = server.rstrip("/")
+        host, sep, port = server.rpartition(":")
+        if not sep or not port.isdigit():
+            raise SlifError(
+                f"replay: server must be host:port, got {self.server!r}"
+            )
+        return host or "127.0.0.1", int(port)
+
+
+@dataclass
+class ReplayReport:
+    """What one replay run measured (all latencies in seconds)."""
+
+    duration: float
+    requests: int
+    ok: int
+    throttled: int
+    errors: int
+    dropped_arrivals: int
+    throughput: float
+    latency: Dict[str, Any]
+    per_endpoint: Dict[str, Dict[str, Any]]
+    statuses: Dict[str, int]
+
+    @property
+    def throttle_rate(self) -> float:
+        return self.throttled / self.requests if self.requests else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.requests if self.requests else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "duration": self.duration,
+            "requests": self.requests,
+            "ok": self.ok,
+            "throttled": self.throttled,
+            "errors": self.errors,
+            "dropped_arrivals": self.dropped_arrivals,
+            "throughput": self.throughput,
+            "throttle_rate": self.throttle_rate,
+            "error_rate": self.error_rate,
+            "latency": self.latency,
+            "per_endpoint": self.per_endpoint,
+            "statuses": self.statuses,
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"replay: {self.requests} requests in {self.duration:.1f}s "
+            f"({self.throughput:.1f} req/s)",
+            f"  ok {self.ok}  throttled(429) {self.throttled}  "
+            f"errors {self.errors}"
+            + (f"  dropped-arrivals {self.dropped_arrivals}"
+               if self.dropped_arrivals else ""),
+        ]
+        lat = self.latency
+        if lat.get("count"):
+            lines.append(
+                "  latency p50 {p50:.1f}ms  p95 {p95:.1f}ms  "
+                "p99 {p99:.1f}ms  max {max:.1f}ms".format(
+                    p50=lat["p50"] * 1e3, p95=lat["p95"] * 1e3,
+                    p99=lat["p99"] * 1e3, max=lat["max"] * 1e3,
+                )
+            )
+        for endpoint in sorted(self.per_endpoint):
+            s = self.per_endpoint[endpoint]
+            if not s.get("count"):
+                continue
+            lines.append(
+                f"  {endpoint:>9}: {s['count']:>6}  "
+                f"p50 {s['p50']*1e3:.1f}ms  p95 {s['p95']*1e3:.1f}ms  "
+                f"p99 {s['p99']*1e3:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+class _Worker:
+    """One replay worker: its own RNG, connection, and histograms."""
+
+    def __init__(self, index: int, config: ReplayConfig,
+                 arrivals: Optional["queue.Queue"], deadline: float) -> None:
+        self.index = index
+        self.config = config
+        self.arrivals = arrivals
+        self.deadline = deadline
+        # decorrelate worker streams while keeping each a pure function
+        # of (seed, index)
+        self.rng = random.Random((config.seed << 20) ^ (index * 0x9E3779B1))
+        self.histograms: Dict[str, Histogram] = {
+            name: Histogram(f"replay.latency.{name}")
+            for name in ("all",) + ENDPOINTS
+        }
+        self.statuses: Dict[int, int] = {}
+        self.transport_errors = 0
+        self.requests = 0
+        self._endpoints = sorted(config.mix)
+        self._weights = [config.mix[e] for e in self._endpoints]
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- request synthesis --------------------------------------------
+
+    def _body(self, endpoint: str, spec: str) -> Dict[str, Any]:
+        rng = self.rng
+        if endpoint == "estimate":
+            return {
+                "spec": spec,
+                "mode": rng.choice(("avg", "avg", "avg", "min", "max")),
+                "concurrent": rng.random() < 0.25,
+            }
+        if endpoint == "partition":
+            # fast algorithms only: this is a load generator, and e.g.
+            # clustering is O(n^3)-ish — 10+ seconds on a 200-behavior
+            # graph would wedge a closed-loop worker past the deadline
+            return {
+                "spec": spec,
+                "algorithm": rng.choice(("greedy", "random")),
+                "seed": rng.randrange(1 << 16),
+            }
+        if endpoint == "simulate":
+            return {
+                "spec": spec,
+                "seed": rng.randrange(1 << 16),
+                "iterations": 2,
+            }
+        return {
+            "spec": spec,
+            "constraint_steps": 2,
+            "random_starts": 1,
+            "seed": rng.randrange(1 << 16),
+        }
+
+    def _next_request(self) -> Tuple[str, Dict[str, Any], Dict[str, str]]:
+        endpoint = self.rng.choices(self._endpoints, self._weights)[0]
+        spec = self.rng.choice(self.config.specs)
+        headers = {
+            "Content-Type": "application/json",
+            "X-Slif-Tenant": f"tenant-{self.rng.randrange(self.config.tenants)}",
+        }
+        return endpoint, self._body(endpoint, spec), headers
+
+    # -- transport ----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            host, port = self.config.address()
+            self._conn = http.client.HTTPConnection(
+                host, port, timeout=self.config.timeout
+            )
+        return self._conn
+
+    def _issue(self) -> None:
+        endpoint, body, headers = self._next_request()
+        payload = json.dumps(body)
+        started = time.perf_counter()
+        try:
+            conn = self._connection()
+            conn.request("POST", f"/v1/{endpoint}", payload, headers)
+            response = conn.getresponse()
+            response.read()
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            self.transport_errors += 1
+            self.requests += 1
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+            time.sleep(0.05)  # don't hot-spin against a dead server
+            return
+        elapsed = time.perf_counter() - started
+        self.requests += 1
+        self.statuses[status] = self.statuses.get(status, 0) + 1
+        self.histograms["all"].observe(elapsed)
+        self.histograms[endpoint].observe(elapsed)
+
+    def run(self) -> None:
+        while True:
+            remaining = self.deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            if self.arrivals is not None:
+                try:
+                    token = self.arrivals.get(timeout=min(remaining, 0.2))
+                except queue.Empty:
+                    continue
+                if token is None:  # pacer shut down
+                    break
+            self._issue()
+        if self._conn is not None:
+            self._conn.close()
+
+
+def _pace(arrivals: "queue.Queue", rate: float, deadline: float,
+          dropped: List[int], workers: int) -> None:
+    """Open-loop pacer: one token per arrival, fixed rate, no drift."""
+    interval = 1.0 / rate
+    next_at = time.monotonic()
+    while True:
+        now = time.monotonic()
+        if now >= deadline:
+            break
+        if now < next_at:
+            time.sleep(min(next_at - now, deadline - now))
+            continue
+        next_at += interval
+        try:
+            arrivals.put_nowait(object())
+        except queue.Full:
+            dropped[0] += 1
+    for _ in range(workers):  # unblock everyone
+        try:
+            arrivals.put_nowait(None)
+        except queue.Full:
+            pass
+
+
+def run_replay(config: ReplayConfig) -> ReplayReport:
+    """Run one replay against a live server and merge the results."""
+    config.validate()
+    config.address()  # fail fast on a bad server string
+
+    deadline = time.monotonic() + config.duration
+    arrivals: Optional[queue.Queue] = None
+    dropped = [0]
+    threads: List[threading.Thread] = []
+    if config.rate is not None:
+        arrivals = queue.Queue(maxsize=max(4, int(config.rate)))
+        pacer = threading.Thread(
+            target=_pace,
+            args=(arrivals, config.rate, deadline, dropped, config.workers),
+            name="replay-pacer",
+            daemon=True,
+        )
+        pacer.start()
+        threads.append(pacer)
+
+    started = time.monotonic()
+    workers = [
+        _Worker(i, config, arrivals, deadline) for i in range(config.workers)
+    ]
+    for worker in workers:
+        thread = threading.Thread(
+            target=worker.run, name=f"replay-{worker.index}", daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=config.duration + config.timeout + 5.0)
+    elapsed = time.monotonic() - started
+
+    # exact cross-worker merge through the histogram dump/merge protocol
+    merged: Dict[str, Histogram] = {
+        name: Histogram(f"replay.latency.{name}")
+        for name in ("all",) + ENDPOINTS
+    }
+    statuses: Dict[int, int] = {}
+    requests = 0
+    transport_errors = 0
+    for worker in workers:
+        requests += worker.requests
+        transport_errors += worker.transport_errors
+        for status, count in worker.statuses.items():
+            statuses[status] = statuses.get(status, 0) + count
+        for name, hist in worker.histograms.items():
+            merged[name].merge(hist.dump())
+
+    ok = sum(c for s, c in statuses.items() if 200 <= s < 300)
+    throttled = statuses.get(429, 0)
+    errors = requests - ok - throttled
+
+    def _summary(hist: Histogram) -> Dict[str, Any]:
+        if not hist.count:
+            return {"count": 0}
+        return {
+            "count": hist.count,
+            "mean": hist.mean,
+            "min": hist.min,
+            "max": hist.max,
+            "p50": hist.p50,
+            "p95": hist.p95,
+            "p99": hist.p99,
+        }
+
+    return ReplayReport(
+        duration=elapsed,
+        requests=requests,
+        ok=ok,
+        throttled=throttled,
+        errors=errors,
+        dropped_arrivals=dropped[0],
+        throughput=requests / elapsed if elapsed > 0 else 0.0,
+        latency=_summary(merged["all"]),
+        per_endpoint={
+            name: _summary(merged[name]) for name in ENDPOINTS
+        },
+        statuses={str(s): c for s, c in sorted(statuses.items())},
+    )

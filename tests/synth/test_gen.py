@@ -1,0 +1,206 @@
+"""The synthetic-spec generator: determinism, knobs, and round-trips."""
+
+import json
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro import api
+from repro.errors import SlifError
+from repro.synth.gen import GenConfig, generate, generate_slif, generate_text
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = generate_text(GenConfig(behaviors=150, seed=42))
+        b = generate_text(GenConfig(behaviors=150, seed=42))
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = generate_text(GenConfig(behaviors=150, seed=1))
+        b = generate_text(GenConfig(behaviors=150, seed=2))
+        assert a != b
+
+    @pytest.mark.parametrize(
+        "knobs",
+        [
+            dict(behaviors=10),
+            dict(behaviors=300, fanout=4.0),
+            dict(behaviors=300, concurrency=0.0),
+            dict(behaviors=300, concurrency=1.0),
+            dict(behaviors=300, depth=1),
+            dict(behaviors=300, depth=8),
+            dict(behaviors=100, variables=0, ports=0),
+        ],
+    )
+    def test_every_knob_combination_is_deterministic(self, knobs):
+        a = generate_text(GenConfig(seed=9, **knobs))
+        b = generate_text(GenConfig(seed=9, **knobs))
+        assert a == b
+
+    def test_byte_identical_across_processes(self):
+        """The CI `cmp` check in miniature: a fresh interpreter agrees."""
+        code = (
+            "from repro.synth.gen import GenConfig, generate_text;"
+            "import sys; sys.stdout.write(generate_text("
+            "GenConfig(behaviors=150, seed=42)))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert out == generate_text(GenConfig(behaviors=150, seed=42))
+
+
+class TestKnobs:
+    def test_behavior_count_honored(self):
+        for count in (10, 137, 1000):
+            payload = generate(GenConfig(behaviors=count, seed=0))
+            assert len(payload["behaviors"]) == count
+
+    def test_depth_bounds_call_chain(self):
+        payload = generate(GenConfig(behaviors=200, seed=0, depth=3))
+        callers = {}
+        for ch in payload["channels"]:
+            if ch["kind"] == "call":
+                callers.setdefault(ch["dst"], ch["src"])
+        behaviors = {b["name"] for b in payload["behaviors"]}
+
+        def chain(name):
+            depth = 1
+            while name in callers:
+                name = callers[name]
+                depth += 1
+            return depth
+
+        longest = max(chain(b) for b in behaviors)
+        assert longest <= 3
+
+    def test_every_procedure_has_a_caller(self):
+        payload = generate(GenConfig(behaviors=400, seed=3))
+        called = {
+            ch["dst"] for ch in payload["channels"] if ch["kind"] == "call"
+        }
+        for b in payload["behaviors"]:
+            if not b["process"]:
+                assert b["name"] in called, f"{b['name']} is dead code"
+
+    def test_concurrency_zero_means_no_tags(self):
+        payload = generate(GenConfig(behaviors=300, seed=0, concurrency=0.0))
+        assert not any("tag" in ch for ch in payload["channels"])
+
+    def test_concurrency_one_tags_every_multichannel_source(self):
+        payload = generate(GenConfig(behaviors=300, seed=0, concurrency=1.0))
+        by_src = {}
+        for ch in payload["channels"]:
+            by_src.setdefault(ch["src"], []).append(ch)
+        multi = [chs for chs in by_src.values() if len(chs) >= 2]
+        assert multi
+        for chs in multi:
+            assert any("tag" in ch for ch in chs)
+
+    def test_fanout_scales_call_count(self):
+        thin = generate(GenConfig(behaviors=400, seed=0, fanout=1.0))
+        wide = generate(GenConfig(behaviors=400, seed=0, fanout=5.0))
+
+        def calls(payload):
+            return sum(1 for c in payload["channels"] if c["kind"] == "call")
+
+        assert calls(wide) > calls(thin)
+
+    def test_variables_and_ports_knobs(self):
+        payload = generate(GenConfig(behaviors=50, seed=0, variables=7, ports=3))
+        assert len(payload["variables"]) == 7
+        assert len(payload["ports"]) == 3
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(behaviors=1),
+            dict(behaviors=200_000),
+            dict(fanout=0.5),
+            dict(concurrency=1.5),
+            dict(depth=0),
+            dict(variables=-1),
+        ],
+    )
+    def test_bad_knobs_rejected(self, bad):
+        with pytest.raises(SlifError):
+            generate(GenConfig(**bad))
+
+
+class TestRoundTrip:
+    @pytest.fixture(scope="class")
+    def spec_text(self):
+        return generate_text(GenConfig(behaviors=120, seed=5))
+
+    def test_estimate(self, spec_text):
+        result = api.estimate(api.EstimateRequest(spec=spec_text))
+        assert result.system_time > 0
+        assert math.isfinite(result.system_time)
+
+    def test_partition(self, spec_text):
+        result = api.partition(
+            api.PartitionRequest(spec=spec_text, algorithm="greedy")
+        )
+        assert result.algorithm == "greedy"
+        assert result.estimate.system_time > 0
+
+    def test_generated_graph_is_acyclic_and_connected(self, spec_text):
+        slif = generate_slif(GenConfig(behaviors=120, seed=5))
+        assert slif.find_call_cycle() is None
+        assert slif.processes()
+
+    def test_serialize_roundtrip(self):
+        from repro.core.serialize import slif_from_dict, slif_to_dict
+
+        slif = generate_slif(GenConfig(behaviors=60, seed=8))
+        clone = slif_from_dict(slif_to_dict(slif))
+        assert clone.stats() == slif.stats()
+        assert sorted(clone.channels) == sorted(slif.channels)
+
+    def test_payload_is_valid_canonical_json(self, spec_text):
+        payload = json.loads(spec_text)
+        assert payload["format"] == "slif-synth"
+        assert spec_text == api.canonical_json(payload) + "\n"
+
+
+class TestSessionKeys:
+    def test_same_seed_same_session_key_across_processes(self):
+        """Content-addressing regression: a fresh interpreter derives the
+        same session key for the same generated seed."""
+        text = generate_text(GenConfig(behaviors=80, seed=11))
+        key = api.session_key(text)
+        code = (
+            "from repro.synth.gen import GenConfig, generate_text;"
+            "from repro import api;"
+            "print(api.session_key(generate_text("
+            "GenConfig(behaviors=80, seed=11))))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        assert out == key
+
+    def test_key_is_content_addressed_not_repr_addressed(self):
+        """Pretty-printing or reordering keys must not change the key."""
+        text = generate_text(GenConfig(behaviors=30, seed=2))
+        payload = json.loads(text)
+        pretty = json.dumps(payload, indent=2)
+        shuffled = json.dumps(
+            {k: payload[k] for k in reversed(list(payload))}
+        )
+        assert api.session_key(text) == api.session_key(pretty)
+        assert api.session_key(text) == api.session_key(shuffled)
+
+    def test_different_seeds_different_keys(self):
+        a = generate_text(GenConfig(behaviors=30, seed=1))
+        b = generate_text(GenConfig(behaviors=30, seed=2))
+        assert api.session_key(a) != api.session_key(b)

@@ -1,0 +1,143 @@
+"""The traffic-replay harness against a real in-process server."""
+
+import threading
+
+import pytest
+
+from repro.errors import SlifError
+from repro.serve.app import ServerConfig, SlifServer
+from repro.synth.replay import ReplayConfig, ReplayReport, run_replay
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = SlifServer(ServerConfig(port=0, cache_size=8))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    thread.join(timeout=10)
+
+
+class TestConfig:
+    def test_address_forms(self):
+        assert ReplayConfig(server="127.0.0.1:80").address() == ("127.0.0.1", 80)
+        assert ReplayConfig(server="http://h:8080/").address() == ("h", 8080)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(duration=0),
+            dict(workers=0),
+            dict(rate=0.0),
+            dict(tenants=0),
+            dict(specs=()),
+            dict(mix={}),
+            dict(mix={"nope": 1.0}),
+            dict(mix={"estimate": -1.0}),
+            dict(mix={"estimate": 0.0}),
+        ],
+    )
+    def test_bad_config_rejected(self, bad):
+        with pytest.raises(SlifError):
+            run_replay(ReplayConfig(**bad))
+
+    def test_bad_server_string(self):
+        with pytest.raises(SlifError, match="host:port"):
+            run_replay(ReplayConfig(server="not-an-address"))
+
+
+class TestClosedLoop:
+    def test_replay_reports_throughput_and_quantiles(self, server):
+        report = run_replay(
+            ReplayConfig(
+                server=f"{server.host}:{server.port}",
+                duration=1.5,
+                seed=0,
+                workers=2,
+                mix={"estimate": 1.0},
+                specs=("vol",),
+            )
+        )
+        assert isinstance(report, ReplayReport)
+        assert report.requests > 0
+        assert report.throughput > 0
+        assert report.ok == report.requests
+        assert report.errors == 0
+        # merged log-scale quantiles are present and ordered
+        lat = report.latency
+        assert lat["count"] == report.requests
+        assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"]
+        assert report.per_endpoint["estimate"]["count"] == report.requests
+        assert report.statuses == {"200": report.requests}
+
+    def test_request_mix_honors_weights(self, server):
+        report = run_replay(
+            ReplayConfig(
+                server=f"{server.host}:{server.port}",
+                duration=1.5,
+                seed=1,
+                workers=2,
+                mix={"estimate": 0.7, "partition": 0.3},
+                specs=("vol",),
+            )
+        )
+        by_endpoint = report.per_endpoint
+        assert by_endpoint["estimate"]["count"] > 0
+        assert by_endpoint["partition"]["count"] > 0
+        assert by_endpoint["simulate"]["count"] == 0
+        # 429s may appear under heavy load; nothing else should
+        assert report.errors == 0, report.statuses
+
+    def test_report_serializes(self, server):
+        report = run_replay(
+            ReplayConfig(
+                server=f"{server.host}:{server.port}",
+                duration=0.5,
+                workers=1,
+                mix={"estimate": 1.0},
+                specs=("vol",),
+            )
+        )
+        data = report.to_dict()
+        assert set(data) >= {
+            "duration", "requests", "throughput", "latency",
+            "per_endpoint", "statuses", "error_rate", "throttle_rate",
+        }
+
+
+class TestOpenLoop:
+    def test_fixed_rate_paces_arrivals(self, server):
+        rate = 30.0
+        report = run_replay(
+            ReplayConfig(
+                server=f"{server.host}:{server.port}",
+                duration=2.0,
+                seed=0,
+                workers=2,
+                rate=rate,
+                mix={"estimate": 1.0},
+                specs=("vol",),
+            )
+        )
+        assert report.errors == 0
+        # the server answers a trivial estimate in ~ms, so the measured
+        # throughput should sit near the offered rate, not at capacity
+        assert report.requests > 0
+        assert report.throughput < rate * 1.5
+
+
+class TestDeadServer:
+    def test_unreachable_server_counts_errors_not_crashes(self):
+        report = run_replay(
+            ReplayConfig(
+                server="127.0.0.1:1",  # nothing listens on port 1
+                duration=0.7,
+                workers=1,
+                mix={"estimate": 1.0},
+                timeout=0.2,
+            )
+        )
+        assert report.ok == 0
+        assert report.errors == report.requests
+        assert report.requests > 0

@@ -58,7 +58,7 @@ class TestBuildSystem:
     def test_unknown_spec_rejected(self):
         from repro.errors import SlifError
 
-        with pytest.raises(SlifError, match="unknown benchmark"):
+        with pytest.raises(SlifError, match="registered front ends"):
             build_system("nonexistent")
 
     def test_custom_architecture_parameters(self):
